@@ -1,0 +1,269 @@
+// Package svrdb_test holds the top-level testing.B benchmarks, one per table
+// and figure of the paper's evaluation.  Each benchmark isolates the core
+// operation the corresponding experiment measures (a score update, a top-k
+// query, a document insertion, ...) against a pre-built index at a small,
+// laptop-friendly scale.
+//
+// The full parameter sweeps that regenerate the papers' tables row by row —
+// including the cold-cache methodology — live in internal/bench and are run
+// with cmd/svrbench; see DESIGN.md for the experiment index and
+// EXPERIMENTS.md for recorded results.
+package svrdb_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"svrdb/internal/index"
+	"svrdb/internal/postings"
+	"svrdb/internal/storage/buffer"
+	"svrdb/internal/storage/pagefile"
+	"svrdb/internal/workload"
+)
+
+// benchScale keeps the shared corpus small enough for `go test -bench=.`.
+var benchParams = workload.Params{
+	NumDocs:     2000,
+	TermsPerDoc: 120,
+	VocabSize:   6000,
+	TermZipf:    1.0, // see workload.DefaultParams: preserves query selectivity at reduced scale
+	ScoreMax:    100000,
+	ScoreZipf:   0.75,
+	Seed:        1,
+}
+
+var (
+	corpusOnce  sync.Once
+	benchCorpus *workload.Corpus
+	benchQs     [][]string
+	benchUpds   []workload.ScoreUpdate
+)
+
+func sharedCorpus() (*workload.Corpus, [][]string, []workload.ScoreUpdate) {
+	corpusOnce.Do(func() {
+		benchCorpus = workload.Generate(benchParams)
+		benchQs = workload.GenerateQueries(benchCorpus, workload.QueryParams{
+			Class: workload.Unselective, TermsPerQuery: 2, NumQueries: 64, Seed: 7,
+		})
+		up := workload.DefaultUpdateParams()
+		up.NumUpdates = 20000
+		benchUpds = workload.GenerateUpdates(benchCorpus, up)
+	})
+	return benchCorpus, benchQs, benchUpds
+}
+
+func buildBenchIndex(b *testing.B, kind string, cfg index.Config) index.Method {
+	b.Helper()
+	corpus, _, _ := sharedCorpus()
+	pool := buffer.MustNew(pagefile.MustNewMem(pagefile.DefaultPageSize), 8192)
+	cfg.Pool = pool
+	var (
+		m   index.Method
+		err error
+	)
+	switch kind {
+	case "ID":
+		m, err = index.NewID(cfg)
+	case "Score":
+		m, err = index.NewScore(cfg)
+	case "Score-Threshold":
+		m, err = index.NewScoreThreshold(cfg)
+	case "Chunk":
+		m, err = index.NewChunk(cfg)
+	case "ID-TermScore":
+		m, err = index.NewIDTermScore(cfg)
+	case "Chunk-TermScore":
+		m, err = index.NewChunkTermScore(cfg)
+	default:
+		b.Fatalf("unknown method %q", kind)
+	}
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := m.Build(corpus, corpus.ScoreFunc()); err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+func benchQueries(b *testing.B, m index.Method, k int, disjunctive, withTermScores bool) {
+	b.Helper()
+	_, queries, _ := sharedCorpus()
+	b.ResetTimer()
+	postingsScanned := 0
+	for i := 0; i < b.N; i++ {
+		q := queries[i%len(queries)]
+		res, err := m.TopK(index.Query{Terms: q, K: k, Disjunctive: disjunctive, WithTermScores: withTermScores})
+		if err != nil {
+			b.Fatal(err)
+		}
+		postingsScanned += res.PostingsScanned
+	}
+	b.ReportMetric(float64(postingsScanned)/float64(b.N), "postings/query")
+}
+
+func benchUpdates(b *testing.B, m index.Method) {
+	b.Helper()
+	_, _, updates := sharedCorpus()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u := updates[i%len(updates)]
+		if err := m.UpdateScore(u.Doc, u.NewScore); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable1_BuildLongLists measures the bulk build that produces the
+// long inverted lists whose sizes Table 1 reports; the size is attached as a
+// custom metric.
+func BenchmarkTable1_BuildLongLists(b *testing.B) {
+	for _, kind := range []string{"ID", "Score-Threshold", "Chunk", "ID-TermScore", "Chunk-TermScore"} {
+		b.Run(kind, func(b *testing.B) {
+			var size uint64
+			for i := 0; i < b.N; i++ {
+				m := buildBenchIndex(b, kind, index.Config{})
+				size = m.Stats().LongListBytes
+			}
+			b.ReportMetric(float64(size)/(1024*1024), "MB")
+		})
+	}
+}
+
+// BenchmarkTable2_ChunkRatio measures the two sides of the Table 2 tradeoff
+// (score-update cost and query cost) for several chunk ratios.
+func BenchmarkTable2_ChunkRatio(b *testing.B) {
+	for _, ratio := range []float64{164.84, 21.48, 6.12, 1.56} {
+		m := buildBenchIndex(b, "Chunk", index.Config{ChunkRatio: ratio, MinChunkSize: 20})
+		b.Run(fmt.Sprintf("update/ratio=%.2f", ratio), func(b *testing.B) { benchUpdates(b, m) })
+		b.Run(fmt.Sprintf("query/ratio=%.2f", ratio), func(b *testing.B) { benchQueries(b, m, 10, false, false) })
+	}
+}
+
+// BenchmarkFigure7_ScoreUpdate measures the per-update cost of every
+// SVR-only method (the update side of Figure 7).
+func BenchmarkFigure7_ScoreUpdate(b *testing.B) {
+	for _, kind := range []string{"ID", "Score", "Score-Threshold", "Chunk"} {
+		b.Run(kind, func(b *testing.B) {
+			m := buildBenchIndex(b, kind, index.Config{MinChunkSize: 20})
+			benchUpdates(b, m)
+		})
+	}
+}
+
+// BenchmarkFigure7_Query measures the query cost of every SVR-only method
+// after a burst of score updates (the query side of Figure 7).
+func BenchmarkFigure7_Query(b *testing.B) {
+	_, _, updates := sharedCorpus()
+	for _, kind := range []string{"ID", "Score-Threshold", "Chunk"} {
+		b.Run(kind, func(b *testing.B) {
+			m := buildBenchIndex(b, kind, index.Config{MinChunkSize: 20})
+			for _, u := range updates[:4000] {
+				if err := m.UpdateScore(u.Doc, u.NewScore); err != nil {
+					b.Fatal(err)
+				}
+			}
+			benchQueries(b, m, 10, false, false)
+		})
+	}
+}
+
+// BenchmarkFigure8_VaryK measures query cost as k grows for the ID and Chunk
+// methods (Figure 8).
+func BenchmarkFigure8_VaryK(b *testing.B) {
+	for _, kind := range []string{"ID", "Score-Threshold", "Chunk"} {
+		m := buildBenchIndex(b, kind, index.Config{MinChunkSize: 20})
+		for _, k := range []int{1, 10, 100, 1000} {
+			b.Run(fmt.Sprintf("%s/k=%d", kind, k), func(b *testing.B) { benchQueries(b, m, k, false, false) })
+		}
+	}
+}
+
+// BenchmarkStepSweep_ChunkUpdate measures the update cost of the Chunk
+// method under increasing mean update steps (§5.3.4); larger steps push more
+// documents across two chunk boundaries and hence into the short lists.
+func BenchmarkStepSweep_ChunkUpdate(b *testing.B) {
+	corpus, _, _ := sharedCorpus()
+	for _, step := range []float64{100, 1000, 10000} {
+		up := workload.DefaultUpdateParams()
+		up.NumUpdates = 20000
+		up.MeanStep = step
+		up.Seed = int64(step)
+		trace := workload.GenerateUpdates(corpus, up)
+		b.Run(fmt.Sprintf("step=%.0f", step), func(b *testing.B) {
+			m := buildBenchIndex(b, "Chunk", index.Config{MinChunkSize: 20})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				u := trace[i%len(trace)]
+				if err := m.UpdateScore(u.Doc, u.NewScore); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFigure9_CombinedScores measures combined SVR+TF-IDF queries for
+// the two TermScore methods (Figure 9).
+func BenchmarkFigure9_CombinedScores(b *testing.B) {
+	for _, kind := range []string{"ID-TermScore", "Chunk-TermScore"} {
+		b.Run(kind, func(b *testing.B) {
+			m := buildBenchIndex(b, kind, index.Config{MinChunkSize: 20})
+			benchQueries(b, m, 10, false, true)
+		})
+	}
+}
+
+// BenchmarkFigure10_Disjunctive measures disjunctive (OR) queries per method
+// (Figure 10).
+func BenchmarkFigure10_Disjunctive(b *testing.B) {
+	for _, kind := range []string{"ID", "Score-Threshold", "Chunk"} {
+		b.Run(kind, func(b *testing.B) {
+			m := buildBenchIndex(b, kind, index.Config{MinChunkSize: 20})
+			benchQueries(b, m, 10, true, false)
+		})
+	}
+}
+
+// BenchmarkTable3_Insertion measures incremental document insertion into the
+// Chunk method (Table 3).
+func BenchmarkTable3_Insertion(b *testing.B) {
+	corpus, _, _ := sharedCorpus()
+	m := buildBenchIndex(b, "Chunk", index.Config{MinChunkSize: 20})
+	// Fresh documents reuse the corpus token streams under new IDs.
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src := workload.DocID(i%corpus.NumDocs() + 1)
+		tokens, err := corpus.Tokens(src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		doc := postings.DocID(corpus.NumDocs() + i + 1)
+		if err := m.InsertDocument(doc, tokens, corpus.Score(src)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkThresholdRatio_Update measures Score-Threshold update cost across
+// threshold ratios (§5.3.1).
+func BenchmarkThresholdRatio_Update(b *testing.B) {
+	for _, ratio := range []float64{100, 11.24, 2, 1.2} {
+		b.Run(fmt.Sprintf("ratio=%.2f", ratio), func(b *testing.B) {
+			m := buildBenchIndex(b, "Score-Threshold", index.Config{ThresholdRatio: ratio})
+			benchUpdates(b, m)
+		})
+	}
+}
+
+// BenchmarkAblation_FancyListQuery measures Chunk-TermScore combined queries
+// for different fancy-list lengths (design-choice ablation).
+func BenchmarkAblation_FancyListQuery(b *testing.B) {
+	for _, n := range []int{4, 32, 256} {
+		b.Run(fmt.Sprintf("fancy=%d", n), func(b *testing.B) {
+			m := buildBenchIndex(b, "Chunk-TermScore", index.Config{FancyListSize: n, MinChunkSize: 20})
+			benchQueries(b, m, 10, false, true)
+		})
+	}
+}

@@ -1,0 +1,133 @@
+// Command svrsearch builds an Internet-Archive-style movie database, creates
+// an SVR text index over the movie descriptions (ranked by review ratings,
+// visits and downloads, exactly like the paper's running example), and
+// answers keyword queries interactively from stdin.
+//
+// Commands at the prompt:
+//
+//	<keywords>            conjunctive top-k search
+//	any <keywords>        disjunctive top-k search
+//	visit <mID> <delta>   bump a movie's visit count (a structured update);
+//	                      the next search reflects the new ranking
+//	quit                  exit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"svrdb/internal/core"
+	"svrdb/internal/relation"
+	"svrdb/internal/storage/buffer"
+	"svrdb/internal/storage/pagefile"
+	"svrdb/internal/workload"
+)
+
+func main() {
+	var (
+		movies = flag.Int("movies", 2000, "number of movies to generate")
+		k      = flag.Int("k", 10, "results per query")
+		method = flag.String("method", "chunk", "index method: id, score, score-threshold, chunk, id-termscore, chunk-termscore")
+		seed   = flag.Int64("seed", 11, "random seed")
+	)
+	flag.Parse()
+
+	pool := buffer.MustNew(pagefile.MustNewMem(pagefile.DefaultPageSize), 16384)
+	db := relation.NewDB(pool)
+	params := workload.DefaultArchiveParams()
+	params.NumMovies = *movies
+	params.Seed = *seed
+	fmt.Printf("building archive database with %d movies...\n", *movies)
+	if _, err := workload.BuildArchiveDB(db, params); err != nil {
+		fmt.Fprintln(os.Stderr, "svrsearch:", err)
+		os.Exit(1)
+	}
+
+	engine := core.NewEngine(db, core.Options{})
+	ti, err := engine.CreateTextIndex("movies_desc", "Movies", "desc", core.IndexOptions{
+		Method: core.MethodKind(*method),
+		Spec:   workload.ArchiveSpec(),
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "svrsearch:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("index ready (method=%s, long lists %.2f MB)\n", ti.Stats().Method,
+		float64(ti.Stats().LongListBytes)/(1024*1024))
+	fmt.Println("type keywords to search, 'visit <mID> <delta>' to simulate a flash crowd, 'quit' to exit")
+
+	scanner := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("svr> ")
+		if !scanner.Scan() {
+			return
+		}
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" {
+			continue
+		}
+		if line == "quit" || line == "exit" {
+			return
+		}
+		if strings.HasPrefix(line, "visit ") {
+			fields := strings.Fields(line)
+			if len(fields) != 3 {
+				fmt.Println("usage: visit <mID> <delta>")
+				continue
+			}
+			mID, err1 := strconv.ParseInt(fields[1], 10, 64)
+			delta, err2 := strconv.ParseInt(fields[2], 10, 64)
+			if err1 != nil || err2 != nil {
+				fmt.Println("usage: visit <mID> <delta>")
+				continue
+			}
+			if err := bumpVisits(db, mID, delta); err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			score, _, _ := ti.ScoreOf(mID)
+			fmt.Printf("movie %d visits increased by %d; new SVR score %.1f\n", mID, delta, score)
+			continue
+		}
+
+		disjunctive := false
+		query := line
+		if strings.HasPrefix(line, "any ") {
+			disjunctive = true
+			query = strings.TrimPrefix(line, "any ")
+		}
+		res, err := ti.Search(core.SearchRequest{Query: query, K: *k, Disjunctive: disjunctive, LoadRows: true})
+		if err != nil {
+			fmt.Println("error:", err)
+			continue
+		}
+		if len(res.Hits) == 0 {
+			fmt.Println("no results")
+			continue
+		}
+		for i, hit := range res.Hits {
+			name := "?"
+			if hit.Row != nil {
+				name = hit.Row[1].S
+			}
+			fmt.Printf("%2d. [score %10.1f] movie %-6d %s\n", i+1, hit.Score, hit.PK, name)
+		}
+		fmt.Printf("(%d postings scanned, early stop: %v)\n", res.PostingsScanned, res.Stopped)
+	}
+}
+
+func bumpVisits(db *relation.DB, mID, delta int64) error {
+	stats, err := db.Table("Statistics")
+	if err != nil {
+		return err
+	}
+	row, err := stats.Get(mID)
+	if err != nil {
+		return err
+	}
+	return stats.Update(mID, map[string]relation.Value{"nVisit": relation.Int(row[2].I + delta)})
+}

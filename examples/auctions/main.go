@@ -1,0 +1,159 @@
+// Auctions: SVR over an eBay-style online-auction table.
+//
+// The paper's introduction calls out on-line auctions as a natural
+// update-intensive SVR application: listings should be ranked by the current
+// bid and by how close the auction is to completion, both of which change
+// constantly as users bid.  This example builds an Auctions table whose SVR
+// score combines the listing's own columns (current bid, urgency) with the
+// number of watchers, streams a burst of bids, and shows keyword searches
+// tracking the live state of the marketplace.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"strings"
+
+	"svrdb/internal/core"
+	"svrdb/internal/relation"
+	"svrdb/internal/storage/buffer"
+	"svrdb/internal/storage/pagefile"
+	"svrdb/internal/view"
+)
+
+var itemWords = []string{
+	"vintage", "camera", "lens", "guitar", "amplifier", "vinyl", "record",
+	"mechanical", "keyboard", "watch", "chronograph", "bicycle", "frame",
+	"oak", "desk", "lamp", "poster", "signed", "first", "edition", "comic",
+	"trading", "card", "console", "cartridge", "synthesizer", "drum", "machine",
+}
+
+func main() {
+	pool := buffer.MustNew(pagefile.MustNewMem(pagefile.DefaultPageSize), 8192)
+	db := relation.NewDB(pool)
+
+	auctions, err := db.CreateTable(relation.Schema{
+		Name: "Auctions",
+		Columns: []relation.Column{
+			{Name: "aID", Kind: relation.KindInt64},
+			{Name: "title", Kind: relation.KindString},
+			{Name: "description", Kind: relation.KindString},
+			{Name: "currentBid", Kind: relation.KindFloat64},
+			{Name: "hoursLeft", Kind: relation.KindFloat64},
+		},
+	})
+	check(err)
+	watchers, err := db.CreateTable(relation.Schema{
+		Name: "Watchers",
+		Columns: []relation.Column{
+			{Name: "wID", Kind: relation.KindInt64},
+			{Name: "aID", Kind: relation.KindInt64},
+		},
+	})
+	check(err)
+
+	rng := rand.New(rand.NewSource(4))
+	const nAuctions = 800
+	wID := int64(1)
+	for a := 1; a <= nAuctions; a++ {
+		words := make([]string, 12)
+		for i := range words {
+			words[i] = itemWords[rng.Intn(len(itemWords))]
+		}
+		check(auctions.Insert(relation.Row{
+			relation.Int(int64(a)),
+			relation.Str(strings.Title(words[0] + " " + words[1])),
+			relation.Str(strings.Join(words, " ")),
+			relation.Float(float64(rng.Intn(200) + 1)),
+			relation.Float(float64(rng.Intn(72) + 1)),
+		}))
+		for w := 0; w < rng.Intn(20); w++ {
+			check(watchers.Insert(relation.Row{relation.Int(wID), relation.Int(int64(a))}))
+			wID++
+		}
+	}
+
+	// SVR score: current bid + urgency bonus (close-to-completion listings
+	// rank higher) + 5 points per watcher.
+	spec := view.Spec{
+		Components: []view.Component{
+			view.OwnColumn("Auctions", "currentBid"),
+			{
+				Name:      "urgency",
+				DependsOn: []view.Dependency{{Table: "Auctions"}},
+				Eval: func(db *relation.DB, pk int64) (float64, error) {
+					tbl, err := db.Table("Auctions")
+					if err != nil {
+						return 0, err
+					}
+					row, err := tbl.Get(pk)
+					if err != nil {
+						return 0, nil
+					}
+					hoursLeft := row[4].F
+					return 500 / (hoursLeft + 1), nil
+				},
+			},
+			view.CountRows("Watchers", "aID"),
+		},
+		Agg: view.WeightedSum(1, 1, 5),
+	}
+
+	engine := core.NewEngine(db, core.Options{})
+	idx, err := engine.CreateTextIndex("auctions_desc", "Auctions", "description", core.IndexOptions{
+		Method: core.MethodChunk,
+		Spec:   spec,
+	})
+	check(err)
+
+	query := "vintage camera"
+	fmt.Printf("marketplace ranking for %q before the bidding war:\n", query)
+	printHits(idx, query)
+
+	// A bidding war: 3000 bids land, most of them on a handful of hot items.
+	hot := rng.Perm(nAuctions)[:8]
+	for i := 0; i < 3000; i++ {
+		var aID int64
+		if rng.Float64() < 0.5 {
+			aID = int64(hot[rng.Intn(len(hot))] + 1)
+		} else {
+			aID = int64(rng.Intn(nAuctions) + 1)
+		}
+		row, err := auctions.Get(aID)
+		check(err)
+		newBid := row[3].F + float64(rng.Intn(50)+1)
+		newHours := row[4].F * 0.999
+		check(auctions.Update(aID, map[string]relation.Value{
+			"currentBid": relation.Float(newBid),
+			"hoursLeft":  relation.Float(newHours),
+		}))
+	}
+	check(idx.MaintenanceErr())
+
+	fmt.Printf("\nafter 3000 bids (hot items: %v):\n", hot)
+	printHits(idx, query)
+
+	stats := idx.Stats()
+	fmt.Printf("\nindex statistics: %d score updates absorbed, %d short-list postings written, %d postings scanned by queries\n",
+		stats.ScoreUpdates, stats.ShortListPostingsWritten, stats.PostingsScanned)
+}
+
+func printHits(idx *core.TextIndex, query string) {
+	res, err := idx.Search(core.SearchRequest{Query: query, K: 8, LoadRows: true})
+	check(err)
+	if len(res.Hits) == 0 {
+		fmt.Println("  (no matching listings)")
+		return
+	}
+	for i, hit := range res.Hits {
+		fmt.Printf("  %d. %-28s aID %-5d bid %8.2f score %10.1f\n",
+			i+1, hit.Row[1].S, hit.PK, hit.Row[3].F, hit.Score)
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,153 @@
+// Movies: the paper's Internet Archive scenario at a realistic scale.
+//
+// The example generates a few thousand movies with reviews and usage
+// statistics, builds SVR text indexes with two different methods (ID and
+// Chunk) over the same data, replays a flash-crowd day — thousands of visit
+// and rating updates concentrated on a small "focus set" of suddenly popular
+// movies — and compares:
+//
+//   - how the ranking of a keyword query evolves as the structured values
+//     change (the user-visible payoff of SVR), and
+//   - how much work each index method spends absorbing those updates and
+//     answering queries (the paper's core trade-off).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"svrdb/internal/core"
+	"svrdb/internal/relation"
+	"svrdb/internal/storage/buffer"
+	"svrdb/internal/storage/pagefile"
+	"svrdb/internal/workload"
+)
+
+func main() {
+	const nMovies = 1500
+	queries := []string{"golden gate", "gold rush", "cable car", "silent film"}
+
+	for _, method := range []core.MethodKind{core.MethodID, core.MethodChunk} {
+		fmt.Printf("=== method: %s ===\n", method)
+		runScenario(method, nMovies, queries)
+		fmt.Println()
+	}
+}
+
+func runScenario(method core.MethodKind, nMovies int, queries []string) {
+	pool := buffer.MustNew(pagefile.MustNewMem(pagefile.DefaultPageSize), 16384)
+	db := relation.NewDB(pool)
+	params := workload.DefaultArchiveParams()
+	params.NumMovies = nMovies
+	if _, err := workload.BuildArchiveDB(db, params); err != nil {
+		log.Fatal(err)
+	}
+
+	engine := core.NewEngine(db, core.Options{})
+	start := time.Now()
+	idx, err := engine.CreateTextIndex("movies_desc", "Movies", "desc", core.IndexOptions{
+		Method: method,
+		Spec:   workload.ArchiveSpec(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("built index over %d movies in %s (long lists %.2f MB)\n",
+		nMovies, time.Since(start).Round(time.Millisecond),
+		float64(idx.Stats().LongListBytes)/(1024*1024))
+
+	fmt.Println("ranking before the flash crowd:")
+	before := topMovie(idx, queries[0])
+
+	// A flash-crowd day: 5000 structured updates, 60% of them hitting a
+	// focus set of 10 suddenly popular movies.
+	rng := rand.New(rand.NewSource(99))
+	stats, err := db.Table("Statistics")
+	if err != nil {
+		log.Fatal(err)
+	}
+	reviews, err := db.Table("Reviews")
+	if err != nil {
+		log.Fatal(err)
+	}
+	focus := rng.Perm(nMovies)[:10]
+	updStart := time.Now()
+	const nUpdates = 5000
+	nextReview := int64(1_000_000)
+	for i := 0; i < nUpdates; i++ {
+		var mID int64
+		if rng.Float64() < 0.6 {
+			mID = int64(focus[rng.Intn(len(focus))] + 1)
+		} else {
+			mID = int64(rng.Intn(nMovies) + 1)
+		}
+		if rng.Float64() < 0.8 {
+			row, err := stats.Get(mID)
+			if err != nil {
+				log.Fatal(err)
+			}
+			delta := int64(rng.Intn(2000) + 50)
+			if err := stats.Update(mID, map[string]relation.Value{
+				"nVisit": relation.Int(row[2].I + delta),
+			}); err != nil {
+				log.Fatal(err)
+			}
+		} else {
+			if err := reviews.Insert(relation.Row{
+				relation.Int(nextReview), relation.Int(mID), relation.Float(float64(rng.Intn(5) + 1)),
+			}); err != nil {
+				log.Fatal(err)
+			}
+			nextReview++
+		}
+	}
+	if err := idx.MaintenanceErr(); err != nil {
+		log.Fatal(err)
+	}
+	updElapsed := time.Since(updStart)
+	fmt.Printf("replayed %d structured updates in %s (%.3f ms/update, %d short-list postings written)\n",
+		nUpdates, updElapsed.Round(time.Millisecond),
+		float64(updElapsed.Microseconds())/float64(nUpdates)/1000,
+		idx.Stats().ShortListPostingsWritten)
+
+	fmt.Println("ranking after the flash crowd:")
+	after := topMovie(idx, queries[0])
+	if before != after {
+		fmt.Printf("-> the top result for %q changed from movie %d to movie %d, driven purely by structured values\n",
+			queries[0], before, after)
+	}
+
+	// Query-side cost across several keyword queries on a cold cache.
+	var total time.Duration
+	var postings int
+	for _, q := range queries {
+		if err := pool.EvictAll(); err != nil {
+			log.Fatal(err)
+		}
+		qStart := time.Now()
+		res, err := idx.Search(core.SearchRequest{Query: q, K: 10})
+		if err != nil {
+			log.Fatal(err)
+		}
+		total += time.Since(qStart)
+		postings += res.PostingsScanned
+	}
+	fmt.Printf("cold-cache queries: %.3f ms average, %d postings scanned per query on average\n",
+		float64(total.Microseconds())/float64(len(queries))/1000, postings/len(queries))
+}
+
+func topMovie(idx *core.TextIndex, query string) int64 {
+	res, err := idx.Search(core.SearchRequest{Query: query, K: 5, LoadRows: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, hit := range res.Hits {
+		fmt.Printf("  %d. %-24s mID %-6d SVR score %12.1f\n", i+1, hit.Row[1].S, hit.PK, hit.Score)
+	}
+	if len(res.Hits) == 0 {
+		return 0
+	}
+	return res.Hits[0].PK
+}

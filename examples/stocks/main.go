@@ -1,0 +1,135 @@
+// Stocks: combined SVR + TF-IDF ranking over a stock-news database.
+//
+// The paper's introduction lists stock databases — where trading volume can
+// be used to rank results — among the update-intensive applications SVR
+// targets, and §4.3.3 shows how to combine the SVR score with classic term
+// scores.  This example indexes news headlines for a set of tickers, ranks
+// them by a mix of trading volume (SVR, changing every "tick") and TF-IDF
+// relevance (Chunk-TermScore method), streams a volume spike, and contrasts
+// pure-SVR ranking with combined ranking.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"strings"
+
+	"svrdb/internal/core"
+	"svrdb/internal/relation"
+	"svrdb/internal/storage/buffer"
+	"svrdb/internal/storage/pagefile"
+	"svrdb/internal/view"
+)
+
+var tickers = []string{"ACME", "GLOBEX", "INITECH", "UMBRELLA", "HOOLI", "STARK", "WAYNE", "WONKA"}
+
+var headlineWords = []string{
+	"earnings", "beat", "miss", "guidance", "upgrade", "downgrade", "merger",
+	"acquisition", "dividend", "buyback", "lawsuit", "regulator", "chip",
+	"shortage", "launch", "recall", "strike", "expansion", "quarterly",
+	"results", "outlook", "forecast", "analyst", "rating", "breakthrough",
+}
+
+func main() {
+	pool := buffer.MustNew(pagefile.MustNewMem(pagefile.DefaultPageSize), 8192)
+	db := relation.NewDB(pool)
+
+	news, err := db.CreateTable(relation.Schema{
+		Name: "News",
+		Columns: []relation.Column{
+			{Name: "nID", Kind: relation.KindInt64},
+			{Name: "ticker", Kind: relation.KindString},
+			{Name: "headline", Kind: relation.KindString},
+		},
+	})
+	check(err)
+	volume, err := db.CreateTable(relation.Schema{
+		Name: "Volume",
+		Columns: []relation.Column{
+			{Name: "vID", Kind: relation.KindInt64},
+			{Name: "nID", Kind: relation.KindInt64},
+			{Name: "shares", Kind: relation.KindInt64},
+		},
+	})
+	check(err)
+
+	rng := rand.New(rand.NewSource(8))
+	const nHeadlines = 1200
+	for n := 1; n <= nHeadlines; n++ {
+		ticker := tickers[rng.Intn(len(tickers))]
+		words := make([]string, 10)
+		for i := range words {
+			words[i] = headlineWords[rng.Intn(len(headlineWords))]
+		}
+		headline := strings.ToLower(ticker) + " " + strings.Join(words, " ")
+		check(news.Insert(relation.Row{relation.Int(int64(n)), relation.Str(ticker), relation.Str(headline)}))
+		check(volume.Insert(relation.Row{relation.Int(int64(n)), relation.Int(int64(n)),
+			relation.Int(int64(rng.Intn(1_000_000)))}))
+	}
+
+	// SVR score: the trading volume associated with the headline's ticker at
+	// the moment the query runs, scaled down so TF-IDF stays visible in the
+	// combined score.
+	spec := view.Spec{
+		Components: []view.Component{
+			view.LookupColumn("Volume", "shares", "nID"),
+		},
+		Agg:              view.WeightedSum(1.0 / 100000),
+		IncludeTermScore: true,
+	}
+
+	engine := core.NewEngine(db, core.Options{})
+	idx, err := engine.CreateTextIndex("news_headline", "News", "headline", core.IndexOptions{
+		Method: core.MethodChunkTermScore,
+		Spec:   spec,
+	})
+	check(err)
+
+	query := "earnings guidance"
+	fmt.Printf("pure SVR ranking for %q (volume only):\n", query)
+	printHits(idx, query, false)
+	fmt.Printf("\ncombined SVR + TF-IDF ranking for %q:\n", query)
+	printHits(idx, query, true)
+
+	// A volume spike on one ticker's headlines.
+	fmt.Println("\nsimulating a trading-volume spike on a handful of headlines...")
+	for i := 0; i < 2000; i++ {
+		nID := int64(rng.Intn(50) + 1)
+		row, err := volume.Get(nID)
+		check(err)
+		check(volume.Update(nID, map[string]relation.Value{
+			"shares": relation.Int(row[2].I + int64(rng.Intn(500_000))),
+		}))
+	}
+	check(idx.MaintenanceErr())
+
+	fmt.Printf("\ncombined ranking for %q after the spike:\n", query)
+	printHits(idx, query, true)
+
+	stats := idx.Stats()
+	fmt.Printf("\nindex statistics: method=%s, %d score updates, %d short-list postings written\n",
+		stats.Method, stats.ScoreUpdates, stats.ShortListPostingsWritten)
+}
+
+func printHits(idx *core.TextIndex, query string, withTermScores bool) {
+	res, err := idx.Search(core.SearchRequest{Query: query, K: 8, WithTermScores: withTermScores, LoadRows: true})
+	check(err)
+	if len(res.Hits) == 0 {
+		fmt.Println("  (no results)")
+		return
+	}
+	for i, hit := range res.Hits {
+		headline := hit.Row[2].S
+		if len(headline) > 60 {
+			headline = headline[:60] + "..."
+		}
+		fmt.Printf("  %d. [%-8s] score %9.3f  %s\n", i+1, hit.Row[1].S, hit.Score, headline)
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

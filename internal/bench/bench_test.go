@@ -1,0 +1,125 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"svrdb/internal/index"
+)
+
+// tinyOptions keeps the experiment smoke tests fast.
+func tinyOptions() Options {
+	return Options{
+		Scale:      0.03,
+		NumUpdates: 300,
+		NumQueries: 3,
+		K:          5,
+		MeanStep:   100,
+		ColdCache:  true,
+		PoolPages:  2048,
+		Seed:       1,
+	}
+}
+
+func TestRegistryIsWellFormed(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range Registry() {
+		if e.ID == "" || e.Run == nil || e.Paper == "" || e.Description == "" {
+			t.Errorf("experiment %+v is missing fields", e)
+		}
+		if seen[e.ID] {
+			t.Errorf("duplicate experiment ID %q", e.ID)
+		}
+		seen[e.ID] = true
+	}
+	if _, ok := Lookup("table1"); !ok {
+		t.Error("Lookup(table1) failed")
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Error("Lookup(nope) succeeded")
+	}
+}
+
+func TestOptionsNormalization(t *testing.T) {
+	var zero Options
+	n := zero.normalized()
+	d := DefaultOptions()
+	if n.Scale != d.Scale || n.NumUpdates != d.NumUpdates || n.K != d.K || n.PoolPages != d.PoolPages {
+		t.Errorf("normalized zero options = %+v", n)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := &Table{
+		Name:    "Example",
+		Caption: "caption",
+		Header:  []string{"A", "Blongheader"},
+		Rows:    [][]string{{"1", "2"}, {"333333", "4"}},
+		Notes:   []string{"a note"},
+	}
+	var buf bytes.Buffer
+	if _, err := tbl.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Example", "caption", "Blongheader", "333333", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestExperimentsSmoke runs every registered experiment at a tiny scale and
+// checks that it produces a non-empty, well-shaped table.  This keeps the
+// harness runnable end to end without waiting for full-scale numbers.
+func TestExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke test skipped in -short mode")
+	}
+	opts := tinyOptions()
+	for _, e := range Registry() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			start := time.Now()
+			tbl, err := e.Run(opts)
+			if err != nil {
+				t.Fatalf("%s failed: %v", e.ID, err)
+			}
+			if len(tbl.Rows) == 0 {
+				t.Fatalf("%s produced no rows", e.ID)
+			}
+			for i, row := range tbl.Rows {
+				if len(row) != len(tbl.Header) {
+					t.Errorf("%s row %d has %d cells, header has %d", e.ID, i, len(row), len(tbl.Header))
+				}
+			}
+			t.Logf("%s: %d rows in %s", e.ID, len(tbl.Rows), time.Since(start).Round(time.Millisecond))
+		})
+	}
+}
+
+// TestTable1SizeOrdering verifies the qualitative result of Table 1 at smoke
+// scale: the Score method's lists dominate, Chunk stays close to ID.
+func TestTable1SizeOrdering(t *testing.T) {
+	opts := tinyOptions()
+	corpus := corpusFor(opts)
+	sizes := map[string]uint64{}
+	for _, m := range []string{"ID", "Score", "Score-Threshold", "Chunk"} {
+		r, err := newRig(m, corpus, opts, index.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sizes[m] = r.method.Stats().LongListBytes
+	}
+	if sizes["Score"] <= sizes["Score-Threshold"] {
+		t.Errorf("Score (%d) should exceed Score-Threshold (%d)", sizes["Score"], sizes["Score-Threshold"])
+	}
+	if sizes["Score-Threshold"] <= sizes["ID"] {
+		t.Errorf("Score-Threshold (%d) should exceed ID (%d)", sizes["Score-Threshold"], sizes["ID"])
+	}
+	if float64(sizes["Chunk"]) > 1.5*float64(sizes["ID"]) {
+		t.Errorf("Chunk (%d) should stay close to ID (%d)", sizes["Chunk"], sizes["ID"])
+	}
+}

@@ -1,0 +1,453 @@
+// Package core implements the SVR engine: the paper's "text management
+// component" (§3), tightly integrated with the relational substrate.
+//
+// The engine owns a relational database, a text analyzer and any number of
+// text indexes.  Creating a text index on a (table, text column) pair with a
+// score specification does everything Figure 2 of the paper describes:
+//
+//  1. the Score materialized view is created and populated from the score
+//     specification (§3.1, §3.2);
+//  2. the chosen inverted-list method (§4) is bulk built from the text
+//     column and the view;
+//  3. incremental maintenance is wired up: structured-data updates flow
+//     through the view into Algorithm 1, document inserts/deletes/content
+//     edits flow into the Appendix A maintenance paths;
+//  4. keyword search queries run the method's top-k algorithm against the
+//     latest scores and join the ranked IDs back to the base rows.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"svrdb/internal/index"
+	"svrdb/internal/postings"
+	"svrdb/internal/relation"
+	"svrdb/internal/storage/buffer"
+	"svrdb/internal/text"
+	"svrdb/internal/view"
+)
+
+// MethodKind selects which inverted-list structure a text index uses.
+type MethodKind string
+
+// The supported index methods (§4 of the paper).
+const (
+	MethodID             MethodKind = "id"
+	MethodScore          MethodKind = "score"
+	MethodScoreThreshold MethodKind = "score-threshold"
+	MethodChunk          MethodKind = "chunk"
+	MethodIDTermScore    MethodKind = "id-termscore"
+	MethodChunkTermScore MethodKind = "chunk-termscore"
+)
+
+// AllMethods lists every supported method kind in the order the paper's
+// tables report them.
+func AllMethods() []MethodKind {
+	return []MethodKind{MethodID, MethodScore, MethodScoreThreshold, MethodChunk, MethodIDTermScore, MethodChunkTermScore}
+}
+
+// newMethod constructs the index implementation for a kind.
+func newMethod(kind MethodKind, cfg index.Config) (index.Method, error) {
+	switch kind {
+	case MethodID:
+		return index.NewID(cfg)
+	case MethodScore:
+		return index.NewScore(cfg)
+	case MethodScoreThreshold:
+		return index.NewScoreThreshold(cfg)
+	case MethodChunk, "":
+		return index.NewChunk(cfg)
+	case MethodIDTermScore:
+		return index.NewIDTermScore(cfg)
+	case MethodChunkTermScore:
+		return index.NewChunkTermScore(cfg)
+	default:
+		return nil, fmt.Errorf("core: unknown index method %q", kind)
+	}
+}
+
+// Engine is the top-level SVR engine.
+type Engine struct {
+	db       *relation.DB
+	analyzer *text.Analyzer
+
+	mu      sync.RWMutex
+	indexes map[string]*TextIndex
+}
+
+// Options configures an Engine.
+type Options struct {
+	// Analyzer tokenizes text columns; nil installs the default analyzer.
+	Analyzer *text.Analyzer
+}
+
+// NewEngine creates an engine over an existing relational database.
+func NewEngine(db *relation.DB, opts Options) *Engine {
+	a := opts.Analyzer
+	if a == nil {
+		a = text.NewAnalyzer()
+	}
+	return &Engine{db: db, analyzer: a, indexes: map[string]*TextIndex{}}
+}
+
+// DB returns the engine's relational database.
+func (e *Engine) DB() *relation.DB { return e.db }
+
+// Analyzer returns the engine's text analyzer.
+func (e *Engine) Analyzer() *text.Analyzer { return e.analyzer }
+
+// Pool returns the buffer pool that backs the engine's storage.
+func (e *Engine) Pool() *buffer.Pool { return e.db.Pool() }
+
+// IndexOptions configures a text index.
+type IndexOptions struct {
+	// Method selects the inverted-list structure; the default is Chunk, the
+	// paper's recommended method.
+	Method MethodKind
+	// Spec is the SVR score specification (§3.1).
+	Spec view.Spec
+	// ThresholdRatio, ChunkRatio, MinChunkSize and FancyListSize override the
+	// method knobs; zero values use the paper's defaults.
+	ThresholdRatio float64
+	ChunkRatio     float64
+	MinChunkSize   int
+	FancyListSize  int
+}
+
+// TextIndex is one SVR text index over a (table, column) pair.
+type TextIndex struct {
+	name   string
+	table  string
+	column string
+
+	engine *Engine
+	view   *view.ScoreView
+	method index.Method
+
+	mu              sync.Mutex
+	maintenanceErrs []error
+}
+
+// CreateTextIndex creates and bulk-builds a text index.
+func (e *Engine) CreateTextIndex(name, table, column string, opts IndexOptions) (*TextIndex, error) {
+	e.mu.Lock()
+	if _, exists := e.indexes[name]; exists {
+		e.mu.Unlock()
+		return nil, fmt.Errorf("core: text index %q already exists", name)
+	}
+	e.mu.Unlock()
+
+	tbl, err := e.db.Table(table)
+	if err != nil {
+		return nil, err
+	}
+	colIdx, err := tbl.Schema().ColumnIndex(column)
+	if err != nil {
+		return nil, err
+	}
+	if tbl.Schema().Columns[colIdx].Kind != relation.KindString {
+		return nil, fmt.Errorf("core: column %q of table %q is not a text column", column, table)
+	}
+
+	sv, err := view.NewScoreView(e.db, table, opts.Spec)
+	if err != nil {
+		return nil, err
+	}
+	if err := sv.Build(); err != nil {
+		return nil, err
+	}
+
+	cfg := index.Config{
+		Pool:           e.db.Pool(),
+		ThresholdRatio: opts.ThresholdRatio,
+		ChunkRatio:     opts.ChunkRatio,
+		MinChunkSize:   opts.MinChunkSize,
+		FancyListSize:  opts.FancyListSize,
+	}
+	method, err := newMethod(opts.Method, cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	ti := &TextIndex{
+		name:   name,
+		table:  table,
+		column: column,
+		engine: e,
+		view:   sv,
+		method: method,
+	}
+
+	src := &tableDocSource{table: tbl, colIdx: colIdx, analyzer: e.analyzer}
+	if err := method.Build(src, func(doc index.DocID) float64 {
+		s, ok, err := sv.Score(int64(doc))
+		if err != nil || !ok {
+			return 0
+		}
+		return clampScore(s)
+	}); err != nil {
+		return nil, err
+	}
+
+	// Incremental maintenance: structured-value changes flow through the
+	// view into score updates; document lifecycle events flow into the
+	// Appendix A maintenance paths; text edits flow into content updates.
+	sv.OnScoreChange(ti.onScoreChange)
+	if err := sv.Attach(); err != nil {
+		return nil, err
+	}
+	tbl.OnChange(ti.onBaseRowChange)
+
+	e.mu.Lock()
+	e.indexes[name] = ti
+	e.mu.Unlock()
+	return ti, nil
+}
+
+// TextIndex returns a previously created index by name.
+func (e *Engine) TextIndex(name string) (*TextIndex, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	ti, ok := e.indexes[name]
+	if !ok {
+		return nil, fmt.Errorf("core: no text index named %q", name)
+	}
+	return ti, nil
+}
+
+// TextIndexNames lists the created indexes in sorted order.
+func (e *Engine) TextIndexNames() []string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	names := make([]string, 0, len(e.indexes))
+	for n := range e.indexes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// clampScore enforces the paper's assumption that SVR scores are
+// non-negative; negative aggregates are clamped to zero.
+func clampScore(s float64) float64 {
+	if s < 0 {
+		return 0
+	}
+	return s
+}
+
+// --- maintenance plumbing ------------------------------------------------------
+
+func (ti *TextIndex) recordErr(err error) {
+	if err == nil {
+		return
+	}
+	ti.mu.Lock()
+	defer ti.mu.Unlock()
+	ti.maintenanceErrs = append(ti.maintenanceErrs, err)
+}
+
+// MaintenanceErr returns the accumulated incremental-maintenance errors, if
+// any.  A healthy index returns nil.
+func (ti *TextIndex) MaintenanceErr() error {
+	ti.mu.Lock()
+	defer ti.mu.Unlock()
+	if len(ti.maintenanceErrs) == 0 {
+		return nil
+	}
+	return errors.Join(ti.maintenanceErrs...)
+}
+
+// onScoreChange reacts to Score view changes (Algorithm 1's entry point).
+func (ti *TextIndex) onScoreChange(c view.ScoreChange) {
+	doc := index.DocID(c.Doc)
+	switch {
+	case c.Deleted:
+		ti.recordErr(ti.method.DeleteDocument(doc))
+	case c.Inserted:
+		tokens, err := ti.tokensOf(c.Doc)
+		if err != nil {
+			ti.recordErr(err)
+			return
+		}
+		ti.recordErr(ti.method.InsertDocument(doc, tokens, clampScore(c.New)))
+	default:
+		ti.recordErr(ti.method.UpdateScore(doc, clampScore(c.New)))
+	}
+}
+
+// onBaseRowChange reacts to text-column edits on the indexed relation.
+func (ti *TextIndex) onBaseRowChange(c relation.Change) {
+	if c.Kind != relation.ChangeUpdate || c.Old == nil || c.New == nil {
+		return
+	}
+	tbl, err := ti.engine.db.Table(ti.table)
+	if err != nil {
+		ti.recordErr(err)
+		return
+	}
+	colIdx, err := tbl.Schema().ColumnIndex(ti.column)
+	if err != nil {
+		ti.recordErr(err)
+		return
+	}
+	oldText := c.Old[colIdx].S
+	newText := c.New[colIdx].S
+	if oldText == newText {
+		return
+	}
+	oldTokens := ti.engine.analyzer.Tokenize(oldText)
+	newTokens := ti.engine.analyzer.Tokenize(newText)
+	ti.recordErr(ti.method.UpdateContent(index.DocID(c.PK), oldTokens, newTokens))
+}
+
+func (ti *TextIndex) tokensOf(pk int64) ([]string, error) {
+	tbl, err := ti.engine.db.Table(ti.table)
+	if err != nil {
+		return nil, err
+	}
+	colIdx, err := tbl.Schema().ColumnIndex(ti.column)
+	if err != nil {
+		return nil, err
+	}
+	row, err := tbl.Get(pk)
+	if err != nil {
+		return nil, err
+	}
+	return ti.engine.analyzer.Tokenize(row[colIdx].S), nil
+}
+
+// --- search --------------------------------------------------------------------
+
+// SearchRequest is a keyword search against one text index.
+type SearchRequest struct {
+	// Query is the raw query text; it is analyzed with the engine's analyzer.
+	Query string
+	// K is the number of results wanted (the paper's FETCH TOP k).
+	K int
+	// Disjunctive selects OR semantics; the default is AND.
+	Disjunctive bool
+	// WithTermScores combines TF-IDF term scores with the SVR score
+	// (requires a TermScore method).
+	WithTermScores bool
+	// LoadRows also fetches the full base-table rows of the results.
+	LoadRows bool
+}
+
+// SearchHit is one ranked document.
+type SearchHit struct {
+	// PK is the primary key of the base-table row.
+	PK int64
+	// Score is the ranking score (SVR or combined).
+	Score float64
+	// Row is the base-table row when SearchRequest.LoadRows is set.
+	Row relation.Row
+}
+
+// SearchResult carries the hits plus the work counters of the underlying
+// query algorithm.
+type SearchResult struct {
+	Hits            []SearchHit
+	PostingsScanned int
+	Stopped         bool
+}
+
+// Search runs a keyword query and returns the top-k rows ranked by the
+// latest structured-value scores.
+func (ti *TextIndex) Search(req SearchRequest) (*SearchResult, error) {
+	if req.K < 1 {
+		return nil, fmt.Errorf("core: search k = %d must be positive", req.K)
+	}
+	terms := ti.engine.analyzer.Tokenize(req.Query)
+	if len(terms) == 0 {
+		return nil, errors.New("core: query contains no indexable terms")
+	}
+	terms = text.DistinctTerms(terms)
+	qr, err := ti.method.TopK(index.Query{
+		Terms:          terms,
+		K:              req.K,
+		Disjunctive:    req.Disjunctive,
+		WithTermScores: req.WithTermScores,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &SearchResult{PostingsScanned: qr.PostingsScanned, Stopped: qr.Stopped}
+	var tbl *relation.Table
+	if req.LoadRows {
+		tbl, err = ti.engine.db.Table(ti.table)
+		if err != nil {
+			return nil, err
+		}
+	}
+	for _, r := range qr.Results {
+		hit := SearchHit{PK: r.Doc, Score: r.Score}
+		if req.LoadRows {
+			row, err := tbl.Get(r.Doc)
+			if err == nil {
+				hit.Row = row
+			}
+		}
+		res.Hits = append(res.Hits, hit)
+	}
+	return res, nil
+}
+
+// Name returns the index name.
+func (ti *TextIndex) Name() string { return ti.name }
+
+// Method returns the underlying index method (exposed for benchmarks and
+// diagnostics).
+func (ti *TextIndex) Method() index.Method { return ti.method }
+
+// View returns the Score materialized view backing this index.
+func (ti *TextIndex) View() *view.ScoreView { return ti.view }
+
+// Stats returns the underlying index statistics.
+func (ti *TextIndex) Stats() index.Stats { return ti.method.Stats() }
+
+// MergeShortLists runs the periodic offline merge on the underlying index:
+// the long inverted lists are rebuilt from the current scores and contents
+// and the short lists emptied.  Deployments run this during maintenance
+// windows; the paper excludes it from the measured update costs (§5.1).
+func (ti *TextIndex) MergeShortLists() error { return ti.method.MergeShortLists() }
+
+// ScoreOf returns the current SVR score of a document.
+func (ti *TextIndex) ScoreOf(pk int64) (float64, bool, error) { return ti.view.Score(pk) }
+
+// --- document source over a relation --------------------------------------------
+
+// tableDocSource adapts a relational table's text column to index.DocSource.
+type tableDocSource struct {
+	table    *relation.Table
+	colIdx   int
+	analyzer *text.Analyzer
+}
+
+func (s *tableDocSource) NumDocs() int { return s.table.Len() }
+
+func (s *tableDocSource) ForEach(fn func(doc postings.DocID, tokens []string) error) error {
+	var innerErr error
+	err := s.table.Scan(func(row relation.Row) bool {
+		tokens := s.analyzer.Tokenize(row[s.colIdx].S)
+		if innerErr = fn(postings.DocID(row[0].I), tokens); innerErr != nil {
+			return false
+		}
+		return true
+	})
+	if innerErr != nil {
+		return innerErr
+	}
+	return err
+}
+
+func (s *tableDocSource) Tokens(doc postings.DocID) ([]string, error) {
+	row, err := s.table.Get(int64(doc))
+	if err != nil {
+		return nil, err
+	}
+	return s.analyzer.Tokenize(row[s.colIdx].S), nil
+}

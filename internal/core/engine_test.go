@@ -1,0 +1,310 @@
+package core
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"svrdb/internal/relation"
+	"svrdb/internal/storage/buffer"
+	"svrdb/internal/storage/pagefile"
+	"svrdb/internal/view"
+	"svrdb/internal/workload"
+)
+
+func newArchiveEngine(t testing.TB, nMovies int) (*Engine, *relation.DB) {
+	t.Helper()
+	db := relation.NewDB(buffer.MustNew(pagefile.MustNewMem(pagefile.DefaultPageSize), 8192))
+	params := workload.DefaultArchiveParams()
+	params.NumMovies = nMovies
+	if _, err := workload.BuildArchiveDB(db, params); err != nil {
+		t.Fatal(err)
+	}
+	return NewEngine(db, Options{}), db
+}
+
+func TestCreateTextIndexValidation(t *testing.T) {
+	engine, _ := newArchiveEngine(t, 50)
+	if _, err := engine.CreateTextIndex("x", "Nope", "desc", IndexOptions{Spec: workload.ArchiveSpec()}); err == nil {
+		t.Error("index over missing table created")
+	}
+	if _, err := engine.CreateTextIndex("x", "Movies", "missing", IndexOptions{Spec: workload.ArchiveSpec()}); err == nil {
+		t.Error("index over missing column created")
+	}
+	if _, err := engine.CreateTextIndex("x", "Movies", "mID", IndexOptions{Spec: workload.ArchiveSpec()}); err == nil {
+		t.Error("index over non-text column created")
+	}
+	if _, err := engine.CreateTextIndex("x", "Movies", "desc", IndexOptions{Method: "bogus", Spec: workload.ArchiveSpec()}); err == nil {
+		t.Error("index with bogus method created")
+	}
+	if _, err := engine.CreateTextIndex("ok", "Movies", "desc", IndexOptions{Spec: workload.ArchiveSpec()}); err != nil {
+		t.Fatalf("valid index creation failed: %v", err)
+	}
+	if _, err := engine.CreateTextIndex("ok", "Movies", "desc", IndexOptions{Spec: workload.ArchiveSpec()}); err == nil {
+		t.Error("duplicate index name accepted")
+	}
+	if _, err := engine.TextIndex("ok"); err != nil {
+		t.Errorf("TextIndex lookup failed: %v", err)
+	}
+	if _, err := engine.TextIndex("missing"); err == nil {
+		t.Error("lookup of missing index succeeded")
+	}
+	if names := engine.TextIndexNames(); len(names) != 1 || names[0] != "ok" {
+		t.Errorf("TextIndexNames = %v", names)
+	}
+}
+
+func TestSearchRankingMatchesViewScores(t *testing.T) {
+	for _, method := range AllMethods() {
+		if method == MethodScore {
+			// The Score method is exercised too, but with a smaller database
+			// below to keep build times sensible; skip it in this loop.
+			continue
+		}
+		t.Run(string(method), func(t *testing.T) {
+			engine, _ := newArchiveEngine(t, 300)
+			idx, err := engine.CreateTextIndex("movies_desc", "Movies", "desc", IndexOptions{
+				Method: method,
+				Spec:   workload.ArchiveSpec(),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := idx.Search(SearchRequest{Query: "golden gate", K: 10, LoadRows: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Hits) == 0 {
+				t.Fatal("no results for a common query")
+			}
+			// Hits must be sorted by score and each hit's score must equal the
+			// view's current score of that document.
+			for i, hit := range res.Hits {
+				if i > 0 && res.Hits[i-1].Score < hit.Score {
+					t.Errorf("hits not sorted by score at %d", i)
+				}
+				want, ok, err := idx.ScoreOf(hit.PK)
+				if err != nil || !ok {
+					t.Fatalf("ScoreOf(%d): %v %v", hit.PK, ok, err)
+				}
+				if math.Abs(hit.Score-want) > 1e-9 {
+					t.Errorf("hit %d score = %g, view score = %g", hit.PK, hit.Score, want)
+				}
+				if hit.Row == nil {
+					t.Errorf("LoadRows did not populate the row for %d", hit.PK)
+				}
+			}
+		})
+	}
+}
+
+func TestStructuredUpdateChangesRanking(t *testing.T) {
+	engine, db := newArchiveEngine(t, 200)
+	idx, err := engine.CreateTextIndex("movies_desc", "Movies", "desc", IndexOptions{
+		Method: MethodChunk,
+		Spec:   workload.ArchiveSpec(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := idx.Search(SearchRequest{Query: "golden gate", K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Hits) < 2 {
+		t.Skip("query too selective for this seed")
+	}
+	// Promote the last-ranked hit with a massive visit spike.
+	target := res.Hits[len(res.Hits)-1].PK
+	stats, _ := db.Table("Statistics")
+	row, err := stats.Get(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stats.Update(target, map[string]relation.Value{
+		"nVisit": relation.Int(row[2].I + 10_000_000),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := idx.MaintenanceErr(); err != nil {
+		t.Fatal(err)
+	}
+	res2, err := idx.Search(SearchRequest{Query: "golden gate", K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Hits[0].PK != target {
+		t.Errorf("after the flash crowd, movie %d should rank first; got %d", target, res2.Hits[0].PK)
+	}
+}
+
+func TestDocumentLifecycleThroughEngine(t *testing.T) {
+	engine, db := newArchiveEngine(t, 100)
+	idx, err := engine.CreateTextIndex("movies_desc", "Movies", "desc", IndexOptions{
+		Method: MethodChunk,
+		Spec:   workload.ArchiveSpec(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	movies, _ := db.Table("Movies")
+
+	// Insert a new movie with a distinctive term.
+	newID := int64(100000)
+	if err := movies.Insert(relation.Row{
+		relation.Int(newID), relation.Str("Zeppelin Voyage"), relation.Str("zeppelin crossing the golden gate"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := idx.MaintenanceErr(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := idx.Search(SearchRequest{Query: "zeppelin", K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Hits) != 1 || res.Hits[0].PK != newID {
+		t.Fatalf("inserted movie not found: %+v", res.Hits)
+	}
+
+	// Content update: the description changes and loses the term.
+	if err := movies.Update(newID, map[string]relation.Value{
+		"desc": relation.Str("dirigible crossing the golden gate"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := idx.MaintenanceErr(); err != nil {
+		t.Fatal(err)
+	}
+	res, err = idx.Search(SearchRequest{Query: "zeppelin", K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Hits) != 0 {
+		t.Errorf("document still found under removed term: %+v", res.Hits)
+	}
+	res, err = idx.Search(SearchRequest{Query: "dirigible", K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Hits) != 1 || res.Hits[0].PK != newID {
+		t.Errorf("document not found under added term: %+v", res.Hits)
+	}
+
+	// Delete the movie; it must disappear from results.
+	if err := movies.Delete(newID); err != nil {
+		t.Fatal(err)
+	}
+	if err := idx.MaintenanceErr(); err != nil {
+		t.Fatal(err)
+	}
+	res, err = idx.Search(SearchRequest{Query: "dirigible", K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Hits) != 0 {
+		t.Errorf("deleted movie still returned: %+v", res.Hits)
+	}
+}
+
+func TestSearchValidation(t *testing.T) {
+	engine, _ := newArchiveEngine(t, 50)
+	idx, err := engine.CreateTextIndex("movies_desc", "Movies", "desc", IndexOptions{Spec: workload.ArchiveSpec()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := idx.Search(SearchRequest{Query: "golden", K: 0}); err == nil {
+		t.Error("search with k=0 accepted")
+	}
+	if _, err := idx.Search(SearchRequest{Query: "!!!", K: 5}); err == nil {
+		t.Error("search with no indexable terms accepted")
+	}
+	if _, err := idx.Search(SearchRequest{Query: "golden", K: 5, WithTermScores: true}); err == nil {
+		t.Error("term-score search on an SVR-only method accepted")
+	}
+}
+
+func TestCombinedRankingThroughEngine(t *testing.T) {
+	engine, _ := newArchiveEngine(t, 200)
+	idx, err := engine.CreateTextIndex("movies_desc", "Movies", "desc", IndexOptions{
+		Method: MethodChunkTermScore,
+		Spec:   workload.ArchiveSpec(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := idx.Search(SearchRequest{Query: "golden gate", K: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	combined, err := idx.Search(SearchRequest{Query: "golden gate", K: 10, WithTermScores: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain.Hits) == 0 || len(combined.Hits) == 0 {
+		t.Fatal("no results")
+	}
+	// Combined scores include a non-negative term-score contribution, so for
+	// the same document the combined score is at least the SVR score.
+	svr := map[int64]float64{}
+	for _, h := range plain.Hits {
+		svr[h.PK] = h.Score
+	}
+	for _, h := range combined.Hits {
+		if s, ok := svr[h.PK]; ok && h.Score < s-1e-9 {
+			t.Errorf("combined score %g below SVR score %g for doc %d", h.Score, s, h.PK)
+		}
+	}
+	// Results must be sorted.
+	if !sort.SliceIsSorted(combined.Hits, func(i, j int) bool { return combined.Hits[i].Score >= combined.Hits[j].Score }) {
+		t.Error("combined results not sorted")
+	}
+}
+
+func TestScoreMethodThroughEngine(t *testing.T) {
+	// Small database: the Score method rewrites every posting of a document
+	// on each update, so keep the build tiny.
+	db := relation.NewDB(buffer.MustNew(pagefile.MustNewMem(pagefile.DefaultPageSize), 4096))
+	params := workload.DefaultArchiveParams()
+	params.NumMovies = 60
+	params.WordsPerDesc = 12
+	if _, err := workload.BuildArchiveDB(db, params); err != nil {
+		t.Fatal(err)
+	}
+	engine := NewEngine(db, Options{})
+	idx, err := engine.CreateTextIndex("movies_desc", "Movies", "desc", IndexOptions{
+		Method: MethodScore,
+		Spec:   workload.ArchiveSpec(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, _ := db.Table("Statistics")
+	row, err := stats.Get(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stats.Update(30, map[string]relation.Value{"nVisit": relation.Int(row[2].I + 5_000_000)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := idx.MaintenanceErr(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := idx.Search(SearchRequest{Query: "golden", K: 3, Disjunctive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Hits) > 0 {
+		want, _, _ := idx.ScoreOf(res.Hits[0].PK)
+		if math.Abs(res.Hits[0].Score-want) > 1e-9 {
+			t.Errorf("top hit score %g does not match view score %g", res.Hits[0].Score, want)
+		}
+	}
+	if got := idx.Stats().LongListPostingsWritten; got == 0 {
+		t.Error("Score method reported no long-list posting rewrites after an update")
+	}
+	if idx.View().Spec().Agg == nil {
+		t.Error("view spec lost its aggregator")
+	}
+	_ = view.Spec{}
+}

@@ -1,0 +1,154 @@
+package index
+
+import (
+	"fmt"
+	"sort"
+
+	"svrdb/internal/postings"
+	"svrdb/internal/text"
+)
+
+// builtCorpus is the in-memory image of the collection used during bulk
+// builds: per-term postings in document order plus the initial score of
+// every document.  The paper's experiments bulk-load the long inverted
+// lists once and then measure incremental updates against them; this struct
+// is the staging area for that bulk load.
+type builtCorpus struct {
+	// termDocs[term] lists (doc, normalized TF) pairs sorted by doc ID.
+	termDocs map[string][]docWeight
+	// docScores holds the build-time SVR score of every document.
+	docScores map[DocID]float64
+	// docs lists every document ID in ascending order.
+	docs []DocID
+	// docLens holds token counts (for diagnostics).
+	docLens map[DocID]int
+}
+
+type docWeight struct {
+	doc DocID
+	w   float32
+}
+
+// accumulate tokenizes every document and groups postings per term.
+func accumulate(src DocSource, scores ScoreFunc, dict *text.Dictionary) (*builtCorpus, error) {
+	bc := &builtCorpus{
+		termDocs:  map[string][]docWeight{},
+		docScores: map[DocID]float64{},
+		docLens:   map[DocID]int{},
+	}
+	err := src.ForEach(func(doc DocID, tokens []string) error {
+		if _, dup := bc.docScores[doc]; dup {
+			return fmt.Errorf("index: duplicate document ID %d in source", doc)
+		}
+		score := scores(doc)
+		if score < 0 {
+			return fmt.Errorf("index: document %d has negative score %g (scores must be non-negative)", doc, score)
+		}
+		bc.docScores[doc] = score
+		bc.docLens[doc] = len(tokens)
+		bc.docs = append(bc.docs, doc)
+		weights := docTermWeights(tokens)
+		distinct := make([]string, 0, len(weights))
+		for _, tw := range weights {
+			bc.termDocs[tw.term] = append(bc.termDocs[tw.term], docWeight{doc: doc, w: tw.w})
+			distinct = append(distinct, tw.term)
+		}
+		if dict != nil {
+			dict.AddDocumentTerms(distinct)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(bc.docs, func(i, j int) bool { return bc.docs[i] < bc.docs[j] })
+	for term := range bc.termDocs {
+		ds := bc.termDocs[term]
+		sort.Slice(ds, func(i, j int) bool { return ds[i].doc < ds[j].doc })
+	}
+	return bc, nil
+}
+
+// terms returns the distinct terms in sorted order (deterministic builds).
+func (bc *builtCorpus) terms() []string {
+	out := make([]string, 0, len(bc.termDocs))
+	for t := range bc.termDocs {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// allScores returns the build-time scores (used to derive chunk boundaries).
+func (bc *builtCorpus) allScores() []float64 {
+	out := make([]float64, 0, len(bc.docScores))
+	for _, s := range bc.docScores {
+		out = append(out, s)
+	}
+	return out
+}
+
+// populateScoreTable writes every document's build-time score into the Score
+// table shared by all methods.
+func (b *base) populateScoreTable(bc *builtCorpus) error {
+	for _, doc := range bc.docs {
+		if err := b.score.Set(doc, bc.docScores[doc]); err != nil {
+			return err
+		}
+	}
+	b.numDocs = int64(len(bc.docs))
+	return nil
+}
+
+// sortedByScoreDesc returns a term's postings ordered by (build score desc,
+// doc asc), the order required by the Score and Score-Threshold long lists.
+func (bc *builtCorpus) sortedByScoreDesc(term string) []docWeight {
+	ds := append([]docWeight(nil), bc.termDocs[term]...)
+	sort.Slice(ds, func(i, j int) bool {
+		si, sj := bc.docScores[ds[i].doc], bc.docScores[ds[j].doc]
+		if si != sj {
+			return si > sj
+		}
+		return ds[i].doc < ds[j].doc
+	})
+	return ds
+}
+
+// chunked groups a term's postings by chunk ID, returning chunk IDs in
+// descending order, each with its postings in ascending document order (the
+// physical layout of the Chunk long lists).
+func (bc *builtCorpus) chunked(term string, ch *chunker) (cids []int32, byChunk map[int32][]postings.ChunkPosting) {
+	byChunk = map[int32][]postings.ChunkPosting{}
+	for _, dw := range bc.termDocs[term] {
+		cid := ch.ChunkOf(bc.docScores[dw.doc])
+		byChunk[cid] = append(byChunk[cid], postings.ChunkPosting{Doc: dw.doc, TermScore: dw.w})
+	}
+	for cid := range byChunk {
+		cids = append(cids, cid)
+	}
+	sort.Slice(cids, func(i, j int) bool { return cids[i] > cids[j] })
+	// Postings inherit ascending doc order from termDocs, which is already
+	// sorted by doc; grouping preserves it.
+	return cids, byChunk
+}
+
+// fancy returns the top-n postings of a term by term weight, in ascending
+// document order, plus the smallest weight included (the ε_t used by the
+// Chunk-TermScore stopping rule).
+func (bc *builtCorpus) fancy(term string, n int) (posts []docWeight, minWeight float32) {
+	ds := append([]docWeight(nil), bc.termDocs[term]...)
+	sort.Slice(ds, func(i, j int) bool {
+		if ds[i].w != ds[j].w {
+			return ds[i].w > ds[j].w
+		}
+		return ds[i].doc < ds[j].doc
+	})
+	if len(ds) > n {
+		ds = ds[:n]
+	}
+	if len(ds) > 0 {
+		minWeight = ds[len(ds)-1].w
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i].doc < ds[j].doc })
+	return ds, minWeight
+}

@@ -1,0 +1,300 @@
+package index
+
+import (
+	"fmt"
+	"math"
+
+	"svrdb/internal/postings"
+	"svrdb/internal/storage/blob"
+	"svrdb/internal/text"
+	"svrdb/internal/topk"
+)
+
+// ChunkTermScoreMethod implements the Chunk-TermScore method of §4.3.3: the
+// Chunk method extended to rank by a combination of the SVR score and
+// IR-style term scores, F(d) = svr(d) + Σ_i termScore_i(d).
+//
+// Two additions make that possible while keeping score updates cheap:
+// every posting in the long and short lists carries the document's
+// normalized term weight, and each term has a small ID-ordered "fancy list"
+// of the postings with the highest term weights (following Long & Suel's
+// Fancy-ID organization, adapted here to chunk-ordered lists).  Queries run
+// Algorithm 3: the fancy lists are merged first to seed the result heap and
+// the remainList, then the chunked lists are scanned top chunk first, and
+// the query stops once neither the remaining chunks nor the remainList can
+// produce a better combined score.
+type ChunkTermScoreMethod struct {
+	*ChunkMethod
+	fancyRefs  map[string]blob.Ref
+	fancyMinW  map[string]float32
+	fancyBytes uint64
+}
+
+// NewChunkTermScore creates a Chunk-TermScore index.
+func NewChunkTermScore(cfg Config) (*ChunkTermScoreMethod, error) {
+	inner, err := NewChunk(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &ChunkTermScoreMethod{
+		ChunkMethod: inner,
+		fancyRefs:   map[string]blob.Ref{},
+		fancyMinW:   map[string]float32{},
+	}, nil
+}
+
+// Name implements Method.
+func (m *ChunkTermScoreMethod) Name() string { return "Chunk-TermScore" }
+
+// Build implements Method.
+func (m *ChunkTermScoreMethod) Build(src DocSource, scores ScoreFunc) error {
+	m.src = src
+	bc, err := accumulate(src, scores, m.dict)
+	if err != nil {
+		return err
+	}
+	if err := m.populateScoreTable(bc); err != nil {
+		return err
+	}
+	m.chunks = buildChunker(bc.allScores(), m.cfg.ChunkRatio, m.cfg.MinChunkSize)
+	for _, term := range bc.terms() {
+		builder := postings.NewChunkedTermListBuilder()
+		cids, byChunk := bc.chunked(term, m.chunks)
+		for _, cid := range cids {
+			if err := builder.AddChunk(cid, byChunk[cid]); err != nil {
+				return fmt.Errorf("index: build Chunk-TermScore list for %q: %w", term, err)
+			}
+		}
+		data := builder.Bytes()
+		ref, err := m.store.Put(data)
+		if err != nil {
+			return err
+		}
+		m.longRefs[term] = ref
+		m.longBytes += uint64(len(data))
+
+		// Fancy list: the FancyListSize postings with the highest term
+		// weights, stored in ID order.
+		fancyPosts, minW := bc.fancy(term, m.cfg.FancyListSize)
+		fb := postings.NewIDTermListBuilder()
+		for _, dw := range fancyPosts {
+			if err := fb.Add(dw.doc, dw.w); err != nil {
+				return fmt.Errorf("index: build fancy list for %q: %w", term, err)
+			}
+		}
+		fdata := fb.Bytes()
+		fref, err := m.store.Put(fdata)
+		if err != nil {
+			return err
+		}
+		m.fancyRefs[term] = fref
+		m.fancyMinW[term] = minW
+		m.fancyBytes += uint64(len(fdata))
+	}
+	return nil
+}
+
+// TopK implements Method (Algorithm 3).  Plain SVR-only queries (without
+// term scores) fall back to the Chunk algorithm over the same lists.
+func (m *ChunkTermScoreMethod) TopK(q Query) (*QueryResult, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if !q.WithTermScores {
+		return m.ChunkMethod.TopK(q)
+	}
+	m.counters.queries.Add(1)
+
+	stats := text.CollectionStats{NumDocs: m.numDocs}
+	idfs := make([]float64, len(q.Terms))
+	epsilons := make([]float64, len(q.Terms)) // ε_i · idf_i, the per-term cap for unseen docs
+	for i, term := range q.Terms {
+		idfs[i] = text.IDF(stats, m.dict.DocFreq(term))
+		epsilons[i] = text.TFIDF(m.fancyMinW[term], idfs[i])
+	}
+	epsilonSum := 0.0
+	for _, e := range epsilons {
+		epsilonSum += e
+	}
+
+	heap := topk.New(q.K)
+	res := &QueryResult{}
+
+	// Phase 1 (Algorithm 3 lines 8-9): merge the fancy lists.  Documents
+	// present in every fancy list have exact combined scores and seed the
+	// heap; documents present in only some go to the remainList with the
+	// term weights learned so far.
+	type remainInfo struct {
+		known map[int]float64 // term index -> exact tf-idf contribution
+	}
+	remain := map[DocID]*remainInfo{}
+
+	fancyStreams := make([]postings.Iterator, len(q.Terms))
+	for i, term := range q.Terms {
+		it, err := m.fancyIterator(term)
+		if err != nil {
+			return nil, err
+		}
+		fancyStreams[i] = it
+	}
+	fancyMerger := postings.NewGroupMerger(fancyStreams...)
+	for {
+		g, ok, err := fancyMerger.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		res.PostingsScanned += g.Count
+		if g.ContainsAll() {
+			svr, include, err := m.currentScore(g.Doc)
+			if err != nil {
+				return nil, err
+			}
+			if include {
+				combined := svr
+				for i, present := range g.Present {
+					if present {
+						combined += text.TFIDF(g.Entries[i].TermScore, idfs[i])
+					}
+				}
+				heap.Add(int64(g.Doc), combined)
+				res.ScoreLookups++
+			}
+			continue
+		}
+		info := &remainInfo{known: map[int]float64{}}
+		for i, present := range g.Present {
+			if present {
+				info.known[i] = text.TFIDF(g.Entries[i].TermScore, idfs[i])
+			}
+		}
+		remain[g.Doc] = info
+	}
+
+	// Phase 2 (lines 10-34): scan the chunked lists top chunk first.
+	streams := make([]postings.Iterator, len(q.Terms))
+	for i, term := range q.Terms {
+		long, err := m.longIterator(term)
+		if err != nil {
+			return nil, err
+		}
+		short, err := m.short.Iterator(term)
+		if err != nil {
+			return nil, err
+		}
+		streams[i] = postings.NewCollapseOps(postings.NewUnion(short, long))
+	}
+	merger := postings.NewGroupMerger(streams...)
+	lastCID := int32(math.MinInt32)
+	haveCID := false
+
+	checkStop := func(cidJustFinished int32) (bool, error) {
+		min, full := heap.MinScore()
+		if !full {
+			return false, nil
+		}
+		// The SVR score of any document not yet reached is below the upper
+		// bound of the chunk one above the chunks still to be scanned.
+		svrBound := m.chunks.UpperBound(cidJustFinished)
+		// Prune remainList entries that can no longer win.
+		for doc, info := range remain {
+			svr, present, err := m.currentScore(doc)
+			if err != nil {
+				return false, err
+			}
+			res.ScoreLookups++
+			if !present {
+				delete(remain, doc)
+				continue
+			}
+			bound := svr
+			for i := range q.Terms {
+				if known, ok := info.known[i]; ok {
+					bound += known
+				} else {
+					bound += epsilons[i]
+				}
+			}
+			if bound <= min {
+				delete(remain, doc)
+			}
+		}
+		if len(remain) > 0 {
+			return false, nil
+		}
+		return svrBound+epsilonSum <= min, nil
+	}
+
+	for {
+		g, ok, err := merger.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		res.PostingsScanned += g.Count
+		cid := int32(g.SortKey)
+		if haveCID && cid < lastCID {
+			stop, err := checkStop(lastCID)
+			if err != nil {
+				return nil, err
+			}
+			if stop {
+				res.Stopped = true
+				break
+			}
+		}
+		lastCID, haveCID = cid, true
+
+		// The document is now being processed through its regular postings,
+		// so it no longer needs to be remembered separately (line 12).
+		delete(remain, g.Doc)
+
+		matches := g.ContainsAll() || (q.Disjunctive && g.Count >= 1)
+		if !matches {
+			continue
+		}
+		svr, include, err := m.resolveCandidate(g)
+		if err != nil {
+			return nil, err
+		}
+		res.ScoreLookups++
+		if !include {
+			continue
+		}
+		combined := svr
+		for i, present := range g.Present {
+			if present {
+				combined += text.TFIDF(g.Entries[i].TermScore, idfs[i])
+			}
+		}
+		heap.Add(int64(g.Doc), combined)
+	}
+
+	res.Results = heap.Results()
+	m.counters.postingsScanned.Add(uint64(res.PostingsScanned))
+	return res, nil
+}
+
+func (m *ChunkTermScoreMethod) fancyIterator(term string) (postings.Iterator, error) {
+	ref, ok := m.fancyRefs[term]
+	if !ok {
+		return postings.NewSliceIterator(nil), nil
+	}
+	return postings.NewStreamIDTermList(m.store.NewReader(ref))
+}
+
+// Stats implements Method; LongListBytes includes the fancy lists since they
+// are part of the read-only structure rebuilt offline.
+func (m *ChunkTermScoreMethod) Stats() Stats {
+	s := Stats{
+		Method:           m.Name(),
+		LongListBytes:    m.longBytes + m.fancyBytes,
+		ShortListEntries: m.short.Len(),
+	}
+	m.counters.fill(&s)
+	return s
+}

@@ -1,0 +1,278 @@
+package index
+
+import (
+	"fmt"
+
+	"svrdb/internal/postings"
+	"svrdb/internal/text"
+)
+
+// IDMethod implements the ID method of §4.2.1 and, when built with term
+// scores, the ID-TermScore baseline of §5.2.
+//
+// The long inverted list of each term holds the IDs of the documents
+// containing it in ascending ID order (d-gap compressed), so a score update
+// never touches the lists: only the Score table changes.  The price is paid
+// at query time: because the lists carry no score information, every list
+// must be scanned to the end and every candidate's score looked up, no
+// matter how small k is.
+//
+// Incrementally inserted documents and content updates go to an auxiliary
+// ID-ordered short list (Appendix A applies the same mechanism to every
+// method); score updates never touch it.
+type IDMethod struct {
+	*base
+	withTermScores bool
+	aux            *keyedList
+	// knownTokens caches the distinct terms of documents inserted after the
+	// bulk build so that deletions can purge their auxiliary postings even if
+	// the document source no longer has the row.
+	knownTokens map[DocID][]string
+}
+
+// NewID creates an ID-method index.
+func NewID(cfg Config) (*IDMethod, error) { return newIDMethod(cfg, false) }
+
+// NewIDTermScore creates an ID-TermScore index (the ID method with a
+// normalized term weight stored in every posting).
+func NewIDTermScore(cfg Config) (*IDMethod, error) { return newIDMethod(cfg, true) }
+
+func newIDMethod(cfg Config, withTermScores bool) (*IDMethod, error) {
+	b, err := newBase(cfg)
+	if err != nil {
+		return nil, err
+	}
+	aux, err := newKeyedList(b.cfg.Pool)
+	if err != nil {
+		return nil, err
+	}
+	return &IDMethod{base: b, withTermScores: withTermScores, aux: aux, knownTokens: map[DocID][]string{}}, nil
+}
+
+// Name implements Method.
+func (m *IDMethod) Name() string {
+	if m.withTermScores {
+		return "ID-TermScore"
+	}
+	return "ID"
+}
+
+// Build implements Method.
+func (m *IDMethod) Build(src DocSource, scores ScoreFunc) error {
+	m.src = src
+	bc, err := accumulate(src, scores, m.dict)
+	if err != nil {
+		return err
+	}
+	if err := m.populateScoreTable(bc); err != nil {
+		return err
+	}
+	for _, term := range bc.terms() {
+		var data []byte
+		if m.withTermScores {
+			builder := postings.NewIDTermListBuilder()
+			for _, dw := range bc.termDocs[term] {
+				if err := builder.Add(dw.doc, dw.w); err != nil {
+					return fmt.Errorf("index: build %s list for %q: %w", m.Name(), term, err)
+				}
+			}
+			data = builder.Bytes()
+		} else {
+			builder := postings.NewIDListBuilder()
+			for _, dw := range bc.termDocs[term] {
+				if err := builder.Add(dw.doc); err != nil {
+					return fmt.Errorf("index: build %s list for %q: %w", m.Name(), term, err)
+				}
+			}
+			data = builder.Bytes()
+		}
+		ref, err := m.store.Put(data)
+		if err != nil {
+			return err
+		}
+		m.longRefs[term] = ref
+		m.longBytes += uint64(len(data))
+	}
+	return nil
+}
+
+// UpdateScore implements Method: the only work is one Score-table write.
+func (m *IDMethod) UpdateScore(doc DocID, newScore float64) error {
+	m.counters.scoreUpdates.Add(1)
+	_, _, ok, err := m.score.Get(doc)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownDocument, doc)
+	}
+	return m.score.Set(doc, newScore)
+}
+
+// InsertDocument implements Method.
+func (m *IDMethod) InsertDocument(doc DocID, tokens []string, score float64) error {
+	if err := m.score.Set(doc, score); err != nil {
+		return err
+	}
+	weights := docTermWeights(tokens)
+	distinct := make([]string, 0, len(weights))
+	for _, tw := range weights {
+		if err := m.aux.Put(tw.term, 0, doc, postings.OpAdd, tw.w); err != nil {
+			return err
+		}
+		m.counters.shortListPostingsWritten.Add(1)
+		distinct = append(distinct, tw.term)
+	}
+	m.dict.AddDocumentTerms(distinct)
+	m.knownTokens[doc] = distinct
+	m.numDocs++
+	return nil
+}
+
+// DeleteDocument implements Method.
+func (m *IDMethod) DeleteDocument(doc DocID) error {
+	if err := m.score.MarkDeleted(doc); err != nil {
+		return err
+	}
+	for _, term := range m.docTermsForMaintenance(doc) {
+		if err := m.aux.DeleteAllForDoc(term, doc); err != nil {
+			return err
+		}
+	}
+	delete(m.knownTokens, doc)
+	m.numDocs--
+	return nil
+}
+
+// UpdateContent implements Method.
+func (m *IDMethod) UpdateContent(doc DocID, oldTokens, newTokens []string) error {
+	added, removed := diffTerms(oldTokens, newTokens)
+	newWeights := text.TermFrequencies(newTokens)
+	for _, term := range added {
+		w := text.NormalizedTF(newWeights[term], len(newTokens))
+		if err := m.aux.Put(term, 0, doc, postings.OpAdd, w); err != nil {
+			return err
+		}
+		m.counters.shortListPostingsWritten.Add(1)
+	}
+	for _, term := range removed {
+		if err := m.aux.Put(term, 0, doc, postings.OpRem, 0); err != nil {
+			return err
+		}
+		m.counters.shortListPostingsWritten.Add(1)
+	}
+	m.dict.AddDocumentTerms(added)
+	m.dict.RemoveDocumentTerms(removed)
+	return nil
+}
+
+// docTermsForMaintenance returns the distinct terms of a document for purge
+// operations, preferring the document source and falling back to the cache
+// of incrementally inserted documents.
+func (m *IDMethod) docTermsForMaintenance(doc DocID) []string {
+	if m.src != nil {
+		if tokens, err := m.src.Tokens(doc); err == nil {
+			return distinctTerms(tokens)
+		}
+	}
+	return m.knownTokens[doc]
+}
+
+// TopK implements Method.
+func (m *IDMethod) TopK(q Query) (*QueryResult, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if q.WithTermScores && !m.withTermScores {
+		return nil, ErrTermScoresUnsupported
+	}
+
+	streams := make([]postings.Iterator, 0, len(q.Terms))
+	idfs := make([]float64, 0, len(q.Terms))
+	stats := text.CollectionStats{NumDocs: m.numDocs}
+	for _, term := range q.Terms {
+		long, err := m.longIterator(term)
+		if err != nil {
+			return nil, err
+		}
+		short, err := m.aux.Iterator(term)
+		if err != nil {
+			return nil, err
+		}
+		streams = append(streams, postings.NewCollapseOps(postings.NewUnion(short, long)))
+		idfs = append(idfs, text.IDF(stats, m.dict.DocFreq(term)))
+	}
+
+	resolve := m.currentScoreResolver()
+	if q.WithTermScores {
+		base := resolve
+		resolve = func(g postings.Group) (float64, bool, error) {
+			svr, include, err := base(g)
+			if err != nil || !include {
+				return 0, false, err
+			}
+			combined := svr
+			for i, present := range g.Present {
+				if present {
+					combined += text.TFIDF(g.Entries[i].TermScore, idfs[i])
+				}
+			}
+			return combined, true, nil
+		}
+	}
+
+	return m.runRanked(rankedQuery{
+		streams:     streams,
+		k:           q.K,
+		conjunctive: !q.Disjunctive,
+		maxPossible: neverStop,
+		resolve:     resolve,
+	})
+}
+
+func (m *IDMethod) longIterator(term string) (postings.Iterator, error) {
+	ref, ok := m.longRefs[term]
+	if !ok {
+		return postings.NewSliceIterator(nil), nil
+	}
+	r := m.store.NewReader(ref)
+	if m.withTermScores {
+		return postings.NewStreamIDTermList(r)
+	}
+	return postings.NewStreamIDList(r)
+}
+
+// Stats implements Method.
+func (m *IDMethod) Stats() Stats {
+	s := Stats{
+		Method:           m.Name(),
+		LongListBytes:    m.longBytes,
+		ShortListEntries: m.aux.Len(),
+	}
+	m.counters.fill(&s)
+	return s
+}
+
+// diffTerms computes the added and removed distinct terms between two token
+// streams (Appendix A.1's Tnew \ Told and Told \ Tnew).
+func diffTerms(oldTokens, newTokens []string) (added, removed []string) {
+	oldSet := map[string]bool{}
+	for _, t := range oldTokens {
+		oldSet[t] = true
+	}
+	newSet := map[string]bool{}
+	for _, t := range newTokens {
+		newSet[t] = true
+	}
+	for t := range newSet {
+		if !oldSet[t] {
+			added = append(added, t)
+		}
+	}
+	for t := range oldSet {
+		if !newSet[t] {
+			removed = append(removed, t)
+		}
+	}
+	return added, removed
+}

@@ -1,0 +1,255 @@
+// Package index implements the paper's family of inverted-list index
+// structures and their query and update algorithms:
+//
+//   - ID              (§4.2.1) — ID-ordered lists, score lookups per result.
+//   - Score           (§4.2.2) — score-ordered clustered B+-tree lists,
+//     rewritten on every score update.
+//   - Score-Threshold (§4.3.1) — stale score-ordered long lists plus short
+//     lists for documents whose score moved past a threshold; Algorithm 1
+//     for updates, Algorithm 2 for queries.
+//   - Chunk           (§4.3.2) — long lists ordered by descending chunk ID,
+//     ID-ordered within a chunk; short lists updated when a document climbs
+//     two or more chunks.
+//   - ID-TermScore    (§5.2)  — the ID baseline extended with per-posting
+//     term weights.
+//   - Chunk-TermScore (§4.3.3) — the Chunk method extended with per-posting
+//     term weights and per-term fancy lists; Algorithm 3 for queries.
+//
+// All methods implement the Method interface so the engine, the benchmark
+// harness and the correctness tests treat them uniformly.  Every method
+// guarantees that TopK returns the correct top-k result set with respect to
+// the *latest* document scores, no matter how stale its long lists are
+// (Theorems 1 and 2 of the paper).
+package index
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"svrdb/internal/postings"
+	"svrdb/internal/storage/blob"
+	"svrdb/internal/storage/buffer"
+	"svrdb/internal/text"
+	"svrdb/internal/topk"
+)
+
+// DocID aliases the postings document identifier for convenience.
+type DocID = postings.DocID
+
+// DocSource supplies document content to index builds and to score-update
+// processing (Algorithm 1 touches every term of the updated document).
+type DocSource interface {
+	// NumDocs reports the number of documents.
+	NumDocs() int
+	// ForEach visits every document with its token stream (tokens may repeat;
+	// the index derives term frequencies itself).
+	ForEach(func(doc DocID, tokens []string) error) error
+	// Tokens returns the token stream of one document.
+	Tokens(doc DocID) ([]string, error)
+}
+
+// ScoreFunc returns the initial SVR score of a document at build time.
+type ScoreFunc func(doc DocID) float64
+
+// Query describes one keyword-search request.
+type Query struct {
+	// Terms are the query keywords (analyzed terms).
+	Terms []string
+	// K is the number of results wanted.
+	K int
+	// Disjunctive selects OR semantics (documents containing at least one
+	// term); the default is conjunctive (all terms).
+	Disjunctive bool
+	// WithTermScores requests the combined SVR + term-score ranking of
+	// §4.3.3.  Only the TermScore methods support it; the others return
+	// ErrTermScoresUnsupported.
+	WithTermScores bool
+}
+
+// Validate checks the query shape.
+func (q *Query) Validate() error {
+	if len(q.Terms) == 0 {
+		return errors.New("index: query needs at least one term")
+	}
+	if q.K < 1 {
+		return fmt.Errorf("index: query k = %d must be positive", q.K)
+	}
+	return nil
+}
+
+// Result is one ranked document.
+type Result = topk.Result
+
+// QueryResult carries the ranked documents plus the per-query work counters
+// the experiments report.
+type QueryResult struct {
+	Results []Result
+	// PostingsScanned counts long+short list postings consumed.
+	PostingsScanned int
+	// ScoreLookups counts random probes of the Score table.
+	ScoreLookups int
+	// Stopped reports whether the query terminated before exhausting the
+	// lists (early termination).
+	Stopped bool
+}
+
+// ErrTermScoresUnsupported is returned when a query requests combined
+// SVR+term ranking from a method that does not store term scores.
+var ErrTermScoresUnsupported = errors.New("index: method does not store term scores")
+
+// ErrUnknownDocument is returned when an update refers to a document the
+// index has never seen.
+var ErrUnknownDocument = errors.New("index: unknown document")
+
+// Method is the common interface of all six index structures.
+type Method interface {
+	// Name returns the method's name as used in the paper's tables.
+	Name() string
+	// Build bulk-loads the long inverted lists and the Score table.
+	Build(src DocSource, scores ScoreFunc) error
+	// UpdateScore applies a document score update (Algorithm 1).
+	UpdateScore(doc DocID, newScore float64) error
+	// InsertDocument adds a new document incrementally (Appendix A.2).
+	InsertDocument(doc DocID, tokens []string, score float64) error
+	// DeleteDocument removes a document (Appendix A.2).
+	DeleteDocument(doc DocID) error
+	// UpdateContent applies a content update given the previous and new
+	// token streams (Appendix A.1).
+	UpdateContent(doc DocID, oldTokens, newTokens []string) error
+	// MergeShortLists performs the periodic offline merge: the long lists are
+	// rebuilt from the current collection state and the short lists emptied
+	// (§5.1, Appendix A.3).  It is a no-op for the Score method.
+	MergeShortLists() error
+	// TopK evaluates a keyword query against the latest scores.
+	TopK(q Query) (*QueryResult, error)
+	// Stats returns cumulative counters and structure sizes.
+	Stats() Stats
+}
+
+// Stats describes an index's size and the work it has performed.
+type Stats struct {
+	Method string
+	// LongListBytes is the total size of the immutable long inverted lists
+	// (Table 1 of the paper).  For the Score method it is the size of the
+	// clustered score-ordered B+-tree contents.
+	LongListBytes uint64
+	// ShortListEntries is the number of postings currently in short lists.
+	ShortListEntries int
+	// ScoreUpdates counts UpdateScore calls.
+	ScoreUpdates uint64
+	// ShortListPostingsWritten counts postings inserted into or rewritten in
+	// the short lists (the expensive part of an update).
+	ShortListPostingsWritten uint64
+	// LongListPostingsWritten counts postings rewritten in place in the long
+	// lists (only the Score method does this).
+	LongListPostingsWritten uint64
+	// Queries counts TopK calls; PostingsScanned the postings they consumed.
+	Queries         uint64
+	PostingsScanned uint64
+}
+
+// Config carries the tunable parameters shared by the methods.
+type Config struct {
+	// Pool hosts every B+-tree and blob the index creates.
+	Pool *buffer.Pool
+	// ThresholdRatio is the Score-Threshold knob t in
+	// thresholdValueOf(score) = t * score; must be >= 1.
+	ThresholdRatio float64
+	// ChunkRatio is the Chunk knob c: adjacent chunk lower bounds differ by a
+	// factor of c; must be > 1.
+	ChunkRatio float64
+	// MinChunkSize is the minimum number of documents per chunk.
+	MinChunkSize int
+	// FancyListSize is the number of highest-term-score postings kept in each
+	// fancy list of the Chunk-TermScore method.
+	FancyListSize int
+}
+
+// Defaults fills unset fields with the values used throughout the paper's
+// evaluation (threshold ratio 11.24, chunk ratio 6.12, minimum chunk size
+// 100, fancy lists of 32 postings).
+func (c Config) Defaults() Config {
+	if c.ThresholdRatio < 1 {
+		c.ThresholdRatio = 11.24
+	}
+	if c.ChunkRatio <= 1 {
+		c.ChunkRatio = 6.12
+	}
+	if c.MinChunkSize <= 0 {
+		c.MinChunkSize = 100
+	}
+	if c.FancyListSize <= 0 {
+		c.FancyListSize = 32
+	}
+	return c
+}
+
+// counters groups the atomic statistics shared by all method
+// implementations.
+type counters struct {
+	scoreUpdates             atomic.Uint64
+	shortListPostingsWritten atomic.Uint64
+	longListPostingsWritten  atomic.Uint64
+	queries                  atomic.Uint64
+	postingsScanned          atomic.Uint64
+}
+
+func (c *counters) fill(s *Stats) {
+	s.ScoreUpdates = c.scoreUpdates.Load()
+	s.ShortListPostingsWritten = c.shortListPostingsWritten.Load()
+	s.LongListPostingsWritten = c.longListPostingsWritten.Load()
+	s.Queries = c.queries.Load()
+	s.PostingsScanned = c.postingsScanned.Load()
+}
+
+// base bundles the plumbing common to every method: the blob store for long
+// lists, the score table, the dictionary and the document source.
+type base struct {
+	cfg   Config
+	store *blob.Store
+	dict  *text.Dictionary
+	score *scoreTable
+	src   DocSource
+
+	longRefs  map[string]blob.Ref
+	longBytes uint64
+	numDocs   int64
+	counters  counters
+}
+
+func newBase(cfg Config) (*base, error) {
+	if cfg.Pool == nil {
+		return nil, errors.New("index: Config.Pool is required")
+	}
+	cfg = cfg.Defaults()
+	st, err := newScoreTable(cfg.Pool)
+	if err != nil {
+		return nil, err
+	}
+	return &base{
+		cfg:      cfg,
+		store:    blob.NewStore(cfg.Pool),
+		dict:     text.NewDictionary(),
+		score:    st,
+		longRefs: map[string]blob.Ref{},
+	}, nil
+}
+
+// docTermStats tokenizes a document into distinct terms with normalized term
+// frequencies.
+type termWeight struct {
+	term string
+	w    float32
+}
+
+func docTermWeights(tokens []string) []termWeight {
+	tf := text.TermFrequencies(tokens)
+	out := make([]termWeight, 0, len(tf))
+	for term, n := range tf {
+		out = append(out, termWeight{term: term, w: text.NormalizedTF(n, len(tokens))})
+	}
+	return out
+}
+
+func distinctTerms(tokens []string) []string { return text.DistinctTerms(tokens) }

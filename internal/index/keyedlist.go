@@ -1,0 +1,306 @@
+package index
+
+import (
+	"fmt"
+
+	"svrdb/internal/codec"
+	"svrdb/internal/postings"
+	"svrdb/internal/storage/btree"
+	"svrdb/internal/storage/buffer"
+)
+
+// keyedList is a B+-tree-backed posting list keyed by
+// (term, sortKey descending, docID ascending) and is used for
+//
+//   - every method's short lists (§4.3.1, §4.3.2): sortKey is the stale list
+//     score (Score-Threshold) or the chunk ID (Chunk family);
+//   - the Score method's clustered long lists (§4.2.2): sortKey is the exact
+//     document score and the list is updated in place on every score update;
+//   - the ID family's auxiliary lists for incrementally inserted documents:
+//     sortKey is 0 so postings order purely by docID.
+//
+// Each posting's value carries the ADD/REM operation flag needed for content
+// updates (Appendix A.1) and, for the TermScore methods, the per-posting
+// term weight.
+type keyedList struct {
+	tree    *btree.Tree
+	entries int
+}
+
+func newKeyedList(pool *buffer.Pool) (*keyedList, error) {
+	tree, err := btree.New(pool)
+	if err != nil {
+		return nil, err
+	}
+	return &keyedList{tree: tree}, nil
+}
+
+// Len reports the number of postings in the list.
+func (l *keyedList) Len() int { return l.entries }
+
+func keyedListKey(term string, sortKey float64, doc DocID) []byte {
+	key := codec.PutOrderedString(nil, term)
+	key = codec.PutOrderedFloat64Desc(key, sortKey)
+	return codec.PutOrderedUint64(key, uint64(doc))
+}
+
+func keyedListPrefix(term string) []byte {
+	return codec.PutOrderedString(nil, term)
+}
+
+func decodeKeyedListKey(key []byte) (term string, sortKey float64, doc DocID, err error) {
+	term, n, err := codec.OrderedString(key)
+	if err != nil {
+		return "", 0, 0, err
+	}
+	sortKey, m, err := codec.OrderedFloat64Desc(key[n:])
+	if err != nil {
+		return "", 0, 0, err
+	}
+	id, _, err := codec.OrderedUint64(key[n+m:])
+	if err != nil {
+		return "", 0, 0, err
+	}
+	return term, sortKey, DocID(id), nil
+}
+
+func encodeKeyedListValue(op postings.Op, termScore float32) []byte {
+	out := []byte{byte(op)}
+	return codec.PutFloat32(out, termScore)
+}
+
+func decodeKeyedListValue(data []byte) (op postings.Op, termScore float32, err error) {
+	if len(data) == 0 {
+		return postings.OpAdd, 0, nil
+	}
+	op = postings.Op(data[0])
+	if len(data) >= 5 {
+		ts, _, err := codec.Float32(data[1:])
+		if err != nil {
+			return 0, 0, err
+		}
+		termScore = ts
+	}
+	return op, termScore, nil
+}
+
+// Put inserts or replaces the posting for (term, sortKey, doc).
+func (l *keyedList) Put(term string, sortKey float64, doc DocID, op postings.Op, termScore float32) error {
+	key := keyedListKey(term, sortKey, doc)
+	existed, err := l.tree.Has(key)
+	if err != nil {
+		return err
+	}
+	if err := l.tree.Put(key, encodeKeyedListValue(op, termScore)); err != nil {
+		return err
+	}
+	if !existed {
+		l.entries++
+	}
+	return nil
+}
+
+// Delete removes the posting for (term, sortKey, doc) if present.
+func (l *keyedList) Delete(term string, sortKey float64, doc DocID) error {
+	removed, err := l.tree.Delete(keyedListKey(term, sortKey, doc))
+	if err != nil {
+		return err
+	}
+	if removed {
+		l.entries--
+	}
+	return nil
+}
+
+// DeleteAllForDoc removes every posting of the given document under the
+// given term, regardless of sort key (used by document deletion, which must
+// purge short lists so that reused IDs are safe, Appendix A.2).
+func (l *keyedList) DeleteAllForDoc(term string, doc DocID) error {
+	var keys [][]byte
+	err := l.tree.AscendPrefix(keyedListPrefix(term), func(k, v []byte) bool {
+		_, _, d, err := decodeKeyedListKey(k)
+		if err == nil && d == doc {
+			keys = append(keys, append([]byte(nil), k...))
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	for _, k := range keys {
+		removed, err := l.tree.Delete(k)
+		if err != nil {
+			return err
+		}
+		if removed {
+			l.entries--
+		}
+	}
+	return nil
+}
+
+// Collect materializes the postings of one term in (sortKey desc, doc asc)
+// order.  Short lists are small by design (that is the point of the
+// threshold), so materializing them per query is cheap; the Score method
+// overrides this with a streaming cursor (see treeCursor).
+func (l *keyedList) Collect(term string) ([]postings.Entry, error) {
+	var out []postings.Entry
+	var innerErr error
+	err := l.tree.AscendPrefix(keyedListPrefix(term), func(k, v []byte) bool {
+		_, sortKey, doc, err := decodeKeyedListKey(k)
+		if err != nil {
+			innerErr = err
+			return false
+		}
+		op, ts, err := decodeKeyedListValue(v)
+		if err != nil {
+			innerErr = err
+			return false
+		}
+		out = append(out, postings.Entry{
+			Doc:       doc,
+			SortKey:   sortKey,
+			CID:       int32(sortKey),
+			TermScore: ts,
+			Op:        op,
+			FromShort: true,
+		})
+		return true
+	})
+	if innerErr != nil {
+		return nil, innerErr
+	}
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Iterator returns a pull iterator over one term's postings, materialized up
+// front.  It satisfies postings.Iterator.
+func (l *keyedList) Iterator(term string) (postings.Iterator, error) {
+	entries, err := l.Collect(term)
+	if err != nil {
+		return nil, err
+	}
+	return postings.NewSliceIterator(entries), nil
+}
+
+// treeCursor is a streaming pull iterator over a keyedList term, used for
+// the Score method's long lists where materializing the whole list would
+// defeat early termination.  It pulls postings in batches through bounded
+// range scans so that an early-terminating query touches only a prefix of
+// the B+-tree leaves.
+type treeCursor struct {
+	list      *keyedList
+	term      string
+	fromShort bool
+
+	batch   []postings.Entry
+	pos     int
+	nextKey []byte // resume position (exclusive)
+	done    bool
+}
+
+// cursorBatchSize is the number of postings fetched per refill; roughly one
+// leaf page worth.
+const cursorBatchSize = 256
+
+func (l *keyedList) Cursor(term string, fromShort bool) *treeCursor {
+	return &treeCursor{list: l, term: term, fromShort: fromShort, nextKey: keyedListPrefix(term)}
+}
+
+func (c *treeCursor) refill() error {
+	c.batch = c.batch[:0]
+	c.pos = 0
+	if c.done {
+		return nil
+	}
+	prefix := keyedListPrefix(c.term)
+	end := prefixEnd(prefix)
+	var innerErr error
+	count := 0
+	err := c.list.tree.AscendRange(c.nextKey, end, func(k, v []byte) bool {
+		if count >= cursorBatchSize {
+			// Remember where to resume: the current key (it has not been
+			// consumed into the batch).
+			c.nextKey = append([]byte(nil), k...)
+			return false
+		}
+		_, sortKey, doc, err := decodeKeyedListKey(k)
+		if err != nil {
+			innerErr = err
+			return false
+		}
+		op, ts, err := decodeKeyedListValue(v)
+		if err != nil {
+			innerErr = err
+			return false
+		}
+		c.batch = append(c.batch, postings.Entry{
+			Doc:       doc,
+			SortKey:   sortKey,
+			CID:       int32(sortKey),
+			TermScore: ts,
+			Op:        op,
+			FromShort: c.fromShort,
+		})
+		count++
+		return true
+	})
+	if innerErr != nil {
+		return innerErr
+	}
+	if err != nil {
+		return err
+	}
+	if count < cursorBatchSize {
+		c.done = true
+	}
+	return nil
+}
+
+// Next implements postings.Iterator.
+func (c *treeCursor) Next() (postings.Entry, bool, error) {
+	for c.pos >= len(c.batch) {
+		if c.done {
+			return postings.Entry{}, false, nil
+		}
+		if err := c.refill(); err != nil {
+			return postings.Entry{}, false, err
+		}
+		if len(c.batch) == 0 && c.done {
+			return postings.Entry{}, false, nil
+		}
+	}
+	e := c.batch[c.pos]
+	c.pos++
+	return e, true, nil
+}
+
+// prefixEnd mirrors btree.prefixEnd for range termination.
+func prefixEnd(prefix []byte) []byte {
+	end := append([]byte(nil), prefix...)
+	for i := len(end) - 1; i >= 0; i-- {
+		if end[i] != 0xFF {
+			end[i]++
+			return end[:i+1]
+		}
+	}
+	return nil
+}
+
+// SizeBytes estimates the serialized size of the list: key plus value bytes
+// for every posting.  It is used for the Score method's Table 1 entry.
+func (l *keyedList) SizeBytes() (uint64, error) {
+	var total uint64
+	err := l.tree.Ascend(func(k, v []byte) bool {
+		total += uint64(len(k) + len(v))
+		return true
+	})
+	return total, err
+}
+
+func (l *keyedList) String() string {
+	return fmt.Sprintf("keyedList(%d postings)", l.entries)
+}

@@ -1,0 +1,74 @@
+package index
+
+import (
+	"svrdb/internal/codec"
+	"svrdb/internal/storage/btree"
+	"svrdb/internal/storage/buffer"
+)
+
+// listTable implements both the ListScore table of the Score-Threshold
+// method and the ListChunk table of the Chunk family: one row per document
+// whose score has been updated since the long lists were built, recording
+// the document's current position in the inverted lists (its stale list
+// score, or its list chunk ID stored as a float) and whether postings for it
+// have been written to the short lists.
+type listTable struct {
+	tree *btree.Tree
+}
+
+// listEntry is one row of a listTable.
+type listEntry struct {
+	// Key is the document's list score (Score-Threshold) or list chunk ID
+	// (Chunk family, stored as float64(cid)).
+	Key float64
+	// InShortList reports whether the document has postings in the short
+	// lists (its score crossed the threshold at some point).
+	InShortList bool
+}
+
+func newListTable(pool *buffer.Pool) (*listTable, error) {
+	tree, err := btree.New(pool)
+	if err != nil {
+		return nil, err
+	}
+	return &listTable{tree: tree}, nil
+}
+
+func listTableKey(doc DocID) []byte {
+	return codec.PutOrderedUint64(nil, uint64(doc))
+}
+
+// Get returns the entry for doc, if any.
+func (t *listTable) Get(doc DocID) (listEntry, bool, error) {
+	data, ok, err := t.tree.Get(listTableKey(doc))
+	if err != nil || !ok {
+		return listEntry{}, false, err
+	}
+	key, n, err := codec.Float64(data)
+	if err != nil {
+		return listEntry{}, false, err
+	}
+	inShort := n < len(data) && data[n] == 1
+	return listEntry{Key: key, InShortList: inShort}, true, nil
+}
+
+// Put inserts or replaces the entry for doc.
+func (t *listTable) Put(doc DocID, e listEntry) error {
+	val := codec.PutFloat64(nil, e.Key)
+	if e.InShortList {
+		val = append(val, 1)
+	} else {
+		val = append(val, 0)
+	}
+	return t.tree.Put(listTableKey(doc), val)
+}
+
+// Delete removes the entry for doc (used when a deleted document's ID is
+// reused).
+func (t *listTable) Delete(doc DocID) error {
+	_, err := t.tree.Delete(listTableKey(doc))
+	return err
+}
+
+// Len reports the number of entries.
+func (t *listTable) Len() int { return t.tree.Len() }

@@ -1,0 +1,103 @@
+package index
+
+import (
+	"math"
+
+	"svrdb/internal/postings"
+	"svrdb/internal/topk"
+)
+
+// rankedQuery is the shared skeleton of Algorithm 2 and its relatives: merge
+// the per-term streams (each the union of a short and a long list, already
+// collapsed for ADD/REM content updates) in descending list-order, detect
+// candidates, resolve their current scores, and stop as soon as no unseen
+// document can beat the current top-k.
+//
+// The pieces that differ between methods are injected:
+//
+//   - maxPossible(sortKey) bounds the current score of every document whose
+//     postings have not been reached yet, given the list position about to be
+//     processed.  Score-Threshold uses thresholdValueOf(listScore) = t·s;
+//     Chunk uses the upper score bound of chunk (cid+1); the exact Score
+//     method uses the list score itself; the ID methods use +Inf, which
+//     disables early termination and forces a full scan, exactly as §4.2.1
+//     describes.
+//
+//   - resolve(group) produces the candidate's current score and decides
+//     whether this particular appearance of the document should be counted
+//     (the "is it from the short list / is it superseded" logic of
+//     Algorithm 2 lines 12-21).
+type rankedQuery struct {
+	streams     []postings.Iterator
+	k           int
+	conjunctive bool
+	maxPossible func(sortKey float64) float64
+	resolve     func(g postings.Group) (score float64, include bool, err error)
+}
+
+// run executes the query and returns the ranked results with work counters.
+func (b *base) runRanked(q rankedQuery) (*QueryResult, error) {
+	b.counters.queries.Add(1)
+	heap := topk.New(q.k)
+	merger := postings.NewGroupMerger(q.streams...)
+	res := &QueryResult{}
+	for {
+		g, ok, err := merger.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		res.PostingsScanned += g.Count
+
+		// Early-termination check (Algorithm 2 lines 9-11): every unseen
+		// document, including this one, has a current score bounded by
+		// maxPossible(g.SortKey); once k results at or above that bound are
+		// held, the answer cannot change.
+		if min, full := heap.MinScore(); full {
+			if q.maxPossible(g.SortKey) <= min {
+				res.Stopped = true
+				break
+			}
+		}
+
+		if q.conjunctive && !g.ContainsAll() {
+			continue
+		}
+		if !q.conjunctive && g.Count == 0 {
+			continue
+		}
+		score, include, err := q.resolve(g)
+		if err != nil {
+			return nil, err
+		}
+		if include {
+			heap.Add(int64(g.Doc), score)
+		}
+	}
+	res.Results = heap.Results()
+	b.counters.postingsScanned.Add(uint64(res.PostingsScanned))
+	return res, nil
+}
+
+// neverStop is the maxPossible function of the ID family: no bound exists on
+// unseen documents, so the whole list must be scanned.
+func neverStop(float64) float64 { return math.Inf(1) }
+
+// currentScoreResolver returns a resolve function that looks up the current
+// score in the Score table and skips deleted or unknown documents — the
+// behaviour shared by the ID family (which always probes) and by candidates
+// that come from short lists.
+func (b *base) currentScoreResolver() func(g postings.Group) (float64, bool, error) {
+	return func(g postings.Group) (float64, bool, error) {
+		score, deleted, ok, err := b.score.Get(g.Doc)
+		if err != nil {
+			return 0, false, err
+		}
+		if !ok || deleted {
+			return 0, false, nil
+		}
+		return score, true, nil
+	}
+}

@@ -1,0 +1,208 @@
+package index
+
+import (
+	"fmt"
+
+	"svrdb/internal/postings"
+	"svrdb/internal/text"
+)
+
+// ScoreMethod implements the Score method of §4.2.2: every term's inverted
+// list is kept in exact descending-score order in a clustered B+-tree, which
+// makes top-k queries fast (scan a prefix, stop after k results) but makes
+// score updates extremely expensive — every distinct term of the updated
+// document needs its posting moved, one random B+-tree probe per term.
+//
+// The paper uses this method as the query-optimal / update-pathological end
+// of the spectrum; Table 7 shows its per-update cost is orders of magnitude
+// above every other method, which is why the evaluation drops it early.
+type ScoreMethod struct {
+	*base
+	lists *keyedList
+}
+
+// NewScore creates a Score-method index.
+func NewScore(cfg Config) (*ScoreMethod, error) {
+	b, err := newBase(cfg)
+	if err != nil {
+		return nil, err
+	}
+	lists, err := newKeyedList(b.cfg.Pool)
+	if err != nil {
+		return nil, err
+	}
+	return &ScoreMethod{base: b, lists: lists}, nil
+}
+
+// Name implements Method.
+func (m *ScoreMethod) Name() string { return "Score" }
+
+// Build implements Method.
+func (m *ScoreMethod) Build(src DocSource, scores ScoreFunc) error {
+	m.src = src
+	bc, err := accumulate(src, scores, m.dict)
+	if err != nil {
+		return err
+	}
+	if err := m.populateScoreTable(bc); err != nil {
+		return err
+	}
+	for _, term := range bc.terms() {
+		for _, dw := range bc.termDocs[term] {
+			if err := m.lists.Put(term, bc.docScores[dw.doc], dw.doc, postings.OpAdd, dw.w); err != nil {
+				return fmt.Errorf("index: build Score list for %q: %w", term, err)
+			}
+		}
+	}
+	return nil
+}
+
+// UpdateScore implements Method: the posting of every distinct term of the
+// document must be deleted at the old score position and reinserted at the
+// new one, which is exactly the cost the paper's Figure 7 measures.
+func (m *ScoreMethod) UpdateScore(doc DocID, newScore float64) error {
+	m.counters.scoreUpdates.Add(1)
+	oldScore, deleted, ok, err := m.score.Get(doc)
+	if err != nil {
+		return err
+	}
+	if !ok || deleted {
+		return fmt.Errorf("%w: %d", ErrUnknownDocument, doc)
+	}
+	if err := m.score.Set(doc, newScore); err != nil {
+		return err
+	}
+	if oldScore == newScore {
+		return nil
+	}
+	tokens, err := m.src.Tokens(doc)
+	if err != nil {
+		return fmt.Errorf("index: Score method needs document %d content to move its postings: %w", doc, err)
+	}
+	for _, tw := range docTermWeights(tokens) {
+		if err := m.lists.Delete(tw.term, oldScore, doc); err != nil {
+			return err
+		}
+		if err := m.lists.Put(tw.term, newScore, doc, postings.OpAdd, tw.w); err != nil {
+			return err
+		}
+		m.counters.longListPostingsWritten.Add(2)
+	}
+	return nil
+}
+
+// InsertDocument implements Method.
+func (m *ScoreMethod) InsertDocument(doc DocID, tokens []string, score float64) error {
+	if err := m.score.Set(doc, score); err != nil {
+		return err
+	}
+	weights := docTermWeights(tokens)
+	distinct := make([]string, 0, len(weights))
+	for _, tw := range weights {
+		if err := m.lists.Put(tw.term, score, doc, postings.OpAdd, tw.w); err != nil {
+			return err
+		}
+		m.counters.longListPostingsWritten.Add(1)
+		distinct = append(distinct, tw.term)
+	}
+	m.dict.AddDocumentTerms(distinct)
+	m.numDocs++
+	return nil
+}
+
+// DeleteDocument implements Method.
+func (m *ScoreMethod) DeleteDocument(doc DocID) error {
+	score, _, ok, err := m.score.Get(doc)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownDocument, doc)
+	}
+	if m.src != nil {
+		if tokens, err := m.src.Tokens(doc); err == nil {
+			for _, term := range distinctTerms(tokens) {
+				if err := m.lists.Delete(term, score, doc); err != nil {
+					return err
+				}
+			}
+			m.dict.RemoveDocumentTerms(distinctTerms(tokens))
+		}
+	}
+	if err := m.score.MarkDeleted(doc); err != nil {
+		return err
+	}
+	m.numDocs--
+	return nil
+}
+
+// UpdateContent implements Method.
+func (m *ScoreMethod) UpdateContent(doc DocID, oldTokens, newTokens []string) error {
+	score, _, ok, err := m.score.Get(doc)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownDocument, doc)
+	}
+	added, removed := diffTerms(oldTokens, newTokens)
+	newWeights := text.TermFrequencies(newTokens)
+	for _, term := range added {
+		w := text.NormalizedTF(newWeights[term], len(newTokens))
+		if err := m.lists.Put(term, score, doc, postings.OpAdd, w); err != nil {
+			return err
+		}
+		m.counters.longListPostingsWritten.Add(1)
+	}
+	for _, term := range removed {
+		if err := m.lists.Delete(term, score, doc); err != nil {
+			return err
+		}
+		m.counters.longListPostingsWritten.Add(1)
+	}
+	m.dict.AddDocumentTerms(added)
+	m.dict.RemoveDocumentTerms(removed)
+	return nil
+}
+
+// TopK implements Method.  Because the lists hold exact current scores, the
+// query can stop as soon as k results are found whose scores are at least
+// the score of the next posting.
+func (m *ScoreMethod) TopK(q Query) (*QueryResult, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if q.WithTermScores {
+		return nil, ErrTermScoresUnsupported
+	}
+	streams := make([]postings.Iterator, 0, len(q.Terms))
+	for _, term := range q.Terms {
+		streams = append(streams, m.lists.Cursor(term, false))
+	}
+	return m.runRanked(rankedQuery{
+		streams:     streams,
+		k:           q.K,
+		conjunctive: !q.Disjunctive,
+		maxPossible: func(sortKey float64) float64 { return sortKey },
+		resolve: func(g postings.Group) (float64, bool, error) {
+			return g.SortKey, true, nil
+		},
+	})
+}
+
+// Stats implements Method.  LongListBytes is the serialized size of the
+// clustered score-ordered lists; it corresponds to the 2,768 MB entry of
+// Table 1 (the Score method pays B+-tree overhead because its lists must be
+// updatable in place).
+func (m *ScoreMethod) Stats() Stats {
+	size, err := m.lists.SizeBytes()
+	if err != nil {
+		size = 0
+	}
+	s := Stats{
+		Method:        m.Name(),
+		LongListBytes: size,
+	}
+	m.counters.fill(&s)
+	return s
+}

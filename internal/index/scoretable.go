@@ -1,0 +1,111 @@
+package index
+
+import (
+	"fmt"
+
+	"svrdb/internal/codec"
+	"svrdb/internal/storage/btree"
+	"svrdb/internal/storage/buffer"
+)
+
+// scoreTable is the paper's Score table: the single, collection-wide table
+// mapping document IDs to their latest SVR score, indexed by ID so that
+// score lookups during query processing are cheap (§4.2.1).  A deleted flag
+// supports document deletion as described in Appendix A.2.
+type scoreTable struct {
+	tree    *btree.Tree
+	lookups uint64
+}
+
+func newScoreTable(pool *buffer.Pool) (*scoreTable, error) {
+	tree, err := btree.New(pool)
+	if err != nil {
+		return nil, err
+	}
+	return &scoreTable{tree: tree}, nil
+}
+
+func scoreTableKey(doc DocID) []byte {
+	return codec.PutOrderedUint64(nil, uint64(doc))
+}
+
+func encodeScoreEntry(score float64, deleted bool) []byte {
+	out := codec.PutFloat64(nil, score)
+	if deleted {
+		out = append(out, 1)
+	} else {
+		out = append(out, 0)
+	}
+	return out
+}
+
+func decodeScoreEntry(data []byte) (score float64, deleted bool, err error) {
+	s, n, err := codec.Float64(data)
+	if err != nil {
+		return 0, false, err
+	}
+	if n >= len(data) {
+		return 0, false, fmt.Errorf("index: score entry missing deleted flag")
+	}
+	return s, data[n] == 1, nil
+}
+
+// Set stores the score of a document, clearing its deleted flag.
+func (s *scoreTable) Set(doc DocID, score float64) error {
+	return s.tree.Put(scoreTableKey(doc), encodeScoreEntry(score, false))
+}
+
+// Get returns the current score of a document.
+func (s *scoreTable) Get(doc DocID) (score float64, deleted bool, ok bool, err error) {
+	s.lookups++
+	data, found, err := s.tree.Get(scoreTableKey(doc))
+	if err != nil || !found {
+		return 0, false, false, err
+	}
+	score, deleted, err = decodeScoreEntry(data)
+	if err != nil {
+		return 0, false, false, err
+	}
+	return score, deleted, true, nil
+}
+
+// MarkDeleted flags a document as deleted without discarding its score.
+func (s *scoreTable) MarkDeleted(doc DocID) error {
+	score, _, ok, err := s.Get(doc)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownDocument, doc)
+	}
+	return s.tree.Put(scoreTableKey(doc), encodeScoreEntry(score, true))
+}
+
+// Lookups reports how many Get calls have been served (a proxy for random
+// probes in benchmarks).
+func (s *scoreTable) Lookups() uint64 { return s.lookups }
+
+// Len reports the number of entries (including deleted markers).
+func (s *scoreTable) Len() int { return s.tree.Len() }
+
+// ForEach visits every (doc, score, deleted) triple in document order.
+func (s *scoreTable) ForEach(visit func(doc DocID, score float64, deleted bool) bool) error {
+	var innerErr error
+	err := s.tree.Ascend(func(k, v []byte) bool {
+		id, _, err := codec.OrderedUint64(k)
+		if err != nil {
+			innerErr = err
+			return false
+		}
+		score, deleted, err := decodeScoreEntry(v)
+		if err != nil {
+			innerErr = err
+			return false
+		}
+		return visit(DocID(id), score, deleted)
+	})
+	if innerErr != nil {
+		return innerErr
+	}
+	return err
+}

@@ -1,0 +1,349 @@
+package index
+
+import (
+	"fmt"
+
+	"svrdb/internal/postings"
+	"svrdb/internal/text"
+)
+
+// ScoreThresholdMethod implements the Score-Threshold method of §4.3.1.
+//
+// Each term has a long inverted list frozen at build time in descending
+// (stale) score order, with the score stored in every posting, and a short
+// inverted list holding fresh postings for documents whose score rose past
+// thresholdValueOf(listScore) = thresholdRatio · listScore.  The ListScore
+// table remembers, for every document whose score has ever been updated, its
+// current list score and whether it has short-list postings.  Updates are
+// processed with Algorithm 1, queries with Algorithm 2; the query keeps
+// scanning past the first k results until the threshold bound guarantees no
+// unseen document can beat them, which is what makes the answer exact under
+// the latest scores (Theorem 1/2).
+type ScoreThresholdMethod struct {
+	*base
+	short     *keyedList
+	listScore *listTable
+	// knownTokens caches terms of incrementally inserted documents.
+	knownTokens map[DocID][]string
+}
+
+// NewScoreThreshold creates a Score-Threshold index with the configured
+// threshold ratio.
+func NewScoreThreshold(cfg Config) (*ScoreThresholdMethod, error) {
+	b, err := newBase(cfg)
+	if err != nil {
+		return nil, err
+	}
+	short, err := newKeyedList(b.cfg.Pool)
+	if err != nil {
+		return nil, err
+	}
+	ls, err := newListTable(b.cfg.Pool)
+	if err != nil {
+		return nil, err
+	}
+	return &ScoreThresholdMethod{base: b, short: short, listScore: ls, knownTokens: map[DocID][]string{}}, nil
+}
+
+// Name implements Method.
+func (m *ScoreThresholdMethod) Name() string { return "Score-Threshold" }
+
+// ThresholdRatio returns the configured ratio t.
+func (m *ScoreThresholdMethod) ThresholdRatio() float64 { return m.cfg.ThresholdRatio }
+
+// thresholdValueOf is the paper's thresholdValueOf(score) = t·score with
+// t ≥ 1; a document's short-list postings are rewritten only when its score
+// exceeds this value.
+func (m *ScoreThresholdMethod) thresholdValueOf(score float64) float64 {
+	return m.cfg.ThresholdRatio * score
+}
+
+// Build implements Method.
+func (m *ScoreThresholdMethod) Build(src DocSource, scores ScoreFunc) error {
+	m.src = src
+	bc, err := accumulate(src, scores, m.dict)
+	if err != nil {
+		return err
+	}
+	if err := m.populateScoreTable(bc); err != nil {
+		return err
+	}
+	for _, term := range bc.terms() {
+		builder := postings.NewScoreListBuilder()
+		for _, dw := range bc.sortedByScoreDesc(term) {
+			if err := builder.Add(dw.doc, bc.docScores[dw.doc]); err != nil {
+				return fmt.Errorf("index: build Score-Threshold list for %q: %w", term, err)
+			}
+		}
+		data := builder.Bytes()
+		ref, err := m.store.Put(data)
+		if err != nil {
+			return err
+		}
+		m.longRefs[term] = ref
+		m.longBytes += uint64(len(data))
+	}
+	return nil
+}
+
+// UpdateScore implements Method (Algorithm 1).
+func (m *ScoreThresholdMethod) UpdateScore(doc DocID, newScore float64) error {
+	m.counters.scoreUpdates.Add(1)
+	oldScore, deleted, ok, err := m.score.Get(doc)
+	if err != nil {
+		return err
+	}
+	if !ok || deleted {
+		return fmt.Errorf("%w: %d", ErrUnknownDocument, doc)
+	}
+	if err := m.score.Set(doc, newScore); err != nil {
+		return err
+	}
+
+	entry, exists, err := m.listScore.Get(doc)
+	if err != nil {
+		return err
+	}
+	var lScore float64
+	var inShort bool
+	if exists {
+		lScore, inShort = entry.Key, entry.InShortList
+	} else {
+		lScore = oldScore
+		if err := m.listScore.Put(doc, listEntry{Key: oldScore, InShortList: false}); err != nil {
+			return err
+		}
+	}
+
+	if newScore <= m.thresholdValueOf(lScore) {
+		return nil
+	}
+	tokens, err := m.docTokens(doc)
+	if err != nil {
+		return fmt.Errorf("index: Score-Threshold update for %d needs document content: %w", doc, err)
+	}
+	for _, tw := range docTermWeights(tokens) {
+		if inShort {
+			if err := m.short.Delete(tw.term, lScore, doc); err != nil {
+				return err
+			}
+		}
+		if err := m.short.Put(tw.term, newScore, doc, postings.OpAdd, tw.w); err != nil {
+			return err
+		}
+		m.counters.shortListPostingsWritten.Add(1)
+	}
+	return m.listScore.Put(doc, listEntry{Key: newScore, InShortList: true})
+}
+
+// InsertDocument implements Method (Appendix A.2): the new document's
+// postings go straight to the short lists.
+func (m *ScoreThresholdMethod) InsertDocument(doc DocID, tokens []string, score float64) error {
+	if err := m.score.Set(doc, score); err != nil {
+		return err
+	}
+	weights := docTermWeights(tokens)
+	distinct := make([]string, 0, len(weights))
+	for _, tw := range weights {
+		if err := m.short.Put(tw.term, score, doc, postings.OpAdd, tw.w); err != nil {
+			return err
+		}
+		m.counters.shortListPostingsWritten.Add(1)
+		distinct = append(distinct, tw.term)
+	}
+	m.dict.AddDocumentTerms(distinct)
+	m.knownTokens[doc] = distinct
+	m.numDocs++
+	return m.listScore.Put(doc, listEntry{Key: score, InShortList: true})
+}
+
+// DeleteDocument implements Method (Appendix A.2).
+func (m *ScoreThresholdMethod) DeleteDocument(doc DocID) error {
+	score, _, ok, err := m.score.Get(doc)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownDocument, doc)
+	}
+	if err := m.score.MarkDeleted(doc); err != nil {
+		return err
+	}
+	for _, term := range m.docTermsForMaintenance(doc) {
+		if err := m.short.DeleteAllForDoc(term, doc); err != nil {
+			return err
+		}
+	}
+	// Leave a ListScore entry pointing at the long-list copy so that the
+	// query path probes the Score table (and sees the deleted flag) instead
+	// of trusting the stale long-list score.
+	entry, exists, err := m.listScore.Get(doc)
+	if err != nil {
+		return err
+	}
+	key := score
+	if exists {
+		key = entry.Key
+	}
+	if err := m.listScore.Put(doc, listEntry{Key: key, InShortList: false}); err != nil {
+		return err
+	}
+	delete(m.knownTokens, doc)
+	m.numDocs--
+	return nil
+}
+
+// UpdateContent implements Method (Appendix A.1): added terms gain ADD
+// postings and removed terms gain REM postings in the short lists, at the
+// document's current list position so that they align with its other
+// postings during the merge.
+func (m *ScoreThresholdMethod) UpdateContent(doc DocID, oldTokens, newTokens []string) error {
+	listKey, err := m.listPosition(doc)
+	if err != nil {
+		return err
+	}
+	added, removed := diffTerms(oldTokens, newTokens)
+	newWeights := text.TermFrequencies(newTokens)
+	for _, term := range added {
+		w := text.NormalizedTF(newWeights[term], len(newTokens))
+		if err := m.short.Put(term, listKey, doc, postings.OpAdd, w); err != nil {
+			return err
+		}
+		m.counters.shortListPostingsWritten.Add(1)
+	}
+	for _, term := range removed {
+		if err := m.short.Put(term, listKey, doc, postings.OpRem, 0); err != nil {
+			return err
+		}
+		m.counters.shortListPostingsWritten.Add(1)
+	}
+	m.dict.AddDocumentTerms(added)
+	m.dict.RemoveDocumentTerms(removed)
+	return nil
+}
+
+// listPosition returns the sort key under which the document's postings
+// currently appear (its list score).
+func (m *ScoreThresholdMethod) listPosition(doc DocID) (float64, error) {
+	entry, exists, err := m.listScore.Get(doc)
+	if err != nil {
+		return 0, err
+	}
+	if exists {
+		return entry.Key, nil
+	}
+	score, _, ok, err := m.score.Get(doc)
+	if err != nil {
+		return 0, err
+	}
+	if !ok {
+		return 0, fmt.Errorf("%w: %d", ErrUnknownDocument, doc)
+	}
+	return score, nil
+}
+
+func (m *ScoreThresholdMethod) docTokens(doc DocID) ([]string, error) {
+	if m.src != nil {
+		if tokens, err := m.src.Tokens(doc); err == nil {
+			return tokens, nil
+		} else if cached, ok := m.knownTokens[doc]; ok {
+			return cached, nil
+		} else {
+			return nil, err
+		}
+	}
+	if cached, ok := m.knownTokens[doc]; ok {
+		return cached, nil
+	}
+	return nil, fmt.Errorf("%w: %d has no available content", ErrUnknownDocument, doc)
+}
+
+func (m *ScoreThresholdMethod) docTermsForMaintenance(doc DocID) []string {
+	if tokens, err := m.docTokens(doc); err == nil {
+		return distinctTerms(tokens)
+	}
+	return nil
+}
+
+// TopK implements Method (Algorithm 2).
+func (m *ScoreThresholdMethod) TopK(q Query) (*QueryResult, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if q.WithTermScores {
+		return nil, ErrTermScoresUnsupported
+	}
+	streams := make([]postings.Iterator, 0, len(q.Terms))
+	for _, term := range q.Terms {
+		long, err := m.longIterator(term)
+		if err != nil {
+			return nil, err
+		}
+		short, err := m.short.Iterator(term)
+		if err != nil {
+			return nil, err
+		}
+		streams = append(streams, postings.NewCollapseOps(postings.NewUnion(short, long)))
+	}
+	return m.runRanked(rankedQuery{
+		streams:     streams,
+		k:           q.K,
+		conjunctive: !q.Disjunctive,
+		maxPossible: m.thresholdValueOf,
+		resolve:     m.resolveCandidate,
+	})
+}
+
+// resolveCandidate implements lines 12-21 of Algorithm 2: decide which copy
+// of the document is authoritative and fetch its latest score.
+func (m *ScoreThresholdMethod) resolveCandidate(g postings.Group) (float64, bool, error) {
+	entry, exists, err := m.listScore.Get(g.Doc)
+	if err != nil {
+		return 0, false, err
+	}
+	if exists && entry.InShortList {
+		// The short-list copy (at sort key entry.Key) is authoritative; any
+		// other appearance is the stale long-list copy and is skipped.
+		if g.SortKey != entry.Key {
+			return 0, false, nil
+		}
+		return m.currentScore(g.Doc)
+	}
+	if !exists {
+		// Never updated: the long-list score is the latest score.
+		return g.SortKey, true, nil
+	}
+	// Updated but within the threshold: the long-list copy is authoritative
+	// but its stored score is stale, so probe the Score table.
+	return m.currentScore(g.Doc)
+}
+
+func (m *ScoreThresholdMethod) currentScore(doc DocID) (float64, bool, error) {
+	score, deleted, ok, err := m.score.Get(doc)
+	if err != nil {
+		return 0, false, err
+	}
+	if !ok || deleted {
+		return 0, false, nil
+	}
+	return score, true, nil
+}
+
+func (m *ScoreThresholdMethod) longIterator(term string) (postings.Iterator, error) {
+	ref, ok := m.longRefs[term]
+	if !ok {
+		return postings.NewSliceIterator(nil), nil
+	}
+	return postings.NewStreamScoreList(m.store.NewReader(ref))
+}
+
+// Stats implements Method.
+func (m *ScoreThresholdMethod) Stats() Stats {
+	s := Stats{
+		Method:           m.Name(),
+		LongListBytes:    m.longBytes,
+		ShortListEntries: m.short.Len(),
+	}
+	m.counters.fill(&s)
+	return s
+}

@@ -1,0 +1,300 @@
+package postings
+
+import "container/heap"
+
+// This file implements the iterator combinators the query algorithms are
+// built from:
+//
+//   - Union       — merges the short and long list of one term into a single
+//     stream in (SortKey descending, Doc ascending) order, the
+//     "SL(ti) ∪ LL(ti)" of Algorithms 2 and 3.
+//   - CollapseOps — applies ADD/REM short-list postings produced by content
+//     updates (Appendix A.1) to the merged stream.
+//   - GroupMerger — advances the per-term streams of a multi-keyword query in
+//     lock step, yielding, for each (SortKey, Doc) position, the set of query
+//     terms whose stream contains that document there.  Conjunctive queries
+//     accept groups covering every term, disjunctive queries any non-empty
+//     group.
+
+// Less orders entries by descending SortKey and then ascending Doc, which is
+// the processing order of every score- or chunk-ordered list in the paper.
+func Less(a, b Entry) bool {
+	if a.SortKey != b.SortKey {
+		return a.SortKey > b.SortKey
+	}
+	return a.Doc < b.Doc
+}
+
+// SamePosition reports whether two entries occupy the same (SortKey, Doc)
+// position in the processing order.
+func SamePosition(a, b Entry) bool {
+	return a.SortKey == b.SortKey && a.Doc == b.Doc
+}
+
+// Union merges any number of iterators, each already in (SortKey desc, Doc
+// asc) order, into a single stream in that order.  Entries from different
+// inputs at the same position are both emitted (callers that need ADD/REM
+// semantics wrap the union in CollapseOps).
+type Union struct {
+	heads []unionHead
+	init  bool
+}
+
+type unionHead struct {
+	it    Iterator
+	entry Entry
+	valid bool
+}
+
+// NewUnion returns a union over the given iterators.
+func NewUnion(iters ...Iterator) *Union {
+	heads := make([]unionHead, len(iters))
+	for i, it := range iters {
+		heads[i] = unionHead{it: it}
+	}
+	return &Union{heads: heads}
+}
+
+func (u *Union) prime() error {
+	for i := range u.heads {
+		e, ok, err := u.heads[i].it.Next()
+		if err != nil {
+			return err
+		}
+		u.heads[i].entry = e
+		u.heads[i].valid = ok
+	}
+	u.init = true
+	return nil
+}
+
+// Next implements Iterator.
+func (u *Union) Next() (Entry, bool, error) {
+	if !u.init {
+		if err := u.prime(); err != nil {
+			return Entry{}, false, err
+		}
+	}
+	best := -1
+	for i := range u.heads {
+		if !u.heads[i].valid {
+			continue
+		}
+		if best < 0 || Less(u.heads[i].entry, u.heads[best].entry) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return Entry{}, false, nil
+	}
+	out := u.heads[best].entry
+	e, ok, err := u.heads[best].it.Next()
+	if err != nil {
+		return Entry{}, false, err
+	}
+	u.heads[best].entry = e
+	u.heads[best].valid = ok
+	return out, true, nil
+}
+
+// CollapseOps merges runs of entries at the same (SortKey, Doc) position and
+// applies content-update semantics: a REM posting cancels the position
+// entirely (the term was removed from the document); otherwise short-list
+// postings win over long-list postings so the freshest term score is used.
+type CollapseOps struct {
+	src     Iterator
+	pending Entry
+	have    bool
+	done    bool
+}
+
+// NewCollapseOps wraps src, which must already be in (SortKey desc, Doc asc)
+// order.
+func NewCollapseOps(src Iterator) *CollapseOps { return &CollapseOps{src: src} }
+
+// Next implements Iterator.
+func (c *CollapseOps) Next() (Entry, bool, error) {
+	for {
+		if c.done && !c.have {
+			return Entry{}, false, nil
+		}
+		if !c.have {
+			e, ok, err := c.src.Next()
+			if err != nil {
+				return Entry{}, false, err
+			}
+			if !ok {
+				c.done = true
+				return Entry{}, false, nil
+			}
+			c.pending = e
+			c.have = true
+		}
+		// Gather the run at this position.
+		cur := c.pending
+		removed := cur.Op == OpRem
+		best := cur
+		for {
+			e, ok, err := c.src.Next()
+			if err != nil {
+				return Entry{}, false, err
+			}
+			if !ok {
+				c.done = true
+				c.have = false
+				break
+			}
+			if !SamePosition(e, cur) {
+				c.pending = e
+				c.have = true
+				break
+			}
+			if e.Op == OpRem {
+				removed = true
+			}
+			// Prefer short-list postings: their term score is fresher.
+			if e.FromShort && !best.FromShort {
+				best = e
+			}
+		}
+		if removed {
+			continue
+		}
+		return best, true, nil
+	}
+}
+
+// Group is the set of per-term entries found at one (SortKey, Doc) position.
+type Group struct {
+	Doc DocID
+	// SortKey of the position (list score or chunk ID).
+	SortKey float64
+	// Entries[i] is the posting from stream i; Present[i] reports whether
+	// stream i had a posting at this position.
+	Entries []Entry
+	Present []bool
+	// Count is the number of streams present.
+	Count int
+}
+
+// ContainsAll reports whether every stream contributed a posting.
+func (g *Group) ContainsAll() bool { return g.Count == len(g.Present) }
+
+// GroupMerger merges k per-term streams (each in (SortKey desc, Doc asc)
+// order) and yields one Group per distinct position, in the same order.
+type GroupMerger struct {
+	streams []Iterator
+	heads   []groupHead
+	pq      groupPQ
+	init    bool
+}
+
+type groupHead struct {
+	entry Entry
+	valid bool
+}
+
+// NewGroupMerger returns a merger over the given streams.
+func NewGroupMerger(streams ...Iterator) *GroupMerger {
+	return &GroupMerger{streams: streams, heads: make([]groupHead, len(streams))}
+}
+
+// NumStreams reports the number of merged streams.
+func (m *GroupMerger) NumStreams() int { return len(m.streams) }
+
+func (m *GroupMerger) prime() error {
+	m.pq = groupPQ{}
+	for i := range m.streams {
+		e, ok, err := m.streams[i].Next()
+		if err != nil {
+			return err
+		}
+		m.heads[i] = groupHead{entry: e, valid: ok}
+		if ok {
+			heap.Push(&m.pq, pqItem{stream: i, entry: e})
+		}
+	}
+	m.init = true
+	return nil
+}
+
+// Next returns the next Group, or ok=false when all streams are exhausted.
+func (m *GroupMerger) Next() (Group, bool, error) {
+	if !m.init {
+		if err := m.prime(); err != nil {
+			return Group{}, false, err
+		}
+	}
+	if m.pq.Len() == 0 {
+		return Group{}, false, nil
+	}
+	top := m.pq.items[0]
+	g := Group{
+		Doc:     top.entry.Doc,
+		SortKey: top.entry.SortKey,
+		Entries: make([]Entry, len(m.streams)),
+		Present: make([]bool, len(m.streams)),
+	}
+	for m.pq.Len() > 0 && SamePosition(m.pq.items[0].entry, top.entry) {
+		item := heap.Pop(&m.pq).(pqItem)
+		g.Entries[item.stream] = item.entry
+		if !g.Present[item.stream] {
+			g.Present[item.stream] = true
+			g.Count++
+		}
+		// Advance that stream.
+		e, ok, err := m.streams[item.stream].Next()
+		if err != nil {
+			return Group{}, false, err
+		}
+		if ok {
+			heap.Push(&m.pq, pqItem{stream: item.stream, entry: e})
+		}
+	}
+	return g, true, nil
+}
+
+type pqItem struct {
+	stream int
+	entry  Entry
+}
+
+type groupPQ struct {
+	items []pqItem
+}
+
+func (p *groupPQ) Len() int { return len(p.items) }
+
+func (p *groupPQ) Less(i, j int) bool {
+	a, b := p.items[i].entry, p.items[j].entry
+	if a.SortKey != b.SortKey || a.Doc != b.Doc {
+		return Less(a, b)
+	}
+	return p.items[i].stream < p.items[j].stream
+}
+
+func (p *groupPQ) Swap(i, j int) { p.items[i], p.items[j] = p.items[j], p.items[i] }
+
+func (p *groupPQ) Push(x any) { p.items = append(p.items, x.(pqItem)) }
+
+func (p *groupPQ) Pop() any {
+	last := p.items[len(p.items)-1]
+	p.items = p.items[:len(p.items)-1]
+	return last
+}
+
+// CollectAll drains an iterator into a slice; used by tests and by callers
+// that materialize short lists.
+func CollectAll(it Iterator) ([]Entry, error) {
+	var out []Entry
+	for {
+		e, ok, err := it.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return out, nil
+		}
+		out = append(out, e)
+	}
+}

@@ -1,0 +1,273 @@
+package postings
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// This file provides streaming decoders over io.Reader for every long-list
+// layout.  The long lists are stored as blobs and read one page at a time
+// (§5.2); these decoders pull bytes lazily through a bufio.Reader so that an
+// early-terminating query only faults in the pages of the list prefix it
+// actually consumed, which is exactly the effect the Chunk and
+// Score-Threshold methods rely on for their query-time advantage.
+
+type byteReader struct {
+	r *bufio.Reader
+}
+
+func newByteReader(r io.Reader) *byteReader {
+	return &byteReader{r: bufio.NewReaderSize(r, 4096)}
+}
+
+func (br *byteReader) uvarint() (uint64, error) {
+	return binary.ReadUvarint(br.r)
+}
+
+func (br *byteReader) float32() (float32, error) {
+	var buf [4]byte
+	if _, err := io.ReadFull(br.r, buf[:]); err != nil {
+		return 0, err
+	}
+	return math.Float32frombits(binary.LittleEndian.Uint32(buf[:])), nil
+}
+
+func (br *byteReader) float64() (float64, error) {
+	var buf [8]byte
+	if _, err := io.ReadFull(br.r, buf[:]); err != nil {
+		return 0, err
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(buf[:])), nil
+}
+
+func (br *byteReader) byte() (byte, error) { return br.r.ReadByte() }
+
+// --- streaming ID list ---------------------------------------------------------
+
+// StreamIDList decodes an IDListBuilder blob lazily from r.
+type StreamIDList struct {
+	br   *byteReader
+	n    int
+	seen int
+	last DocID
+	err  error
+}
+
+// NewStreamIDList reads the header and returns a lazy iterator.  An empty
+// reader yields an empty list.
+func NewStreamIDList(r io.Reader) (*StreamIDList, error) {
+	br := newByteReader(r)
+	n, err := br.uvarint()
+	if err == io.EOF {
+		return &StreamIDList{br: br}, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("postings: stream id list header: %w", err)
+	}
+	return &StreamIDList{br: br, n: int(n)}, nil
+}
+
+// Len reports the total number of postings in the list.
+func (s *StreamIDList) Len() int { return s.n }
+
+// Next implements Iterator.
+func (s *StreamIDList) Next() (Entry, bool, error) {
+	if s.err != nil || s.seen >= s.n {
+		return Entry{}, false, s.err
+	}
+	gap, err := s.br.uvarint()
+	if err != nil {
+		s.err = fmt.Errorf("postings: stream id list: %w", err)
+		return Entry{}, false, s.err
+	}
+	if s.seen == 0 {
+		s.last = DocID(gap)
+	} else {
+		s.last += DocID(gap)
+	}
+	s.seen++
+	return Entry{Doc: s.last}, true, nil
+}
+
+// --- streaming score list ------------------------------------------------------
+
+// StreamScoreList decodes a ScoreListBuilder blob lazily from r.
+type StreamScoreList struct {
+	br   *byteReader
+	n    int
+	seen int
+	err  error
+}
+
+// NewStreamScoreList reads the header and returns a lazy iterator.
+func NewStreamScoreList(r io.Reader) (*StreamScoreList, error) {
+	br := newByteReader(r)
+	n, err := br.uvarint()
+	if err == io.EOF {
+		return &StreamScoreList{br: br}, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("postings: stream score list header: %w", err)
+	}
+	return &StreamScoreList{br: br, n: int(n)}, nil
+}
+
+// Len reports the total number of postings.
+func (s *StreamScoreList) Len() int { return s.n }
+
+// Next implements Iterator.
+func (s *StreamScoreList) Next() (Entry, bool, error) {
+	if s.err != nil || s.seen >= s.n {
+		return Entry{}, false, s.err
+	}
+	score, err := s.br.float64()
+	if err != nil {
+		s.err = fmt.Errorf("postings: stream score list: %w", err)
+		return Entry{}, false, s.err
+	}
+	doc, err := s.br.uvarint()
+	if err != nil {
+		s.err = fmt.Errorf("postings: stream score list: %w", err)
+		return Entry{}, false, s.err
+	}
+	s.seen++
+	return Entry{Doc: DocID(doc), SortKey: score}, true, nil
+}
+
+// --- streaming chunked list ----------------------------------------------------
+
+// StreamChunkedList decodes a ChunkedListBuilder blob lazily from r.
+type StreamChunkedList struct {
+	br       *byteReader
+	n        int
+	chunks   int
+	withTerm bool
+
+	seen      int
+	chunkLeft int
+	curCID    int32
+	lastDoc   DocID
+	err       error
+}
+
+// NewStreamChunkedList reads the header and returns a lazy iterator.
+func NewStreamChunkedList(r io.Reader) (*StreamChunkedList, error) {
+	br := newByteReader(r)
+	n, err := br.uvarint()
+	if err == io.EOF {
+		return &StreamChunkedList{br: br}, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("postings: stream chunked list header: %w", err)
+	}
+	chunks, err := br.uvarint()
+	if err != nil {
+		return nil, fmt.Errorf("postings: stream chunked list header: %w", err)
+	}
+	flag, err := br.byte()
+	if err != nil {
+		return nil, fmt.Errorf("postings: stream chunked list header: %w", err)
+	}
+	return &StreamChunkedList{br: br, n: int(n), chunks: int(chunks), withTerm: flag == 1}, nil
+}
+
+// Len reports the total number of postings; NumChunks the number of chunks.
+func (s *StreamChunkedList) Len() int       { return s.n }
+func (s *StreamChunkedList) NumChunks() int { return s.chunks }
+
+// Next implements Iterator.
+func (s *StreamChunkedList) Next() (Entry, bool, error) {
+	if s.err != nil || s.seen >= s.n {
+		return Entry{}, false, s.err
+	}
+	if s.chunkLeft == 0 {
+		cid, err := s.br.uvarint()
+		if err != nil {
+			s.err = fmt.Errorf("postings: stream chunked list: %w", err)
+			return Entry{}, false, s.err
+		}
+		count, err := s.br.uvarint()
+		if err != nil {
+			s.err = fmt.Errorf("postings: stream chunked list: %w", err)
+			return Entry{}, false, s.err
+		}
+		s.curCID = int32(uint32(cid))
+		s.chunkLeft = int(count)
+		s.lastDoc = -1
+	}
+	gap, err := s.br.uvarint()
+	if err != nil {
+		s.err = fmt.Errorf("postings: stream chunked list: %w", err)
+		return Entry{}, false, s.err
+	}
+	if s.lastDoc < 0 {
+		s.lastDoc = DocID(gap)
+	} else {
+		s.lastDoc += DocID(gap)
+	}
+	var ts float32
+	if s.withTerm {
+		ts, err = s.br.float32()
+		if err != nil {
+			s.err = fmt.Errorf("postings: stream chunked list: %w", err)
+			return Entry{}, false, s.err
+		}
+	}
+	s.chunkLeft--
+	s.seen++
+	return Entry{Doc: s.lastDoc, CID: s.curCID, SortKey: float64(s.curCID), TermScore: ts}, true, nil
+}
+
+// --- streaming ID+term list ----------------------------------------------------
+
+// StreamIDTermList decodes an IDTermListBuilder blob lazily from r.
+type StreamIDTermList struct {
+	br   *byteReader
+	n    int
+	seen int
+	last DocID
+	err  error
+}
+
+// NewStreamIDTermList reads the header and returns a lazy iterator.
+func NewStreamIDTermList(r io.Reader) (*StreamIDTermList, error) {
+	br := newByteReader(r)
+	n, err := br.uvarint()
+	if err == io.EOF {
+		return &StreamIDTermList{br: br}, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("postings: stream id+term list header: %w", err)
+	}
+	return &StreamIDTermList{br: br, n: int(n)}, nil
+}
+
+// Len reports the total number of postings.
+func (s *StreamIDTermList) Len() int { return s.n }
+
+// Next implements Iterator.
+func (s *StreamIDTermList) Next() (Entry, bool, error) {
+	if s.err != nil || s.seen >= s.n {
+		return Entry{}, false, s.err
+	}
+	gap, err := s.br.uvarint()
+	if err != nil {
+		s.err = fmt.Errorf("postings: stream id+term list: %w", err)
+		return Entry{}, false, s.err
+	}
+	ts, err := s.br.float32()
+	if err != nil {
+		s.err = fmt.Errorf("postings: stream id+term list: %w", err)
+		return Entry{}, false, s.err
+	}
+	if s.seen == 0 {
+		s.last = DocID(gap)
+	} else {
+		s.last += DocID(gap)
+	}
+	s.seen++
+	return Entry{Doc: s.last, TermScore: ts}, true, nil
+}

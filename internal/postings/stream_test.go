@@ -1,0 +1,188 @@
+package postings
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// streamFromBytes runs every stream decoder against its slice-based
+// counterpart to make sure the two decodings agree posting for posting.
+
+func TestStreamIDListMatchesSliceDecoder(t *testing.T) {
+	b := NewIDListBuilder()
+	rng := rand.New(rand.NewSource(1))
+	doc := DocID(0)
+	for i := 0; i < 5000; i++ {
+		doc += DocID(rng.Intn(50) + 1)
+		if err := b.Add(doc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data := b.Bytes()
+
+	sliceIt, err := NewIDListIterator(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamIt, err := NewStreamIDList(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if streamIt.Len() != sliceIt.Len() {
+		t.Fatalf("lengths differ: stream %d, slice %d", streamIt.Len(), sliceIt.Len())
+	}
+	compareIterators(t, sliceIt, streamIt)
+}
+
+func TestStreamScoreListMatchesSliceDecoder(t *testing.T) {
+	b := NewScoreListBuilder()
+	rng := rand.New(rand.NewSource(2))
+	score := 1e9
+	for i := 0; i < 3000; i++ {
+		score -= rng.Float64() * 100
+		if err := b.Add(DocID(i), score); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data := b.Bytes()
+	sliceIt, err := NewScoreListIterator(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamIt, err := NewStreamScoreList(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareIterators(t, sliceIt, streamIt)
+}
+
+func TestStreamChunkedListMatchesSliceDecoder(t *testing.T) {
+	for _, withTerm := range []bool{false, true} {
+		var b *ChunkedListBuilder
+		if withTerm {
+			b = NewChunkedTermListBuilder()
+		} else {
+			b = NewChunkedListBuilder()
+		}
+		rng := rand.New(rand.NewSource(3))
+		for cid := int32(40); cid >= 1; cid -= int32(rng.Intn(3) + 1) {
+			var posts []ChunkPosting
+			doc := DocID(0)
+			for i := 0; i < rng.Intn(100); i++ {
+				doc += DocID(rng.Intn(20) + 1)
+				posts = append(posts, ChunkPosting{Doc: doc, TermScore: rng.Float32()})
+			}
+			if err := b.AddChunk(cid, posts); err != nil {
+				t.Fatal(err)
+			}
+		}
+		data := b.Bytes()
+		sliceIt, err := NewChunkedListIterator(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		streamIt, err := NewStreamChunkedList(bytes.NewReader(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if streamIt.NumChunks() != sliceIt.NumChunks() || streamIt.Len() != sliceIt.Len() {
+			t.Fatalf("headers differ: stream (%d,%d) slice (%d,%d)",
+				streamIt.Len(), streamIt.NumChunks(), sliceIt.Len(), sliceIt.NumChunks())
+		}
+		compareIterators(t, sliceIt, streamIt)
+	}
+}
+
+func TestStreamIDTermListMatchesSliceDecoder(t *testing.T) {
+	b := NewIDTermListBuilder()
+	rng := rand.New(rand.NewSource(4))
+	doc := DocID(0)
+	for i := 0; i < 2000; i++ {
+		doc += DocID(rng.Intn(9) + 1)
+		if err := b.Add(doc, rng.Float32()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data := b.Bytes()
+	sliceIt, err := NewIDTermListIterator(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamIt, err := NewStreamIDTermList(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareIterators(t, sliceIt, streamIt)
+}
+
+func TestStreamDecodersOnEmptyInput(t *testing.T) {
+	if it, err := NewStreamIDList(bytes.NewReader(nil)); err != nil {
+		t.Fatal(err)
+	} else if _, ok, _ := it.Next(); ok {
+		t.Error("empty stream ID list yielded a posting")
+	}
+	if it, err := NewStreamScoreList(bytes.NewReader(nil)); err != nil {
+		t.Fatal(err)
+	} else if _, ok, _ := it.Next(); ok {
+		t.Error("empty stream score list yielded a posting")
+	}
+	if it, err := NewStreamChunkedList(bytes.NewReader(nil)); err != nil {
+		t.Fatal(err)
+	} else if _, ok, _ := it.Next(); ok {
+		t.Error("empty stream chunked list yielded a posting")
+	}
+	if it, err := NewStreamIDTermList(bytes.NewReader(nil)); err != nil {
+		t.Fatal(err)
+	} else if _, ok, _ := it.Next(); ok {
+		t.Error("empty stream ID+term list yielded a posting")
+	}
+}
+
+func TestStreamDecodersOnTruncatedInput(t *testing.T) {
+	b := NewScoreListBuilder()
+	for i := 0; i < 100; i++ {
+		if err := b.Add(DocID(i), float64(1000-i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data := b.Bytes()
+	it, err := NewStreamScoreList(bytes.NewReader(data[:len(data)/2]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawError := false
+	for {
+		_, ok, err := it.Next()
+		if err != nil {
+			sawError = true
+			break
+		}
+		if !ok {
+			break
+		}
+	}
+	if !sawError {
+		t.Error("truncated score list decoded without error")
+	}
+}
+
+func compareIterators(t *testing.T, want, got Iterator) {
+	t.Helper()
+	for i := 0; ; i++ {
+		we, wok, werr := want.Next()
+		ge, gok, gerr := got.Next()
+		if werr != nil || gerr != nil {
+			t.Fatalf("unexpected errors at %d: %v / %v", i, werr, gerr)
+		}
+		if wok != gok {
+			t.Fatalf("iterators disagree on length at %d: %v vs %v", i, wok, gok)
+		}
+		if !wok {
+			return
+		}
+		if we.Doc != ge.Doc || we.SortKey != ge.SortKey || we.CID != ge.CID || we.TermScore != ge.TermScore {
+			t.Fatalf("posting %d differs: slice %+v stream %+v", i, we, ge)
+		}
+	}
+}

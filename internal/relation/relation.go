@@ -1,0 +1,626 @@
+// Package relation implements the minimal relational substrate the SVR
+// engine sits on: typed schemas, tables keyed by an integer primary key and
+// stored in B+-trees, secondary indexes, and change notification hooks used
+// for incremental materialized-view maintenance.
+//
+// The paper assumes an ordinary SQL engine (DB2/Oracle/Informix style) that
+// stores the base relations, evaluates the SQL-bodied scoring functions and
+// incrementally maintains the Score materialized view.  This package is that
+// substrate, reduced to the operations those components actually need:
+// point lookups by primary key, foreign-key lookups through secondary
+// indexes, full scans, and per-row update notifications.
+package relation
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"svrdb/internal/codec"
+	"svrdb/internal/storage/btree"
+	"svrdb/internal/storage/buffer"
+)
+
+// Kind enumerates the column types supported by the substrate.
+type Kind uint8
+
+const (
+	// KindInt64 is a 64-bit signed integer column.
+	KindInt64 Kind = iota + 1
+	// KindFloat64 is a double-precision floating point column.
+	KindFloat64
+	// KindString is a variable-length string column (also used for text
+	// documents; the text analyzer tokenizes it).
+	KindString
+)
+
+// String returns the SQL-ish name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindInt64:
+		return "BIGINT"
+	case KindFloat64:
+		return "DOUBLE"
+	case KindString:
+		return "VARCHAR"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Column describes one column of a schema.
+type Column struct {
+	Name string
+	Kind Kind
+}
+
+// Schema describes a table: an ordered list of columns, the first of which
+// must be the INT64 primary key.
+type Schema struct {
+	Name    string
+	Columns []Column
+}
+
+// ErrNoSuchColumn is returned when a column name is not part of a schema.
+var ErrNoSuchColumn = errors.New("relation: no such column")
+
+// ErrNotFound is returned by lookups for absent rows.
+var ErrNotFound = errors.New("relation: row not found")
+
+// ErrDuplicateKey is returned when inserting a row whose primary key exists.
+var ErrDuplicateKey = errors.New("relation: duplicate primary key")
+
+// ColumnIndex returns the position of the named column.
+func (s Schema) ColumnIndex(name string) (int, error) {
+	for i, c := range s.Columns {
+		if c.Name == name {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("%w: %q in table %q", ErrNoSuchColumn, name, s.Name)
+}
+
+// Validate checks the structural rules for a schema.
+func (s Schema) Validate() error {
+	if s.Name == "" {
+		return errors.New("relation: schema must have a name")
+	}
+	if len(s.Columns) == 0 {
+		return fmt.Errorf("relation: table %q has no columns", s.Name)
+	}
+	if s.Columns[0].Kind != KindInt64 {
+		return fmt.Errorf("relation: table %q: first column %q must be the INT64 primary key", s.Name, s.Columns[0].Name)
+	}
+	seen := map[string]bool{}
+	for _, c := range s.Columns {
+		if c.Name == "" {
+			return fmt.Errorf("relation: table %q has an unnamed column", s.Name)
+		}
+		if seen[c.Name] {
+			return fmt.Errorf("relation: table %q has duplicate column %q", s.Name, c.Name)
+		}
+		seen[c.Name] = true
+		switch c.Kind {
+		case KindInt64, KindFloat64, KindString:
+		default:
+			return fmt.Errorf("relation: table %q column %q has invalid kind %d", s.Name, c.Name, c.Kind)
+		}
+	}
+	return nil
+}
+
+// Value is a single typed cell.
+type Value struct {
+	Kind Kind
+	I    int64
+	F    float64
+	S    string
+}
+
+// Int returns an INT64 value.
+func Int(v int64) Value { return Value{Kind: KindInt64, I: v} }
+
+// Float returns a DOUBLE value.
+func Float(v float64) Value { return Value{Kind: KindFloat64, F: v} }
+
+// Str returns a VARCHAR value.
+func Str(v string) Value { return Value{Kind: KindString, S: v} }
+
+// AsFloat converts numeric values to float64 (strings convert to 0).
+func (v Value) AsFloat() float64 {
+	switch v.Kind {
+	case KindInt64:
+		return float64(v.I)
+	case KindFloat64:
+		return v.F
+	default:
+		return 0
+	}
+}
+
+// AsInt converts numeric values to int64 (strings convert to 0).
+func (v Value) AsInt() int64 {
+	switch v.Kind {
+	case KindInt64:
+		return v.I
+	case KindFloat64:
+		return int64(v.F)
+	default:
+		return 0
+	}
+}
+
+// String implements fmt.Stringer for diagnostics.
+func (v Value) String() string {
+	switch v.Kind {
+	case KindInt64:
+		return fmt.Sprintf("%d", v.I)
+	case KindFloat64:
+		return fmt.Sprintf("%g", v.F)
+	case KindString:
+		return v.S
+	default:
+		return "<nil>"
+	}
+}
+
+// Row is an ordered tuple matching a schema.
+type Row []Value
+
+// encodeRow serializes a row (excluding nothing; the PK is stored redundantly
+// for simplicity).
+func encodeRow(r Row) []byte {
+	out := make([]byte, 0, 32)
+	out = codec.PutUvarint(out, uint64(len(r)))
+	for _, v := range r {
+		out = append(out, byte(v.Kind))
+		switch v.Kind {
+		case KindInt64:
+			out = codec.PutVarint(out, v.I)
+		case KindFloat64:
+			out = codec.PutFloat64(out, v.F)
+		case KindString:
+			out = codec.PutString(out, v.S)
+		}
+	}
+	return out
+}
+
+func decodeRow(data []byte) (Row, error) {
+	n, off, err := codec.Uvarint(data)
+	if err != nil {
+		return nil, err
+	}
+	row := make(Row, 0, n)
+	for i := uint64(0); i < n; i++ {
+		if off >= len(data) {
+			return nil, fmt.Errorf("relation: truncated row at column %d", i)
+		}
+		kind := Kind(data[off])
+		off++
+		var v Value
+		v.Kind = kind
+		switch kind {
+		case KindInt64:
+			x, sz, err := codec.Varint(data[off:])
+			if err != nil {
+				return nil, err
+			}
+			v.I = x
+			off += sz
+		case KindFloat64:
+			x, sz, err := codec.Float64(data[off:])
+			if err != nil {
+				return nil, err
+			}
+			v.F = x
+			off += sz
+		case KindString:
+			s, sz, err := codec.String(data[off:])
+			if err != nil {
+				return nil, err
+			}
+			v.S = s
+			off += sz
+		default:
+			return nil, fmt.Errorf("relation: unknown value kind %d", kind)
+		}
+		row = append(row, v)
+	}
+	return row, nil
+}
+
+// ChangeKind describes what happened to a row.
+type ChangeKind uint8
+
+const (
+	// ChangeInsert indicates a new row was inserted.
+	ChangeInsert ChangeKind = iota + 1
+	// ChangeUpdate indicates an existing row was modified.
+	ChangeUpdate
+	// ChangeDelete indicates a row was removed.
+	ChangeDelete
+)
+
+// Change is delivered to table listeners after a mutation commits.
+type Change struct {
+	Table string
+	Kind  ChangeKind
+	PK    int64
+	// Old is nil for inserts; New is nil for deletes.
+	Old Row
+	New Row
+}
+
+// Listener receives change notifications.  Listeners are invoked
+// synchronously after the mutation has been applied.
+type Listener func(Change)
+
+// Table stores rows of a single schema keyed by their primary key.
+type Table struct {
+	schema Schema
+	tree   *btree.Tree
+
+	mu        sync.RWMutex
+	secondary map[string]*btree.Tree // column name -> (value, pk) index
+	listeners []Listener
+	pool      *buffer.Pool
+	rowCount  int
+}
+
+// NewTable creates an empty table for schema, storing rows in B+-trees over
+// the supplied buffer pool.
+func NewTable(pool *buffer.Pool, schema Schema) (*Table, error) {
+	if err := schema.Validate(); err != nil {
+		return nil, err
+	}
+	tree, err := btree.New(pool)
+	if err != nil {
+		return nil, err
+	}
+	return &Table{
+		schema:    schema,
+		tree:      tree,
+		secondary: map[string]*btree.Tree{},
+		pool:      pool,
+	}, nil
+}
+
+// Schema returns the table's schema.
+func (t *Table) Schema() Schema { return t.schema }
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.schema.Name }
+
+// Len reports the number of rows.
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.rowCount
+}
+
+// OnChange registers a listener for mutations on this table.
+func (t *Table) OnChange(l Listener) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.listeners = append(t.listeners, l)
+}
+
+func (t *Table) notify(c Change) {
+	t.mu.RLock()
+	listeners := append([]Listener(nil), t.listeners...)
+	t.mu.RUnlock()
+	for _, l := range listeners {
+		l(c)
+	}
+}
+
+func pkKey(pk int64) []byte {
+	return codec.PutOrderedUint64(nil, uint64(pk))
+}
+
+// validateRow checks that the row matches the schema.
+func (t *Table) validateRow(row Row) error {
+	if len(row) != len(t.schema.Columns) {
+		return fmt.Errorf("relation: table %q expects %d columns, got %d", t.schema.Name, len(t.schema.Columns), len(row))
+	}
+	for i, v := range row {
+		if v.Kind != t.schema.Columns[i].Kind {
+			return fmt.Errorf("relation: table %q column %q expects %s, got %s",
+				t.schema.Name, t.schema.Columns[i].Name, t.schema.Columns[i].Kind, v.Kind)
+		}
+	}
+	return nil
+}
+
+// Insert adds a row.  The primary key must not already exist.
+func (t *Table) Insert(row Row) error {
+	if err := t.validateRow(row); err != nil {
+		return err
+	}
+	pk := row[0].I
+	key := pkKey(pk)
+	if ok, err := t.tree.Has(key); err != nil {
+		return err
+	} else if ok {
+		return fmt.Errorf("%w: %d in table %q", ErrDuplicateKey, pk, t.schema.Name)
+	}
+	if err := t.tree.Put(key, encodeRow(row)); err != nil {
+		return err
+	}
+	t.mu.Lock()
+	t.rowCount++
+	t.mu.Unlock()
+	if err := t.indexRow(row, true); err != nil {
+		return err
+	}
+	t.notify(Change{Table: t.schema.Name, Kind: ChangeInsert, PK: pk, New: row})
+	return nil
+}
+
+// Get returns the row with the given primary key.
+func (t *Table) Get(pk int64) (Row, error) {
+	data, ok, err := t.tree.Get(pkKey(pk))
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("%w: pk %d in table %q", ErrNotFound, pk, t.schema.Name)
+	}
+	return decodeRow(data)
+}
+
+// Update replaces the named columns of the row with the given primary key.
+func (t *Table) Update(pk int64, updates map[string]Value) error {
+	old, err := t.Get(pk)
+	if err != nil {
+		return err
+	}
+	updated := append(Row(nil), old...)
+	for name, v := range updates {
+		idx, err := t.schema.ColumnIndex(name)
+		if err != nil {
+			return err
+		}
+		if idx == 0 {
+			return fmt.Errorf("relation: table %q: primary key column cannot be updated", t.schema.Name)
+		}
+		if v.Kind != t.schema.Columns[idx].Kind {
+			return fmt.Errorf("relation: table %q column %q expects %s, got %s",
+				t.schema.Name, name, t.schema.Columns[idx].Kind, v.Kind)
+		}
+		updated[idx] = v
+	}
+	if err := t.unindexRow(old); err != nil {
+		return err
+	}
+	if err := t.tree.Put(pkKey(pk), encodeRow(updated)); err != nil {
+		return err
+	}
+	if err := t.indexRow(updated, false); err != nil {
+		return err
+	}
+	t.notify(Change{Table: t.schema.Name, Kind: ChangeUpdate, PK: pk, Old: old, New: updated})
+	return nil
+}
+
+// Delete removes the row with the given primary key.
+func (t *Table) Delete(pk int64) error {
+	old, err := t.Get(pk)
+	if err != nil {
+		return err
+	}
+	if err := t.unindexRow(old); err != nil {
+		return err
+	}
+	if _, err := t.tree.Delete(pkKey(pk)); err != nil {
+		return err
+	}
+	t.mu.Lock()
+	t.rowCount--
+	t.mu.Unlock()
+	t.notify(Change{Table: t.schema.Name, Kind: ChangeDelete, PK: pk, Old: old})
+	return nil
+}
+
+// Scan visits every row in primary-key order.  Returning false from the
+// visitor stops the scan.
+func (t *Table) Scan(visit func(Row) bool) error {
+	var decodeErr error
+	err := t.tree.Ascend(func(k, v []byte) bool {
+		row, err := decodeRow(v)
+		if err != nil {
+			decodeErr = err
+			return false
+		}
+		return visit(row)
+	})
+	if decodeErr != nil {
+		return decodeErr
+	}
+	return err
+}
+
+// --- secondary indexes -------------------------------------------------------
+
+// HasIndex reports whether a secondary index exists on the named column.
+func (t *Table) HasIndex(column string) bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	_, ok := t.secondary[column]
+	return ok
+}
+
+// EnsureIndex creates a secondary index on the named column if one does not
+// already exist.
+func (t *Table) EnsureIndex(column string) error {
+	if t.HasIndex(column) {
+		return nil
+	}
+	return t.CreateIndex(column)
+}
+
+// CreateIndex builds a secondary index on the named column.  Existing rows
+// are indexed immediately; subsequent mutations maintain the index.
+func (t *Table) CreateIndex(column string) error {
+	idx, err := t.schema.ColumnIndex(column)
+	if err != nil {
+		return err
+	}
+	t.mu.Lock()
+	if _, exists := t.secondary[column]; exists {
+		t.mu.Unlock()
+		return fmt.Errorf("relation: index on %q.%q already exists", t.schema.Name, column)
+	}
+	tree, err := btree.New(t.pool)
+	if err != nil {
+		t.mu.Unlock()
+		return err
+	}
+	t.secondary[column] = tree
+	t.mu.Unlock()
+
+	return t.Scan(func(row Row) bool {
+		key := secondaryKey(row[idx], row[0].I)
+		if err := tree.Put(key, nil); err != nil {
+			return false
+		}
+		return true
+	})
+}
+
+// secondaryKey builds an order-preserving (value, pk) composite key.
+func secondaryKey(v Value, pk int64) []byte {
+	key := make([]byte, 0, 24)
+	switch v.Kind {
+	case KindInt64:
+		key = append(key, byte(KindInt64))
+		key = codec.PutOrderedUint64(key, uint64(v.I)+(1<<63)) // shift so negatives sort first
+	case KindFloat64:
+		key = append(key, byte(KindFloat64))
+		key = codec.PutOrderedFloat64(key, v.F)
+	case KindString:
+		key = append(key, byte(KindString))
+		key = codec.PutOrderedString(key, v.S)
+	}
+	return codec.PutOrderedUint64(key, uint64(pk))
+}
+
+func (t *Table) indexRow(row Row, _ bool) error {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for col, tree := range t.secondary {
+		idx, err := t.schema.ColumnIndex(col)
+		if err != nil {
+			return err
+		}
+		if err := tree.Put(secondaryKey(row[idx], row[0].I), nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (t *Table) unindexRow(row Row) error {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for col, tree := range t.secondary {
+		idx, err := t.schema.ColumnIndex(col)
+		if err != nil {
+			return err
+		}
+		if _, err := tree.Delete(secondaryKey(row[idx], row[0].I)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LookupByColumn returns the rows whose named (indexed) column equals value.
+// The column must have a secondary index.
+func (t *Table) LookupByColumn(column string, value Value, visit func(Row) bool) error {
+	t.mu.RLock()
+	tree, ok := t.secondary[column]
+	t.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("relation: no index on %q.%q", t.schema.Name, column)
+	}
+	prefix := secondaryKey(value, 0)
+	// Strip the trailing pk portion (last 8 bytes) to form the value prefix.
+	prefix = prefix[:len(prefix)-8]
+	var innerErr error
+	err := tree.AscendPrefix(prefix, func(k, v []byte) bool {
+		pkBytes := k[len(k)-8:]
+		pk, _, err := codec.OrderedUint64(pkBytes)
+		if err != nil {
+			innerErr = err
+			return false
+		}
+		row, err := t.Get(int64(pk))
+		if err != nil {
+			innerErr = err
+			return false
+		}
+		return visit(row)
+	})
+	if innerErr != nil {
+		return innerErr
+	}
+	return err
+}
+
+// --- catalog -----------------------------------------------------------------
+
+// DB is a named collection of tables sharing one buffer pool.
+type DB struct {
+	mu     sync.RWMutex
+	pool   *buffer.Pool
+	tables map[string]*Table
+}
+
+// NewDB creates an empty database over the given pool.
+func NewDB(pool *buffer.Pool) *DB {
+	return &DB{pool: pool, tables: map[string]*Table{}}
+}
+
+// Pool returns the buffer pool used by the database.
+func (db *DB) Pool() *buffer.Pool { return db.pool }
+
+// CreateTable creates a table with the given schema.
+func (db *DB) CreateTable(schema Schema) (*Table, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, exists := db.tables[schema.Name]; exists {
+		return nil, fmt.Errorf("relation: table %q already exists", schema.Name)
+	}
+	t, err := NewTable(db.pool, schema)
+	if err != nil {
+		return nil, err
+	}
+	db.tables[schema.Name] = t
+	return t, nil
+}
+
+// Table returns the named table.
+func (db *DB) Table(name string) (*Table, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("relation: no table named %q", name)
+	}
+	return t, nil
+}
+
+// TableNames lists the tables in sorted order.
+func (db *DB) TableNames() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	names := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

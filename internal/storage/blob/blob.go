@@ -1,0 +1,210 @@
+// Package blob implements an append-only store for large immutable byte
+// objects on top of a buffer pool.
+//
+// The paper stores the long inverted lists "as binary objects in the
+// database since they are never updated; they were read in a page at a time
+// during query processing" (§5.2).  This package is that facility: a blob is
+// written once across consecutive pages and read back through a streaming
+// Reader that fetches one page at a time, so query algorithms that terminate
+// early (Score-Threshold, Chunk, Chunk-TermScore) touch only a prefix of the
+// blob's pages and the buffer-pool statistics show exactly how many.
+package blob
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"svrdb/internal/storage/buffer"
+	"svrdb/internal/storage/pagefile"
+)
+
+// Ref locates a blob within the store.
+type Ref struct {
+	// FirstPage is the first page of the blob.
+	FirstPage pagefile.PageID
+	// Length is the blob length in bytes.
+	Length uint64
+}
+
+// PageSpan reports how many pages the blob occupies.
+func (r Ref) PageSpan(pageSize int) uint64 {
+	if r.Length == 0 {
+		return 0
+	}
+	return (r.Length + uint64(pageSize) - 1) / uint64(pageSize)
+}
+
+// Store writes and reads blobs through a buffer pool.
+type Store struct {
+	pool *buffer.Pool
+}
+
+// ErrOutOfRange is returned when a read extends past the end of a blob.
+var ErrOutOfRange = errors.New("blob: read out of range")
+
+// NewStore creates a store over the given pool.
+func NewStore(pool *buffer.Pool) *Store { return &Store{pool: pool} }
+
+// Pool exposes the underlying buffer pool (used by callers that need I/O
+// statistics for the pages a blob read touched).
+func (s *Store) Pool() *buffer.Pool { return s.pool }
+
+// Put writes data as a new blob and returns its Ref.  Empty blobs are valid
+// and occupy no pages.
+func (s *Store) Put(data []byte) (Ref, error) {
+	if len(data) == 0 {
+		return Ref{FirstPage: pagefile.InvalidPageID, Length: 0}, nil
+	}
+	pageSize := s.pool.PageSize()
+	nPages := (len(data) + pageSize - 1) / pageSize
+	first, err := s.pool.File().AllocateN(nPages)
+	if err != nil {
+		return Ref{}, fmt.Errorf("blob: allocate %d pages: %w", nPages, err)
+	}
+	for i := 0; i < nPages; i++ {
+		fr, err := s.pool.Get(first + pagefile.PageID(i))
+		if err != nil {
+			return Ref{}, err
+		}
+		lo := i * pageSize
+		hi := lo + pageSize
+		if hi > len(data) {
+			hi = len(data)
+		}
+		copy(fr.Data(), data[lo:hi])
+		fr.MarkDirty()
+		fr.Release()
+	}
+	return Ref{FirstPage: first, Length: uint64(len(data))}, nil
+}
+
+// ReadAll reads an entire blob into memory.  Query algorithms should prefer
+// NewReader so that early termination avoids touching trailing pages; ReadAll
+// exists for tests and for small blobs such as per-term metadata.
+func (s *Store) ReadAll(ref Ref) ([]byte, error) {
+	out := make([]byte, 0, ref.Length)
+	r := s.NewReader(ref)
+	buf := make([]byte, s.pool.PageSize())
+	for {
+		n, err := r.Read(buf)
+		out = append(out, buf[:n]...)
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+}
+
+// Reader streams a blob one page at a time.
+type Reader struct {
+	store *Store
+	ref   Ref
+	off   uint64 // absolute offset into the blob
+
+	page      []byte // current decoded page contents (only the valid portion)
+	pageBase  uint64 // blob offset of page[0]
+	pagesRead int
+}
+
+// NewReader returns a Reader positioned at the start of the blob.
+func (s *Store) NewReader(ref Ref) *Reader {
+	return &Reader{store: s, ref: ref}
+}
+
+// PagesRead reports how many distinct page fetches this reader has issued.
+// Early-terminating query algorithms use it (together with pool statistics)
+// to report how much of a long list they actually scanned.
+func (r *Reader) PagesRead() int { return r.pagesRead }
+
+// Offset reports the current read position within the blob.
+func (r *Reader) Offset() uint64 { return r.off }
+
+// Len reports the total blob length.
+func (r *Reader) Len() uint64 { return r.ref.Length }
+
+// Remaining reports how many bytes are left to read.
+func (r *Reader) Remaining() uint64 { return r.ref.Length - r.off }
+
+// Read implements io.Reader.
+func (r *Reader) Read(p []byte) (int, error) {
+	if r.off >= r.ref.Length {
+		return 0, io.EOF
+	}
+	if err := r.loadPageFor(r.off); err != nil {
+		return 0, err
+	}
+	start := r.off - r.pageBase
+	n := copy(p, r.page[start:])
+	r.off += uint64(n)
+	if n == 0 && r.off >= r.ref.Length {
+		return 0, io.EOF
+	}
+	return n, nil
+}
+
+// ReadAt reads len(p) bytes starting at blob offset off.  It is used by
+// readers that need random access within a chunked list (for example to jump
+// to a chunk directory entry).
+func (r *Reader) ReadAt(p []byte, off uint64) (int, error) {
+	if off+uint64(len(p)) > r.ref.Length {
+		return 0, fmt.Errorf("%w: [%d,%d) of %d", ErrOutOfRange, off, off+uint64(len(p)), r.ref.Length)
+	}
+	total := 0
+	for total < len(p) {
+		if err := r.loadPageFor(off + uint64(total)); err != nil {
+			return total, err
+		}
+		start := off + uint64(total) - r.pageBase
+		n := copy(p[total:], r.page[start:])
+		total += n
+	}
+	return total, nil
+}
+
+// Skip advances the read position by n bytes without touching the skipped
+// pages.
+func (r *Reader) Skip(n uint64) error {
+	if r.off+n > r.ref.Length {
+		return fmt.Errorf("%w: skip %d from %d of %d", ErrOutOfRange, n, r.off, r.ref.Length)
+	}
+	r.off += n
+	return nil
+}
+
+// Seek repositions the reader at an absolute blob offset.
+func (r *Reader) Seek(off uint64) error {
+	if off > r.ref.Length {
+		return fmt.Errorf("%w: seek to %d of %d", ErrOutOfRange, off, r.ref.Length)
+	}
+	r.off = off
+	return nil
+}
+
+func (r *Reader) loadPageFor(off uint64) error {
+	pageSize := uint64(r.store.pool.PageSize())
+	base := off / pageSize * pageSize
+	if r.page != nil && base == r.pageBase {
+		return nil
+	}
+	pageIdx := off / pageSize
+	fr, err := r.store.pool.Get(r.ref.FirstPage + pagefile.PageID(pageIdx))
+	if err != nil {
+		return err
+	}
+	valid := r.ref.Length - base
+	if valid > pageSize {
+		valid = pageSize
+	}
+	if uint64(cap(r.page)) < pageSize {
+		r.page = make([]byte, pageSize)
+	}
+	r.page = r.page[:valid]
+	copy(r.page, fr.Data()[:valid])
+	fr.Release()
+	r.pageBase = base
+	r.pagesRead++
+	return nil
+}

@@ -1,0 +1,198 @@
+package blob
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"testing"
+
+	"svrdb/internal/storage/buffer"
+	"svrdb/internal/storage/pagefile"
+)
+
+func newStore(t testing.TB, pageSize, poolPages int) *Store {
+	t.Helper()
+	f := pagefile.MustNewMem(pageSize)
+	return NewStore(buffer.MustNew(f, poolPages))
+}
+
+func TestPutReadAllRoundTrip(t *testing.T) {
+	s := newStore(t, 256, 16)
+	sizes := []int{1, 255, 256, 257, 1000, 4096}
+	for _, n := range sizes {
+		data := make([]byte, n)
+		rand.New(rand.NewSource(int64(n))).Read(data)
+		ref, err := s.Put(data)
+		if err != nil {
+			t.Fatalf("Put(%d bytes): %v", n, err)
+		}
+		got, err := s.ReadAll(ref)
+		if err != nil {
+			t.Fatalf("ReadAll(%d bytes): %v", n, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Errorf("round trip of %d bytes corrupted data", n)
+		}
+	}
+}
+
+func TestEmptyBlob(t *testing.T) {
+	s := newStore(t, 256, 4)
+	ref, err := s.Put(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Length != 0 || ref.PageSpan(256) != 0 {
+		t.Errorf("empty blob ref = %+v", ref)
+	}
+	data, err := s.ReadAll(ref)
+	if err != nil || len(data) != 0 {
+		t.Errorf("ReadAll of empty blob = %d bytes, %v", len(data), err)
+	}
+}
+
+func TestPageSpan(t *testing.T) {
+	cases := []struct {
+		length uint64
+		want   uint64
+	}{{0, 0}, {1, 1}, {256, 1}, {257, 2}, {512, 2}, {513, 3}}
+	for _, c := range cases {
+		ref := Ref{Length: c.length}
+		if got := ref.PageSpan(256); got != c.want {
+			t.Errorf("PageSpan(%d) = %d, want %d", c.length, got, c.want)
+		}
+	}
+}
+
+func TestReaderStreamsPageAtATime(t *testing.T) {
+	s := newStore(t, 256, 64)
+	data := make([]byte, 256*10)
+	rand.New(rand.NewSource(1)).Read(data)
+	ref, err := s.Put(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r := s.NewReader(ref)
+	// Reading only the first 100 bytes should touch exactly one page.
+	buf := make([]byte, 100)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		t.Fatal(err)
+	}
+	if r.PagesRead() != 1 {
+		t.Errorf("PagesRead after partial read = %d, want 1", r.PagesRead())
+	}
+	if !bytes.Equal(buf, data[:100]) {
+		t.Error("partial read returned wrong bytes")
+	}
+
+	// Reading the rest touches the remaining pages.
+	rest, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(rest, data[100:]) {
+		t.Error("remaining read returned wrong bytes")
+	}
+	if r.PagesRead() != 10 {
+		t.Errorf("PagesRead after full read = %d, want 10", r.PagesRead())
+	}
+}
+
+func TestReaderEarlyTerminationSavesPages(t *testing.T) {
+	s := newStore(t, 256, 64)
+	data := make([]byte, 256*100)
+	ref, err := s.Put(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Pool().ResetStats()
+	r := s.NewReader(ref)
+	buf := make([]byte, 256*3)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Pool().Stats().Misses; got > 4 {
+		t.Errorf("early-terminated read missed %d pages, want <= 4 of 100", got)
+	}
+}
+
+func TestReadAt(t *testing.T) {
+	s := newStore(t, 128, 64)
+	data := make([]byte, 1000)
+	for i := range data {
+		data[i] = byte(i % 251)
+	}
+	ref, err := s.Put(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := s.NewReader(ref)
+	buf := make([]byte, 300)
+	if _, err := r.ReadAt(buf, 500); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, data[500:800]) {
+		t.Error("ReadAt returned wrong bytes")
+	}
+	if _, err := r.ReadAt(buf, 900); err == nil {
+		t.Error("ReadAt past end succeeded, want error")
+	}
+}
+
+func TestSkipAndSeek(t *testing.T) {
+	s := newStore(t, 128, 64)
+	data := make([]byte, 1000)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	ref, _ := s.Put(data)
+	r := s.NewReader(ref)
+	if err := r.Skip(512); err != nil {
+		t.Fatal(err)
+	}
+	var one [1]byte
+	if _, err := r.Read(one[:]); err != nil {
+		t.Fatal(err)
+	}
+	if want := byte(512 % 256); one[0] != want {
+		t.Errorf("byte after skip = %d, want %d", one[0], want)
+	}
+	if err := r.Seek(2000); err == nil {
+		t.Error("Seek past end succeeded, want error")
+	}
+	if err := r.Seek(999); err != nil {
+		t.Fatal(err)
+	}
+	if r.Remaining() != 1 {
+		t.Errorf("Remaining = %d, want 1", r.Remaining())
+	}
+	if err := r.Skip(5); err == nil {
+		t.Error("Skip past end succeeded, want error")
+	}
+}
+
+func TestMultipleBlobsDoNotOverlap(t *testing.T) {
+	s := newStore(t, 256, 64)
+	blobs := make([][]byte, 20)
+	refs := make([]Ref, 20)
+	rng := rand.New(rand.NewSource(9))
+	for i := range blobs {
+		blobs[i] = make([]byte, rng.Intn(2000)+1)
+		rng.Read(blobs[i])
+		ref, err := s.Put(blobs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs[i] = ref
+	}
+	for i := range blobs {
+		got, err := s.ReadAll(refs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, blobs[i]) {
+			t.Errorf("blob %d corrupted", i)
+		}
+	}
+}

@@ -1,0 +1,725 @@
+// Package btree implements a B+-tree keyed by arbitrary byte strings over a
+// buffer pool of fixed-size pages.
+//
+// The paper implements every updatable structure — the Score table, the
+// ListScore/ListChunk tables, the short inverted lists and the Score
+// method's clustered long list — as BerkeleyDB B+-trees (§5.2).  This
+// package is the equivalent substrate: keys and values are opaque byte
+// strings, keys compare bytewise (order-preserving composite keys are built
+// with package codec), leaves are doubly linked for ascending and descending
+// range scans, and every node occupies exactly one buffer-pool page so that
+// the I/O counters reflect realistic access costs.
+//
+// Deletion is "lazy": a key is removed from its leaf but leaves are not
+// merged when they underflow.  This matches the access patterns in this
+// repository (deletes are rare: only document deletion uses them) and keeps
+// scans and lookups correct; space from deleted entries is reclaimed when a
+// leaf is next split or rewritten.
+package btree
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"svrdb/internal/codec"
+	"svrdb/internal/storage/buffer"
+	"svrdb/internal/storage/pagefile"
+)
+
+const (
+	nodeLeaf     = byte(1)
+	nodeInternal = byte(2)
+)
+
+// ErrEntryTooLarge is returned when a key/value pair cannot fit in a page.
+var ErrEntryTooLarge = errors.New("btree: entry too large for page")
+
+// Tree is a B+-tree.  It is not safe for concurrent mutation; the engine
+// serializes index updates, as the paper's single update stream does.
+type Tree struct {
+	pool *buffer.Pool
+	root pagefile.PageID
+	size int // number of live keys
+}
+
+// node is the in-memory form of a page.
+type node struct {
+	id   pagefile.PageID
+	leaf bool
+	keys [][]byte
+
+	// leaf fields
+	vals [][]byte
+	next pagefile.PageID
+	prev pagefile.PageID
+
+	// internal fields: len(children) == len(keys)+1, keys[i] is the smallest
+	// key reachable through children[i+1].
+	children []pagefile.PageID
+}
+
+// New creates an empty tree with a single leaf root.
+func New(pool *buffer.Pool) (*Tree, error) {
+	fr, err := pool.NewPage()
+	if err != nil {
+		return nil, err
+	}
+	root := &node{id: fr.ID(), leaf: true, next: pagefile.InvalidPageID, prev: pagefile.InvalidPageID}
+	if err := writeNode(fr, root, pool.PageSize()); err != nil {
+		fr.Release()
+		return nil, err
+	}
+	fr.Release()
+	return &Tree{pool: pool, root: root.id}, nil
+}
+
+// MustNew is like New but panics on error; intended for tests and examples.
+func MustNew(pool *buffer.Pool) *Tree {
+	t, err := New(pool)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Len reports the number of keys stored in the tree.
+func (t *Tree) Len() int { return t.size }
+
+// RootPage returns the page ID of the root node.
+func (t *Tree) RootPage() pagefile.PageID { return t.root }
+
+// maxEntrySize is the largest serialized key+value entry allowed, chosen so
+// that a node can always hold at least four entries.
+func (t *Tree) maxEntrySize() int { return t.pool.PageSize() / 4 }
+
+// --- node serialization -----------------------------------------------------
+
+// Layout (leaf):
+//
+//	[1 type][varint nKeys][8 next][8 prev] { [len key][key][len val][val] }*
+//
+// Layout (internal):
+//
+//	[1 type][varint nKeys][8 child0] { [len key][key][8 child] }*
+func serializeNode(n *node) []byte {
+	out := make([]byte, 0, 256)
+	if n.leaf {
+		out = append(out, nodeLeaf)
+		out = codec.PutUvarint(out, uint64(len(n.keys)))
+		out = codec.PutUint64(out, uint64(n.next))
+		out = codec.PutUint64(out, uint64(n.prev))
+		for i := range n.keys {
+			out = codec.PutLenBytes(out, n.keys[i])
+			out = codec.PutLenBytes(out, n.vals[i])
+		}
+		return out
+	}
+	out = append(out, nodeInternal)
+	out = codec.PutUvarint(out, uint64(len(n.keys)))
+	out = codec.PutUint64(out, uint64(n.children[0]))
+	for i := range n.keys {
+		out = codec.PutLenBytes(out, n.keys[i])
+		out = codec.PutUint64(out, uint64(n.children[i+1]))
+	}
+	return out
+}
+
+func (t *Tree) nodeSize(n *node) int { return len(serializeNode(n)) }
+
+func writeNode(fr *buffer.Frame, n *node, pageSize int) error {
+	data := serializeNode(n)
+	if len(data) > pageSize {
+		return fmt.Errorf("btree: serialized node %d bytes exceeds page size %d", len(data), pageSize)
+	}
+	buf := fr.Data()
+	copy(buf, data)
+	for i := len(data); i < pageSize; i++ {
+		buf[i] = 0
+	}
+	fr.MarkDirty()
+	return nil
+}
+
+func parseNode(id pagefile.PageID, data []byte) (*node, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("btree: empty page %d", id)
+	}
+	n := &node{id: id}
+	off := 1
+	nKeys64, sz, err := codec.Uvarint(data[off:])
+	if err != nil {
+		return nil, fmt.Errorf("btree: page %d: %w", id, err)
+	}
+	off += sz
+	nKeys := int(nKeys64)
+	switch data[0] {
+	case nodeLeaf:
+		n.leaf = true
+		next, sz, err := codec.Uint64(data[off:])
+		if err != nil {
+			return nil, err
+		}
+		off += sz
+		prev, sz, err := codec.Uint64(data[off:])
+		if err != nil {
+			return nil, err
+		}
+		off += sz
+		n.next = pagefile.PageID(next)
+		n.prev = pagefile.PageID(prev)
+		n.keys = make([][]byte, 0, nKeys)
+		n.vals = make([][]byte, 0, nKeys)
+		for i := 0; i < nKeys; i++ {
+			k, sz, err := codec.LenBytes(data[off:])
+			if err != nil {
+				return nil, err
+			}
+			off += sz
+			v, sz, err := codec.LenBytes(data[off:])
+			if err != nil {
+				return nil, err
+			}
+			off += sz
+			n.keys = append(n.keys, append([]byte(nil), k...))
+			n.vals = append(n.vals, append([]byte(nil), v...))
+		}
+	case nodeInternal:
+		child0, sz, err := codec.Uint64(data[off:])
+		if err != nil {
+			return nil, err
+		}
+		off += sz
+		n.keys = make([][]byte, 0, nKeys)
+		n.children = make([]pagefile.PageID, 0, nKeys+1)
+		n.children = append(n.children, pagefile.PageID(child0))
+		for i := 0; i < nKeys; i++ {
+			k, sz, err := codec.LenBytes(data[off:])
+			if err != nil {
+				return nil, err
+			}
+			off += sz
+			c, sz, err := codec.Uint64(data[off:])
+			if err != nil {
+				return nil, err
+			}
+			off += sz
+			n.keys = append(n.keys, append([]byte(nil), k...))
+			n.children = append(n.children, pagefile.PageID(c))
+		}
+	default:
+		return nil, fmt.Errorf("btree: page %d has unknown node type %d", id, data[0])
+	}
+	return n, nil
+}
+
+// readNode pins the page, parses it and releases the pin (the parsed node is
+// an independent copy).
+func (t *Tree) readNode(id pagefile.PageID) (*node, error) {
+	fr, err := t.pool.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	defer fr.Release()
+	return parseNode(id, fr.Data())
+}
+
+// flushNode writes the node back to its page.
+func (t *Tree) flushNode(n *node) error {
+	fr, err := t.pool.Get(n.id)
+	if err != nil {
+		return err
+	}
+	defer fr.Release()
+	return writeNode(fr, n, t.pool.PageSize())
+}
+
+// newNode allocates a page for a fresh node and assigns its ID.  The caller
+// must populate the node's fields and flush it before it is ever read.
+func (t *Tree) newNode(leaf bool) (*node, error) {
+	fr, err := t.pool.NewPage()
+	if err != nil {
+		return nil, err
+	}
+	fr.Release()
+	return &node{id: fr.ID(), leaf: leaf, next: pagefile.InvalidPageID, prev: pagefile.InvalidPageID}, nil
+}
+
+// --- lookup ------------------------------------------------------------------
+
+// searchKeys returns the index of the first key >= key.
+func searchKeys(keys [][]byte, key []byte) int {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bytes.Compare(keys[mid], key) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// childIndex returns which child of an internal node should be followed for
+// key.
+func childIndex(n *node, key []byte) int {
+	// keys[i] separates children[i] (keys < keys[i]) from children[i+1]
+	// (keys >= keys[i]).
+	i := searchKeys(n.keys, key)
+	if i < len(n.keys) && bytes.Equal(n.keys[i], key) {
+		return i + 1
+	}
+	return i
+}
+
+// Get returns the value stored under key, or (nil, false) when absent.
+func (t *Tree) Get(key []byte) ([]byte, bool, error) {
+	leaf, err := t.findLeaf(key)
+	if err != nil {
+		return nil, false, err
+	}
+	i := searchKeys(leaf.keys, key)
+	if i < len(leaf.keys) && bytes.Equal(leaf.keys[i], key) {
+		return leaf.vals[i], true, nil
+	}
+	return nil, false, nil
+}
+
+// Has reports whether key is present.
+func (t *Tree) Has(key []byte) (bool, error) {
+	_, ok, err := t.Get(key)
+	return ok, err
+}
+
+func (t *Tree) findLeaf(key []byte) (*node, error) {
+	n, err := t.readNode(t.root)
+	if err != nil {
+		return nil, err
+	}
+	for !n.leaf {
+		n, err = t.readNode(n.children[childIndex(n, key)])
+		if err != nil {
+			return nil, err
+		}
+	}
+	return n, nil
+}
+
+// --- insertion ---------------------------------------------------------------
+
+// Put inserts key with value, replacing any existing value.
+func (t *Tree) Put(key, value []byte) error {
+	if len(key) == 0 {
+		return errors.New("btree: empty key")
+	}
+	if len(key)+len(value)+16 > t.maxEntrySize() {
+		return fmt.Errorf("%w: key %d + value %d bytes (max %d)", ErrEntryTooLarge, len(key), len(value), t.maxEntrySize())
+	}
+	promoted, newChild, inserted, err := t.insertInto(t.root, key, value)
+	if err != nil {
+		return err
+	}
+	if inserted {
+		t.size++
+	}
+	if newChild == pagefile.InvalidPageID {
+		return nil
+	}
+	// Root split: create a new internal root.
+	newRoot, err := t.newNode(false)
+	if err != nil {
+		return err
+	}
+	newRoot.keys = [][]byte{promoted}
+	newRoot.children = []pagefile.PageID{t.root, newChild}
+	if err := t.flushNode(newRoot); err != nil {
+		return err
+	}
+	t.root = newRoot.id
+	return nil
+}
+
+// insertInto inserts into the subtree rooted at id.  It returns the promoted
+// separator key and new sibling page when the node split, and whether a new
+// key (as opposed to a replacement) was inserted.
+func (t *Tree) insertInto(id pagefile.PageID, key, value []byte) ([]byte, pagefile.PageID, bool, error) {
+	n, err := t.readNode(id)
+	if err != nil {
+		return nil, pagefile.InvalidPageID, false, err
+	}
+	if n.leaf {
+		i := searchKeys(n.keys, key)
+		inserted := true
+		if i < len(n.keys) && bytes.Equal(n.keys[i], key) {
+			n.vals[i] = append([]byte(nil), value...)
+			inserted = false
+		} else {
+			n.keys = append(n.keys, nil)
+			copy(n.keys[i+1:], n.keys[i:])
+			n.keys[i] = append([]byte(nil), key...)
+			n.vals = append(n.vals, nil)
+			copy(n.vals[i+1:], n.vals[i:])
+			n.vals[i] = append([]byte(nil), value...)
+		}
+		if t.nodeSize(n) <= t.pool.PageSize() {
+			return nil, pagefile.InvalidPageID, inserted, t.flushNode(n)
+		}
+		promoted, sib, err := t.splitLeaf(n)
+		return promoted, sib, inserted, err
+	}
+
+	ci := childIndex(n, key)
+	promoted, newChild, inserted, err := t.insertInto(n.children[ci], key, value)
+	if err != nil {
+		return nil, pagefile.InvalidPageID, false, err
+	}
+	if newChild == pagefile.InvalidPageID {
+		return nil, pagefile.InvalidPageID, inserted, nil
+	}
+	// Insert the promoted separator into this internal node.
+	i := searchKeys(n.keys, promoted)
+	n.keys = append(n.keys, nil)
+	copy(n.keys[i+1:], n.keys[i:])
+	n.keys[i] = promoted
+	n.children = append(n.children, pagefile.InvalidPageID)
+	copy(n.children[i+2:], n.children[i+1:])
+	n.children[i+1] = newChild
+	if t.nodeSize(n) <= t.pool.PageSize() {
+		return nil, pagefile.InvalidPageID, inserted, t.flushNode(n)
+	}
+	up, sib, err := t.splitInternal(n)
+	return up, sib, inserted, err
+}
+
+// splitLeaf splits an over-full leaf into two, returning the separator key
+// (first key of the new right sibling) and the sibling's page ID.
+func (t *Tree) splitLeaf(n *node) ([]byte, pagefile.PageID, error) {
+	mid := len(n.keys) / 2
+	if mid == 0 {
+		mid = 1
+	}
+	right, err := t.newNode(true)
+	if err != nil {
+		return nil, pagefile.InvalidPageID, err
+	}
+	right.keys = append(right.keys, n.keys[mid:]...)
+	right.vals = append(right.vals, n.vals[mid:]...)
+	right.next = n.next
+	right.prev = n.id
+
+	// Fix the old next leaf's prev pointer.
+	if n.next != pagefile.InvalidPageID {
+		oldNext, err := t.readNode(n.next)
+		if err != nil {
+			return nil, pagefile.InvalidPageID, err
+		}
+		oldNext.prev = right.id
+		if err := t.flushNode(oldNext); err != nil {
+			return nil, pagefile.InvalidPageID, err
+		}
+	}
+
+	n.keys = n.keys[:mid]
+	n.vals = n.vals[:mid]
+	n.next = right.id
+
+	if err := t.flushNode(right); err != nil {
+		return nil, pagefile.InvalidPageID, err
+	}
+	if err := t.flushNode(n); err != nil {
+		return nil, pagefile.InvalidPageID, err
+	}
+	sep := append([]byte(nil), right.keys[0]...)
+	return sep, right.id, nil
+}
+
+// splitInternal splits an over-full internal node, promoting the middle key.
+func (t *Tree) splitInternal(n *node) ([]byte, pagefile.PageID, error) {
+	mid := len(n.keys) / 2
+	if mid == 0 {
+		mid = 1
+	}
+	promoted := n.keys[mid]
+
+	right, err := t.newNode(false)
+	if err != nil {
+		return nil, pagefile.InvalidPageID, err
+	}
+	right.keys = append(right.keys, n.keys[mid+1:]...)
+	right.children = append(right.children, n.children[mid+1:]...)
+
+	n.keys = n.keys[:mid]
+	n.children = n.children[:mid+1]
+
+	if err := t.flushNode(right); err != nil {
+		return nil, pagefile.InvalidPageID, err
+	}
+	if err := t.flushNode(n); err != nil {
+		return nil, pagefile.InvalidPageID, err
+	}
+	return append([]byte(nil), promoted...), right.id, nil
+}
+
+// --- deletion ----------------------------------------------------------------
+
+// Delete removes key if present and reports whether it was found.  Leaves are
+// not rebalanced (see the package comment).
+func (t *Tree) Delete(key []byte) (bool, error) {
+	leaf, err := t.findLeaf(key)
+	if err != nil {
+		return false, err
+	}
+	i := searchKeys(leaf.keys, key)
+	if i >= len(leaf.keys) || !bytes.Equal(leaf.keys[i], key) {
+		return false, nil
+	}
+	leaf.keys = append(leaf.keys[:i], leaf.keys[i+1:]...)
+	leaf.vals = append(leaf.vals[:i], leaf.vals[i+1:]...)
+	if err := t.flushNode(leaf); err != nil {
+		return false, err
+	}
+	t.size--
+	return true, nil
+}
+
+// --- scans -------------------------------------------------------------------
+
+// Visitor receives key/value pairs during a scan.  Returning false stops the
+// scan early.
+type Visitor func(key, value []byte) bool
+
+// AscendRange visits keys in [start, end) in ascending order.  A nil start
+// begins at the smallest key; a nil end scans to the largest.
+func (t *Tree) AscendRange(start, end []byte, visit Visitor) error {
+	var leaf *node
+	var err error
+	if start == nil {
+		leaf, err = t.leftmostLeaf()
+	} else {
+		leaf, err = t.findLeaf(start)
+	}
+	if err != nil {
+		return err
+	}
+	i := 0
+	if start != nil {
+		i = searchKeys(leaf.keys, start)
+	}
+	for {
+		for ; i < len(leaf.keys); i++ {
+			if end != nil && bytes.Compare(leaf.keys[i], end) >= 0 {
+				return nil
+			}
+			if !visit(leaf.keys[i], leaf.vals[i]) {
+				return nil
+			}
+		}
+		if leaf.next == pagefile.InvalidPageID {
+			return nil
+		}
+		leaf, err = t.readNode(leaf.next)
+		if err != nil {
+			return err
+		}
+		i = 0
+	}
+}
+
+// Ascend visits every key in ascending order.
+func (t *Tree) Ascend(visit Visitor) error { return t.AscendRange(nil, nil, visit) }
+
+// AscendPrefix visits every key beginning with prefix in ascending order.
+func (t *Tree) AscendPrefix(prefix []byte, visit Visitor) error {
+	return t.AscendRange(prefix, prefixEnd(prefix), visit)
+}
+
+// DescendRange visits keys in (startExclusiveHigh..end] descending.  A nil
+// high starts from the largest key; a nil low scans to the smallest.  The
+// high bound is exclusive, the low bound inclusive, mirroring AscendRange.
+func (t *Tree) DescendRange(high, low []byte, visit Visitor) error {
+	var leaf *node
+	var err error
+	var i int
+	if high == nil {
+		leaf, err = t.rightmostLeaf()
+		if err != nil {
+			return err
+		}
+		i = len(leaf.keys) - 1
+	} else {
+		leaf, err = t.findLeaf(high)
+		if err != nil {
+			return err
+		}
+		i = searchKeys(leaf.keys, high) - 1
+	}
+	for {
+		for ; i >= 0; i-- {
+			if low != nil && bytes.Compare(leaf.keys[i], low) < 0 {
+				return nil
+			}
+			if !visit(leaf.keys[i], leaf.vals[i]) {
+				return nil
+			}
+		}
+		if leaf.prev == pagefile.InvalidPageID {
+			return nil
+		}
+		leaf, err = t.readNode(leaf.prev)
+		if err != nil {
+			return err
+		}
+		i = len(leaf.keys) - 1
+	}
+}
+
+// Descend visits every key in descending order.
+func (t *Tree) Descend(visit Visitor) error { return t.DescendRange(nil, nil, visit) }
+
+// DescendPrefix visits keys with the given prefix from highest to lowest.
+func (t *Tree) DescendPrefix(prefix []byte, visit Visitor) error {
+	return t.DescendRange(prefixEnd(prefix), prefix, visit)
+}
+
+// prefixEnd returns the smallest key greater than every key with the given
+// prefix, or nil when no such key exists (prefix of all 0xFF bytes).
+func prefixEnd(prefix []byte) []byte {
+	end := append([]byte(nil), prefix...)
+	for i := len(end) - 1; i >= 0; i-- {
+		if end[i] != 0xFF {
+			end[i]++
+			return end[:i+1]
+		}
+	}
+	return nil
+}
+
+func (t *Tree) leftmostLeaf() (*node, error) {
+	n, err := t.readNode(t.root)
+	if err != nil {
+		return nil, err
+	}
+	for !n.leaf {
+		n, err = t.readNode(n.children[0])
+		if err != nil {
+			return nil, err
+		}
+	}
+	return n, nil
+}
+
+func (t *Tree) rightmostLeaf() (*node, error) {
+	n, err := t.readNode(t.root)
+	if err != nil {
+		return nil, err
+	}
+	for !n.leaf {
+		n, err = t.readNode(n.children[len(n.children)-1])
+		if err != nil {
+			return nil, err
+		}
+	}
+	return n, nil
+}
+
+// --- diagnostics -------------------------------------------------------------
+
+// Height returns the number of levels in the tree (1 for a single leaf).
+func (t *Tree) Height() (int, error) {
+	h := 1
+	n, err := t.readNode(t.root)
+	if err != nil {
+		return 0, err
+	}
+	for !n.leaf {
+		h++
+		n, err = t.readNode(n.children[0])
+		if err != nil {
+			return 0, err
+		}
+	}
+	return h, nil
+}
+
+// CheckInvariants validates structural invariants: keys sorted within nodes,
+// separator keys bounding subtrees, and leaf sibling links consistent.  It is
+// used by tests and returns a descriptive error on the first violation.
+func (t *Tree) CheckInvariants() error {
+	_, _, err := t.checkSubtree(t.root, nil, nil)
+	if err != nil {
+		return err
+	}
+	return t.checkLeafChain()
+}
+
+func (t *Tree) checkSubtree(id pagefile.PageID, lower, upper []byte) (minKey, maxKey []byte, err error) {
+	n, err := t.readNode(id)
+	if err != nil {
+		return nil, nil, err
+	}
+	for i := 1; i < len(n.keys); i++ {
+		if bytes.Compare(n.keys[i-1], n.keys[i]) >= 0 {
+			return nil, nil, fmt.Errorf("btree: page %d keys out of order at %d", id, i)
+		}
+	}
+	for _, k := range n.keys {
+		if lower != nil && bytes.Compare(k, lower) < 0 {
+			return nil, nil, fmt.Errorf("btree: page %d key below lower bound", id)
+		}
+		if upper != nil && bytes.Compare(k, upper) >= 0 {
+			return nil, nil, fmt.Errorf("btree: page %d key above upper bound", id)
+		}
+	}
+	if n.leaf {
+		if len(n.keys) == 0 {
+			return lower, lower, nil
+		}
+		return n.keys[0], n.keys[len(n.keys)-1], nil
+	}
+	if len(n.children) != len(n.keys)+1 {
+		return nil, nil, fmt.Errorf("btree: page %d has %d keys but %d children", id, len(n.keys), len(n.children))
+	}
+	for i, child := range n.children {
+		lo := lower
+		hi := upper
+		if i > 0 {
+			lo = n.keys[i-1]
+		}
+		if i < len(n.keys) {
+			hi = n.keys[i]
+		}
+		if _, _, err := t.checkSubtree(child, lo, hi); err != nil {
+			return nil, nil, err
+		}
+	}
+	return lower, upper, nil
+}
+
+func (t *Tree) checkLeafChain() error {
+	leaf, err := t.leftmostLeaf()
+	if err != nil {
+		return err
+	}
+	var prev []byte
+	prevID := pagefile.InvalidPageID
+	for {
+		if leaf.prev != prevID {
+			return fmt.Errorf("btree: leaf %d prev pointer %d, want %d", leaf.id, leaf.prev, prevID)
+		}
+		for _, k := range leaf.keys {
+			if prev != nil && bytes.Compare(prev, k) >= 0 {
+				return fmt.Errorf("btree: leaf chain keys out of order at page %d", leaf.id)
+			}
+			prev = append(prev[:0], k...)
+		}
+		if leaf.next == pagefile.InvalidPageID {
+			return nil
+		}
+		prevID = leaf.id
+		leaf, err = t.readNode(leaf.next)
+		if err != nil {
+			return err
+		}
+	}
+}

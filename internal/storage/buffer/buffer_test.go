@@ -1,0 +1,215 @@
+package buffer
+
+import (
+	"testing"
+
+	"svrdb/internal/storage/pagefile"
+)
+
+func newPool(t testing.TB, pageSize, capacity int) (*Pool, *pagefile.File) {
+	t.Helper()
+	f := pagefile.MustNewMem(pageSize)
+	p, err := New(f, capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, f
+}
+
+func TestNewPageAndGet(t *testing.T) {
+	p, _ := newPool(t, 128, 4)
+	fr, err := p.NewPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr.Data()[0] = 0xAB
+	fr.MarkDirty()
+	id := fr.ID()
+	fr.Release()
+
+	fr2, err := p.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr2.Data()[0] != 0xAB {
+		t.Error("page contents lost between NewPage and Get")
+	}
+	fr2.Release()
+}
+
+func TestCapacityValidation(t *testing.T) {
+	f := pagefile.MustNewMem(128)
+	if _, err := New(f, 0); err == nil {
+		t.Error("New with capacity 0 succeeded, want error")
+	}
+}
+
+func TestHitMissCounting(t *testing.T) {
+	p, _ := newPool(t, 128, 4)
+	fr, _ := p.NewPage()
+	id := fr.ID()
+	fr.Release()
+
+	for i := 0; i < 3; i++ {
+		fr, err := p.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fr.Release()
+	}
+	s := p.Stats()
+	if s.Hits != 3 {
+		t.Errorf("Hits = %d, want 3", s.Hits)
+	}
+	p.ResetStats()
+	if p.Stats().Hits != 0 {
+		t.Error("ResetStats did not zero counters")
+	}
+}
+
+func TestEvictionWritesDirtyPages(t *testing.T) {
+	p, f := newPool(t, 128, 2)
+	// Create three pages through a pool that can hold only two.
+	var ids []pagefile.PageID
+	for i := 0; i < 3; i++ {
+		fr, err := p.NewPage()
+		if err != nil {
+			t.Fatal(err)
+		}
+		fr.Data()[0] = byte(i + 1)
+		fr.MarkDirty()
+		ids = append(ids, fr.ID())
+		fr.Release()
+	}
+	if p.ResidentPages() > 2 {
+		t.Errorf("ResidentPages = %d, exceeds capacity 2", p.ResidentPages())
+	}
+	if p.Stats().Evictions == 0 {
+		t.Error("expected at least one eviction")
+	}
+	// The evicted page must have been flushed to the file.
+	buf := make([]byte, 128)
+	if err := f.Read(ids[0], buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 1 {
+		t.Errorf("evicted dirty page not flushed: first byte %d, want 1", buf[0])
+	}
+	// And it must read back correctly through the pool.
+	fr, err := p.Get(ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.Data()[0] != 1 {
+		t.Errorf("re-fetched page contents = %d, want 1", fr.Data()[0])
+	}
+	fr.Release()
+}
+
+func TestAllPinnedError(t *testing.T) {
+	p, _ := newPool(t, 128, 2)
+	fr1, err := p.NewPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr2, err := p.NewPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.NewPage(); err == nil {
+		t.Error("NewPage with all frames pinned succeeded, want ErrPoolFull")
+	}
+	fr1.Release()
+	fr2.Release()
+	if _, err := p.NewPage(); err != nil {
+		t.Errorf("NewPage after releasing pins: %v", err)
+	}
+}
+
+func TestFlushAllAndEvictAll(t *testing.T) {
+	p, f := newPool(t, 128, 8)
+	var ids []pagefile.PageID
+	for i := 0; i < 5; i++ {
+		fr, _ := p.NewPage()
+		fr.Data()[0] = byte(10 + i)
+		fr.MarkDirty()
+		ids = append(ids, fr.ID())
+		fr.Release()
+	}
+	if err := p.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 128)
+	for i, id := range ids {
+		if err := f.Read(id, buf); err != nil {
+			t.Fatal(err)
+		}
+		if buf[0] != byte(10+i) {
+			t.Errorf("page %d not flushed", id)
+		}
+	}
+	if err := p.EvictAll(); err != nil {
+		t.Fatal(err)
+	}
+	if p.ResidentPages() != 0 {
+		t.Errorf("ResidentPages after EvictAll = %d, want 0", p.ResidentPages())
+	}
+	// Pages still readable afterwards (cold cache).
+	before := p.Stats().Misses
+	fr, err := p.Get(ids[3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr.Release()
+	if p.Stats().Misses != before+1 {
+		t.Error("read after EvictAll should be a miss")
+	}
+}
+
+func TestEvictAllKeepsPinnedPages(t *testing.T) {
+	p, _ := newPool(t, 128, 4)
+	fr, _ := p.NewPage()
+	if err := p.EvictAll(); err != nil {
+		t.Fatal(err)
+	}
+	if p.ResidentPages() != 1 {
+		t.Errorf("pinned page was evicted; ResidentPages = %d", p.ResidentPages())
+	}
+	if p.PinnedPages() != 1 {
+		t.Errorf("PinnedPages = %d, want 1", p.PinnedPages())
+	}
+	fr.Release()
+	if p.PinnedPages() != 0 {
+		t.Errorf("PinnedPages after release = %d, want 0", p.PinnedPages())
+	}
+}
+
+func TestLRUOrderPreferred(t *testing.T) {
+	p, _ := newPool(t, 128, 3)
+	var ids []pagefile.PageID
+	for i := 0; i < 3; i++ {
+		fr, _ := p.NewPage()
+		ids = append(ids, fr.ID())
+		fr.Release()
+	}
+	// Touch page 0 so that page 1 becomes the LRU victim.
+	fr, _ := p.Get(ids[0])
+	fr.Release()
+	frNew, err := p.NewPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	frNew.Release()
+	// Page 0 should still be resident (a hit); page 1 should be gone (a miss).
+	base := p.Stats()
+	fr, _ = p.Get(ids[0])
+	fr.Release()
+	if p.Stats().Hits != base.Hits+1 {
+		t.Error("recently used page was evicted before the LRU page")
+	}
+	fr, _ = p.Get(ids[1])
+	fr.Release()
+	if p.Stats().Misses != base.Misses+1 {
+		t.Error("LRU page was unexpectedly still resident")
+	}
+}

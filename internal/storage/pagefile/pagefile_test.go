@@ -1,0 +1,192 @@
+package pagefile
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestMemAllocateReadWrite(t *testing.T) {
+	f := MustNewMem(256)
+	id, err := f.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 0 {
+		t.Errorf("first page ID = %d, want 0", id)
+	}
+	src := bytes.Repeat([]byte{0x5A}, 256)
+	if err := f.Write(id, src); err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]byte, 256)
+	if err := f.Read(id, dst); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(src, dst) {
+		t.Error("read back page does not match written data")
+	}
+}
+
+func TestBadPageSize(t *testing.T) {
+	if _, err := NewMem(0); err == nil {
+		t.Error("NewMem(0) succeeded, want error")
+	}
+	if _, err := NewMem(-1); err == nil {
+		t.Error("NewMem(-1) succeeded, want error")
+	}
+}
+
+func TestOutOfRange(t *testing.T) {
+	f := MustNewMem(128)
+	buf := make([]byte, 128)
+	if err := f.Read(0, buf); err == nil {
+		t.Error("Read of unallocated page succeeded, want error")
+	}
+	if err := f.Write(5, buf); err == nil {
+		t.Error("Write of unallocated page succeeded, want error")
+	}
+}
+
+func TestShortBuffers(t *testing.T) {
+	f := MustNewMem(128)
+	id, _ := f.Allocate()
+	small := make([]byte, 64)
+	if err := f.Read(id, small); err == nil {
+		t.Error("Read into short buffer succeeded, want error")
+	}
+	if err := f.Write(id, small); err == nil {
+		t.Error("Write from short buffer succeeded, want error")
+	}
+}
+
+func TestAllocateN(t *testing.T) {
+	f := MustNewMem(128)
+	first, err := f.AllocateN(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != 0 {
+		t.Errorf("first = %d, want 0", first)
+	}
+	if f.NumPages() != 10 {
+		t.Errorf("NumPages = %d, want 10", f.NumPages())
+	}
+	if _, err := f.AllocateN(0); err == nil {
+		t.Error("AllocateN(0) succeeded, want error")
+	}
+}
+
+func TestStatsCounting(t *testing.T) {
+	f := MustNewMem(128)
+	id, _ := f.Allocate()
+	buf := make([]byte, 128)
+	for i := 0; i < 3; i++ {
+		if err := f.Write(id, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		if err := f.Read(id, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := f.Stats()
+	if s.Reads != 5 || s.Writes != 3 || s.Allocs != 1 {
+		t.Errorf("Stats = %+v, want 5 reads, 3 writes, 1 alloc", s)
+	}
+	if s.BytesRead != 5*128 || s.BytesWritten != 3*128 {
+		t.Errorf("byte counters = %+v", s)
+	}
+	f.ResetStats()
+	s = f.Stats()
+	if s.Reads != 0 || s.Writes != 0 {
+		t.Errorf("counters not reset: %+v", s)
+	}
+	if s.Allocs != 1 {
+		t.Errorf("Allocs reset to %d, want preserved 1", s.Allocs)
+	}
+}
+
+func TestSizeBytes(t *testing.T) {
+	f := MustNewMem(256)
+	if _, err := f.AllocateN(4); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.SizeBytes(); got != 1024 {
+		t.Errorf("SizeBytes = %d, want 1024", got)
+	}
+}
+
+func TestReadLatency(t *testing.T) {
+	f := MustNewMem(128)
+	id, _ := f.Allocate()
+	buf := make([]byte, 128)
+	f.SetReadLatency(2 * time.Millisecond)
+	if got := f.ReadLatency(); got != 2*time.Millisecond {
+		t.Fatalf("ReadLatency = %v", got)
+	}
+	start := time.Now()
+	if err := f.Read(id, buf); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 2*time.Millisecond {
+		t.Errorf("read with simulated latency took %v, want >= 2ms", elapsed)
+	}
+	f.SetReadLatency(-1)
+	if got := f.ReadLatency(); got != 0 {
+		t.Errorf("negative latency should clamp to 0, got %v", got)
+	}
+}
+
+func TestDiskBackedFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pages.db")
+	f, err := Open(path, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := f.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := bytes.Repeat([]byte{7}, 256)
+	if err := f.Write(id, src); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen and verify the page survived.
+	f2, err := Open(path, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f2.Close()
+	if f2.NumPages() != 1 {
+		t.Fatalf("reopened NumPages = %d, want 1", f2.NumPages())
+	}
+	dst := make([]byte, 256)
+	if err := f2.Read(0, dst); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(src, dst) {
+		t.Error("reopened page contents differ")
+	}
+}
+
+func TestOpenRejectsMisalignedFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pages.db")
+	f, err := Open(path, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Allocate(); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if _, err := Open(path, 100); err == nil {
+		t.Error("Open with mismatched page size succeeded, want error")
+	}
+}

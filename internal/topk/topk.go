@@ -1,0 +1,143 @@
+// Package topk implements the bounded result heap used by every query
+// algorithm in the paper: a min-heap of the current best k (document, score)
+// pairs, plus the bookkeeping the stopping rules need (whether k results
+// have been collected, and the smallest score among them).
+package topk
+
+import (
+	"container/heap"
+	"sort"
+)
+
+// Result is one ranked document.
+type Result struct {
+	Doc   int64
+	Score float64
+}
+
+// Heap keeps the k highest-scoring documents seen so far.  Ties are broken
+// in favour of the smaller document ID so results are deterministic.
+type Heap struct {
+	k     int
+	items resultHeap
+	seen  map[int64]int // doc -> index in items, to update in place
+}
+
+// New returns a heap that retains the best k results.  k must be positive.
+func New(k int) *Heap {
+	if k < 1 {
+		k = 1
+	}
+	return &Heap{k: k, seen: make(map[int64]int, k)}
+}
+
+// K returns the requested result count.
+func (h *Heap) K() int { return h.k }
+
+// Len reports how many results are currently held (≤ k).
+func (h *Heap) Len() int { return len(h.items.entries) }
+
+// Full reports whether k results have been collected.
+func (h *Heap) Full() bool { return len(h.items.entries) >= h.k }
+
+// MinScore returns the lowest score among the held results.  It returns
+// negative infinity semantics via ok=false when the heap is not yet full,
+// because the stopping rules in Algorithms 2 and 3 only apply once k
+// results exist.
+func (h *Heap) MinScore() (float64, bool) {
+	if !h.Full() {
+		return 0, false
+	}
+	return h.items.entries[0].Score, true
+}
+
+// Add offers a document with its current score.  If the document is already
+// present its score is updated to the maximum of the two offers (a document
+// can be encountered through both its short-list and long-list postings).
+// Add reports whether the document is now among the retained results.
+func (h *Heap) Add(doc int64, score float64) bool {
+	if idx, ok := h.seen[doc]; ok {
+		if score > h.items.entries[idx].Score {
+			h.items.entries[idx].Score = score
+			heap.Fix(&h.items, idx)
+		}
+		return true
+	}
+	if len(h.items.entries) < h.k {
+		heap.Push(&h.items, Result{Doc: doc, Score: score})
+		h.reindex()
+		h.seen[doc] = h.indexOf(doc)
+		return true
+	}
+	worst := h.items.entries[0]
+	if score < worst.Score || (score == worst.Score && doc > worst.Doc) {
+		return false
+	}
+	delete(h.seen, worst.Doc)
+	h.items.entries[0] = Result{Doc: doc, Score: score}
+	heap.Fix(&h.items, 0)
+	h.reindex()
+	return true
+}
+
+// indexOf finds the heap slot of doc (linear; k is small).
+func (h *Heap) indexOf(doc int64) int {
+	for i, e := range h.items.entries {
+		if e.Doc == doc {
+			return i
+		}
+	}
+	return -1
+}
+
+// reindex rebuilds the doc -> slot map after heap movement.
+func (h *Heap) reindex() {
+	for i, e := range h.items.entries {
+		h.seen[e.Doc] = i
+	}
+}
+
+// Contains reports whether doc is currently retained.
+func (h *Heap) Contains(doc int64) bool {
+	_, ok := h.seen[doc]
+	return ok
+}
+
+// Results returns the retained documents ordered by descending score (ties
+// by ascending document ID).  The heap remains usable afterwards.
+func (h *Heap) Results() []Result {
+	out := append([]Result(nil), h.items.entries...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Doc < out[j].Doc
+	})
+	return out
+}
+
+// resultHeap is a min-heap ordered by (score, then doc descending) so that
+// the root is always the weakest retained result.
+type resultHeap struct {
+	entries []Result
+}
+
+func (r *resultHeap) Len() int { return len(r.entries) }
+
+func (r *resultHeap) Less(i, j int) bool {
+	if r.entries[i].Score != r.entries[j].Score {
+		return r.entries[i].Score < r.entries[j].Score
+	}
+	// Larger doc IDs are "worse" so they are evicted first on ties.
+	return r.entries[i].Doc > r.entries[j].Doc
+}
+
+func (r *resultHeap) Swap(i, j int) { r.entries[i], r.entries[j] = r.entries[j], r.entries[i] }
+
+func (r *resultHeap) Push(x any) { r.entries = append(r.entries, x.(Result)) }
+
+func (r *resultHeap) Pop() any {
+	last := r.entries[len(r.entries)-1]
+	r.entries = r.entries[:len(r.entries)-1]
+	return last
+}

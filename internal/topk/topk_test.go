@@ -1,0 +1,140 @@
+package topk
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestBasicTopK(t *testing.T) {
+	h := New(3)
+	h.Add(1, 10)
+	h.Add(2, 50)
+	h.Add(3, 30)
+	h.Add(4, 20)
+	h.Add(5, 40)
+	got := h.Results()
+	if len(got) != 3 {
+		t.Fatalf("got %d results, want 3", len(got))
+	}
+	wantDocs := []int64{2, 5, 3}
+	for i, r := range got {
+		if r.Doc != wantDocs[i] {
+			t.Errorf("result %d = doc %d, want %d", i, r.Doc, wantDocs[i])
+		}
+	}
+}
+
+func TestKOfOneMinimum(t *testing.T) {
+	h := New(0)
+	if h.K() != 1 {
+		t.Errorf("K() = %d, want clamp to 1", h.K())
+	}
+	h.Add(9, 1)
+	h.Add(10, 2)
+	got := h.Results()
+	if len(got) != 1 || got[0].Doc != 10 {
+		t.Errorf("Results = %v, want just doc 10", got)
+	}
+}
+
+func TestMinScoreOnlyWhenFull(t *testing.T) {
+	h := New(2)
+	if _, ok := h.MinScore(); ok {
+		t.Error("MinScore reported a value on an empty heap")
+	}
+	h.Add(1, 5)
+	if _, ok := h.MinScore(); ok {
+		t.Error("MinScore reported a value before the heap was full")
+	}
+	h.Add(2, 9)
+	min, ok := h.MinScore()
+	if !ok || min != 5 {
+		t.Errorf("MinScore = %v, %v; want 5, true", min, ok)
+	}
+	h.Add(3, 7)
+	min, _ = h.MinScore()
+	if min != 7 {
+		t.Errorf("MinScore after displacement = %v, want 7", min)
+	}
+}
+
+func TestDuplicateDocKeepsBestScore(t *testing.T) {
+	h := New(2)
+	h.Add(1, 10)
+	h.Add(1, 25)
+	h.Add(1, 5)
+	got := h.Results()
+	if len(got) != 1 {
+		t.Fatalf("duplicate adds produced %d results, want 1", len(got))
+	}
+	if got[0].Score != 25 {
+		t.Errorf("score = %g, want best offer 25", got[0].Score)
+	}
+}
+
+func TestTieBreakByDocID(t *testing.T) {
+	h := New(2)
+	h.Add(5, 10)
+	h.Add(3, 10)
+	h.Add(9, 10)
+	got := h.Results()
+	if len(got) != 2 {
+		t.Fatalf("got %d results", len(got))
+	}
+	if got[0].Doc != 3 || got[1].Doc != 5 {
+		t.Errorf("tie break kept docs %d, %d; want 3, 5", got[0].Doc, got[1].Doc)
+	}
+}
+
+func TestContains(t *testing.T) {
+	h := New(2)
+	h.Add(1, 10)
+	h.Add(2, 20)
+	h.Add(3, 30) // evicts doc 1
+	if h.Contains(1) {
+		t.Error("evicted doc still reported as contained")
+	}
+	if !h.Contains(2) || !h.Contains(3) {
+		t.Error("retained docs not reported as contained")
+	}
+}
+
+func TestAgainstSortOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(200) + 1
+		k := rng.Intn(20) + 1
+		type pair struct {
+			doc   int64
+			score float64
+		}
+		var all []pair
+		h := New(k)
+		for i := 0; i < n; i++ {
+			p := pair{doc: int64(i), score: float64(rng.Intn(1000))}
+			all = append(all, p)
+			h.Add(p.doc, p.score)
+		}
+		sort.Slice(all, func(i, j int) bool {
+			if all[i].score != all[j].score {
+				return all[i].score > all[j].score
+			}
+			return all[i].doc < all[j].doc
+		})
+		want := all
+		if len(want) > k {
+			want = want[:k]
+		}
+		got := h.Results()
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: got %d results, want %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].Doc != want[i].doc || got[i].Score != want[i].score {
+				t.Fatalf("trial %d result %d = (%d, %g), want (%d, %g)",
+					trial, i, got[i].Doc, got[i].Score, want[i].doc, want[i].score)
+			}
+		}
+	}
+}

@@ -1,0 +1,538 @@
+// Package view implements the SVR score specification framework of §3.1 and
+// the incrementally maintained Score materialized view of §3.2.
+//
+// A score specification names a set of scoring components — the Go
+// equivalents of the paper's SQL-bodied functions S1..Sm, each mapping a
+// primary-key value of the indexed relation to a float — and an aggregation
+// function Agg that combines them into the document's SVR score.  The
+// ScoreView materializes Agg(S1(pk), ..., Sm(pk)) for every row of the
+// indexed relation, keeps it up to date incrementally as the base relations
+// change (by subscribing to table change notifications, the equivalent of
+// incremental view maintenance), and notifies listeners — the inverted-list
+// indexes — whenever a document's score changes.
+package view
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"svrdb/internal/codec"
+	"svrdb/internal/relation"
+	"svrdb/internal/storage/btree"
+)
+
+// Component is one scoring component: the equivalent of a SQL-bodied
+// function S_i(Ck) returning a float for a primary key of the indexed
+// relation.
+type Component struct {
+	// Name identifies the component in diagnostics.
+	Name string
+	// Eval computes the component score for the document with primary key pk.
+	Eval func(db *relation.DB, pk int64) (float64, error)
+	// DependsOn lists the base tables whose changes can affect this
+	// component, and how rows of those tables map back to a document.
+	DependsOn []Dependency
+}
+
+// Dependency states that changes to rows of Table affect the document whose
+// primary key is stored in FKColumn of that table.  An empty FKColumn means
+// the table's own primary key is the document key (the indexed relation
+// itself).
+type Dependency struct {
+	Table    string
+	FKColumn string
+}
+
+// Aggregator combines the component scores into the final SVR score.  It
+// must be deterministic; the engine re-evaluates it on every refresh.
+type Aggregator func(components []float64) float64
+
+// WeightedSum returns an aggregator computing sum_i w_i * s_i, the shape of
+// the paper's example Agg(s1,s2,s3) = s1*100 + s2/2 + s3.
+func WeightedSum(weights ...float64) Aggregator {
+	w := append([]float64(nil), weights...)
+	return func(components []float64) float64 {
+		total := 0.0
+		for i, c := range components {
+			if i < len(w) {
+				total += w[i] * c
+			} else {
+				total += c
+			}
+		}
+		return total
+	}
+}
+
+// Sum returns an aggregator that simply adds the components.
+func Sum() Aggregator {
+	return func(components []float64) float64 {
+		total := 0.0
+		for _, c := range components {
+			total += c
+		}
+		return total
+	}
+}
+
+// Spec is a full SVR score specification for one text column.
+type Spec struct {
+	// Components are the scoring components S1..Sm.
+	Components []Component
+	// Agg combines the component values; nil means Sum().
+	Agg Aggregator
+	// IncludeTermScore requests that IR-style term scores (TF-IDF) be
+	// combined with the SVR score at query time; it does not affect the
+	// materialized view (§3.2 notes the TF-IDF term is excluded from the
+	// view and handled by the query algorithm).
+	IncludeTermScore bool
+}
+
+// Validate checks that the spec is usable.
+func (s *Spec) Validate() error {
+	if len(s.Components) == 0 {
+		return errors.New("view: spec needs at least one scoring component")
+	}
+	for i, c := range s.Components {
+		if c.Eval == nil {
+			return fmt.Errorf("view: component %d (%q) has no Eval function", i, c.Name)
+		}
+	}
+	return nil
+}
+
+// --- component constructors ---------------------------------------------------
+
+// AvgColumn returns a component computing AVG(valueColumn) over the rows of
+// table whose fkColumn equals the document key — the shape of the paper's S1
+// (average review rating).  Documents with no matching rows score 0.
+func AvgColumn(table, valueColumn, fkColumn string) Component {
+	return Component{
+		Name:      fmt.Sprintf("avg(%s.%s)", table, valueColumn),
+		DependsOn: []Dependency{{Table: table, FKColumn: fkColumn}},
+		Eval: func(db *relation.DB, pk int64) (float64, error) {
+			sum, n, err := foldColumn(db, table, valueColumn, fkColumn, pk)
+			if err != nil {
+				return 0, err
+			}
+			if n == 0 {
+				return 0, nil
+			}
+			return sum / float64(n), nil
+		},
+	}
+}
+
+// SumColumn returns a component computing SUM(valueColumn) over matching rows.
+func SumColumn(table, valueColumn, fkColumn string) Component {
+	return Component{
+		Name:      fmt.Sprintf("sum(%s.%s)", table, valueColumn),
+		DependsOn: []Dependency{{Table: table, FKColumn: fkColumn}},
+		Eval: func(db *relation.DB, pk int64) (float64, error) {
+			sum, _, err := foldColumn(db, table, valueColumn, fkColumn, pk)
+			return sum, err
+		},
+	}
+}
+
+// CountRows returns a component counting the matching rows of table.
+func CountRows(table, fkColumn string) Component {
+	return Component{
+		Name:      fmt.Sprintf("count(%s)", table),
+		DependsOn: []Dependency{{Table: table, FKColumn: fkColumn}},
+		Eval: func(db *relation.DB, pk int64) (float64, error) {
+			tbl, err := db.Table(table)
+			if err != nil {
+				return 0, err
+			}
+			if err := tbl.EnsureIndex(fkColumn); err != nil {
+				return 0, err
+			}
+			count := 0.0
+			err = tbl.LookupByColumn(fkColumn, relation.Int(pk), func(relation.Row) bool {
+				count++
+				return true
+			})
+			return count, err
+		},
+	}
+}
+
+// LookupColumn returns a component reading valueColumn from the single row of
+// table whose fkColumn equals the document key — the shape of the paper's S2
+// and S3 (nVisit and nDownload in the Statistics table).  Missing rows score
+// 0; when several rows match, the first is used.
+func LookupColumn(table, valueColumn, fkColumn string) Component {
+	return Component{
+		Name:      fmt.Sprintf("%s.%s", table, valueColumn),
+		DependsOn: []Dependency{{Table: table, FKColumn: fkColumn}},
+		Eval: func(db *relation.DB, pk int64) (float64, error) {
+			tbl, err := db.Table(table)
+			if err != nil {
+				return 0, err
+			}
+			if err := tbl.EnsureIndex(fkColumn); err != nil {
+				return 0, err
+			}
+			colIdx, err := tbl.Schema().ColumnIndex(valueColumn)
+			if err != nil {
+				return 0, err
+			}
+			out := 0.0
+			found := false
+			err = tbl.LookupByColumn(fkColumn, relation.Int(pk), func(r relation.Row) bool {
+				out = r[colIdx].AsFloat()
+				found = true
+				return false
+			})
+			_ = found
+			return out, err
+		},
+	}
+}
+
+// OwnColumn returns a component reading a numeric column of the indexed
+// relation itself (for example ranking an auctions table by its own
+// currentBid column).
+func OwnColumn(table, valueColumn string) Component {
+	return Component{
+		Name:      fmt.Sprintf("%s.%s", table, valueColumn),
+		DependsOn: []Dependency{{Table: table}},
+		Eval: func(db *relation.DB, pk int64) (float64, error) {
+			tbl, err := db.Table(table)
+			if err != nil {
+				return 0, err
+			}
+			colIdx, err := tbl.Schema().ColumnIndex(valueColumn)
+			if err != nil {
+				return 0, err
+			}
+			row, err := tbl.Get(pk)
+			if errors.Is(err, relation.ErrNotFound) {
+				return 0, nil
+			}
+			if err != nil {
+				return 0, err
+			}
+			return row[colIdx].AsFloat(), nil
+		},
+	}
+}
+
+// Constant returns a component with a fixed value (useful for offsets in
+// tests and ablations).
+func Constant(v float64) Component {
+	return Component{
+		Name: fmt.Sprintf("const(%g)", v),
+		Eval: func(*relation.DB, int64) (float64, error) { return v, nil },
+	}
+}
+
+func foldColumn(db *relation.DB, table, valueColumn, fkColumn string, pk int64) (sum float64, n int, err error) {
+	tbl, err := db.Table(table)
+	if err != nil {
+		return 0, 0, err
+	}
+	if err := tbl.EnsureIndex(fkColumn); err != nil {
+		return 0, 0, err
+	}
+	colIdx, err := tbl.Schema().ColumnIndex(valueColumn)
+	if err != nil {
+		return 0, 0, err
+	}
+	err = tbl.LookupByColumn(fkColumn, relation.Int(pk), func(r relation.Row) bool {
+		sum += r[colIdx].AsFloat()
+		n++
+		return true
+	})
+	return sum, n, err
+}
+
+// --- the Score materialized view ----------------------------------------------
+
+// ScoreChange is delivered to listeners when a document's SVR score changes.
+type ScoreChange struct {
+	Doc int64
+	Old float64
+	New float64
+	// Inserted is true when the document first enters the view, Deleted when
+	// it leaves.
+	Inserted bool
+	Deleted  bool
+}
+
+// ScoreListener observes score changes; the inverted-list indexes register
+// one so that score updates reach Algorithm 1.
+type ScoreListener func(ScoreChange)
+
+// ScoreView materializes the SVR score of every document of the indexed
+// relation, exactly as the paper's `create materialized view Score` (§3.2).
+type ScoreView struct {
+	db        *relation.DB
+	baseTable string
+	spec      Spec
+	tree      *btree.Tree
+
+	mu        sync.RWMutex
+	listeners []ScoreListener
+	attached  bool
+	rows      int
+	refreshes uint64
+}
+
+// NewScoreView creates the view for the given indexed relation and spec.
+// Call Build to populate it and Attach to enable incremental maintenance.
+func NewScoreView(db *relation.DB, baseTable string, spec Spec) (*ScoreView, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if spec.Agg == nil {
+		spec.Agg = Sum()
+	}
+	if _, err := db.Table(baseTable); err != nil {
+		return nil, err
+	}
+	tree, err := btree.New(db.Pool())
+	if err != nil {
+		return nil, err
+	}
+	return &ScoreView{db: db, baseTable: baseTable, spec: spec, tree: tree}, nil
+}
+
+// Spec returns the view's score specification.
+func (v *ScoreView) Spec() Spec { return v.spec }
+
+// Len reports how many documents currently have a materialized score.
+func (v *ScoreView) Len() int {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return v.rows
+}
+
+// Refreshes reports how many single-document refreshes have run (a proxy for
+// incremental-maintenance work in benchmarks).
+func (v *ScoreView) Refreshes() uint64 {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return v.refreshes
+}
+
+// OnScoreChange registers a listener invoked after each score change.
+func (v *ScoreView) OnScoreChange(l ScoreListener) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.listeners = append(v.listeners, l)
+}
+
+func (v *ScoreView) notify(c ScoreChange) {
+	v.mu.RLock()
+	listeners := append([]ScoreListener(nil), v.listeners...)
+	v.mu.RUnlock()
+	for _, l := range listeners {
+		l(c)
+	}
+}
+
+func scoreKey(pk int64) []byte { return codec.PutOrderedUint64(nil, uint64(pk)) }
+
+// compute evaluates the aggregated score for one document.
+func (v *ScoreView) compute(pk int64) (float64, error) {
+	components := make([]float64, len(v.spec.Components))
+	for i, c := range v.spec.Components {
+		s, err := c.Eval(v.db, pk)
+		if err != nil {
+			return 0, fmt.Errorf("view: component %q for doc %d: %w", c.Name, pk, err)
+		}
+		components[i] = s
+	}
+	return v.spec.Agg(components), nil
+}
+
+// Score returns the materialized score of a document.
+func (v *ScoreView) Score(pk int64) (float64, bool, error) {
+	data, ok, err := v.tree.Get(scoreKey(pk))
+	if err != nil || !ok {
+		return 0, false, err
+	}
+	s, _, err := codec.Float64(data)
+	if err != nil {
+		return 0, false, err
+	}
+	return s, true, nil
+}
+
+// ForEach visits every (document, score) pair in primary-key order.
+func (v *ScoreView) ForEach(visit func(pk int64, score float64) bool) error {
+	var innerErr error
+	err := v.tree.Ascend(func(k, val []byte) bool {
+		pk, _, err := codec.OrderedUint64(k)
+		if err != nil {
+			innerErr = err
+			return false
+		}
+		s, _, err := codec.Float64(val)
+		if err != nil {
+			innerErr = err
+			return false
+		}
+		return visit(int64(pk), s)
+	})
+	if innerErr != nil {
+		return innerErr
+	}
+	return err
+}
+
+// Build fully (re)materializes the view from the base relation.
+func (v *ScoreView) Build() error {
+	base, err := v.db.Table(v.baseTable)
+	if err != nil {
+		return err
+	}
+	var scanErr error
+	err = base.Scan(func(row relation.Row) bool {
+		pk := row[0].I
+		if scanErr = v.Refresh(pk); scanErr != nil {
+			return false
+		}
+		return true
+	})
+	if scanErr != nil {
+		return scanErr
+	}
+	return err
+}
+
+// Refresh recomputes the score of one document and notifies listeners if it
+// changed.  This is the unit of incremental maintenance.
+func (v *ScoreView) Refresh(pk int64) error {
+	v.mu.Lock()
+	v.refreshes++
+	v.mu.Unlock()
+
+	newScore, err := v.compute(pk)
+	if err != nil {
+		return err
+	}
+	old, existed, err := v.Score(pk)
+	if err != nil {
+		return err
+	}
+	if existed && old == newScore {
+		return nil
+	}
+	if err := v.tree.Put(scoreKey(pk), codec.PutFloat64(nil, newScore)); err != nil {
+		return err
+	}
+	if !existed {
+		v.mu.Lock()
+		v.rows++
+		v.mu.Unlock()
+	}
+	v.notify(ScoreChange{Doc: pk, Old: old, New: newScore, Inserted: !existed})
+	return nil
+}
+
+// Remove drops a document from the view (document deletion).
+func (v *ScoreView) Remove(pk int64) error {
+	old, existed, err := v.Score(pk)
+	if err != nil {
+		return err
+	}
+	if !existed {
+		return nil
+	}
+	if _, err := v.tree.Delete(scoreKey(pk)); err != nil {
+		return err
+	}
+	v.mu.Lock()
+	v.rows--
+	v.mu.Unlock()
+	v.notify(ScoreChange{Doc: pk, Old: old, Deleted: true})
+	return nil
+}
+
+// Attach registers change listeners on every dependency table so that base
+// updates are folded into the view incrementally.  It is idempotent.
+func (v *ScoreView) Attach() error {
+	v.mu.Lock()
+	if v.attached {
+		v.mu.Unlock()
+		return nil
+	}
+	v.attached = true
+	v.mu.Unlock()
+
+	type hook struct {
+		table    string
+		fkColumn string
+	}
+	hooks := map[hook]bool{}
+	for _, c := range v.spec.Components {
+		for _, dep := range c.DependsOn {
+			table := dep.Table
+			if table == "" {
+				table = v.baseTable
+			}
+			hooks[hook{table: table, fkColumn: dep.FKColumn}] = true
+		}
+	}
+	// The indexed relation itself always participates: inserting or deleting
+	// a document must add or remove its view row.
+	hooks[hook{table: v.baseTable}] = true
+
+	for h := range hooks {
+		tbl, err := v.db.Table(h.table)
+		if err != nil {
+			return err
+		}
+		fkIdx := -1
+		if h.fkColumn != "" {
+			fkIdx, err = tbl.Schema().ColumnIndex(h.fkColumn)
+			if err != nil {
+				return err
+			}
+		}
+		isBase := h.table == v.baseTable && h.fkColumn == ""
+		fk := fkIdx
+		tbl.OnChange(func(c relation.Change) {
+			v.handleChange(c, isBase, fk)
+		})
+	}
+	return nil
+}
+
+// handleChange folds one base-table change into the view.  Errors during
+// asynchronous maintenance are currently dropped after best effort; the
+// engine's tests verify the view against full recomputation.
+func (v *ScoreView) handleChange(c relation.Change, isBase bool, fkIdx int) {
+	affected := map[int64]bool{}
+	if isBase {
+		switch c.Kind {
+		case relation.ChangeDelete:
+			_ = v.Remove(c.PK)
+			return
+		default:
+			affected[c.PK] = true
+		}
+	} else if fkIdx >= 0 {
+		if c.Old != nil && fkIdx < len(c.Old) {
+			affected[c.Old[fkIdx].AsInt()] = true
+		}
+		if c.New != nil && fkIdx < len(c.New) {
+			affected[c.New[fkIdx].AsInt()] = true
+		}
+	}
+	for pk := range affected {
+		// Only refresh documents that exist in the indexed relation.
+		base, err := v.db.Table(v.baseTable)
+		if err != nil {
+			return
+		}
+		if _, err := base.Get(pk); err != nil {
+			continue
+		}
+		_ = v.Refresh(pk)
+	}
+}

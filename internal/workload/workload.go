@@ -1,0 +1,461 @@
+// Package workload generates the synthetic and Internet-Archive-style data
+// sets, score-update traces and keyword-query workloads used by the paper's
+// evaluation (§5.1, Figure 6), scaled to run on a laptop.
+//
+// The shapes of the distributions follow the paper exactly:
+//
+//   - term occurrences follow a Zipf distribution with parameter 0.1 over a
+//     fixed vocabulary;
+//   - document scores range over [0, ScoreMax] and follow a Zipf
+//     distribution with parameter 0.75 (what the authors measured on the
+//     real Internet Archive data);
+//   - score updates target high-score documents more often (Zipf over the
+//     score rank), have sizes uniform in [0, 2·mean], and a configurable
+//     "focus set" of documents receives a configurable share of strictly
+//     increasing updates (flash crowds);
+//   - queries draw their keywords from the most frequent terms, with three
+//     selectivity classes corresponding to the paper's unselective /
+//     medium-selective / selective workloads.
+//
+// Absolute sizes are scaled down (the paper uses 2000-term documents over a
+// 200 000-term vocabulary and an 805 MB table); Params.Scale lets the
+// benchmark harness pick a size appropriate for the machine while keeping
+// every distribution parameter identical.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"svrdb/internal/postings"
+)
+
+// DocID aliases the index document identifier.
+type DocID = postings.DocID
+
+// Params describes a synthetic collection (Figure 6, first row).
+type Params struct {
+	// NumDocs is the number of documents.
+	NumDocs int
+	// TermsPerDoc is the number of tokens per document (the paper uses 2000).
+	TermsPerDoc int
+	// VocabSize is the number of distinct terms in the collection (the paper
+	// uses 200000, roughly the size of English).
+	VocabSize int
+	// TermZipf is the Zipf parameter of term frequencies (0.1 in the paper).
+	TermZipf float64
+	// ScoreMax is the upper end of the score domain (100000 in the paper).
+	ScoreMax float64
+	// ScoreZipf is the Zipf parameter of the score distribution (0.75).
+	ScoreZipf float64
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// DefaultParams returns the paper's parameters at a laptop-friendly scale.
+//
+// One deliberate deviation: the full-size collection (2000-token documents,
+// 200 000-term vocabulary) gives a two-keyword "unselective" query a result
+// set of a few percent of the collection, which is what lets the paper's
+// top-k algorithms terminate early.  Shrinking documents and vocabulary with
+// the paper's very flat Zipf(0.1) term distribution would make two-keyword
+// conjunctions match almost nothing and every method degenerate to a full
+// scan, so the scaled-down default uses a steeper (English-like) Zipf(1.0)
+// term distribution to preserve the paper's query selectivities.  PaperParams
+// keeps the published value.
+func DefaultParams() Params {
+	return Params{
+		NumDocs:     8000,
+		TermsPerDoc: 200,
+		VocabSize:   20000,
+		TermZipf:    1.0,
+		ScoreMax:    100000,
+		ScoreZipf:   0.75,
+		Seed:        1,
+	}
+}
+
+// PaperParams returns the full-size parameters from Figure 6.  Building this
+// collection takes the better part of an hour and several GB of memory; the
+// benchmark harness uses DefaultParams unless asked otherwise.
+func PaperParams() Params {
+	return Params{
+		NumDocs:     50000,
+		TermsPerDoc: 2000,
+		VocabSize:   200000,
+		TermZipf:    0.1,
+		ScoreMax:    100000,
+		ScoreZipf:   0.75,
+		Seed:        1,
+	}
+}
+
+// Scaled multiplies the collection size by f (document count and vocabulary;
+// the tokens per document stay fixed so per-document update cost keeps its
+// meaning).
+func (p Params) Scaled(f float64) Params {
+	if f <= 0 {
+		return p
+	}
+	out := p
+	out.NumDocs = max(1, int(float64(p.NumDocs)*f))
+	out.VocabSize = max(16, int(float64(p.VocabSize)*f))
+	return out
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Corpus is a generated document collection.  It implements index.DocSource.
+type Corpus struct {
+	params Params
+	tokens [][]string
+	scores []float64
+	// termRank lists distinct terms ordered by descending collection
+	// frequency (used to build query workloads).
+	termRank []string
+}
+
+// Generate builds a synthetic corpus.
+func Generate(p Params) *Corpus {
+	rng := rand.New(rand.NewSource(p.Seed))
+	vocab := make([]string, p.VocabSize)
+	for i := range vocab {
+		vocab[i] = fmt.Sprintf("t%06d", i)
+	}
+	sampler := newZipfSampler(rng, p.TermZipf, p.VocabSize)
+
+	c := &Corpus{params: p, tokens: make([][]string, p.NumDocs), scores: make([]float64, p.NumDocs)}
+	termFreq := make([]int64, p.VocabSize)
+	for d := 0; d < p.NumDocs; d++ {
+		doc := make([]string, p.TermsPerDoc)
+		for i := range doc {
+			t := sampler.next()
+			doc[i] = vocab[t]
+			termFreq[t]++
+		}
+		c.tokens[d] = doc
+	}
+
+	// Scores: Zipf over a random permutation of the documents, scaled to
+	// [0, ScoreMax]: the rank-1 document gets ScoreMax, the rank-r document
+	// gets ScoreMax / r^ScoreZipf.
+	perm := rng.Perm(p.NumDocs)
+	for rank, d := range perm {
+		c.scores[d] = p.ScoreMax / math.Pow(float64(rank+1), p.ScoreZipf)
+	}
+
+	// Rank terms by collection frequency for the query workloads.
+	type tf struct {
+		term string
+		n    int64
+	}
+	ranked := make([]tf, 0, p.VocabSize)
+	for i, n := range termFreq {
+		if n > 0 {
+			ranked = append(ranked, tf{term: vocab[i], n: n})
+		}
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].n != ranked[j].n {
+			return ranked[i].n > ranked[j].n
+		}
+		return ranked[i].term < ranked[j].term
+	})
+	c.termRank = make([]string, len(ranked))
+	for i, r := range ranked {
+		c.termRank[i] = r.term
+	}
+	return c
+}
+
+// Params returns the parameters the corpus was generated with.
+func (c *Corpus) Params() Params { return c.params }
+
+// NumDocs implements index.DocSource.
+func (c *Corpus) NumDocs() int { return len(c.tokens) }
+
+// ForEach implements index.DocSource.  Document IDs are 1-based.
+func (c *Corpus) ForEach(fn func(doc DocID, tokens []string) error) error {
+	for i, tokens := range c.tokens {
+		if err := fn(DocID(i+1), tokens); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Tokens implements index.DocSource.
+func (c *Corpus) Tokens(doc DocID) ([]string, error) {
+	i := int(doc) - 1
+	if i < 0 || i >= len(c.tokens) {
+		return nil, fmt.Errorf("workload: no document %d", doc)
+	}
+	return c.tokens[i], nil
+}
+
+// Score returns the build-time score of a document.
+func (c *Corpus) Score(doc DocID) float64 {
+	i := int(doc) - 1
+	if i < 0 || i >= len(c.scores) {
+		return 0
+	}
+	return c.scores[i]
+}
+
+// ScoreFunc adapts Score to the index build signature.
+func (c *Corpus) ScoreFunc() func(DocID) float64 {
+	return func(doc DocID) float64 { return c.Score(doc) }
+}
+
+// DistinctTermCount reports how many distinct terms actually occur.
+func (c *Corpus) DistinctTermCount() int { return len(c.termRank) }
+
+// --- Zipf sampling --------------------------------------------------------------
+
+// zipfSampler draws ranks 0..n-1 with probability proportional to
+// 1/(rank+1)^s.  The standard library's rand.Zipf requires s > 1, but the
+// paper uses s = 0.1 for terms and 0.75 for scores, so a cumulative-table
+// sampler is used instead.
+type zipfSampler struct {
+	rng *rand.Rand
+	cum []float64
+}
+
+func newZipfSampler(rng *rand.Rand, s float64, n int) *zipfSampler {
+	cum := make([]float64, n)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += 1 / math.Pow(float64(i+1), s)
+		cum[i] = total
+	}
+	for i := range cum {
+		cum[i] /= total
+	}
+	return &zipfSampler{rng: rng, cum: cum}
+}
+
+func (z *zipfSampler) next() int {
+	u := z.rng.Float64()
+	return sort.SearchFloat64s(z.cum, u)
+}
+
+// --- score update workload -------------------------------------------------------
+
+// FocusMode controls the direction of focus-set updates (Figure 6's "focus
+// increase update" parameter).
+type FocusMode int
+
+const (
+	// FocusIncrease makes every focus-set update strictly increasing (the
+	// default: newly popular documents).
+	FocusIncrease FocusMode = iota
+	// FocusDecrease makes every focus-set update strictly decreasing.
+	FocusDecrease
+	// FocusMixed increases scores for half the focus set and decreases them
+	// for the other half.
+	FocusMixed
+)
+
+// UpdateParams describes a score-update trace (Figure 6, rows 2-5).
+type UpdateParams struct {
+	// NumUpdates is the number of score updates to generate.
+	NumUpdates int
+	// MeanStep is the mean magnitude of an update; sizes are uniform in
+	// [0, 2·MeanStep] (the paper's "mean update size").
+	MeanStep float64
+	// FocusSetFraction is the fraction of the collection in the focus set.
+	FocusSetFraction float64
+	// FocusUpdateFraction is the fraction of updates that target the focus
+	// set.
+	FocusUpdateFraction float64
+	// FocusMode controls the direction of focus-set updates.
+	FocusMode FocusMode
+	// RankZipf is the Zipf parameter used to pick non-focus update targets by
+	// score rank (higher-scored documents are updated more often, as observed
+	// in the Internet Archive logs).
+	RankZipf float64
+	// Seed makes the trace deterministic.
+	Seed int64
+}
+
+// DefaultUpdateParams mirrors the paper's default update workload.
+func DefaultUpdateParams() UpdateParams {
+	return UpdateParams{
+		NumUpdates:          10000,
+		MeanStep:            100,
+		FocusSetFraction:    0.01,
+		FocusUpdateFraction: 0.2,
+		FocusMode:           FocusIncrease,
+		RankZipf:            0.75,
+		Seed:                2,
+	}
+}
+
+// ScoreUpdate is one entry of an update trace.
+type ScoreUpdate struct {
+	Doc      DocID
+	NewScore float64
+}
+
+// GenerateUpdates produces a deterministic score-update trace over the
+// corpus.  The trace tracks the evolving scores so that consecutive updates
+// to the same document compose the way a live system would see them.
+func GenerateUpdates(c *Corpus, p UpdateParams) []ScoreUpdate {
+	rng := rand.New(rand.NewSource(p.Seed))
+	n := c.NumDocs()
+	if n == 0 || p.NumUpdates <= 0 {
+		return nil
+	}
+
+	// Rank documents by initial score so that rank-based Zipf targeting
+	// prefers popular documents.
+	rankOrder := make([]int, n)
+	for i := range rankOrder {
+		rankOrder[i] = i
+	}
+	sort.Slice(rankOrder, func(a, b int) bool { return c.scores[rankOrder[a]] > c.scores[rankOrder[b]] })
+	targetSampler := newZipfSampler(rng, p.RankZipf, n)
+
+	// Focus set: a random subset of documents that receive directed updates.
+	focusSize := int(float64(n) * p.FocusSetFraction)
+	if focusSize < 1 {
+		focusSize = 1
+	}
+	focusDocs := rng.Perm(n)[:focusSize]
+
+	current := append([]float64(nil), c.scores...)
+	updates := make([]ScoreUpdate, 0, p.NumUpdates)
+	for u := 0; u < p.NumUpdates; u++ {
+		var idx int
+		focus := rng.Float64() < p.FocusUpdateFraction
+		if focus {
+			idx = focusDocs[rng.Intn(len(focusDocs))]
+		} else {
+			idx = rankOrder[targetSampler.next()]
+		}
+		step := rng.Float64() * 2 * p.MeanStep
+		var delta float64
+		if focus {
+			switch p.FocusMode {
+			case FocusDecrease:
+				delta = -step
+			case FocusMixed:
+				if idx%2 == 0 {
+					delta = step
+				} else {
+					delta = -step
+				}
+			default:
+				delta = step
+			}
+		} else {
+			if rng.Intn(2) == 0 {
+				delta = step
+			} else {
+				delta = -step
+			}
+		}
+		newScore := current[idx] + delta
+		if newScore < 0 {
+			newScore = 0
+		}
+		if newScore > c.params.ScoreMax*10 {
+			newScore = c.params.ScoreMax * 10
+		}
+		current[idx] = newScore
+		updates = append(updates, ScoreUpdate{Doc: DocID(idx + 1), NewScore: newScore})
+	}
+	return updates
+}
+
+// --- query workload ---------------------------------------------------------------
+
+// QueryClass selects the selectivity of the query keywords (§5.1).
+type QueryClass int
+
+const (
+	// Unselective queries draw keywords from the most frequent terms
+	// (the paper's top-350 of 200000).
+	Unselective QueryClass = iota
+	// MediumSelective queries draw from the top 1600.
+	MediumSelective
+	// Selective queries draw from the top 15000.
+	Selective
+)
+
+// String implements fmt.Stringer.
+func (c QueryClass) String() string {
+	switch c {
+	case Unselective:
+		return "unselective"
+	case MediumSelective:
+		return "medium"
+	case Selective:
+		return "selective"
+	default:
+		return fmt.Sprintf("QueryClass(%d)", int(c))
+	}
+}
+
+// QueryParams describes a keyword-query workload.
+type QueryParams struct {
+	Class         QueryClass
+	TermsPerQuery int
+	NumQueries    int
+	Seed          int64
+}
+
+// DefaultQueryParams mirrors the paper's default query workload: two-keyword
+// unselective queries.
+func DefaultQueryParams() QueryParams {
+	return QueryParams{Class: Unselective, TermsPerQuery: 2, NumQueries: 50, Seed: 3}
+}
+
+// windowFraction maps a query class to the fraction of the ranked vocabulary
+// its keywords are drawn from, preserving the paper's proportions (350, 1600
+// and 15000 out of 200000 terms).
+func windowFraction(class QueryClass) float64 {
+	switch class {
+	case Unselective:
+		return 350.0 / 200000.0
+	case MediumSelective:
+		return 1600.0 / 200000.0
+	default:
+		return 15000.0 / 200000.0
+	}
+}
+
+// GenerateQueries produces keyword queries whose terms are drawn uniformly
+// from the class's window of most frequent terms.
+func GenerateQueries(c *Corpus, p QueryParams) [][]string {
+	rng := rand.New(rand.NewSource(p.Seed))
+	window := int(float64(len(c.termRank)) * windowFraction(p.Class))
+	if window < p.TermsPerQuery {
+		window = p.TermsPerQuery
+	}
+	if window > len(c.termRank) {
+		window = len(c.termRank)
+	}
+	queries := make([][]string, 0, p.NumQueries)
+	for q := 0; q < p.NumQueries; q++ {
+		seen := map[int]bool{}
+		terms := make([]string, 0, p.TermsPerQuery)
+		for len(terms) < p.TermsPerQuery && len(seen) < window {
+			i := rng.Intn(window)
+			if seen[i] {
+				continue
+			}
+			seen[i] = true
+			terms = append(terms, c.termRank[i])
+		}
+		queries = append(queries, terms)
+	}
+	return queries
+}

@@ -1,0 +1,317 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"svrdb/internal/relation"
+	"svrdb/internal/storage/buffer"
+	"svrdb/internal/storage/pagefile"
+)
+
+func smallParams() Params {
+	p := DefaultParams()
+	p.NumDocs = 500
+	p.TermsPerDoc = 40
+	p.VocabSize = 800
+	return p
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(smallParams())
+	b := Generate(smallParams())
+	if a.NumDocs() != b.NumDocs() {
+		t.Fatal("document counts differ between identical seeds")
+	}
+	ta, _ := a.Tokens(1)
+	tb, _ := b.Tokens(1)
+	if len(ta) != len(tb) {
+		t.Fatal("token counts differ between identical seeds")
+	}
+	for i := range ta {
+		if ta[i] != tb[i] {
+			t.Fatalf("token %d differs: %s vs %s", i, ta[i], tb[i])
+		}
+	}
+	if a.Score(1) != b.Score(1) {
+		t.Error("scores differ between identical seeds")
+	}
+}
+
+func TestCorpusShape(t *testing.T) {
+	p := smallParams()
+	c := Generate(p)
+	if c.NumDocs() != p.NumDocs {
+		t.Errorf("NumDocs = %d, want %d", c.NumDocs(), p.NumDocs)
+	}
+	count := 0
+	err := c.ForEach(func(doc DocID, tokens []string) error {
+		if len(tokens) != p.TermsPerDoc {
+			t.Errorf("doc %d has %d tokens, want %d", doc, len(tokens), p.TermsPerDoc)
+		}
+		if s := c.Score(doc); s < 0 || s > p.ScoreMax {
+			t.Errorf("doc %d score %g outside [0, %g]", doc, s, p.ScoreMax)
+		}
+		count++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != p.NumDocs {
+		t.Errorf("ForEach visited %d docs, want %d", count, p.NumDocs)
+	}
+	if c.DistinctTermCount() == 0 || c.DistinctTermCount() > p.VocabSize {
+		t.Errorf("DistinctTermCount = %d", c.DistinctTermCount())
+	}
+	if _, err := c.Tokens(DocID(p.NumDocs + 5)); err == nil {
+		t.Error("Tokens of out-of-range doc succeeded")
+	}
+	if c.Score(DocID(p.NumDocs+5)) != 0 {
+		t.Error("Score of out-of-range doc should be 0")
+	}
+}
+
+func TestScoreDistributionIsSkewed(t *testing.T) {
+	c := Generate(smallParams())
+	// Zipf(0.75): the max score should be much larger than the median.
+	var scores []float64
+	c.ForEach(func(doc DocID, _ []string) error {
+		scores = append(scores, c.Score(doc))
+		return nil
+	})
+	maxScore, sum := 0.0, 0.0
+	for _, s := range scores {
+		if s > maxScore {
+			maxScore = s
+		}
+		sum += s
+	}
+	mean := sum / float64(len(scores))
+	if maxScore < 5*mean {
+		t.Errorf("score distribution not skewed: max %g, mean %g", maxScore, mean)
+	}
+}
+
+func TestScaled(t *testing.T) {
+	p := DefaultParams()
+	s := p.Scaled(0.5)
+	if s.NumDocs != p.NumDocs/2 || s.VocabSize != p.VocabSize/2 {
+		t.Errorf("Scaled(0.5) = %+v", s)
+	}
+	if s.TermsPerDoc != p.TermsPerDoc {
+		t.Error("Scaled must not change tokens per document")
+	}
+	if same := p.Scaled(0); same.NumDocs != p.NumDocs {
+		t.Error("Scaled(0) should be a no-op")
+	}
+	if tiny := p.Scaled(0.000001); tiny.NumDocs < 1 || tiny.VocabSize < 16 {
+		t.Errorf("Scaled floor violated: %+v", tiny)
+	}
+}
+
+func TestGenerateUpdates(t *testing.T) {
+	c := Generate(smallParams())
+	up := DefaultUpdateParams()
+	up.NumUpdates = 2000
+	up.MeanStep = 100
+	updates := GenerateUpdates(c, up)
+	if len(updates) != up.NumUpdates {
+		t.Fatalf("generated %d updates, want %d", len(updates), up.NumUpdates)
+	}
+	for i, u := range updates {
+		if u.Doc < 1 || int(u.Doc) > c.NumDocs() {
+			t.Fatalf("update %d targets invalid doc %d", i, u.Doc)
+		}
+		if u.NewScore < 0 {
+			t.Fatalf("update %d has negative score %g", i, u.NewScore)
+		}
+	}
+	// Deterministic.
+	again := GenerateUpdates(c, up)
+	for i := range updates {
+		if updates[i] != again[i] {
+			t.Fatal("update trace not deterministic")
+		}
+	}
+	// Empty cases.
+	if got := GenerateUpdates(c, UpdateParams{NumUpdates: 0}); got != nil {
+		t.Error("zero updates should produce nil trace")
+	}
+}
+
+func TestFocusModes(t *testing.T) {
+	c := Generate(smallParams())
+	base := DefaultUpdateParams()
+	base.NumUpdates = 3000
+	base.FocusUpdateFraction = 1.0 // every update hits the focus set
+	base.FocusSetFraction = 0.02
+
+	inc := base
+	inc.FocusMode = FocusIncrease
+	dec := base
+	dec.FocusMode = FocusDecrease
+
+	incTrace := GenerateUpdates(c, inc)
+	decTrace := GenerateUpdates(c, dec)
+
+	// With strictly increasing focus updates the final scores must trend far
+	// above the originals; with decreasing they must hit zero floors.
+	var incMax, decMax float64
+	for _, u := range incTrace {
+		if u.NewScore > incMax {
+			incMax = u.NewScore
+		}
+	}
+	for _, u := range decTrace {
+		if u.NewScore > decMax {
+			decMax = u.NewScore
+		}
+	}
+	if incMax <= decMax {
+		t.Errorf("increasing focus updates should reach higher scores (inc %g vs dec %g)", incMax, decMax)
+	}
+}
+
+func TestGenerateQueriesClasses(t *testing.T) {
+	c := Generate(smallParams())
+	for _, class := range []QueryClass{Unselective, MediumSelective, Selective} {
+		qp := QueryParams{Class: class, TermsPerQuery: 2, NumQueries: 10, Seed: 4}
+		queries := GenerateQueries(c, qp)
+		if len(queries) != 10 {
+			t.Fatalf("%v: generated %d queries", class, len(queries))
+		}
+		for _, q := range queries {
+			if len(q) != 2 {
+				t.Errorf("%v: query %v does not have 2 terms", class, q)
+			}
+			if q[0] == q[1] {
+				t.Errorf("%v: query has duplicate terms %v", class, q)
+			}
+		}
+	}
+	if Unselective.String() != "unselective" || MediumSelective.String() != "medium" || Selective.String() != "selective" {
+		t.Error("QueryClass String() values wrong")
+	}
+}
+
+func TestUnselectiveQueriesUseFrequentTerms(t *testing.T) {
+	c := Generate(smallParams())
+	// Document frequency of terms used in unselective queries should be
+	// higher on average than those in selective queries.
+	df := map[string]int{}
+	c.ForEach(func(doc DocID, tokens []string) error {
+		seen := map[string]bool{}
+		for _, tok := range tokens {
+			if !seen[tok] {
+				df[tok]++
+				seen[tok] = true
+			}
+		}
+		return nil
+	})
+	avgDF := func(queries [][]string) float64 {
+		total, n := 0, 0
+		for _, q := range queries {
+			for _, term := range q {
+				total += df[term]
+				n++
+			}
+		}
+		return float64(total) / float64(n)
+	}
+	uns := avgDF(GenerateQueries(c, QueryParams{Class: Unselective, TermsPerQuery: 2, NumQueries: 30, Seed: 5}))
+	sel := avgDF(GenerateQueries(c, QueryParams{Class: Selective, TermsPerQuery: 2, NumQueries: 30, Seed: 5}))
+	if uns <= sel {
+		t.Errorf("unselective queries should use more frequent terms (avg df %g vs %g)", uns, sel)
+	}
+}
+
+func TestBuildArchiveDB(t *testing.T) {
+	db := relation.NewDB(buffer.MustNew(pagefile.MustNewMem(pagefile.DefaultPageSize), 4096))
+	p := DefaultArchiveParams()
+	p.NumMovies = 100
+	n, err := BuildArchiveDB(db, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 100 {
+		t.Errorf("BuildArchiveDB returned %d movies", n)
+	}
+	movies, err := db.Table("Movies")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if movies.Len() != 100 {
+		t.Errorf("Movies has %d rows, want 100", movies.Len())
+	}
+	stats, err := db.Table("Statistics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Len() != 100 {
+		t.Errorf("Statistics has %d rows, want 100", stats.Len())
+	}
+	reviews, err := db.Table("Reviews")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reviews.Len() == 0 {
+		t.Error("no reviews generated")
+	}
+	// The archive spec must evaluate without error for every movie.
+	spec := ArchiveSpec()
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for pk := int64(1); pk <= 5; pk++ {
+		total := 0.0
+		vals := make([]float64, len(spec.Components))
+		for i, comp := range spec.Components {
+			v, err := comp.Eval(db, pk)
+			if err != nil {
+				t.Fatalf("component %q for movie %d: %v", comp.Name, pk, err)
+			}
+			vals[i] = v
+		}
+		total = spec.Agg(vals)
+		if math.IsNaN(total) || total < 0 {
+			t.Errorf("archive score for movie %d is %g", pk, total)
+		}
+	}
+	// Building twice into the same database must fail (tables exist).
+	if _, err := BuildArchiveDB(db, p); err == nil {
+		t.Error("second BuildArchiveDB into the same catalog succeeded")
+	}
+}
+
+func TestZipfSamplerSkew(t *testing.T) {
+	c := Generate(smallParams())
+	// Most frequent term should appear in many more documents than the
+	// median term — a sanity check that Zipf sampling is wired in.
+	df := map[string]int{}
+	c.ForEach(func(doc DocID, tokens []string) error {
+		seen := map[string]bool{}
+		for _, tok := range tokens {
+			if !seen[tok] {
+				df[tok]++
+				seen[tok] = true
+			}
+		}
+		return nil
+	})
+	maxDF := 0
+	total := 0
+	for _, n := range df {
+		if n > maxDF {
+			maxDF = n
+		}
+		total += n
+	}
+	mean := float64(total) / float64(len(df))
+	// Zipf(0.1) is intentionally mild (as in the paper), so the most frequent
+	// term is only moderately above the mean — but it must be above it.
+	if float64(maxDF) < 1.3*mean {
+		t.Errorf("term document frequencies not skewed: max %d, mean %g", maxDF, mean)
+	}
+}
