@@ -1,0 +1,3 @@
+module svrdb
+
+go 1.24

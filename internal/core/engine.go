@@ -376,22 +376,28 @@ func (ti *TextIndex) Search(req SearchRequest) (*SearchResult, error) {
 		return nil, err
 	}
 	res := &SearchResult{PostingsScanned: qr.PostingsScanned, Stopped: qr.Stopped}
-	var tbl *relation.Table
-	if req.LoadRows {
-		tbl, err = ti.engine.db.Table(ti.table)
+	res.Hits = make([]SearchHit, len(qr.Results))
+	for i, r := range qr.Results {
+		res.Hits[i] = SearchHit{PK: r.Doc, Score: r.Score}
+	}
+	if req.LoadRows && len(qr.Results) > 0 {
+		// Join the ranked IDs back to the base rows in one batch so the
+		// probes hit the row tree in key order.
+		tbl, err := ti.engine.db.Table(ti.table)
 		if err != nil {
 			return nil, err
 		}
-	}
-	for _, r := range qr.Results {
-		hit := SearchHit{PK: r.Doc, Score: r.Score}
-		if req.LoadRows {
-			row, err := tbl.Get(r.Doc)
-			if err == nil {
-				hit.Row = row
-			}
+		pks := make([]int64, len(qr.Results))
+		for i, r := range qr.Results {
+			pks[i] = r.Doc
 		}
-		res.Hits = append(res.Hits, hit)
+		rows, err := tbl.GetMany(pks)
+		if err != nil {
+			return nil, err
+		}
+		for i, row := range rows {
+			res.Hits[i].Row = row
+		}
 	}
 	return res, nil
 }

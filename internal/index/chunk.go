@@ -272,7 +272,7 @@ func (m *ChunkMethod) TopK(q Query) (*QueryResult, error) {
 	if q.WithTermScores {
 		return nil, ErrTermScoresUnsupported
 	}
-	streams := make([]postings.Iterator, 0, len(q.Terms))
+	streams := make([]postings.BatchIterator, 0, len(q.Terms))
 	for _, term := range q.Terms {
 		long, err := m.longIterator(term)
 		if err != nil {
@@ -329,7 +329,7 @@ func (m *ChunkMethod) currentScore(doc DocID) (float64, bool, error) {
 	return score, true, nil
 }
 
-func (m *ChunkMethod) longIterator(term string) (postings.Iterator, error) {
+func (m *ChunkMethod) longIterator(term string) (postings.BatchIterator, error) {
 	ref, ok := m.longRefs[term]
 	if !ok {
 		return postings.NewSliceIterator(nil), nil

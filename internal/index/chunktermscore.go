@@ -129,7 +129,7 @@ func (m *ChunkTermScoreMethod) TopK(q Query) (*QueryResult, error) {
 	}
 	remain := map[DocID]*remainInfo{}
 
-	fancyStreams := make([]postings.Iterator, len(q.Terms))
+	fancyStreams := make([]postings.BatchIterator, len(q.Terms))
 	for i, term := range q.Terms {
 		it, err := m.fancyIterator(term)
 		if err != nil {
@@ -138,6 +138,7 @@ func (m *ChunkTermScoreMethod) TopK(q Query) (*QueryResult, error) {
 		fancyStreams[i] = it
 	}
 	fancyMerger := postings.NewGroupMerger(fancyStreams...)
+	defer fancyMerger.Close()
 	for {
 		g, ok, err := fancyMerger.Next()
 		if err != nil {
@@ -174,7 +175,7 @@ func (m *ChunkTermScoreMethod) TopK(q Query) (*QueryResult, error) {
 	}
 
 	// Phase 2 (lines 10-34): scan the chunked lists top chunk first.
-	streams := make([]postings.Iterator, len(q.Terms))
+	streams := make([]postings.BatchIterator, len(q.Terms))
 	for i, term := range q.Terms {
 		long, err := m.longIterator(term)
 		if err != nil {
@@ -187,6 +188,7 @@ func (m *ChunkTermScoreMethod) TopK(q Query) (*QueryResult, error) {
 		streams[i] = postings.NewCollapseOps(postings.NewUnion(short, long))
 	}
 	merger := postings.NewGroupMerger(streams...)
+	defer merger.Close()
 	lastCID := int32(math.MinInt32)
 	haveCID := false
 
@@ -279,7 +281,7 @@ func (m *ChunkTermScoreMethod) TopK(q Query) (*QueryResult, error) {
 	return res, nil
 }
 
-func (m *ChunkTermScoreMethod) fancyIterator(term string) (postings.Iterator, error) {
+func (m *ChunkTermScoreMethod) fancyIterator(term string) (postings.BatchIterator, error) {
 	ref, ok := m.fancyRefs[term]
 	if !ok {
 		return postings.NewSliceIterator(nil), nil

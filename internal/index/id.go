@@ -187,7 +187,7 @@ func (m *IDMethod) TopK(q Query) (*QueryResult, error) {
 		return nil, ErrTermScoresUnsupported
 	}
 
-	streams := make([]postings.Iterator, 0, len(q.Terms))
+	streams := make([]postings.BatchIterator, 0, len(q.Terms))
 	idfs := make([]float64, 0, len(q.Terms))
 	stats := text.CollectionStats{NumDocs: m.numDocs}
 	for _, term := range q.Terms {
@@ -230,7 +230,7 @@ func (m *IDMethod) TopK(q Query) (*QueryResult, error) {
 	})
 }
 
-func (m *IDMethod) longIterator(term string) (postings.Iterator, error) {
+func (m *IDMethod) longIterator(term string) (postings.BatchIterator, error) {
 	ref, ok := m.longRefs[term]
 	if !ok {
 		return postings.NewSliceIterator(nil), nil

@@ -347,3 +347,57 @@ func TestDocTermWeights(t *testing.T) {
 		t.Errorf("weights = %v", byTerm)
 	}
 }
+
+func TestTreeCursorExactBatchMultiple(t *testing.T) {
+	// Regression: when a term's posting count is an exact multiple of the
+	// cursor batch size the range scan used to end without recording a
+	// resume point, so the next refill re-yielded the same batch forever.
+	for _, n := range []int{cursorBatchSize, cursorBatchSize * 2} {
+		kl, err := newKeyedList(newTestPool(t))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			if err := kl.Put("term", float64(n-i), DocID(i), postings.OpAdd, 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for name, drain := range map[string]func(*treeCursor) (int, error){
+			"next": func(c *treeCursor) (int, error) {
+				count := 0
+				for {
+					_, ok, err := c.Next()
+					if err != nil || !ok {
+						return count, err
+					}
+					count++
+					if count > n {
+						return count, nil
+					}
+				}
+			},
+			"batch": func(c *treeCursor) (int, error) {
+				count := 0
+				buf := make([]postings.Entry, 100)
+				for {
+					got, err := c.NextBatch(buf)
+					if err != nil || got == 0 {
+						return count, err
+					}
+					count += got
+					if count > n {
+						return count, nil
+					}
+				}
+			},
+		} {
+			count, err := drain(kl.Cursor("term", false))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if count != n {
+				t.Errorf("%s: cursor with %d postings yielded %d", name, n, count)
+			}
+		}
+	}
+}

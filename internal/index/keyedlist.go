@@ -87,14 +87,11 @@ func decodeKeyedListValue(data []byte) (op postings.Op, termScore float32, err e
 // Put inserts or replaces the posting for (term, sortKey, doc).
 func (l *keyedList) Put(term string, sortKey float64, doc DocID, op postings.Op, termScore float32) error {
 	key := keyedListKey(term, sortKey, doc)
-	existed, err := l.tree.Has(key)
+	inserted, err := l.tree.Upsert(key, encodeKeyedListValue(op, termScore))
 	if err != nil {
 		return err
 	}
-	if err := l.tree.Put(key, encodeKeyedListValue(op, termScore)); err != nil {
-		return err
-	}
-	if !existed {
+	if inserted {
 		l.entries++
 	}
 	return nil
@@ -177,8 +174,8 @@ func (l *keyedList) Collect(term string) ([]postings.Entry, error) {
 }
 
 // Iterator returns a pull iterator over one term's postings, materialized up
-// front.  It satisfies postings.Iterator.
-func (l *keyedList) Iterator(term string) (postings.Iterator, error) {
+// front.  It satisfies both postings.Iterator and postings.BatchIterator.
+func (l *keyedList) Iterator(term string) (*postings.SliceIterator, error) {
 	entries, err := l.Collect(term)
 	if err != nil {
 		return nil, err
@@ -203,8 +200,8 @@ type treeCursor struct {
 }
 
 // cursorBatchSize is the number of postings fetched per refill; roughly one
-// leaf page worth.
-const cursorBatchSize = 256
+// leaf page worth and one downstream batch.
+const cursorBatchSize = postings.BatchSize
 
 func (l *keyedList) Cursor(term string, fromShort bool) *treeCursor {
 	return &treeCursor{list: l, term: term, fromShort: fromShort, nextKey: keyedListPrefix(term)}
@@ -219,12 +216,15 @@ func (c *treeCursor) refill() error {
 	prefix := keyedListPrefix(c.term)
 	end := prefixEnd(prefix)
 	var innerErr error
+	var lastKey []byte
 	count := 0
+	stopped := false
 	err := c.list.tree.AscendRange(c.nextKey, end, func(k, v []byte) bool {
 		if count >= cursorBatchSize {
 			// Remember where to resume: the current key (it has not been
 			// consumed into the batch).
-			c.nextKey = append([]byte(nil), k...)
+			c.nextKey = append(c.nextKey[:0], k...)
+			stopped = true
 			return false
 		}
 		_, sortKey, doc, err := decodeKeyedListKey(k)
@@ -245,6 +245,7 @@ func (c *treeCursor) refill() error {
 			Op:        op,
 			FromShort: c.fromShort,
 		})
+		lastKey = append(lastKey[:0], k...)
 		count++
 		return true
 	})
@@ -254,8 +255,16 @@ func (c *treeCursor) refill() error {
 	if err != nil {
 		return err
 	}
-	if count < cursorBatchSize {
-		c.done = true
+	if !stopped {
+		if count < cursorBatchSize {
+			c.done = true
+		} else {
+			// The scan ended exactly at a full batch, so there was no extra
+			// key to stash as the resume point.  Resume just past the last
+			// consumed key; if nothing follows, the next refill comes back
+			// empty and finishes the cursor.
+			c.nextKey = append(append(c.nextKey[:0], lastKey...), 0)
+		}
 	}
 	return nil
 }
@@ -276,6 +285,29 @@ func (c *treeCursor) Next() (postings.Entry, bool, error) {
 	e := c.batch[c.pos]
 	c.pos++
 	return e, true, nil
+}
+
+// NextBatch implements postings.BatchIterator: postings are bulk-copied out
+// of the cursor's range-scan batch, one B+-tree leaf run at a time.
+func (c *treeCursor) NextBatch(out []postings.Entry) (int, error) {
+	n := 0
+	for n < len(out) {
+		if c.pos >= len(c.batch) {
+			if c.done {
+				break
+			}
+			if err := c.refill(); err != nil {
+				return n, err
+			}
+			if len(c.batch) == 0 {
+				continue
+			}
+		}
+		copied := copy(out[n:], c.batch[c.pos:])
+		n += copied
+		c.pos += copied
+	}
+	return n, nil
 }
 
 // prefixEnd mirrors btree.prefixEnd for range termination.

@@ -28,7 +28,7 @@ import (
 //     (the "is it from the short list / is it superseded" logic of
 //     Algorithm 2 lines 12-21).
 type rankedQuery struct {
-	streams     []postings.Iterator
+	streams     []postings.BatchIterator
 	k           int
 	conjunctive bool
 	maxPossible func(sortKey float64) float64
@@ -36,10 +36,14 @@ type rankedQuery struct {
 }
 
 // run executes the query and returns the ranked results with work counters.
+// The per-term streams move postings in batches (see postings.BatchIterator);
+// the merger's scratch buffers are pooled and released when the query ends,
+// so the steady-state query path performs no per-posting allocation.
 func (b *base) runRanked(q rankedQuery) (*QueryResult, error) {
 	b.counters.queries.Add(1)
 	heap := topk.New(q.k)
 	merger := postings.NewGroupMerger(q.streams...)
+	defer merger.Close()
 	res := &QueryResult{}
 	for {
 		g, ok, err := merger.Next()

@@ -175,7 +175,7 @@ func (m *ScoreMethod) TopK(q Query) (*QueryResult, error) {
 	if q.WithTermScores {
 		return nil, ErrTermScoresUnsupported
 	}
-	streams := make([]postings.Iterator, 0, len(q.Terms))
+	streams := make([]postings.BatchIterator, 0, len(q.Terms))
 	for _, term := range q.Terms {
 		streams = append(streams, m.lists.Cursor(term, false))
 	}

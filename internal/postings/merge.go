@@ -1,7 +1,5 @@
 package postings
 
-import "container/heap"
-
 // This file implements the iterator combinators the query algorithms are
 // built from:
 //
@@ -15,6 +13,12 @@ import "container/heap"
 //     terms whose stream contains that document there.  Conjunctive queries
 //     accept groups covering every term, disjunctive queries any non-empty
 //     group.
+//
+// All three run on the block-at-a-time protocol: they pull batches from
+// their inputs into pooled scratch buffers, merge directly out of those
+// buffers (no virtual call per posting), and — for Union and CollapseOps —
+// emit whole batches downstream.  Each also keeps a single-step Next for
+// compatibility with the plain Iterator interface.
 
 // Less orders entries by descending SortKey and then ascending Doc, which is
 // the processing order of every score- or chunk-ordered list in the paper.
@@ -31,70 +35,198 @@ func SamePosition(a, b Entry) bool {
 	return a.SortKey == b.SortKey && a.Doc == b.Doc
 }
 
-// Union merges any number of iterators, each already in (SortKey desc, Doc
-// asc) order, into a single stream in that order.  Entries from different
-// inputs at the same position are both emitted (callers that need ADD/REM
-// semantics wrap the union in CollapseOps).
+// mergeHead is one buffered input of a merge combinator.
+type mergeHead struct {
+	src  BatchIterator
+	buf  *[]Entry
+	pos  int
+	n    int
+	done bool
+}
+
+// cur returns the head's current entry; only valid when pos < n.
+func (h *mergeHead) cur() Entry { return (*h.buf)[h.pos] }
+
+// refill fetches the next batch from the head's source.  After a call either
+// pos < n holds or the head is done and its scratch buffer returned.
+func (h *mergeHead) refill() error {
+	if h.done {
+		return nil
+	}
+	if h.buf == nil {
+		h.buf = getEntryBuf()
+	}
+	n, err := h.src.NextBatch(*h.buf)
+	if err != nil {
+		return err
+	}
+	h.pos, h.n = 0, n
+	if n == 0 {
+		h.done = true
+		putEntryBuf(h.buf)
+		h.buf = nil
+	}
+	return nil
+}
+
+// close releases the head's scratch buffer and propagates to its source.
+func (h *mergeHead) close() {
+	if h.buf != nil {
+		putEntryBuf(h.buf)
+		h.buf = nil
+	}
+	h.done = true
+	h.n, h.pos = 0, 0
+	CloseIterator(h.src)
+}
+
+// singleStepState implements Next on top of NextBatch with a pooled buffer.
+type singleStepState struct {
+	buf *[]Entry
+	pos int
+	n   int
+}
+
+func (s *singleStepState) next(b BatchIterator) (Entry, bool, error) {
+	if s.pos >= s.n {
+		if s.buf == nil {
+			s.buf = getEntryBuf()
+		}
+		n, err := b.NextBatch(*s.buf)
+		if err != nil {
+			return Entry{}, false, err
+		}
+		if n == 0 {
+			return Entry{}, false, nil
+		}
+		s.pos, s.n = 0, n
+	}
+	e := (*s.buf)[s.pos]
+	s.pos++
+	return e, true, nil
+}
+
+func (s *singleStepState) close() {
+	if s.buf != nil {
+		putEntryBuf(s.buf)
+		s.buf = nil
+	}
+	s.pos, s.n = 0, 0
+}
+
+// Union merges any number of inputs, each already in (SortKey desc, Doc asc)
+// order, into a single stream in that order.  Entries from different inputs
+// at the same position are both emitted (callers that need ADD/REM semantics
+// wrap the union in CollapseOps).  Ties are broken by input index so the
+// merge is deterministic.
 type Union struct {
-	heads []unionHead
+	heads []mergeHead
 	init  bool
+	out   singleStepState
 }
 
-type unionHead struct {
-	it    Iterator
-	entry Entry
-	valid bool
-}
-
-// NewUnion returns a union over the given iterators.
-func NewUnion(iters ...Iterator) *Union {
-	heads := make([]unionHead, len(iters))
-	for i, it := range iters {
-		heads[i] = unionHead{it: it}
+// NewUnion returns a union over the given inputs.  Wrap a plain Iterator
+// with AsBatch (or SingleStep) to feed it in.
+func NewUnion(srcs ...BatchIterator) *Union {
+	heads := make([]mergeHead, len(srcs))
+	for i, src := range srcs {
+		heads[i] = mergeHead{src: src}
 	}
 	return &Union{heads: heads}
 }
 
 func (u *Union) prime() error {
 	for i := range u.heads {
-		e, ok, err := u.heads[i].it.Next()
-		if err != nil {
+		if err := u.heads[i].refill(); err != nil {
 			return err
 		}
-		u.heads[i].entry = e
-		u.heads[i].valid = ok
 	}
 	u.init = true
 	return nil
 }
 
-// Next implements Iterator.
-func (u *Union) Next() (Entry, bool, error) {
+// NextBatch implements BatchIterator.  Runs of entries from one input that
+// sort before every other input's next entry are copied out in bulk.
+func (u *Union) NextBatch(out []Entry) (int, error) {
 	if !u.init {
 		if err := u.prime(); err != nil {
-			return Entry{}, false, err
+			return 0, err
 		}
 	}
-	best := -1
+	n := 0
+	for n < len(out) {
+		// Pick the input whose current entry sorts first; ties keep the
+		// lowest input index, matching the documented emit order.
+		best := -1
+		for i := range u.heads {
+			h := &u.heads[i]
+			if h.pos >= h.n {
+				continue
+			}
+			if best < 0 || Less(h.cur(), u.heads[best].cur()) {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		hb := &u.heads[best]
+		buf := (*hb.buf)[:hb.n]
+		// The run from the best input extends while its entries sort before
+		// every other input's current entry.  limitIdx is the lowest-indexed
+		// input holding the smallest such entry; the run may include entries
+		// equal to it only when best has the lower input index, preserving
+		// the documented tie order.
+		limit := Entry{}
+		limitIdx := -1
+		for i := range u.heads {
+			if i == best {
+				continue
+			}
+			h := &u.heads[i]
+			if h.pos >= h.n {
+				continue
+			}
+			if e := h.cur(); limitIdx < 0 || Less(e, limit) {
+				limit, limitIdx = e, i
+			}
+		}
+		if limitIdx < 0 {
+			c := copy(out[n:], buf[hb.pos:])
+			n += c
+			hb.pos += c
+		} else if best < limitIdx {
+			for hb.pos < hb.n && n < len(out) && !Less(limit, buf[hb.pos]) {
+				out[n] = buf[hb.pos]
+				n++
+				hb.pos++
+			}
+		} else {
+			for hb.pos < hb.n && n < len(out) && Less(buf[hb.pos], limit) {
+				out[n] = buf[hb.pos]
+				n++
+				hb.pos++
+			}
+		}
+		if hb.pos >= hb.n {
+			if err := hb.refill(); err != nil {
+				return n, err
+			}
+		}
+	}
+	return n, nil
+}
+
+// Next implements Iterator.
+func (u *Union) Next() (Entry, bool, error) { return u.out.next(u) }
+
+// Close implements Closer.
+func (u *Union) Close() {
 	for i := range u.heads {
-		if !u.heads[i].valid {
-			continue
-		}
-		if best < 0 || Less(u.heads[i].entry, u.heads[best].entry) {
-			best = i
-		}
+		u.heads[i].close()
 	}
-	if best < 0 {
-		return Entry{}, false, nil
-	}
-	out := u.heads[best].entry
-	e, ok, err := u.heads[best].it.Next()
-	if err != nil {
-		return Entry{}, false, err
-	}
-	u.heads[best].entry = e
-	u.heads[best].valid = ok
-	return out, true, nil
+	u.out.close()
+	u.init = true
 }
 
 // CollapseOps merges runs of entries at the same (SortKey, Doc) position and
@@ -102,46 +234,58 @@ func (u *Union) Next() (Entry, bool, error) {
 // entirely (the term was removed from the document); otherwise short-list
 // postings win over long-list postings so the freshest term score is used.
 type CollapseOps struct {
-	src     Iterator
+	src     mergeHead
 	pending Entry
 	have    bool
-	done    bool
+	out     singleStepState
 }
 
 // NewCollapseOps wraps src, which must already be in (SortKey desc, Doc asc)
 // order.
-func NewCollapseOps(src Iterator) *CollapseOps { return &CollapseOps{src: src} }
+func NewCollapseOps(src BatchIterator) *CollapseOps {
+	return &CollapseOps{src: mergeHead{src: src}}
+}
 
-// Next implements Iterator.
-func (c *CollapseOps) Next() (Entry, bool, error) {
-	for {
-		if c.done && !c.have {
+// nextInput steps the buffered input one entry.
+func (c *CollapseOps) nextInput() (Entry, bool, error) {
+	if c.src.pos >= c.src.n {
+		if err := c.src.refill(); err != nil {
+			return Entry{}, false, err
+		}
+		if c.src.done {
 			return Entry{}, false, nil
 		}
+	}
+	e := c.src.cur()
+	c.src.pos++
+	return e, true, nil
+}
+
+// NextBatch implements BatchIterator.
+func (c *CollapseOps) NextBatch(out []Entry) (int, error) {
+	n := 0
+	for n < len(out) {
 		if !c.have {
-			e, ok, err := c.src.Next()
+			e, ok, err := c.nextInput()
 			if err != nil {
-				return Entry{}, false, err
+				return n, err
 			}
 			if !ok {
-				c.done = true
-				return Entry{}, false, nil
+				break
 			}
 			c.pending = e
-			c.have = true
 		}
 		// Gather the run at this position.
 		cur := c.pending
+		c.have = false
 		removed := cur.Op == OpRem
 		best := cur
 		for {
-			e, ok, err := c.src.Next()
+			e, ok, err := c.nextInput()
 			if err != nil {
-				return Entry{}, false, err
+				return n, err
 			}
 			if !ok {
-				c.done = true
-				c.have = false
 				break
 			}
 			if !SamePosition(e, cur) {
@@ -160,11 +304,27 @@ func (c *CollapseOps) Next() (Entry, bool, error) {
 		if removed {
 			continue
 		}
-		return best, true, nil
+		out[n] = best
+		n++
 	}
+	return n, nil
+}
+
+// Next implements Iterator.
+func (c *CollapseOps) Next() (Entry, bool, error) { return c.out.next(c) }
+
+// Close implements Closer.
+func (c *CollapseOps) Close() {
+	c.src.close()
+	c.out.close()
+	c.have = false
 }
 
 // Group is the set of per-term entries found at one (SortKey, Doc) position.
+//
+// The Entries and Present slices returned by GroupMerger.Next are reused
+// across calls; callers must copy out anything they retain past the next
+// Next call.
 type Group struct {
 	Doc DocID
 	// SortKey of the position (list score or chunk ID).
@@ -182,105 +342,149 @@ func (g *Group) ContainsAll() bool { return g.Count == len(g.Present) }
 
 // GroupMerger merges k per-term streams (each in (SortKey desc, Doc asc)
 // order) and yields one Group per distinct position, in the same order.
+// Input postings move in batches; groups are emitted one at a time because
+// the stopping rules of Algorithms 2 and 3 are evaluated per position.
 type GroupMerger struct {
-	streams []Iterator
-	heads   []groupHead
-	pq      groupPQ
-	init    bool
-}
-
-type groupHead struct {
-	entry Entry
-	valid bool
+	heads []mergeHead
+	order []int // binary min-heap of head indices, ordered by current entry
+	g     Group
+	init  bool
 }
 
 // NewGroupMerger returns a merger over the given streams.
-func NewGroupMerger(streams ...Iterator) *GroupMerger {
-	return &GroupMerger{streams: streams, heads: make([]groupHead, len(streams))}
+func NewGroupMerger(streams ...BatchIterator) *GroupMerger {
+	heads := make([]mergeHead, len(streams))
+	for i, src := range streams {
+		heads[i] = mergeHead{src: src}
+	}
+	return &GroupMerger{
+		heads: heads,
+		order: make([]int, 0, len(streams)),
+		g: Group{
+			Entries: make([]Entry, len(streams)),
+			Present: make([]bool, len(streams)),
+		},
+	}
 }
 
 // NumStreams reports the number of merged streams.
-func (m *GroupMerger) NumStreams() int { return len(m.streams) }
+func (m *GroupMerger) NumStreams() int { return len(m.heads) }
+
+// lessIdx orders two heads by their current entries, ties by head index so
+// duplicate positions across streams pop in stream order.
+func (m *GroupMerger) lessIdx(x, y int) bool {
+	a, b := m.heads[x].cur(), m.heads[y].cur()
+	if a.SortKey != b.SortKey || a.Doc != b.Doc {
+		return Less(a, b)
+	}
+	return x < y
+}
+
+func (m *GroupMerger) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !m.lessIdx(m.order[i], m.order[parent]) {
+			break
+		}
+		m.order[i], m.order[parent] = m.order[parent], m.order[i]
+		i = parent
+	}
+}
+
+func (m *GroupMerger) siftDown(i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(m.order) && m.lessIdx(m.order[l], m.order[smallest]) {
+			smallest = l
+		}
+		if r < len(m.order) && m.lessIdx(m.order[r], m.order[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		m.order[i], m.order[smallest] = m.order[smallest], m.order[i]
+		i = smallest
+	}
+}
 
 func (m *GroupMerger) prime() error {
-	m.pq = groupPQ{}
-	for i := range m.streams {
-		e, ok, err := m.streams[i].Next()
-		if err != nil {
+	for i := range m.heads {
+		if err := m.heads[i].refill(); err != nil {
 			return err
 		}
-		m.heads[i] = groupHead{entry: e, valid: ok}
-		if ok {
-			heap.Push(&m.pq, pqItem{stream: i, entry: e})
+		if !m.heads[i].done {
+			m.order = append(m.order, i)
+			m.siftUp(len(m.order) - 1)
 		}
 	}
 	m.init = true
 	return nil
 }
 
+// popRoot removes the exhausted head at the heap root.
+func (m *GroupMerger) popRoot() {
+	last := len(m.order) - 1
+	m.order[0] = m.order[last]
+	m.order = m.order[:last]
+	if len(m.order) > 1 {
+		m.siftDown(0)
+	}
+}
+
 // Next returns the next Group, or ok=false when all streams are exhausted.
+// The group's slices are reused; see the Group docs.
 func (m *GroupMerger) Next() (Group, bool, error) {
 	if !m.init {
 		if err := m.prime(); err != nil {
 			return Group{}, false, err
 		}
 	}
-	if m.pq.Len() == 0 {
+	if len(m.order) == 0 {
 		return Group{}, false, nil
 	}
-	top := m.pq.items[0]
-	g := Group{
-		Doc:     top.entry.Doc,
-		SortKey: top.entry.SortKey,
-		Entries: make([]Entry, len(m.streams)),
-		Present: make([]bool, len(m.streams)),
+	top := m.heads[m.order[0]].cur()
+	m.g.Doc, m.g.SortKey = top.Doc, top.SortKey
+	for i := range m.g.Present {
+		m.g.Present[i] = false
 	}
-	for m.pq.Len() > 0 && SamePosition(m.pq.items[0].entry, top.entry) {
-		item := heap.Pop(&m.pq).(pqItem)
-		g.Entries[item.stream] = item.entry
-		if !g.Present[item.stream] {
-			g.Present[item.stream] = true
-			g.Count++
+	m.g.Count = 0
+	for len(m.order) > 0 {
+		i := m.order[0]
+		h := &m.heads[i]
+		e := h.cur()
+		if e.SortKey != top.SortKey || e.Doc != top.Doc {
+			break
 		}
-		// Advance that stream.
-		e, ok, err := m.streams[item.stream].Next()
-		if err != nil {
-			return Group{}, false, err
+		m.g.Entries[i] = e
+		if !m.g.Present[i] {
+			m.g.Present[i] = true
+			m.g.Count++
 		}
-		if ok {
-			heap.Push(&m.pq, pqItem{stream: item.stream, entry: e})
+		// Advance that stream and restore heap order.
+		h.pos++
+		if h.pos >= h.n {
+			if err := h.refill(); err != nil {
+				return Group{}, false, err
+			}
+			if h.done {
+				m.popRoot()
+				continue
+			}
 		}
+		m.siftDown(0)
 	}
-	return g, true, nil
+	return m.g, true, nil
 }
 
-type pqItem struct {
-	stream int
-	entry  Entry
-}
-
-type groupPQ struct {
-	items []pqItem
-}
-
-func (p *groupPQ) Len() int { return len(p.items) }
-
-func (p *groupPQ) Less(i, j int) bool {
-	a, b := p.items[i].entry, p.items[j].entry
-	if a.SortKey != b.SortKey || a.Doc != b.Doc {
-		return Less(a, b)
+// Close implements Closer.
+func (m *GroupMerger) Close() {
+	for i := range m.heads {
+		m.heads[i].close()
 	}
-	return p.items[i].stream < p.items[j].stream
-}
-
-func (p *groupPQ) Swap(i, j int) { p.items[i], p.items[j] = p.items[j], p.items[i] }
-
-func (p *groupPQ) Push(x any) { p.items = append(p.items, x.(pqItem)) }
-
-func (p *groupPQ) Pop() any {
-	last := p.items[len(p.items)-1]
-	p.items = p.items[:len(p.items)-1]
-	return last
+	m.order = m.order[:0]
+	m.init = true
 }
 
 // CollectAll drains an iterator into a slice; used by tests and by callers

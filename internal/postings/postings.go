@@ -97,6 +97,13 @@ func (it *SliceIterator) Next() (Entry, bool, error) {
 	return e, true, nil
 }
 
+// NextBatch implements BatchIterator by bulk-copying from the backing slice.
+func (it *SliceIterator) NextBatch(buf []Entry) (int, error) {
+	n := copy(buf, it.entries[it.pos:])
+	it.pos += n
+	return n, nil
+}
+
 // --- ID list (ID method) ------------------------------------------------------
 
 // IDListBuilder encodes an ascending sequence of document IDs.

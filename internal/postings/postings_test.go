@@ -365,7 +365,7 @@ func TestGroupMergerConjunctiveDetection(t *testing.T) {
 
 func TestGroupMergerOrder(t *testing.T) {
 	rng := rand.New(rand.NewSource(21))
-	makeStream := func() Iterator {
+	makeStream := func() *SliceIterator {
 		var entries []Entry
 		key := 100.0
 		for i := 0; i < 50; i++ {

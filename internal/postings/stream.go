@@ -1,7 +1,6 @@
 package postings
 
 import (
-	"bufio"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -10,46 +9,142 @@ import (
 
 // This file provides streaming decoders over io.Reader for every long-list
 // layout.  The long lists are stored as blobs and read one page at a time
-// (§5.2); these decoders pull bytes lazily through a bufio.Reader so that an
+// (§5.2); these decoders pull bytes lazily through a block buffer so that an
 // early-terminating query only faults in the pages of the list prefix it
 // actually consumed, which is exactly the effect the Chunk and
 // Score-Threshold methods rely on for their query-time advantage.
+//
+// Every decoder implements both Iterator and BatchIterator.  The decode
+// logic lives in NextBatch, which decodes a whole block of postings per call
+// directly out of the buffered page bytes; Next is a one-entry view of the
+// same path kept for compatibility and cold paths.
 
-type byteReader struct {
-	r *bufio.Reader
+// streamBlockSize is the block buffer size; one on-disk page.
+const streamBlockSize = 4096
+
+// blockReader buffers reads from r and decodes scalars directly from the
+// buffered bytes, refilling (and compacting the unconsumed tail) only when a
+// scalar could straddle the buffer boundary.
+type blockReader struct {
+	r   io.Reader
+	buf []byte
+	pos int
+	lim int
+	eof bool
 }
 
-func newByteReader(r io.Reader) *byteReader {
-	return &byteReader{r: bufio.NewReaderSize(r, 4096)}
+func newBlockReader(r io.Reader) *blockReader {
+	return &blockReader{r: r, buf: make([]byte, streamBlockSize)}
 }
 
-func (br *byteReader) uvarint() (uint64, error) {
-	return binary.ReadUvarint(br.r)
+// fill compacts the unconsumed tail to the front of the buffer and reads
+// until the buffer is full or the source is exhausted.
+func (b *blockReader) fill() error {
+	copy(b.buf, b.buf[b.pos:b.lim])
+	b.lim -= b.pos
+	b.pos = 0
+	for b.lim < len(b.buf) && !b.eof {
+		n, err := b.r.Read(b.buf[b.lim:])
+		b.lim += n
+		if err == io.EOF {
+			b.eof = true
+			break
+		}
+		if err != nil {
+			return err
+		}
+		if n == 0 {
+			b.eof = true
+			break
+		}
+	}
+	return nil
 }
 
-func (br *byteReader) float32() (float32, error) {
-	var buf [4]byte
-	if _, err := io.ReadFull(br.r, buf[:]); err != nil {
+// ensure makes at least n bytes available when the stream has them; after a
+// call, avail() < n implies the source is exhausted.
+func (b *blockReader) ensure(n int) error {
+	if b.lim-b.pos >= n || b.eof {
+		return nil
+	}
+	return b.fill()
+}
+
+func (b *blockReader) avail() int { return b.lim - b.pos }
+
+func (b *blockReader) uvarint() (uint64, error) {
+	if err := b.ensure(binary.MaxVarintLen64); err != nil {
 		return 0, err
 	}
-	return math.Float32frombits(binary.LittleEndian.Uint32(buf[:])), nil
+	if b.pos == b.lim {
+		return 0, io.EOF
+	}
+	v, n := binary.Uvarint(b.buf[b.pos:b.lim])
+	if n == 0 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("postings: uvarint overflow")
+	}
+	b.pos += n
+	return v, nil
 }
 
-func (br *byteReader) float64() (float64, error) {
-	var buf [8]byte
-	if _, err := io.ReadFull(br.r, buf[:]); err != nil {
+func (b *blockReader) float32() (float32, error) {
+	if err := b.ensure(4); err != nil {
 		return 0, err
 	}
-	return math.Float64frombits(binary.LittleEndian.Uint64(buf[:])), nil
+	if b.avail() < 4 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	v := math.Float32frombits(binary.LittleEndian.Uint32(b.buf[b.pos:]))
+	b.pos += 4
+	return v, nil
 }
 
-func (br *byteReader) byte() (byte, error) { return br.r.ReadByte() }
+func (b *blockReader) float64() (float64, error) {
+	if err := b.ensure(8); err != nil {
+		return 0, err
+	}
+	if b.avail() < 8 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(b.buf[b.pos:]))
+	b.pos += 8
+	return v, nil
+}
+
+func (b *blockReader) byte() (byte, error) {
+	if err := b.ensure(1); err != nil {
+		return 0, err
+	}
+	if b.avail() < 1 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	c := b.buf[b.pos]
+	b.pos++
+	return c, nil
+}
+
+// nextOne adapts a NextBatch implementation to the single-step Iterator
+// protocol with a stack buffer.
+func nextOne(b BatchIterator) (Entry, bool, error) {
+	var one [1]Entry
+	n, err := b.NextBatch(one[:])
+	if err != nil {
+		return Entry{}, false, err
+	}
+	if n == 0 {
+		return Entry{}, false, nil
+	}
+	return one[0], true, nil
+}
 
 // --- streaming ID list ---------------------------------------------------------
 
 // StreamIDList decodes an IDListBuilder blob lazily from r.
 type StreamIDList struct {
-	br   *byteReader
+	br   *blockReader
 	n    int
 	seen int
 	last DocID
@@ -59,7 +154,7 @@ type StreamIDList struct {
 // NewStreamIDList reads the header and returns a lazy iterator.  An empty
 // reader yields an empty list.
 func NewStreamIDList(r io.Reader) (*StreamIDList, error) {
-	br := newByteReader(r)
+	br := newBlockReader(r)
 	n, err := br.uvarint()
 	if err == io.EOF {
 		return &StreamIDList{br: br}, nil
@@ -73,30 +168,38 @@ func NewStreamIDList(r io.Reader) (*StreamIDList, error) {
 // Len reports the total number of postings in the list.
 func (s *StreamIDList) Len() int { return s.n }
 
-// Next implements Iterator.
-func (s *StreamIDList) Next() (Entry, bool, error) {
-	if s.err != nil || s.seen >= s.n {
-		return Entry{}, false, s.err
+// NextBatch implements BatchIterator.
+func (s *StreamIDList) NextBatch(out []Entry) (int, error) {
+	if s.err != nil {
+		return 0, s.err
 	}
-	gap, err := s.br.uvarint()
-	if err != nil {
-		s.err = fmt.Errorf("postings: stream id list: %w", err)
-		return Entry{}, false, s.err
+	n := 0
+	for n < len(out) && s.seen < s.n {
+		gap, err := s.br.uvarint()
+		if err != nil {
+			s.err = fmt.Errorf("postings: stream id list: %w", err)
+			return n, s.err
+		}
+		if s.seen == 0 {
+			s.last = DocID(gap)
+		} else {
+			s.last += DocID(gap)
+		}
+		s.seen++
+		out[n] = Entry{Doc: s.last}
+		n++
 	}
-	if s.seen == 0 {
-		s.last = DocID(gap)
-	} else {
-		s.last += DocID(gap)
-	}
-	s.seen++
-	return Entry{Doc: s.last}, true, nil
+	return n, nil
 }
+
+// Next implements Iterator.
+func (s *StreamIDList) Next() (Entry, bool, error) { return nextOne(s) }
 
 // --- streaming score list ------------------------------------------------------
 
 // StreamScoreList decodes a ScoreListBuilder blob lazily from r.
 type StreamScoreList struct {
-	br   *byteReader
+	br   *blockReader
 	n    int
 	seen int
 	err  error
@@ -104,7 +207,7 @@ type StreamScoreList struct {
 
 // NewStreamScoreList reads the header and returns a lazy iterator.
 func NewStreamScoreList(r io.Reader) (*StreamScoreList, error) {
-	br := newByteReader(r)
+	br := newBlockReader(r)
 	n, err := br.uvarint()
 	if err == io.EOF {
 		return &StreamScoreList{br: br}, nil
@@ -118,30 +221,38 @@ func NewStreamScoreList(r io.Reader) (*StreamScoreList, error) {
 // Len reports the total number of postings.
 func (s *StreamScoreList) Len() int { return s.n }
 
-// Next implements Iterator.
-func (s *StreamScoreList) Next() (Entry, bool, error) {
-	if s.err != nil || s.seen >= s.n {
-		return Entry{}, false, s.err
+// NextBatch implements BatchIterator.
+func (s *StreamScoreList) NextBatch(out []Entry) (int, error) {
+	if s.err != nil {
+		return 0, s.err
 	}
-	score, err := s.br.float64()
-	if err != nil {
-		s.err = fmt.Errorf("postings: stream score list: %w", err)
-		return Entry{}, false, s.err
+	n := 0
+	for n < len(out) && s.seen < s.n {
+		score, err := s.br.float64()
+		if err != nil {
+			s.err = fmt.Errorf("postings: stream score list: %w", err)
+			return n, s.err
+		}
+		doc, err := s.br.uvarint()
+		if err != nil {
+			s.err = fmt.Errorf("postings: stream score list: %w", err)
+			return n, s.err
+		}
+		s.seen++
+		out[n] = Entry{Doc: DocID(doc), SortKey: score}
+		n++
 	}
-	doc, err := s.br.uvarint()
-	if err != nil {
-		s.err = fmt.Errorf("postings: stream score list: %w", err)
-		return Entry{}, false, s.err
-	}
-	s.seen++
-	return Entry{Doc: DocID(doc), SortKey: score}, true, nil
+	return n, nil
 }
+
+// Next implements Iterator.
+func (s *StreamScoreList) Next() (Entry, bool, error) { return nextOne(s) }
 
 // --- streaming chunked list ----------------------------------------------------
 
 // StreamChunkedList decodes a ChunkedListBuilder blob lazily from r.
 type StreamChunkedList struct {
-	br       *byteReader
+	br       *blockReader
 	n        int
 	chunks   int
 	withTerm bool
@@ -155,7 +266,7 @@ type StreamChunkedList struct {
 
 // NewStreamChunkedList reads the header and returns a lazy iterator.
 func NewStreamChunkedList(r io.Reader) (*StreamChunkedList, error) {
-	br := newByteReader(r)
+	br := newBlockReader(r)
 	n, err := br.uvarint()
 	if err == io.EOF {
 		return &StreamChunkedList{br: br}, nil
@@ -178,54 +289,62 @@ func NewStreamChunkedList(r io.Reader) (*StreamChunkedList, error) {
 func (s *StreamChunkedList) Len() int       { return s.n }
 func (s *StreamChunkedList) NumChunks() int { return s.chunks }
 
-// Next implements Iterator.
-func (s *StreamChunkedList) Next() (Entry, bool, error) {
-	if s.err != nil || s.seen >= s.n {
-		return Entry{}, false, s.err
+// NextBatch implements BatchIterator.
+func (s *StreamChunkedList) NextBatch(out []Entry) (int, error) {
+	if s.err != nil {
+		return 0, s.err
 	}
-	if s.chunkLeft == 0 {
-		cid, err := s.br.uvarint()
+	n := 0
+	for n < len(out) && s.seen < s.n {
+		if s.chunkLeft == 0 {
+			cid, err := s.br.uvarint()
+			if err != nil {
+				s.err = fmt.Errorf("postings: stream chunked list: %w", err)
+				return n, s.err
+			}
+			count, err := s.br.uvarint()
+			if err != nil {
+				s.err = fmt.Errorf("postings: stream chunked list: %w", err)
+				return n, s.err
+			}
+			s.curCID = int32(uint32(cid))
+			s.chunkLeft = int(count)
+			s.lastDoc = -1
+		}
+		gap, err := s.br.uvarint()
 		if err != nil {
 			s.err = fmt.Errorf("postings: stream chunked list: %w", err)
-			return Entry{}, false, s.err
+			return n, s.err
 		}
-		count, err := s.br.uvarint()
-		if err != nil {
-			s.err = fmt.Errorf("postings: stream chunked list: %w", err)
-			return Entry{}, false, s.err
+		if s.lastDoc < 0 {
+			s.lastDoc = DocID(gap)
+		} else {
+			s.lastDoc += DocID(gap)
 		}
-		s.curCID = int32(uint32(cid))
-		s.chunkLeft = int(count)
-		s.lastDoc = -1
-	}
-	gap, err := s.br.uvarint()
-	if err != nil {
-		s.err = fmt.Errorf("postings: stream chunked list: %w", err)
-		return Entry{}, false, s.err
-	}
-	if s.lastDoc < 0 {
-		s.lastDoc = DocID(gap)
-	} else {
-		s.lastDoc += DocID(gap)
-	}
-	var ts float32
-	if s.withTerm {
-		ts, err = s.br.float32()
-		if err != nil {
-			s.err = fmt.Errorf("postings: stream chunked list: %w", err)
-			return Entry{}, false, s.err
+		var ts float32
+		if s.withTerm {
+			ts, err = s.br.float32()
+			if err != nil {
+				s.err = fmt.Errorf("postings: stream chunked list: %w", err)
+				return n, s.err
+			}
 		}
+		s.chunkLeft--
+		s.seen++
+		out[n] = Entry{Doc: s.lastDoc, CID: s.curCID, SortKey: float64(s.curCID), TermScore: ts}
+		n++
 	}
-	s.chunkLeft--
-	s.seen++
-	return Entry{Doc: s.lastDoc, CID: s.curCID, SortKey: float64(s.curCID), TermScore: ts}, true, nil
+	return n, nil
 }
+
+// Next implements Iterator.
+func (s *StreamChunkedList) Next() (Entry, bool, error) { return nextOne(s) }
 
 // --- streaming ID+term list ----------------------------------------------------
 
 // StreamIDTermList decodes an IDTermListBuilder blob lazily from r.
 type StreamIDTermList struct {
-	br   *byteReader
+	br   *blockReader
 	n    int
 	seen int
 	last DocID
@@ -234,7 +353,7 @@ type StreamIDTermList struct {
 
 // NewStreamIDTermList reads the header and returns a lazy iterator.
 func NewStreamIDTermList(r io.Reader) (*StreamIDTermList, error) {
-	br := newByteReader(r)
+	br := newBlockReader(r)
 	n, err := br.uvarint()
 	if err == io.EOF {
 		return &StreamIDTermList{br: br}, nil
@@ -248,26 +367,34 @@ func NewStreamIDTermList(r io.Reader) (*StreamIDTermList, error) {
 // Len reports the total number of postings.
 func (s *StreamIDTermList) Len() int { return s.n }
 
-// Next implements Iterator.
-func (s *StreamIDTermList) Next() (Entry, bool, error) {
-	if s.err != nil || s.seen >= s.n {
-		return Entry{}, false, s.err
+// NextBatch implements BatchIterator.
+func (s *StreamIDTermList) NextBatch(out []Entry) (int, error) {
+	if s.err != nil {
+		return 0, s.err
 	}
-	gap, err := s.br.uvarint()
-	if err != nil {
-		s.err = fmt.Errorf("postings: stream id+term list: %w", err)
-		return Entry{}, false, s.err
+	n := 0
+	for n < len(out) && s.seen < s.n {
+		gap, err := s.br.uvarint()
+		if err != nil {
+			s.err = fmt.Errorf("postings: stream id+term list: %w", err)
+			return n, s.err
+		}
+		ts, err := s.br.float32()
+		if err != nil {
+			s.err = fmt.Errorf("postings: stream id+term list: %w", err)
+			return n, s.err
+		}
+		if s.seen == 0 {
+			s.last = DocID(gap)
+		} else {
+			s.last += DocID(gap)
+		}
+		s.seen++
+		out[n] = Entry{Doc: s.last, TermScore: ts}
+		n++
 	}
-	ts, err := s.br.float32()
-	if err != nil {
-		s.err = fmt.Errorf("postings: stream id+term list: %w", err)
-		return Entry{}, false, s.err
-	}
-	if s.seen == 0 {
-		s.last = DocID(gap)
-	} else {
-		s.last += DocID(gap)
-	}
-	s.seen++
-	return Entry{Doc: s.last, TermScore: ts}, true, nil
+	return n, nil
 }
+
+// Next implements Iterator.
+func (s *StreamIDTermList) Next() (Entry, bool, error) { return nextOne(s) }

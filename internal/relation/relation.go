@@ -371,6 +371,34 @@ func (t *Table) Get(pk int64) (Row, error) {
 	return decodeRow(data)
 }
 
+// GetMany returns the rows for a batch of primary keys, aligned with pks; a
+// missing key yields a nil Row instead of an error.  The probes are issued
+// in ascending key order so that a ranked result set joins back to the base
+// table with B+-tree page locality, then restored to the requested order.
+func (t *Table) GetMany(pks []int64) ([]Row, error) {
+	rows := make([]Row, len(pks))
+	order := make([]int, len(pks))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return pks[order[a]] < pks[order[b]] })
+	for _, i := range order {
+		data, ok, err := t.tree.Get(pkKey(pks[i]))
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			continue
+		}
+		row, err := decodeRow(data)
+		if err != nil {
+			return nil, err
+		}
+		rows[i] = row
+	}
+	return rows, nil
+}
+
 // Update replaces the named columns of the row with the given primary key.
 func (t *Table) Update(pk int64, updates map[string]Value) error {
 	old, err := t.Get(pk)

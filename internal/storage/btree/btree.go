@@ -273,71 +273,190 @@ func childIndex(n *node, key []byte) int {
 	return i
 }
 
-// Get returns the value stored under key, or (nil, false) when absent.
-func (t *Tree) Get(key []byte) ([]byte, bool, error) {
-	leaf, err := t.findLeaf(key)
+// pageChild scans a serialized internal node for the child to follow for
+// key, without materializing the node.  It mirrors childIndex: keys[i]
+// separates children[i] (keys < keys[i]) from children[i+1] (keys >= keys[i]).
+func pageChild(id pagefile.PageID, data, key []byte) (pagefile.PageID, error) {
+	off := 1
+	nKeys64, sz, err := codec.Uvarint(data[off:])
 	if err != nil {
-		return nil, false, err
+		return pagefile.InvalidPageID, fmt.Errorf("btree: page %d: %w", id, err)
 	}
-	i := searchKeys(leaf.keys, key)
-	if i < len(leaf.keys) && bytes.Equal(leaf.keys[i], key) {
-		return leaf.vals[i], true, nil
+	off += sz
+	child0, sz, err := codec.Uint64(data[off:])
+	if err != nil {
+		return pagefile.InvalidPageID, err
+	}
+	off += sz
+	cur := pagefile.PageID(child0)
+	for i := 0; i < int(nKeys64); i++ {
+		k, sz, err := codec.LenBytes(data[off:])
+		if err != nil {
+			return pagefile.InvalidPageID, err
+		}
+		off += sz
+		c, sz, err := codec.Uint64(data[off:])
+		if err != nil {
+			return pagefile.InvalidPageID, err
+		}
+		off += sz
+		cmp := bytes.Compare(k, key)
+		if cmp > 0 {
+			return cur, nil
+		}
+		cur = pagefile.PageID(c)
+		if cmp == 0 {
+			return cur, nil
+		}
+	}
+	return cur, nil
+}
+
+// pageLeafLookup scans a serialized leaf for key, returning the value bytes
+// in place (aliasing data) when present.
+func pageLeafLookup(id pagefile.PageID, data, key []byte) ([]byte, bool, error) {
+	off := 1
+	nKeys64, sz, err := codec.Uvarint(data[off:])
+	if err != nil {
+		return nil, false, fmt.Errorf("btree: page %d: %w", id, err)
+	}
+	off += sz + 16 // skip next and prev pointers
+	for i := 0; i < int(nKeys64); i++ {
+		k, sz, err := codec.LenBytes(data[off:])
+		if err != nil {
+			return nil, false, err
+		}
+		off += sz
+		v, sz, err := codec.LenBytes(data[off:])
+		if err != nil {
+			return nil, false, err
+		}
+		off += sz
+		cmp := bytes.Compare(k, key)
+		if cmp == 0 {
+			return v, true, nil
+		}
+		if cmp > 0 {
+			return nil, false, nil
+		}
 	}
 	return nil, false, nil
 }
 
-// Has reports whether key is present.
-func (t *Tree) Has(key []byte) (bool, error) {
-	_, ok, err := t.Get(key)
-	return ok, err
-}
-
-func (t *Tree) findLeaf(key []byte) (*node, error) {
-	n, err := t.readNode(t.root)
-	if err != nil {
-		return nil, err
-	}
-	for !n.leaf {
-		n, err = t.readNode(n.children[childIndex(n, key)])
+// findLeafFrame descends to the leaf that would hold key, scanning the
+// serialized internal nodes directly from their pinned pages, and returns
+// the leaf's frame still pinned (the caller releases it).  Unlike the
+// parse-every-node descent it allocates nothing, which matters because every
+// Score-table and ListScore-table probe on the query hot path starts here.
+func (t *Tree) findLeafFrame(key []byte) (*buffer.Frame, error) {
+	id := t.root
+	for {
+		fr, err := t.pool.Get(id)
 		if err != nil {
 			return nil, err
 		}
+		data := fr.Data()
+		if len(data) == 0 {
+			fr.Release()
+			return nil, fmt.Errorf("btree: empty page %d", id)
+		}
+		switch data[0] {
+		case nodeLeaf:
+			return fr, nil
+		case nodeInternal:
+			child, err := pageChild(id, data, key)
+			fr.Release()
+			if err != nil {
+				return nil, err
+			}
+			id = child
+		default:
+			typ := data[0]
+			fr.Release()
+			return nil, fmt.Errorf("btree: page %d has unknown node type %d", id, typ)
+		}
 	}
-	return n, nil
+}
+
+// Get returns the value stored under key, or (nil, false) when absent.  The
+// returned value is an independent copy.
+func (t *Tree) Get(key []byte) ([]byte, bool, error) {
+	v, ok, err := t.lookup(key, true)
+	return v, ok, err
+}
+
+// Has reports whether key is present.
+func (t *Tree) Has(key []byte) (bool, error) {
+	_, ok, err := t.lookup(key, false)
+	return ok, err
+}
+
+// lookup probes for key without materializing any node.  When copyVal is set
+// the value is copied out of the pinned page before release.
+func (t *Tree) lookup(key []byte, copyVal bool) ([]byte, bool, error) {
+	fr, err := t.findLeafFrame(key)
+	if err != nil {
+		return nil, false, err
+	}
+	v, ok, err := pageLeafLookup(fr.ID(), fr.Data(), key)
+	if ok && copyVal {
+		v = append([]byte(nil), v...)
+	} else if !copyVal {
+		v = nil
+	}
+	fr.Release()
+	return v, ok, err
+}
+
+func (t *Tree) findLeaf(key []byte) (*node, error) {
+	fr, err := t.findLeafFrame(key)
+	if err != nil {
+		return nil, err
+	}
+	defer fr.Release()
+	return parseNode(fr.ID(), fr.Data())
 }
 
 // --- insertion ---------------------------------------------------------------
 
 // Put inserts key with value, replacing any existing value.
 func (t *Tree) Put(key, value []byte) error {
+	_, err := t.Upsert(key, value)
+	return err
+}
+
+// Upsert is Put that also reports whether a new key was inserted (false
+// means an existing value was replaced).  Callers that need to maintain an
+// entry count use it to avoid a separate Has probe per write.
+func (t *Tree) Upsert(key, value []byte) (bool, error) {
 	if len(key) == 0 {
-		return errors.New("btree: empty key")
+		return false, errors.New("btree: empty key")
 	}
 	if len(key)+len(value)+16 > t.maxEntrySize() {
-		return fmt.Errorf("%w: key %d + value %d bytes (max %d)", ErrEntryTooLarge, len(key), len(value), t.maxEntrySize())
+		return false, fmt.Errorf("%w: key %d + value %d bytes (max %d)", ErrEntryTooLarge, len(key), len(value), t.maxEntrySize())
 	}
 	promoted, newChild, inserted, err := t.insertInto(t.root, key, value)
 	if err != nil {
-		return err
+		return false, err
 	}
 	if inserted {
 		t.size++
 	}
 	if newChild == pagefile.InvalidPageID {
-		return nil
+		return inserted, nil
 	}
 	// Root split: create a new internal root.
 	newRoot, err := t.newNode(false)
 	if err != nil {
-		return err
+		return false, err
 	}
 	newRoot.keys = [][]byte{promoted}
 	newRoot.children = []pagefile.PageID{t.root, newChild}
 	if err := t.flushNode(newRoot); err != nil {
-		return err
+		return false, err
 	}
 	t.root = newRoot.id
-	return nil
+	return inserted, nil
 }
 
 // insertInto inserts into the subtree rooted at id.  It returns the promoted

@@ -25,6 +25,11 @@ type Stats struct {
 	Misses    uint64 // page requests that had to read the underlying file
 	Evictions uint64 // pages evicted to make room
 	Flushes   uint64 // dirty pages written back
+	// OverReleases counts Release calls without a matching Get.  A correct
+	// caller never produces one; the counter (also checked by CheckPins)
+	// exists so unbalanced pin accounting is detectable instead of silently
+	// ignored.
+	OverReleases uint64
 }
 
 // Frame is a pinned page held by the buffer pool.  Callers must Release a
@@ -38,6 +43,13 @@ type Frame struct {
 
 	pins  int
 	dirty bool
+
+	// ready is closed once the page contents are loaded (the frame's loading
+	// latch); loadErr is set before ready is closed when the read failed.
+	// Concurrent Gets of the same page wait on ready instead of serializing
+	// the file read under the pool lock.
+	ready   chan struct{}
+	loadErr error
 }
 
 // ID returns the page ID the frame holds.
@@ -70,11 +82,19 @@ type Pool struct {
 	frames map[pagefile.PageID]*Frame
 	lru    *list.List // front = most recently used; holds unpinned and pinned frames
 
-	hits      uint64
-	misses    uint64
-	evictions uint64
-	flushes   uint64
+	// freeData recycles page buffers of evicted frames so a steady-state
+	// miss does not allocate.
+	freeData [][]byte
+
+	hits         uint64
+	misses       uint64
+	evictions    uint64
+	flushes      uint64
+	overReleases uint64
 }
+
+// maxFreeBuffers bounds the recycled page-buffer list.
+const maxFreeBuffers = 16
 
 // ErrPoolFull is returned when every frame in the pool is pinned and a new
 // page must be brought in.
@@ -121,6 +141,13 @@ func (p *Pool) Get(id pagefile.PageID) (*Frame, error) {
 		fr.pins++
 		p.lru.MoveToFront(fr.elem)
 		p.mu.Unlock()
+		// Wait on the loading latch: another Get may still be reading the
+		// page contents from the file.
+		<-fr.ready
+		if fr.loadErr != nil {
+			p.release(fr)
+			return nil, fr.loadErr
+		}
 		return fr, nil
 	}
 	p.misses++
@@ -129,10 +156,15 @@ func (p *Pool) Get(id pagefile.PageID) (*Frame, error) {
 		p.mu.Unlock()
 		return nil, err
 	}
-	// Read outside the lock would be nicer for concurrency, but reading under
-	// the lock keeps eviction/read ordering trivially correct and the page
-	// file itself is cheap; index workloads here are single-writer.
+	p.mu.Unlock()
+
+	// Read the page without holding the pool lock; the frame is already
+	// visible and pinned, so concurrent requests for the same page park on
+	// its ready latch while requests for other pages proceed.
 	err = p.file.Read(id, fr.data)
+	p.mu.Lock()
+	fr.loadErr = err
+	close(fr.ready)
 	if err != nil {
 		p.dropFrameLocked(fr)
 		p.mu.Unlock()
@@ -155,33 +187,55 @@ func (p *Pool) NewPage() (*Frame, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Fresh pages start zeroed; a recycled buffer holds the evicted page's
+	// bytes, so clear it.  The Get path overwrites via file.Read instead.
+	clear(fr.data)
 	fr.dirty = true
+	close(fr.ready)
 	return fr, nil
 }
 
-// allocFrameLocked creates a pinned frame for id, evicting if necessary.
-// The caller holds p.mu.
+// allocFrameLocked creates a pinned frame for id with an open loading latch,
+// evicting and recycling a page buffer if necessary.  The caller holds p.mu.
 func (p *Pool) allocFrameLocked(id pagefile.PageID) (*Frame, error) {
 	if len(p.frames) >= p.capacity {
 		if err := p.evictOneLocked(); err != nil {
 			return nil, err
 		}
 	}
+	var data []byte
+	if n := len(p.freeData); n > 0 {
+		data = p.freeData[n-1]
+		p.freeData = p.freeData[:n-1]
+	} else {
+		data = make([]byte, p.file.PageSize())
+	}
 	fr := &Frame{
-		pool: p,
-		id:   id,
-		data: make([]byte, p.file.PageSize()),
-		pins: 1,
+		pool:  p,
+		id:    id,
+		data:  data,
+		pins:  1,
+		ready: make(chan struct{}),
 	}
 	fr.elem = p.lru.PushFront(fr)
 	p.frames[id] = fr
 	return fr, nil
 }
 
+// recycleBufferLocked returns a dropped frame's page buffer to the free
+// list.  The caller holds p.mu.
+func (p *Pool) recycleBufferLocked(data []byte) {
+	if len(p.freeData) < maxFreeBuffers {
+		p.freeData = append(p.freeData, data)
+	}
+}
+
 // dropFrameLocked removes a frame that failed to initialize.
 func (p *Pool) dropFrameLocked(fr *Frame) {
 	p.lru.Remove(fr.elem)
 	delete(p.frames, fr.id)
+	p.recycleBufferLocked(fr.data)
+	fr.data = nil
 }
 
 // evictOneLocked evicts the least recently used unpinned frame, flushing it
@@ -200,6 +254,8 @@ func (p *Pool) evictOneLocked() error {
 		}
 		p.lru.Remove(e)
 		delete(p.frames, fr.id)
+		p.recycleBufferLocked(fr.data)
+		fr.data = nil
 		p.evictions++
 		return nil
 	}
@@ -211,6 +267,8 @@ func (p *Pool) release(fr *Frame) {
 	defer p.mu.Unlock()
 	if fr.pins > 0 {
 		fr.pins--
+	} else {
+		p.overReleases++
 	}
 }
 
@@ -278,14 +336,34 @@ func (p *Pool) ResidentPages() int {
 	return len(p.frames)
 }
 
+// CheckPins reports pin-accounting violations: frames still pinned (a Get
+// without a matching Release) and over-releases (a Release without a
+// matching Get).  Tests call it after exercising a structure to assert that
+// every pin was balanced.
+func (p *Pool) CheckPins() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	pinned := 0
+	for _, fr := range p.frames {
+		if fr.pins > 0 {
+			pinned++
+		}
+	}
+	if pinned > 0 || p.overReleases > 0 {
+		return fmt.Errorf("buffer: pin accounting violated: %d frames still pinned, %d over-releases", pinned, p.overReleases)
+	}
+	return nil
+}
+
 // Stats returns a snapshot of the pool counters.
 func (p *Pool) Stats() Stats {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return Stats{Hits: p.hits, Misses: p.misses, Evictions: p.evictions, Flushes: p.flushes}
+	return Stats{Hits: p.hits, Misses: p.misses, Evictions: p.evictions, Flushes: p.flushes, OverReleases: p.overReleases}
 }
 
-// ResetStats zeroes the pool counters.
+// ResetStats zeroes the pool counters.  The over-release counter is
+// deliberately not reset: it records a caller bug, not workload activity.
 func (p *Pool) ResetStats() {
 	p.mu.Lock()
 	defer p.mu.Unlock()

@@ -1,6 +1,8 @@
 package buffer
 
 import (
+	"fmt"
+	"sync"
 	"testing"
 
 	"svrdb/internal/storage/pagefile"
@@ -212,4 +214,114 @@ func TestLRUOrderPreferred(t *testing.T) {
 	if p.Stats().Misses != base.Misses+1 {
 		t.Error("LRU page was unexpectedly still resident")
 	}
+}
+
+func TestOverReleaseDetected(t *testing.T) {
+	p, _ := newPool(t, 128, 4)
+	fr, err := p.NewPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.CheckPins(); err == nil {
+		t.Error("CheckPins with a pinned frame succeeded, want error")
+	}
+	fr.Release()
+	if err := p.CheckPins(); err != nil {
+		t.Errorf("CheckPins after balanced release: %v", err)
+	}
+	// The second release is unbalanced and must be counted, not swallowed.
+	fr.Release()
+	if got := p.Stats().OverReleases; got != 1 {
+		t.Errorf("OverReleases = %d, want 1", got)
+	}
+	if err := p.CheckPins(); err == nil {
+		t.Error("CheckPins after over-release succeeded, want error")
+	}
+	// ResetStats keeps the over-release count: it records a caller bug.
+	p.ResetStats()
+	if got := p.Stats().OverReleases; got != 1 {
+		t.Errorf("OverReleases after ResetStats = %d, want 1", got)
+	}
+}
+
+func TestConcurrentGetSamePage(t *testing.T) {
+	p, _ := newPool(t, 128, 8)
+	fr, err := p.NewPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr.Data()[0] = 0x5A
+	fr.MarkDirty()
+	id := fr.ID()
+	fr.Release()
+	if err := p.EvictAll(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Hammer the same cold page from many goroutines: every Get must wait on
+	// the loading latch and observe fully loaded contents.
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			fr, err := p.Get(id)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if fr.Data()[0] != 0x5A {
+				errs <- fmt.Errorf("got byte %#x, want 0x5a", fr.Data()[0])
+			}
+			fr.Release()
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if err := p.CheckPins(); err != nil {
+		t.Errorf("CheckPins after concurrent gets: %v", err)
+	}
+}
+
+func TestEvictedBuffersRecycled(t *testing.T) {
+	p, _ := newPool(t, 128, 2)
+	// Cycle many pages through a 2-frame pool; the free list must keep the
+	// pool from allocating a fresh buffer per miss, and recycled buffers must
+	// never leak stale bytes into fresh pages.
+	var ids []pagefile.PageID
+	for i := 0; i < 6; i++ {
+		fr, err := p.NewPage()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range fr.Data() {
+			fr.Data()[j] = 0xEE
+		}
+		fr.MarkDirty()
+		ids = append(ids, fr.ID())
+		fr.Release()
+	}
+	fr, err := p.NewPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range fr.Data() {
+		if b != 0 {
+			t.Fatal("NewPage returned a recycled buffer with stale bytes")
+		}
+	}
+	fr.Release()
+	// Re-reading an evicted page must still return its flushed contents.
+	fr2, err := p.Get(ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr2.Data()[0] != 0xEE {
+		t.Errorf("evicted page byte = %#x, want 0xee", fr2.Data()[0])
+	}
+	fr2.Release()
 }

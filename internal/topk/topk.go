@@ -5,7 +5,6 @@
 package topk
 
 import (
-	"container/heap"
 	"sort"
 )
 
@@ -16,11 +15,13 @@ type Result struct {
 }
 
 // Heap keeps the k highest-scoring documents seen so far.  Ties are broken
-// in favour of the smaller document ID so results are deterministic.
+// in favour of the smaller document ID so results are deterministic.  The
+// doc → slot map is maintained incrementally on every heap movement, so Add
+// costs O(log k) even at large k.
 type Heap struct {
-	k     int
-	items resultHeap
-	seen  map[int64]int // doc -> index in items, to update in place
+	k       int
+	entries []Result
+	seen    map[int64]int // doc -> index in entries
 }
 
 // New returns a heap that retains the best k results.  k must be positive.
@@ -35,10 +36,10 @@ func New(k int) *Heap {
 func (h *Heap) K() int { return h.k }
 
 // Len reports how many results are currently held (≤ k).
-func (h *Heap) Len() int { return len(h.items.entries) }
+func (h *Heap) Len() int { return len(h.entries) }
 
 // Full reports whether k results have been collected.
-func (h *Heap) Full() bool { return len(h.items.entries) >= h.k }
+func (h *Heap) Full() bool { return len(h.entries) >= h.k }
 
 // MinScore returns the lowest score among the held results.  It returns
 // negative infinity semantics via ok=false when the heap is not yet full,
@@ -48,7 +49,51 @@ func (h *Heap) MinScore() (float64, bool) {
 	if !h.Full() {
 		return 0, false
 	}
-	return h.items.entries[0].Score, true
+	return h.entries[0].Score, true
+}
+
+// less orders the min-heap so the root is the weakest retained result;
+// larger doc IDs are "worse" so they are evicted first on score ties.
+func (h *Heap) less(i, j int) bool {
+	if h.entries[i].Score != h.entries[j].Score {
+		return h.entries[i].Score < h.entries[j].Score
+	}
+	return h.entries[i].Doc > h.entries[j].Doc
+}
+
+func (h *Heap) swap(i, j int) {
+	h.entries[i], h.entries[j] = h.entries[j], h.entries[i]
+	h.seen[h.entries[i].Doc] = i
+	h.seen[h.entries[j].Doc] = j
+}
+
+func (h *Heap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *Heap) down(i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(h.entries) && h.less(l, smallest) {
+			smallest = l
+		}
+		if r < len(h.entries) && h.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h.swap(i, smallest)
+		i = smallest
+	}
 }
 
 // Add offers a document with its current score.  If the document is already
@@ -57,44 +102,29 @@ func (h *Heap) MinScore() (float64, bool) {
 // Add reports whether the document is now among the retained results.
 func (h *Heap) Add(doc int64, score float64) bool {
 	if idx, ok := h.seen[doc]; ok {
-		if score > h.items.entries[idx].Score {
-			h.items.entries[idx].Score = score
-			heap.Fix(&h.items, idx)
+		if score > h.entries[idx].Score {
+			h.entries[idx].Score = score
+			// A higher score moves the entry away from the root.
+			h.down(idx)
 		}
 		return true
 	}
-	if len(h.items.entries) < h.k {
-		heap.Push(&h.items, Result{Doc: doc, Score: score})
-		h.reindex()
-		h.seen[doc] = h.indexOf(doc)
+	if len(h.entries) < h.k {
+		h.entries = append(h.entries, Result{Doc: doc, Score: score})
+		i := len(h.entries) - 1
+		h.seen[doc] = i
+		h.up(i)
 		return true
 	}
-	worst := h.items.entries[0]
+	worst := h.entries[0]
 	if score < worst.Score || (score == worst.Score && doc > worst.Doc) {
 		return false
 	}
 	delete(h.seen, worst.Doc)
-	h.items.entries[0] = Result{Doc: doc, Score: score}
-	heap.Fix(&h.items, 0)
-	h.reindex()
+	h.entries[0] = Result{Doc: doc, Score: score}
+	h.seen[doc] = 0
+	h.down(0)
 	return true
-}
-
-// indexOf finds the heap slot of doc (linear; k is small).
-func (h *Heap) indexOf(doc int64) int {
-	for i, e := range h.items.entries {
-		if e.Doc == doc {
-			return i
-		}
-	}
-	return -1
-}
-
-// reindex rebuilds the doc -> slot map after heap movement.
-func (h *Heap) reindex() {
-	for i, e := range h.items.entries {
-		h.seen[e.Doc] = i
-	}
 }
 
 // Contains reports whether doc is currently retained.
@@ -106,7 +136,7 @@ func (h *Heap) Contains(doc int64) bool {
 // Results returns the retained documents ordered by descending score (ties
 // by ascending document ID).  The heap remains usable afterwards.
 func (h *Heap) Results() []Result {
-	out := append([]Result(nil), h.items.entries...)
+	out := append([]Result(nil), h.entries...)
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Score != out[j].Score {
 			return out[i].Score > out[j].Score
@@ -114,30 +144,4 @@ func (h *Heap) Results() []Result {
 		return out[i].Doc < out[j].Doc
 	})
 	return out
-}
-
-// resultHeap is a min-heap ordered by (score, then doc descending) so that
-// the root is always the weakest retained result.
-type resultHeap struct {
-	entries []Result
-}
-
-func (r *resultHeap) Len() int { return len(r.entries) }
-
-func (r *resultHeap) Less(i, j int) bool {
-	if r.entries[i].Score != r.entries[j].Score {
-		return r.entries[i].Score < r.entries[j].Score
-	}
-	// Larger doc IDs are "worse" so they are evicted first on ties.
-	return r.entries[i].Doc > r.entries[j].Doc
-}
-
-func (r *resultHeap) Swap(i, j int) { r.entries[i], r.entries[j] = r.entries[j], r.entries[i] }
-
-func (r *resultHeap) Push(x any) { r.entries = append(r.entries, x.(Result)) }
-
-func (r *resultHeap) Pop() any {
-	last := r.entries[len(r.entries)-1]
-	r.entries = r.entries[:len(r.entries)-1]
-	return last
 }
