@@ -204,6 +204,45 @@ func BenchmarkStepSweep_ChunkUpdate(b *testing.B) {
 	}
 }
 
+// updateBatchSize is the batch size the batched write benchmarks use; one
+// ApplyUpdates call per this many trace entries.
+const updateBatchSize = 256
+
+// BenchmarkUpdateThroughput compares the write pipeline's two shapes on the
+// same score-update trace: the one-at-a-time UpdateScore loop against
+// batched ApplyUpdates.  The per-op times divide out to throughput; the
+// batched path amortizes B+-tree descents and leaf rewrites across each
+// batch.
+func BenchmarkUpdateThroughput(b *testing.B) {
+	_, _, updates := sharedCorpus()
+	for _, kind := range []string{"ID", "Score-Threshold", "Chunk", "Chunk-TermScore"} {
+		b.Run(kind+"/loop", func(b *testing.B) {
+			m := buildBenchIndex(b, kind, index.Config{MinChunkSize: 20})
+			benchUpdates(b, m)
+		})
+		b.Run(kind+"/batch", func(b *testing.B) {
+			m := buildBenchIndex(b, kind, index.Config{MinChunkSize: 20})
+			batch := make([]index.Update, 0, updateBatchSize)
+			b.ResetTimer()
+			for n := 0; n < b.N; {
+				sz := updateBatchSize
+				if n+sz > b.N {
+					sz = b.N - n
+				}
+				batch = batch[:0]
+				for j := 0; j < sz; j++ {
+					u := updates[(n+j)%len(updates)]
+					batch = append(batch, index.Update{Op: index.ScoreOp, Doc: u.Doc, Score: u.NewScore})
+				}
+				if err := m.ApplyUpdates(batch); err != nil {
+					b.Fatal(err)
+				}
+				n += sz
+			}
+		})
+	}
+}
+
 // BenchmarkFigure9_CombinedScores measures combined SVR+TF-IDF queries for
 // the two TermScore methods (Figure 9).
 func BenchmarkFigure9_CombinedScores(b *testing.B) {

@@ -2,6 +2,11 @@
 // statistics: collection size, score distribution, update trace and query
 // workload.  It is the data-preparation companion of svrbench and a quick
 // way to sanity-check workload parameters before a long benchmark run.
+//
+// With -build it also performs the ingestion itself: the chosen index
+// method is bulk-built over the generated corpus (the leaf-packing bulk
+// loader) and the update trace is applied through the batched write
+// pipeline (Method.ApplyUpdates), reporting the time of each stage.
 package main
 
 import (
@@ -10,18 +15,25 @@ import (
 	"math"
 	"os"
 	"sort"
+	"time"
 
+	"svrdb/internal/index"
+	"svrdb/internal/storage/buffer"
+	"svrdb/internal/storage/pagefile"
 	"svrdb/internal/workload"
 )
 
 func main() {
 	var (
-		docs     = flag.Int("docs", 8000, "number of documents")
-		terms    = flag.Int("terms", 200, "tokens per document")
-		vocab    = flag.Int("vocab", 20000, "vocabulary size")
-		updates  = flag.Int("updates", 10000, "score updates to generate")
-		meanStep = flag.Float64("step", 100, "mean score-update step")
-		seed     = flag.Int64("seed", 1, "random seed")
+		docs      = flag.Int("docs", 8000, "number of documents")
+		terms     = flag.Int("terms", 200, "tokens per document")
+		vocab     = flag.Int("vocab", 20000, "vocabulary size")
+		updates   = flag.Int("updates", 10000, "score updates to generate")
+		meanStep  = flag.Float64("step", 100, "mean score-update step")
+		seed      = flag.Int64("seed", 1, "random seed")
+		build     = flag.Bool("build", false, "bulk-build an index over the corpus and replay the trace through the batched write pipeline")
+		method    = flag.String("method", "chunk", "index method for -build: id, score, score-threshold, chunk, id-termscore, chunk-termscore")
+		batchSize = flag.Int("batch", 512, "ApplyUpdates batch size for -build")
 	)
 	flag.Parse()
 
@@ -83,6 +95,83 @@ func main() {
 		qs := workload.GenerateQueries(corpus, qp)
 		fmt.Printf("%s queries: %v\n", class, qs)
 	}
+
+	if *build {
+		if err := buildAndIngest(corpus, trace, *method, *batchSize); err != nil {
+			fmt.Fprintln(os.Stderr, "svrload:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// buildAndIngest bulk-builds the chosen method over the corpus and replays
+// the score-update trace through ApplyUpdates, printing stage timings.
+func buildAndIngest(corpus *workload.Corpus, trace []workload.ScoreUpdate, method string, batchSize int) error {
+	if batchSize < 1 {
+		batchSize = 1
+	}
+	pool := buffer.MustNew(pagefile.MustNewMem(pagefile.DefaultPageSize), 8192)
+	cfg := index.Config{Pool: pool}
+	var (
+		m   index.Method
+		err error
+	)
+	switch method {
+	case "id":
+		m, err = index.NewID(cfg)
+	case "score":
+		m, err = index.NewScore(cfg)
+	case "score-threshold":
+		m, err = index.NewScoreThreshold(cfg)
+	case "chunk":
+		m, err = index.NewChunk(cfg)
+	case "id-termscore":
+		m, err = index.NewIDTermScore(cfg)
+	case "chunk-termscore":
+		m, err = index.NewChunkTermScore(cfg)
+	default:
+		return fmt.Errorf("unknown method %q", method)
+	}
+	if err != nil {
+		return err
+	}
+
+	start := time.Now()
+	if err := m.Build(corpus, corpus.ScoreFunc()); err != nil {
+		return err
+	}
+	if err := pool.FlushOrdered(); err != nil {
+		return err
+	}
+	buildTime := time.Since(start)
+	stats := m.Stats()
+	fmt.Printf("bulk build (%s): %s, long lists %.2f MB\n", m.Name(), buildTime.Round(time.Millisecond), float64(stats.LongListBytes)/(1024*1024))
+
+	if len(trace) == 0 {
+		return nil
+	}
+	batch := make([]index.Update, 0, batchSize)
+	start = time.Now()
+	for lo := 0; lo < len(trace); lo += batchSize {
+		hi := lo + batchSize
+		if hi > len(trace) {
+			hi = len(trace)
+		}
+		batch = batch[:0]
+		for _, u := range trace[lo:hi] {
+			batch = append(batch, index.Update{Op: index.ScoreOp, Doc: u.Doc, Score: u.NewScore})
+		}
+		if err := m.ApplyUpdates(batch); err != nil {
+			return err
+		}
+	}
+	if err := pool.FlushOrdered(); err != nil {
+		return err
+	}
+	ingestTime := time.Since(start)
+	fmt.Printf("batched updates: %d in %s (%.0f updates/s, batch size %d)\n",
+		len(trace), ingestTime.Round(time.Millisecond), float64(len(trace))/ingestTime.Seconds(), batchSize)
+	return nil
 }
 
 func percentile(sorted []float64, p float64) float64 {

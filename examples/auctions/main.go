@@ -111,24 +111,33 @@ func main() {
 	fmt.Printf("marketplace ranking for %q before the bidding war:\n", query)
 	printHits(idx, query)
 
-	// A bidding war: 3000 bids land, most of them on a handful of hot items.
+	// A bidding war: 3000 bids land, most of them on a handful of hot
+	// items.  The burst runs inside ApplyBatch so the resulting score
+	// changes reach the index through the batched write pipeline.
 	hot := rng.Perm(nAuctions)[:8]
-	for i := 0; i < 3000; i++ {
-		var aID int64
-		if rng.Float64() < 0.5 {
-			aID = int64(hot[rng.Intn(len(hot))] + 1)
-		} else {
-			aID = int64(rng.Intn(nAuctions) + 1)
+	check(engine.ApplyBatch(func() error {
+		for i := 0; i < 3000; i++ {
+			var aID int64
+			if rng.Float64() < 0.5 {
+				aID = int64(hot[rng.Intn(len(hot))] + 1)
+			} else {
+				aID = int64(rng.Intn(nAuctions) + 1)
+			}
+			row, err := auctions.Get(aID)
+			if err != nil {
+				return err
+			}
+			newBid := row[3].F + float64(rng.Intn(50)+1)
+			newHours := row[4].F * 0.999
+			if err := auctions.Update(aID, map[string]relation.Value{
+				"currentBid": relation.Float(newBid),
+				"hoursLeft":  relation.Float(newHours),
+			}); err != nil {
+				return err
+			}
 		}
-		row, err := auctions.Get(aID)
-		check(err)
-		newBid := row[3].F + float64(rng.Intn(50)+1)
-		newHours := row[4].F * 0.999
-		check(auctions.Update(aID, map[string]relation.Value{
-			"currentBid": relation.Float(newBid),
-			"hoursLeft":  relation.Float(newHours),
-		}))
-	}
+		return nil
+	}))
 	check(idx.MaintenanceErr())
 
 	fmt.Printf("\nafter 3000 bids (hot items: %v):\n", hot)

@@ -156,6 +156,7 @@ func Registry() []Experiment {
 		{ID: "table1", Paper: "Table 1", Description: "Size of the long inverted lists per method", Run: RunTable1},
 		{ID: "table2", Paper: "Table 2", Description: "Chunk-ratio sweep: update vs query time for several mean update steps", Run: RunTable2},
 		{ID: "figure7", Paper: "Figure 7", Description: "Update and query time per method as the number of score updates grows", Run: RunFigure7},
+		{ID: "update", Paper: "§5.3 (update cost)", Description: "Update throughput: batched ApplyUpdates vs the one-at-a-time loop, pure and mixed with queries", Run: RunUpdateFigure},
 		{ID: "figure8", Paper: "Figure 8", Description: "Query time as the number of desired results k grows", Run: RunFigure8},
 		{ID: "step", Paper: "§5.3.4", Description: "Mean update step sweep: Chunk (tuned ratio) vs ID", Run: RunStepSweep},
 		{ID: "figure9", Paper: "Figure 9", Description: "Combined SVR+term scoring: Chunk-TermScore vs ID-TermScore", Run: RunFigure9},

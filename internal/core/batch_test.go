@@ -1,0 +1,174 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"svrdb/internal/relation"
+	"svrdb/internal/workload"
+)
+
+// applyArchiveMutations performs a deterministic burst of structured
+// updates — visit-count bumps (score changes through the view), description
+// edits (content updates) and row deletions — against an archive database.
+func applyArchiveMutations(t *testing.T, db *relation.DB, nMovies, rounds int) func() error {
+	t.Helper()
+	return func() error {
+		stats, err := db.Table("Statistics")
+		if err != nil {
+			return err
+		}
+		movies, err := db.Table("Movies")
+		if err != nil {
+			return err
+		}
+		for i := 0; i < rounds; i++ {
+			mID := int64(i%nMovies + 1)
+			row, err := stats.Get(mID)
+			if err != nil {
+				return err
+			}
+			if err := stats.Update(mID, map[string]relation.Value{
+				"nVisit": relation.Int(row[2].I + int64(500+i*37%900)),
+			}); err != nil {
+				return err
+			}
+			if i%7 == 0 {
+				mrow, err := movies.Get(mID)
+				if err != nil {
+					return err
+				}
+				if err := movies.Update(mID, map[string]relation.Value{
+					"desc": relation.Str(mrow[2].S + fmt.Sprintf(" remastered edition %d", i)),
+				}); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+}
+
+// TestApplyBatchMatchesEagerMaintenance drives the same structured-update
+// burst through two engines — one with eager per-change maintenance, one
+// inside ApplyBatch — and requires identical search results afterwards.
+func TestApplyBatchMatchesEagerMaintenance(t *testing.T) {
+	const nMovies = 120
+	for _, method := range []MethodKind{MethodID, MethodScoreThreshold, MethodChunk, MethodChunkTermScore} {
+		t.Run(string(method), func(t *testing.T) {
+			eagerEngine, eagerDB := newArchiveEngine(t, nMovies)
+			batchEngine, batchDB := newArchiveEngine(t, nMovies)
+			eagerIdx, err := eagerEngine.CreateTextIndex("m", "Movies", "desc", IndexOptions{Method: method, Spec: workload.ArchiveSpec()})
+			if err != nil {
+				t.Fatal(err)
+			}
+			batchIdx, err := batchEngine.CreateTextIndex("m", "Movies", "desc", IndexOptions{Method: method, Spec: workload.ArchiveSpec()})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if err := applyArchiveMutations(t, eagerDB, nMovies, 300)(); err != nil {
+				t.Fatalf("eager mutations: %v", err)
+			}
+			if err := batchEngine.ApplyBatch(applyArchiveMutations(t, batchDB, nMovies, 300)); err != nil {
+				t.Fatalf("ApplyBatch: %v", err)
+			}
+			if err := eagerIdx.MaintenanceErr(); err != nil {
+				t.Fatalf("eager maintenance: %v", err)
+			}
+			if err := batchIdx.MaintenanceErr(); err != nil {
+				t.Fatalf("batch maintenance: %v", err)
+			}
+
+			for _, q := range []string{"golden gate", "san francisco", "amateur film", "remastered edition"} {
+				eRes, err := eagerIdx.Search(SearchRequest{Query: q, K: 20})
+				if err != nil {
+					t.Fatalf("eager search %q: %v", q, err)
+				}
+				bRes, err := batchIdx.Search(SearchRequest{Query: q, K: 20})
+				if err != nil {
+					t.Fatalf("batch search %q: %v", q, err)
+				}
+				if len(eRes.Hits) != len(bRes.Hits) {
+					t.Fatalf("query %q: %d hits (eager) vs %d (batched)", q, len(eRes.Hits), len(bRes.Hits))
+				}
+				for i := range eRes.Hits {
+					if eRes.Hits[i].PK != bRes.Hits[i].PK || eRes.Hits[i].Score != bRes.Hits[i].Score {
+						t.Errorf("query %q hit %d: eager (%d, %g) vs batched (%d, %g)",
+							q, i, eRes.Hits[i].PK, eRes.Hits[i].Score, bRes.Hits[i].PK, bRes.Hits[i].Score)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestApplyBatchPanicStillFlushes checks that a panic inside fn does not
+// leave the indexes stuck in deferred-maintenance mode: the changes made
+// before the panic flush, and later eager updates keep flowing.
+func TestApplyBatchPanicStillFlushes(t *testing.T) {
+	const nMovies = 50
+	engine, db := newArchiveEngine(t, nMovies)
+	idx, err := engine.CreateTextIndex("m", "Movies", "desc", IndexOptions{Spec: workload.ArchiveSpec()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := db.Table("Statistics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bump := func(mID int64, delta int64) {
+		row, err := stats.Get(mID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := stats.Update(mID, map[string]relation.Value{"nVisit": relation.Int(row[2].I + delta)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("panic did not propagate out of ApplyBatch")
+			}
+		}()
+		_ = engine.ApplyBatch(func() error {
+			bump(1, 1_000_000)
+			panic("boom")
+		})
+	}()
+	// The pre-panic change must have flushed into the index...
+	s, ok, err := idx.ScoreOf(1)
+	if err != nil || !ok {
+		t.Fatalf("ScoreOf(1): %v %v", ok, err)
+	}
+	if s < 500_000 {
+		t.Errorf("pre-panic score change not flushed: score %g", s)
+	}
+	// ...and eager maintenance must work again afterwards.
+	bump(2, 2_000_000)
+	if err := idx.MaintenanceErr(); err != nil {
+		t.Fatal(err)
+	}
+	s2, ok, err := idx.ScoreOf(2)
+	if err != nil || !ok || s2 < 1_000_000 {
+		t.Errorf("eager update after recovered panic not applied: score %g, %v, %v", s2, ok, err)
+	}
+}
+
+// TestApplyBatchPropagatesErrors checks that a failing mutation function
+// surfaces its error and that the engine stays usable.
+func TestApplyBatchPropagatesErrors(t *testing.T) {
+	engine, _ := newArchiveEngine(t, 50)
+	idx, err := engine.CreateTextIndex("m", "Movies", "desc", IndexOptions{Spec: workload.ArchiveSpec()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantErr := fmt.Errorf("mutation failed")
+	if err := engine.ApplyBatch(func() error { return wantErr }); err == nil {
+		t.Fatal("ApplyBatch swallowed the mutation error")
+	}
+	if _, err := idx.Search(SearchRequest{Query: "golden gate", K: 5}); err != nil {
+		t.Fatalf("engine unusable after failed batch: %v", err)
+	}
+}

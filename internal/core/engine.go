@@ -129,6 +129,11 @@ type TextIndex struct {
 
 	mu              sync.Mutex
 	maintenanceErrs []error
+	// batching defers incremental maintenance: change events convert to
+	// index.Update values in pending instead of hitting the method, and
+	// flushBatch applies them in one Method.ApplyUpdates call.
+	batching bool
+	pending  []index.Update
 }
 
 // CreateTextIndex creates and bulk-builds a text index.
@@ -189,6 +194,11 @@ func (e *Engine) CreateTextIndex(name, table, column string, opts IndexOptions) 
 		}
 		return clampScore(s)
 	}); err != nil {
+		return nil, err
+	}
+	// Write the build's dirty pages back in one ordered sweep rather than
+	// letting them dribble out in LRU eviction order.
+	if err := e.db.Pool().FlushOrdered(); err != nil {
 		return nil, err
 	}
 
@@ -266,6 +276,9 @@ func (ti *TextIndex) onScoreChange(c view.ScoreChange) {
 	doc := index.DocID(c.Doc)
 	switch {
 	case c.Deleted:
+		if ti.enqueue(index.Update{Op: index.DeleteOp, Doc: doc}) {
+			return
+		}
 		ti.recordErr(ti.method.DeleteDocument(doc))
 	case c.Inserted:
 		tokens, err := ti.tokensOf(c.Doc)
@@ -273,10 +286,97 @@ func (ti *TextIndex) onScoreChange(c view.ScoreChange) {
 			ti.recordErr(err)
 			return
 		}
+		if ti.enqueue(index.Update{Op: index.InsertOp, Doc: doc, Tokens: tokens, Score: clampScore(c.New)}) {
+			return
+		}
 		ti.recordErr(ti.method.InsertDocument(doc, tokens, clampScore(c.New)))
 	default:
+		if ti.enqueue(index.Update{Op: index.ScoreOp, Doc: doc, Score: clampScore(c.New)}) {
+			return
+		}
 		ti.recordErr(ti.method.UpdateScore(doc, clampScore(c.New)))
 	}
+}
+
+// enqueue buffers an update when batch mode is active, reporting whether it
+// took ownership of the event.
+func (ti *TextIndex) enqueue(u index.Update) bool {
+	ti.mu.Lock()
+	defer ti.mu.Unlock()
+	if !ti.batching {
+		return false
+	}
+	ti.pending = append(ti.pending, u)
+	return true
+}
+
+// beginBatch defers maintenance events until flushBatch.
+func (ti *TextIndex) beginBatch() {
+	ti.mu.Lock()
+	ti.batching = true
+	ti.mu.Unlock()
+}
+
+// flushBatch applies the deferred events through the method's batched write
+// pipeline.
+func (ti *TextIndex) flushBatch() error {
+	ti.mu.Lock()
+	ops := ti.pending
+	ti.pending = nil
+	ti.batching = false
+	ti.mu.Unlock()
+	if len(ops) == 0 {
+		return nil
+	}
+	return ti.method.ApplyUpdates(ops)
+}
+
+// ApplyUpdates feeds a prepared batch straight into the method's batched
+// write pipeline.  Bulk ingestion paths (benchmarks, loaders) use it to
+// bypass the per-row change plumbing.
+func (ti *TextIndex) ApplyUpdates(batch []index.Update) error {
+	return ti.method.ApplyUpdates(batch)
+}
+
+// ApplyBatch runs fn — typically a burst of structured-data mutations —
+// with index maintenance deferred: the score and content changes fn
+// produces are collected per text index and applied through each method's
+// batched write pipeline (Method.ApplyUpdates) when fn returns, instead of
+// one B+-tree round-trip per change.  The final index states are identical
+// to applying the changes eagerly, with two documented nuances:
+//
+//   - searches issued inside fn see the index as of the batch's start,
+//     since maintenance has not been applied yet;
+//   - a deferred score update that ends up crossing its method's rewrite
+//     threshold reads the document's tokens at flush time, not at event
+//     time, so a batch that scores and then edits/deletes the same row
+//     writes that document's short-list postings from the end-of-batch
+//     content (query results stay correct either way — Theorems 1 and 2
+//     hold for any staleness — but TermScore weights can differ from the
+//     eager interleaving).  Capturing tokens per deferred score change
+//     would tokenize every updated document and forfeit the batching win,
+//     so the batch trades that equivalence edge for throughput.
+//
+// Errors from fn and from the flushes are joined; the flush runs even if
+// fn panics, so the indexes never stay in deferred mode.
+func (e *Engine) ApplyBatch(fn func() error) (err error) {
+	e.mu.RLock()
+	indexes := make([]*TextIndex, 0, len(e.indexes))
+	for _, ti := range e.indexes {
+		indexes = append(indexes, ti)
+	}
+	e.mu.RUnlock()
+	for _, ti := range indexes {
+		ti.beginBatch()
+	}
+	defer func() {
+		errs := []error{err}
+		for _, ti := range indexes {
+			errs = append(errs, ti.flushBatch())
+		}
+		err = errors.Join(errs...)
+	}()
+	return fn()
 }
 
 // onBaseRowChange reacts to text-column edits on the indexed relation.
@@ -301,6 +401,9 @@ func (ti *TextIndex) onBaseRowChange(c relation.Change) {
 	}
 	oldTokens := ti.engine.analyzer.Tokenize(oldText)
 	newTokens := ti.engine.analyzer.Tokenize(newText)
+	if ti.enqueue(index.Update{Op: index.ContentOp, Doc: index.DocID(c.PK), OldTokens: oldTokens, NewTokens: newTokens}) {
+		return
+	}
 	ti.recordErr(ti.method.UpdateContent(index.DocID(c.PK), oldTokens, newTokens))
 }
 

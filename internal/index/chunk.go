@@ -90,6 +90,13 @@ func (m *ChunkMethod) Build(src DocSource, scores ScoreFunc) error {
 	return nil
 }
 
+// ApplyUpdates implements Method: Algorithm 1 replays per update against
+// the staged Score and ListChunk tables, and the short-list postings of the
+// whole batch are written grouped by term.
+func (m *ChunkMethod) ApplyUpdates(batch []Update) error {
+	return m.runBatch(m, batch, m.score, m.short, m.listChunk)
+}
+
 // UpdateScore implements Method (Algorithm 1 with chunk IDs in place of
 // scores).
 func (m *ChunkMethod) UpdateScore(doc DocID, newScore float64) error {
@@ -282,15 +289,42 @@ func (m *ChunkMethod) TopK(q Query) (*QueryResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		streams = append(streams, postings.NewCollapseOps(postings.NewUnion(short, long)))
+		streams = append(streams, combinedStream(short, long))
 	}
 	return m.runRanked(rankedQuery{
 		streams:     streams,
 		k:           q.K,
 		conjunctive: !q.Disjunctive,
 		maxPossible: m.maxPossibleScore,
-		resolve:     m.resolveCandidate,
+		resolve:     m.probedResolver(),
 	})
+}
+
+// probedResolver returns a per-query resolveCandidate whose ListChunk and
+// Score lookups run through leaf-locality probes: within a chunk the
+// candidates arrive in ascending document order, so both tables are walked
+// left to right instead of descended per candidate.
+func (m *ChunkMethod) probedResolver() func(g postings.Group) (float64, bool, error) {
+	lp := m.listChunk.newProbe()
+	sp := m.score.newProbe()
+	return func(g postings.Group) (float64, bool, error) {
+		entry, exists, err := lp.Get(g.Doc)
+		if err != nil {
+			return 0, false, err
+		}
+		if exists && entry.InShortList && g.SortKey != entry.Key {
+			// Stale long-list copy; the short copy is processed instead.
+			return 0, false, nil
+		}
+		score, deleted, ok, err := sp.Get(g.Doc)
+		if err != nil {
+			return 0, false, err
+		}
+		if !ok || deleted {
+			return 0, false, nil
+		}
+		return score, true, nil
+	}
 }
 
 // maxPossibleScore bounds the current score of any document whose postings

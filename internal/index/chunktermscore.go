@@ -94,6 +94,13 @@ func (m *ChunkTermScoreMethod) Build(src DocSource, scores ScoreFunc) error {
 	return nil
 }
 
+// ApplyUpdates implements Method: identical to the Chunk method's batch
+// path (the fancy lists are read-only between merges, so a batch touches
+// the same three updatable structures).
+func (m *ChunkTermScoreMethod) ApplyUpdates(batch []Update) error {
+	return m.runBatch(m, batch, m.score, m.short, m.listChunk)
+}
+
 // TopK implements Method (Algorithm 3).  Plain SVR-only queries (without
 // term scores) fall back to the Chunk algorithm over the same lists.
 func (m *ChunkTermScoreMethod) TopK(q Query) (*QueryResult, error) {
@@ -119,6 +126,12 @@ func (m *ChunkTermScoreMethod) TopK(q Query) (*QueryResult, error) {
 
 	heap := topk.New(q.K)
 	res := &QueryResult{}
+	// Fancy lists and chunked lists both yield candidates in ascending
+	// document order (per chunk), so their score resolution runs through
+	// leaf-locality probes; checkStop's remainList pruning probes documents
+	// in arbitrary order and keeps the plain lookups.
+	fancyScores := m.score.newProbe()
+	resolve := m.probedResolver()
 
 	// Phase 1 (Algorithm 3 lines 8-9): merge the fancy lists.  Documents
 	// present in every fancy list have exact combined scores and seed the
@@ -149,10 +162,11 @@ func (m *ChunkTermScoreMethod) TopK(q Query) (*QueryResult, error) {
 		}
 		res.PostingsScanned += g.Count
 		if g.ContainsAll() {
-			svr, include, err := m.currentScore(g.Doc)
+			svr, deleted, ok, err := fancyScores.Get(g.Doc)
 			if err != nil {
 				return nil, err
 			}
+			include := ok && !deleted
 			if include {
 				combined := svr
 				for i, present := range g.Present {
@@ -185,7 +199,7 @@ func (m *ChunkTermScoreMethod) TopK(q Query) (*QueryResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		streams[i] = postings.NewCollapseOps(postings.NewUnion(short, long))
+		streams[i] = combinedStream(short, long)
 	}
 	merger := postings.NewGroupMerger(streams...)
 	defer merger.Close()
@@ -259,7 +273,7 @@ func (m *ChunkTermScoreMethod) TopK(q Query) (*QueryResult, error) {
 		if !matches {
 			continue
 		}
-		svr, include, err := m.resolveCandidate(g)
+		svr, include, err := resolve(g)
 		if err != nil {
 			return nil, err
 		}

@@ -96,6 +96,13 @@ func (m *IDMethod) Build(src DocSource, scores ScoreFunc) error {
 	return nil
 }
 
+// ApplyUpdates implements Method: the batch replays through the ordinary
+// maintenance paths with the Score table and the auxiliary list staged, so
+// its tree writes group by leaf.
+func (m *IDMethod) ApplyUpdates(batch []Update) error {
+	return m.runBatch(m, batch, m.score, m.aux)
+}
+
 // UpdateScore implements Method: the only work is one Score-table write.
 func (m *IDMethod) UpdateScore(doc DocID, newScore float64) error {
 	m.counters.scoreUpdates.Add(1)
@@ -199,7 +206,7 @@ func (m *IDMethod) TopK(q Query) (*QueryResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		streams = append(streams, postings.NewCollapseOps(postings.NewUnion(short, long)))
+		streams = append(streams, combinedStream(short, long))
 		idfs = append(idfs, text.IDF(stats, m.dict.DocFreq(term)))
 	}
 

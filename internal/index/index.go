@@ -102,6 +102,54 @@ var ErrTermScoresUnsupported = errors.New("index: method does not store term sco
 // index has never seen.
 var ErrUnknownDocument = errors.New("index: unknown document")
 
+// UpdateKind discriminates the operations an Update batch can carry.
+type UpdateKind uint8
+
+const (
+	// ScoreOp is a document score change (Algorithm 1).
+	ScoreOp UpdateKind = iota
+	// InsertOp adds a new document (Appendix A.2).
+	InsertOp
+	// DeleteOp removes a document (Appendix A.2).
+	DeleteOp
+	// ContentOp replaces a document's token stream (Appendix A.1).
+	ContentOp
+)
+
+// String implements fmt.Stringer.
+func (k UpdateKind) String() string {
+	switch k {
+	case ScoreOp:
+		return "score"
+	case InsertOp:
+		return "insert"
+	case DeleteOp:
+		return "delete"
+	case ContentOp:
+		return "content"
+	default:
+		return fmt.Sprintf("UpdateKind(%d)", uint8(k))
+	}
+}
+
+// Update is one operation of a write batch, covering all four incremental
+// maintenance paths.  Which fields are read depends on Op:
+//
+//   - ScoreOp:   Doc, Score (the new score)
+//   - InsertOp:  Doc, Tokens, Score (the initial score)
+//   - DeleteOp:  Doc
+//   - ContentOp: Doc, OldTokens, NewTokens
+type Update struct {
+	Op    UpdateKind
+	Doc   DocID
+	Score float64
+	// Tokens is the token stream of an inserted document.
+	Tokens []string
+	// OldTokens and NewTokens are the previous and new token streams of a
+	// content update.
+	OldTokens, NewTokens []string
+}
+
 // Method is the common interface of all six index structures.
 type Method interface {
 	// Name returns the method's name as used in the paper's tables.
@@ -117,6 +165,14 @@ type Method interface {
 	// UpdateContent applies a content update given the previous and new
 	// token streams (Appendix A.1).
 	UpdateContent(doc DocID, oldTokens, newTokens []string) error
+	// ApplyUpdates applies a batch of updates with the semantics of making
+	// the equivalent calls one at a time in batch order, but with the
+	// underlying table and short-list writes grouped so that every touched
+	// B+-tree leaf is rewritten once per batch instead of once per posting.
+	// A failing update does not abort the batch: the remaining updates
+	// still apply and the errors are joined, matching the engine's eager
+	// maintenance behaviour.
+	ApplyUpdates(batch []Update) error
 	// MergeShortLists performs the periodic offline merge: the long lists are
 	// rebuilt from the current collection state and the short lists emptied
 	// (§5.1, Appendix A.3).  It is a no-op for the Score method.

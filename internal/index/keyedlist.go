@@ -22,9 +22,28 @@ import (
 // Each posting's value carries the ADD/REM operation flag needed for content
 // updates (Appendix A.1) and, for the TermScore methods, the per-posting
 // term weight.
+// During a write batch the list runs in staged mode: Put/Delete collect in
+// an ordered op log collapsed per key (last op wins, matching sequential
+// semantics), and flushBatch applies the log to the B+-tree as one sorted
+// UpsertBatch plus one sorted DeleteBatch, so a batch that writes many
+// postings of one term rewrites each touched leaf once.
 type keyedList struct {
 	tree    *btree.Tree
 	entries int
+
+	staged bool
+	ops    []keyedOp
+	opIdx  map[string]int
+	// docOps indexes staged op positions by (term, doc) so DeleteAllForDoc
+	// can cancel a document's staged postings without sweeping the log.
+	docOps map[string][]int
+}
+
+// keyedOp is one staged write: a pending upsert (del == false) or delete.
+type keyedOp struct {
+	key []byte
+	val []byte
+	del bool
 }
 
 func newKeyedList(pool *buffer.Pool) (*keyedList, error) {
@@ -87,6 +106,10 @@ func decodeKeyedListValue(data []byte) (op postings.Op, termScore float32, err e
 // Put inserts or replaces the posting for (term, sortKey, doc).
 func (l *keyedList) Put(term string, sortKey float64, doc DocID, op postings.Op, termScore float32) error {
 	key := keyedListKey(term, sortKey, doc)
+	if l.staged {
+		l.stageOp(term, doc, key, encodeKeyedListValue(op, termScore), false)
+		return nil
+	}
 	inserted, err := l.tree.Upsert(key, encodeKeyedListValue(op, termScore))
 	if err != nil {
 		return err
@@ -99,7 +122,12 @@ func (l *keyedList) Put(term string, sortKey float64, doc DocID, op postings.Op,
 
 // Delete removes the posting for (term, sortKey, doc) if present.
 func (l *keyedList) Delete(term string, sortKey float64, doc DocID) error {
-	removed, err := l.tree.Delete(keyedListKey(term, sortKey, doc))
+	key := keyedListKey(term, sortKey, doc)
+	if l.staged {
+		l.stageOp(term, doc, key, nil, true)
+		return nil
+	}
+	removed, err := l.tree.Delete(key)
 	if err != nil {
 		return err
 	}
@@ -107,6 +135,25 @@ func (l *keyedList) Delete(term string, sortKey float64, doc DocID) error {
 		l.entries--
 	}
 	return nil
+}
+
+// docOpKey addresses the staged ops of one (term, doc) pair.
+func docOpKey(term string, doc DocID) string {
+	return string(codec.PutOrderedUint64(codec.PutOrderedString(nil, term), uint64(doc)))
+}
+
+// stageOp records a write in the op log, collapsing onto any earlier op for
+// the same key (last op wins, exactly as sequential application would).
+func (l *keyedList) stageOp(term string, doc DocID, key, val []byte, del bool) {
+	if i, ok := l.opIdx[string(key)]; ok {
+		l.ops[i].val = val
+		l.ops[i].del = del
+		return
+	}
+	l.opIdx[string(key)] = len(l.ops)
+	dk := docOpKey(term, doc)
+	l.docOps[dk] = append(l.docOps[dk], len(l.ops))
+	l.ops = append(l.ops, keyedOp{key: key, val: val, del: del})
 }
 
 // DeleteAllForDoc removes every posting of the given document under the
@@ -124,6 +171,18 @@ func (l *keyedList) DeleteAllForDoc(term string, doc DocID) error {
 	if err != nil {
 		return err
 	}
+	if l.staged {
+		// Cancel staged postings of this (term, doc) that are not in the
+		// tree yet; docOps addresses them directly.
+		for _, i := range l.docOps[docOpKey(term, doc)] {
+			l.ops[i].val = nil
+			l.ops[i].del = true
+		}
+		for _, k := range keys {
+			l.stageOp(term, doc, k, nil, true)
+		}
+		return nil
+	}
 	for _, k := range keys {
 		removed, err := l.tree.Delete(k)
 		if err != nil {
@@ -133,6 +192,70 @@ func (l *keyedList) DeleteAllForDoc(term string, doc DocID) error {
 			l.entries--
 		}
 	}
+	return nil
+}
+
+// beginBatch enters staged mode.
+func (l *keyedList) beginBatch() {
+	l.staged = true
+	if l.opIdx == nil {
+		l.opIdx = map[string]int{}
+		l.docOps = map[string][]int{}
+	}
+}
+
+// flushBatch applies the op log with grouped tree writes and leaves staged
+// mode.
+func (l *keyedList) flushBatch() error {
+	l.staged = false
+	if len(l.ops) == 0 {
+		return nil
+	}
+	items := make([]btree.Item, 0, len(l.ops))
+	var dels [][]byte
+	for i := range l.ops {
+		if l.ops[i].del {
+			dels = append(dels, l.ops[i].key)
+		} else {
+			items = append(items, btree.Item{Key: l.ops[i].key, Value: l.ops[i].val})
+		}
+	}
+	l.ops = l.ops[:0]
+	clear(l.opIdx)
+	clear(l.docOps)
+	if _, err := l.tree.UpsertBatch(items); err != nil {
+		l.entries = l.tree.Len()
+		return err
+	}
+	if len(dels) > 0 {
+		if _, err := l.tree.DeleteBatch(dels); err != nil {
+			l.entries = l.tree.Len()
+			return err
+		}
+	}
+	l.entries = l.tree.Len()
+	return nil
+}
+
+// keyedListBulkFill is the node fill target for bulk-loaded keyed lists.
+// The only bulk-loaded keyedList is the Score method's clustered long
+// lists, which every score update rewrites in place; like the Score table
+// they are loaded at roughly upsert occupancy so the per-update leaf
+// rewrite does not grow with packing density.  Queries scan only a top-k
+// prefix of each list, so they are nearly insensitive to the fill.
+const keyedListBulkFill = 0.6
+
+// bulkLoad replaces the (empty) tree with one bulk-built from items, which
+// must be in ascending key order; used by the Score method's Build so that
+// its clustered long lists are leaf-packed instead of grown one Upsert at a
+// time.
+func (l *keyedList) bulkLoad(pool *buffer.Pool, items []btree.Item) error {
+	tree, err := btree.BulkLoadFill(pool, items, keyedListBulkFill)
+	if err != nil {
+		return err
+	}
+	l.tree = tree
+	l.entries = tree.Len()
 	return nil
 }
 

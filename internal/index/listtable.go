@@ -12,8 +12,16 @@ import (
 // the document's current position in the inverted lists (its stale list
 // score, or its list chunk ID stored as a float) and whether postings for it
 // have been written to the short lists.
+// During a write batch the table runs in staged mode like scoreTable: Put
+// and Delete collect in an overlay that Get consults first, and flushBatch
+// applies the overlay as one sorted UpsertBatch / DeleteBatch pair.
 type listTable struct {
 	tree *btree.Tree
+
+	staged bool
+	// pending maps a document to its staged entry; a nil value is a staged
+	// delete.
+	pending map[DocID]*listEntry
 }
 
 // listEntry is one row of a listTable.
@@ -40,34 +48,118 @@ func listTableKey(doc DocID) []byte {
 
 // Get returns the entry for doc, if any.
 func (t *listTable) Get(doc DocID) (listEntry, bool, error) {
+	if t.staged {
+		if e, hit := t.pending[doc]; hit {
+			if e == nil {
+				return listEntry{}, false, nil
+			}
+			return *e, true, nil
+		}
+	}
 	data, ok, err := t.tree.Get(listTableKey(doc))
 	if err != nil || !ok {
 		return listEntry{}, false, err
 	}
-	key, n, err := codec.Float64(data)
+	e, err := decodeListEntry(data)
 	if err != nil {
 		return listEntry{}, false, err
 	}
-	inShort := n < len(data) && data[n] == 1
-	return listEntry{Key: key, InShortList: inShort}, true, nil
+	return e, true, nil
 }
 
-// Put inserts or replaces the entry for doc.
-func (t *listTable) Put(doc DocID, e listEntry) error {
+func decodeListEntry(data []byte) (listEntry, error) {
+	key, n, err := codec.Float64(data)
+	if err != nil {
+		return listEntry{}, err
+	}
+	return listEntry{Key: key, InShortList: n < len(data) && data[n] == 1}, nil
+}
+
+func encodeListEntry(e listEntry) []byte {
 	val := codec.PutFloat64(nil, e.Key)
 	if e.InShortList {
 		val = append(val, 1)
 	} else {
 		val = append(val, 0)
 	}
-	return t.tree.Put(listTableKey(doc), val)
+	return val
+}
+
+// Put inserts or replaces the entry for doc.
+func (t *listTable) Put(doc DocID, e listEntry) error {
+	if t.staged {
+		t.pending[doc] = &e
+		return nil
+	}
+	return t.tree.Put(listTableKey(doc), encodeListEntry(e))
 }
 
 // Delete removes the entry for doc (used when a deleted document's ID is
 // reused).
 func (t *listTable) Delete(doc DocID) error {
+	if t.staged {
+		t.pending[doc] = nil
+		return nil
+	}
 	_, err := t.tree.Delete(listTableKey(doc))
 	return err
+}
+
+// listProbe is the per-query locality-aware reader of a listTable,
+// mirroring scoreProbe.
+type listProbe struct {
+	p *btree.Probe
+}
+
+func (t *listTable) newProbe() *listProbe { return &listProbe{p: t.tree.NewProbe()} }
+
+// Get mirrors listTable.Get through the probe.
+func (lp *listProbe) Get(doc DocID) (listEntry, bool, error) {
+	data, ok, err := lp.p.Get(listTableKey(doc))
+	if err != nil || !ok {
+		return listEntry{}, false, err
+	}
+	e, err := decodeListEntry(data)
+	if err != nil {
+		return listEntry{}, false, err
+	}
+	return e, true, nil
+}
+
+// beginBatch enters staged mode.
+func (t *listTable) beginBatch() {
+	t.staged = true
+	if t.pending == nil {
+		t.pending = map[DocID]*listEntry{}
+	}
+}
+
+// flushBatch applies the overlay to the tree with grouped writes (the
+// batch ops sort the keys themselves) and leaves staged mode.
+func (t *listTable) flushBatch() error {
+	t.staged = false
+	if len(t.pending) == 0 {
+		return nil
+	}
+	items := make([]btree.Item, 0, len(t.pending))
+	var dels [][]byte
+	for doc, e := range t.pending {
+		if e != nil {
+			items = append(items, btree.Item{Key: listTableKey(doc), Value: encodeListEntry(*e)})
+		} else {
+			dels = append(dels, listTableKey(doc))
+		}
+	}
+	clear(t.pending)
+	if _, err := t.tree.UpsertBatch(items); err != nil {
+		return err
+	}
+	if len(dels) > 0 {
+		if _, err := t.tree.DeleteBatch(dels); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Len reports the number of entries.

@@ -89,13 +89,29 @@ func (b *base) runRanked(q rankedQuery) (*QueryResult, error) {
 // unseen documents, so the whole list must be scanned.
 func neverStop(float64) float64 { return math.Inf(1) }
 
+// combinedStream builds a term's query stream from its short and long
+// lists.  With short-list postings present this is the
+// "SL(ti) ∪ LL(ti)" union with ADD/REM collapsing; with an empty short
+// list — the common case for most terms, and for every term right after a
+// build or merge — both stages are identities, so the long list is consumed
+// directly and the query skips two pipeline stages and their batch buffers.
+func combinedStream(short *postings.SliceIterator, long postings.BatchIterator) postings.BatchIterator {
+	if short.Len() == 0 {
+		return long
+	}
+	return postings.NewCollapseOps(postings.NewUnion(short, long))
+}
+
 // currentScoreResolver returns a resolve function that looks up the current
 // score in the Score table and skips deleted or unknown documents — the
 // behaviour shared by the ID family (which always probes) and by candidates
-// that come from short lists.
+// that come from short lists.  Candidates arrive in ascending document
+// order, so the lookups run through a per-query probe that reuses the leaf
+// of the previous lookup.
 func (b *base) currentScoreResolver() func(g postings.Group) (float64, bool, error) {
+	probe := b.score.newProbe()
 	return func(g postings.Group) (float64, bool, error) {
-		score, deleted, ok, err := b.score.Get(g.Doc)
+		score, deleted, ok, err := probe.Get(g.Doc)
 		if err != nil {
 			return 0, false, err
 		}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"svrdb/internal/postings"
+	"svrdb/internal/storage/btree"
 	"svrdb/internal/text"
 )
 
@@ -37,7 +38,10 @@ func NewScore(cfg Config) (*ScoreMethod, error) {
 // Name implements Method.
 func (m *ScoreMethod) Name() string { return "Score" }
 
-// Build implements Method.
+// Build implements Method.  On a fresh index the clustered lists are
+// bulk-loaded leaf by leaf: (term, score desc, doc) is exactly the tree's
+// key order, so the per-term score-sorted runs concatenate into one sorted
+// run and no per-posting descent is paid.
 func (m *ScoreMethod) Build(src DocSource, scores ScoreFunc) error {
 	m.src = src
 	bc, err := accumulate(src, scores, m.dict)
@@ -47,6 +51,21 @@ func (m *ScoreMethod) Build(src DocSource, scores ScoreFunc) error {
 	if err := m.populateScoreTable(bc); err != nil {
 		return err
 	}
+	if m.lists.tree.Len() == 0 {
+		var items []btree.Item
+		for _, term := range bc.terms() {
+			for _, dw := range bc.sortedByScoreDesc(term) {
+				items = append(items, btree.Item{
+					Key:   keyedListKey(term, bc.docScores[dw.doc], dw.doc),
+					Value: encodeKeyedListValue(postings.OpAdd, dw.w),
+				})
+			}
+		}
+		if err := m.lists.bulkLoad(m.cfg.Pool, items); err != nil {
+			return fmt.Errorf("index: bulk-load Score lists: %w", err)
+		}
+		return nil
+	}
 	for _, term := range bc.terms() {
 		for _, dw := range bc.termDocs[term] {
 			if err := m.lists.Put(term, bc.docScores[dw.doc], dw.doc, postings.OpAdd, dw.w); err != nil {
@@ -55,6 +74,13 @@ func (m *ScoreMethod) Build(src DocSource, scores ScoreFunc) error {
 		}
 	}
 	return nil
+}
+
+// ApplyUpdates implements Method.  Even though every Score-method update
+// rewrites long-list postings, staging still groups a batch's per-term
+// deletes and reinserts into per-leaf tree writes.
+func (m *ScoreMethod) ApplyUpdates(batch []Update) error {
+	return m.runBatch(m, batch, m.score, m.lists)
 }
 
 // UpdateScore implements Method: the posting of every distinct term of the

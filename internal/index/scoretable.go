@@ -12,9 +12,23 @@ import (
 // mapping document IDs to their latest SVR score, indexed by ID so that
 // score lookups during query processing are cheap (§4.2.1).  A deleted flag
 // supports document deletion as described in Appendix A.2.
+//
+// During a write batch (Method.ApplyUpdates) the table runs in staged mode:
+// writes land in an in-memory overlay that reads consult first, and
+// flushBatch applies the overlay to the B+-tree as one sorted UpsertBatch,
+// so a batch touching a leaf many times rewrites it once.
 type scoreTable struct {
 	tree    *btree.Tree
 	lookups uint64
+
+	staged  bool
+	pending map[DocID]scoreVal
+}
+
+// scoreVal is the decoded value of one Score-table row.
+type scoreVal struct {
+	score   float64
+	deleted bool
 }
 
 func newScoreTable(pool *buffer.Pool) (*scoreTable, error) {
@@ -52,13 +66,53 @@ func decodeScoreEntry(data []byte) (score float64, deleted bool, err error) {
 
 // Set stores the score of a document, clearing its deleted flag.
 func (s *scoreTable) Set(doc DocID, score float64) error {
-	return s.tree.Put(scoreTableKey(doc), encodeScoreEntry(score, false))
+	return s.put(doc, score, false)
+}
+
+func (s *scoreTable) put(doc DocID, score float64, deleted bool) error {
+	if s.staged {
+		s.pending[doc] = scoreVal{score: score, deleted: deleted}
+		return nil
+	}
+	return s.tree.Put(scoreTableKey(doc), encodeScoreEntry(score, deleted))
 }
 
 // Get returns the current score of a document.
 func (s *scoreTable) Get(doc DocID) (score float64, deleted bool, ok bool, err error) {
 	s.lookups++
+	if s.staged {
+		if v, hit := s.pending[doc]; hit {
+			return v.score, v.deleted, true, nil
+		}
+	}
 	data, found, err := s.tree.Get(scoreTableKey(doc))
+	if err != nil || !found {
+		return 0, false, false, err
+	}
+	score, deleted, err = decodeScoreEntry(data)
+	if err != nil {
+		return 0, false, false, err
+	}
+	return score, deleted, true, nil
+}
+
+// scoreProbe is a per-query Score-table reader that exploits the ascending
+// document order of candidate resolution: consecutive lookups reuse the
+// B+-tree leaf of the previous one instead of re-descending and re-scanning
+// it.  Create one per query; it must not outlive an index write.
+type scoreProbe struct {
+	s *scoreTable
+	p *btree.Probe
+}
+
+func (s *scoreTable) newProbe() *scoreProbe {
+	return &scoreProbe{s: s, p: s.tree.NewProbe()}
+}
+
+// Get mirrors scoreTable.Get through the probe.
+func (sp *scoreProbe) Get(doc DocID) (score float64, deleted bool, ok bool, err error) {
+	sp.s.lookups++
+	data, found, err := sp.p.Get(scoreTableKey(doc))
 	if err != nil || !found {
 		return 0, false, false, err
 	}
@@ -78,7 +132,52 @@ func (s *scoreTable) MarkDeleted(doc DocID) error {
 	if !ok {
 		return fmt.Errorf("%w: %d", ErrUnknownDocument, doc)
 	}
-	return s.tree.Put(scoreTableKey(doc), encodeScoreEntry(score, true))
+	return s.put(doc, score, true)
+}
+
+// beginBatch enters staged mode: subsequent writes collect in the overlay.
+func (s *scoreTable) beginBatch() {
+	s.staged = true
+	if s.pending == nil {
+		s.pending = map[DocID]scoreVal{}
+	}
+}
+
+// flushBatch applies the overlay to the tree as one grouped UpsertBatch
+// (which sorts the keys itself) and leaves staged mode.
+func (s *scoreTable) flushBatch() error {
+	s.staged = false
+	if len(s.pending) == 0 {
+		return nil
+	}
+	items := make([]btree.Item, 0, len(s.pending))
+	for doc, v := range s.pending {
+		items = append(items, btree.Item{Key: scoreTableKey(doc), Value: encodeScoreEntry(v.score, v.deleted)})
+	}
+	clear(s.pending)
+	_, err := s.tree.UpsertBatch(items)
+	return err
+}
+
+// scoreTableBulkFill is the node fill target for bulk-loading the Score
+// table.  Unlike the read-mostly long lists, the Score table absorbs one
+// in-place leaf rewrite per score update, and a leaf rewrite costs
+// proportionally to leaf size — so the update-hot table is loaded at
+// roughly the occupancy ascending inserts would have produced rather than
+// packed dense.
+const scoreTableBulkFill = 0.55
+
+// bulkLoad replaces the (empty) tree with one bulk-built from items, which
+// must be in ascending document order.  Build paths use it so populating
+// the Score table costs one left-to-right leaf-packing pass instead of one
+// descent per document.
+func (s *scoreTable) bulkLoad(pool *buffer.Pool, items []btree.Item) error {
+	tree, err := btree.BulkLoadFill(pool, items, scoreTableBulkFill)
+	if err != nil {
+		return err
+	}
+	s.tree = tree
+	return nil
 }
 
 // Lookups reports how many Get calls have been served (a proxy for random

@@ -86,6 +86,13 @@ func (m *ScoreThresholdMethod) Build(src DocSource, scores ScoreFunc) error {
 	return nil
 }
 
+// ApplyUpdates implements Method: Algorithm 1 replays per update against
+// the staged Score and ListScore tables, and the short-list postings of the
+// whole batch are written grouped by term.
+func (m *ScoreThresholdMethod) ApplyUpdates(batch []Update) error {
+	return m.runBatch(m, batch, m.score, m.short, m.listScore)
+}
+
 // UpdateScore implements Method (Algorithm 1).
 func (m *ScoreThresholdMethod) UpdateScore(doc DocID, newScore float64) error {
 	m.counters.scoreUpdates.Add(1)
@@ -283,7 +290,7 @@ func (m *ScoreThresholdMethod) TopK(q Query) (*QueryResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		streams = append(streams, postings.NewCollapseOps(postings.NewUnion(short, long)))
+		streams = append(streams, combinedStream(short, long))
 	}
 	return m.runRanked(rankedQuery{
 		streams:     streams,

@@ -87,6 +87,9 @@ func NewSliceIterator(entries []Entry) *SliceIterator {
 	return &SliceIterator{entries: entries}
 }
 
+// Len reports how many entries remain to be consumed.
+func (it *SliceIterator) Len() int { return len(it.entries) - it.pos }
+
 // Next implements Iterator.
 func (it *SliceIterator) Next() (Entry, bool, error) {
 	if it.pos >= len(it.entries) {

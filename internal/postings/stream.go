@@ -34,7 +34,20 @@ type blockReader struct {
 }
 
 func newBlockReader(r io.Reader) *blockReader {
-	return &blockReader{r: r, buf: make([]byte, streamBlockSize)}
+	size := streamBlockSize
+	// When the source knows how many bytes remain (blob readers do), size
+	// the buffer to the list: a tiny list gets a tiny buffer instead of a
+	// page-sized one, which matters because short queries over short lists
+	// pay the buffer set-up per term per query.
+	if rr, ok := r.(interface{ Remaining() uint64 }); ok {
+		if rem := rr.Remaining(); rem < uint64(size) {
+			size = int(rem)
+			if size < 16 {
+				size = 16
+			}
+		}
+	}
+	return &blockReader{r: r, buf: make([]byte, size)}
 }
 
 // fill compacts the unconsumed tail to the front of the buffer and reads

@@ -14,10 +14,15 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 
 	"svrdb/internal/storage/buffer"
 	"svrdb/internal/storage/pagefile"
 )
+
+// tailPool recycles the zero-padding buffers used for a blob's final
+// partial page.
+var tailPool sync.Pool
 
 // Ref locates a blob within the store.
 type Ref struct {
@@ -52,6 +57,11 @@ func (s *Store) Pool() *buffer.Pool { return s.pool }
 
 // Put writes data as a new blob and returns its Ref.  Empty blobs are valid
 // and occupy no pages.
+//
+// The pages are written straight through to the file rather than via pool
+// frames: blobs are written once and read back later (often much later, on
+// a cold cache), so faulting every page of a fresh blob into the pool would
+// only evict the structures a bulk build is actively using.
 func (s *Store) Put(data []byte) (Ref, error) {
 	if len(data) == 0 {
 		return Ref{FirstPage: pagefile.InvalidPageID, Length: 0}, nil
@@ -63,18 +73,29 @@ func (s *Store) Put(data []byte) (Ref, error) {
 		return Ref{}, fmt.Errorf("blob: allocate %d pages: %w", nPages, err)
 	}
 	for i := 0; i < nPages; i++ {
-		fr, err := s.pool.Get(first + pagefile.PageID(i))
+		lo := i * pageSize
+		hi := lo + pageSize
+		page := data[lo:]
+		var scratch []byte
+		if hi > len(data) {
+			// Partial tail page: pad with zeros.  The pooled buffer keeps
+			// Put safe for concurrent callers without allocating one page
+			// per blob (bulk builds write one or two small blobs per term).
+			scratch, _ = tailPool.Get().([]byte)
+			if len(scratch) < pageSize {
+				scratch = make([]byte, pageSize)
+			}
+			n := copy(scratch, data[lo:])
+			clear(scratch[n:pageSize])
+			page = scratch[:pageSize]
+		}
+		err := s.pool.WriteThrough(first+pagefile.PageID(i), page)
+		if scratch != nil {
+			tailPool.Put(scratch)
+		}
 		if err != nil {
 			return Ref{}, err
 		}
-		lo := i * pageSize
-		hi := lo + pageSize
-		if hi > len(data) {
-			hi = len(data)
-		}
-		copy(fr.Data(), data[lo:hi])
-		fr.MarkDirty()
-		fr.Release()
 	}
 	return Ref{FirstPage: first, Length: uint64(len(data))}, nil
 }

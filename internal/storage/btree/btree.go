@@ -313,7 +313,9 @@ func pageChild(id pagefile.PageID, data, key []byte) (pagefile.PageID, error) {
 }
 
 // pageLeafLookup scans a serialized leaf for key, returning the value bytes
-// in place (aliasing data) when present.
+// in place (aliasing data) when present.  The scan decodes the per-entry
+// length prefixes inline (with a fast path for the ubiquitous one-byte
+// varint) because this loop is the heart of every Score-table probe.
 func pageLeafLookup(id pagefile.PageID, data, key []byte) ([]byte, bool, error) {
 	off := 1
 	nKeys64, sz, err := codec.Uvarint(data[off:])
@@ -322,25 +324,46 @@ func pageLeafLookup(id pagefile.PageID, data, key []byte) ([]byte, bool, error) 
 	}
 	off += sz + 16 // skip next and prev pointers
 	for i := 0; i < int(nKeys64); i++ {
-		k, sz, err := codec.LenBytes(data[off:])
+		kl, sz, err := leafEntryLen(data, off)
 		if err != nil {
 			return nil, false, err
 		}
 		off += sz
-		v, sz, err := codec.LenBytes(data[off:])
+		if off+kl > len(data) {
+			return nil, false, fmt.Errorf("btree: page %d leaf entry overruns page", id)
+		}
+		k := data[off : off+kl]
+		off += kl
+		vl, sz, err := leafEntryLen(data, off)
 		if err != nil {
 			return nil, false, err
 		}
 		off += sz
+		if off+vl > len(data) {
+			return nil, false, fmt.Errorf("btree: page %d leaf entry overruns page", id)
+		}
 		cmp := bytes.Compare(k, key)
 		if cmp == 0 {
-			return v, true, nil
+			return data[off : off+vl], true, nil
 		}
 		if cmp > 0 {
 			return nil, false, nil
 		}
+		off += vl
 	}
 	return nil, false, nil
+}
+
+// leafEntryLen decodes a length prefix at data[off:]; one-byte varints (all
+// lengths under 128) skip the generic decoder.
+func leafEntryLen(data []byte, off int) (int, int, error) {
+	if off < len(data) {
+		if b := data[off]; b < 0x80 {
+			return int(b), 1, nil
+		}
+	}
+	v, sz, err := codec.Uvarint(data[off:])
+	return int(v), sz, err
 }
 
 // findLeafFrame descends to the leaf that would hold key, scanning the

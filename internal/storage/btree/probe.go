@@ -1,0 +1,90 @@
+package btree
+
+// Probe is a point-lookup cursor that exploits key locality: it remembers
+// the leaf of the previous lookup and answers keys that land on the same or
+// the adjacent leaf with a binary search over the parsed node, falling back
+// to a root descent only when the key jumps elsewhere.
+//
+// The query algorithms resolve candidate scores in ascending document order
+// (the merge order of ID- and chunk-ordered lists), so consecutive
+// Score-table probes walk the leaf chain left to right; with a Probe each
+// leaf is parsed once per query instead of linearly re-scanned in its
+// serialized form once per candidate.
+//
+// A Probe must not be used across tree mutations: create one per query (or
+// per read batch) and discard it.
+import (
+	"bytes"
+
+	"svrdb/internal/storage/pagefile"
+)
+
+// Probe caches the most recently visited leaf.
+type Probe struct {
+	t    *Tree
+	leaf *node
+}
+
+// NewProbe returns a probe over the tree's current state.
+func (t *Tree) NewProbe() *Probe { return &Probe{t: t} }
+
+// Get returns the value stored under key, or (nil, false) when absent.  The
+// returned slice is owned by the probe's cached node; callers must not
+// retain it across further probe calls or tree mutations.
+func (p *Probe) Get(key []byte) ([]byte, bool, error) {
+	// Fast path: the key lands on the cached leaf.  A cached root leaf
+	// covers every key (the whole tree is one leaf — e.g. a table no update
+	// has touched yet), so even misses resolve without a descent.
+	if p.leaf != nil && (p.leaf.id == p.t.root ||
+		(len(p.leaf.keys) > 0 && bytes.Compare(key, p.leaf.keys[0]) >= 0)) {
+		if v, ok, decided := p.lookupInLeaf(key); decided {
+			return v, ok, nil
+		}
+		// Beyond the cached leaf's last key: try the adjacent leaf once
+		// (the common case for ascending probes crossing a leaf boundary).
+		if p.leaf.next != pagefile.InvalidPageID {
+			nxt, err := p.t.readNode(p.leaf.next)
+			if err != nil {
+				return nil, false, err
+			}
+			if len(nxt.keys) > 0 && bytes.Compare(key, nxt.keys[0]) >= 0 {
+				p.leaf = nxt
+				if v, ok, decided := p.lookupInLeaf(key); decided {
+					return v, ok, nil
+				}
+			} else if len(nxt.keys) > 0 {
+				// The key falls in the gap between the two leaves: absent.
+				return nil, false, nil
+			}
+		} else {
+			// No leaf to the right: absent.
+			return nil, false, nil
+		}
+	}
+	// Restart: descend from the root and cache the leaf.
+	leaf, err := p.t.findLeaf(key)
+	if err != nil {
+		return nil, false, err
+	}
+	p.leaf = leaf
+	i := searchKeys(leaf.keys, key)
+	if i < len(leaf.keys) && bytes.Equal(leaf.keys[i], key) {
+		return leaf.vals[i], true, nil
+	}
+	return nil, false, nil
+}
+
+// lookupInLeaf resolves key against the cached leaf.  decided is false when
+// the key lies beyond the leaf's last key, in which case a later leaf may
+// hold it.
+func (p *Probe) lookupInLeaf(key []byte) (val []byte, ok, decided bool) {
+	i := searchKeys(p.leaf.keys, key)
+	if i >= len(p.leaf.keys) {
+		return nil, false, false
+	}
+	if bytes.Equal(p.leaf.keys[i], key) {
+		return p.leaf.vals[i], true, true
+	}
+	// key < keys[i] and key >= keys[0]: it could only live on this leaf.
+	return nil, false, true
+}

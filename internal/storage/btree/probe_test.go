@@ -1,0 +1,97 @@
+package btree
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"svrdb/internal/storage/buffer"
+	"svrdb/internal/storage/pagefile"
+)
+
+// TestProbeMatchesGet drives a probe with ascending, descending and random
+// key sequences — hits and misses — and requires agreement with Get.
+func TestProbeMatchesGet(t *testing.T) {
+	tree, pool := newTestTree(t, 512, 64)
+	for i := 0; i < 1500; i += 2 { // only even keys exist
+		if err := tree.Put([]byte(fmt.Sprintf("k%06d", i)), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	check := func(probe *Probe, key []byte) {
+		t.Helper()
+		pv, pok, perr := probe.Get(key)
+		gv, gok, gerr := tree.Get(key)
+		if (perr != nil) != (gerr != nil) || pok != gok || !bytes.Equal(pv, gv) {
+			t.Fatalf("probe.Get(%q) = (%q,%v,%v), Get = (%q,%v,%v)", key, pv, pok, perr, gv, gok, gerr)
+		}
+	}
+	asc := tree.NewProbe()
+	for i := 0; i < 1600; i++ { // ascending, ~half misses
+		check(asc, []byte(fmt.Sprintf("k%06d", i)))
+	}
+	desc := tree.NewProbe()
+	for i := 1599; i >= 0; i-- {
+		check(desc, []byte(fmt.Sprintf("k%06d", i)))
+	}
+	rng := rand.New(rand.NewSource(9))
+	random := tree.NewProbe()
+	for i := 0; i < 2000; i++ {
+		check(random, []byte(fmt.Sprintf("k%06d", rng.Intn(1800))))
+	}
+	// Keys outside the stored range on both sides.
+	edge := tree.NewProbe()
+	check(edge, []byte("a"))
+	check(edge, []byte("zzz"))
+	if err := pool.CheckPins(); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestProbeEmptyAndSingleLeaf covers trees whose root is the only leaf: the
+// probe must answer misses without error.
+func TestProbeEmptyAndSingleLeaf(t *testing.T) {
+	tree, _ := newTestTree(t, 512, 64)
+	probe := tree.NewProbe()
+	for i := 0; i < 3; i++ {
+		if _, ok, err := probe.Get([]byte("missing")); ok || err != nil {
+			t.Fatalf("probe on empty tree = %v, %v", ok, err)
+		}
+	}
+	if err := tree.Put([]byte("only"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	probe = tree.NewProbe()
+	if v, ok, err := probe.Get([]byte("only")); err != nil || !ok || string(v) != "v" {
+		t.Fatalf("probe.Get(only) = %q, %v, %v", v, ok, err)
+	}
+	if _, ok, _ := probe.Get([]byte("aaa")); ok {
+		t.Error("probe found a key below the only entry")
+	}
+	if _, ok, _ := probe.Get([]byte("zzz")); ok {
+		t.Error("probe found a key above the only entry")
+	}
+}
+
+// TestProbeOnBulkLoadedTree checks the probe against the packed leaves a
+// bulk load produces.
+func TestProbeOnBulkLoadedTree(t *testing.T) {
+	file := pagefile.MustNewMem(512)
+	pool := buffer.MustNew(file, 64)
+	items := bulkItems(2000, 8)
+	tree, err := BulkLoad(pool, items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := tree.NewProbe()
+	for _, it := range items {
+		v, ok, err := probe.Get(it.Key)
+		if err != nil || !ok || !bytes.Equal(v, it.Value) {
+			t.Fatalf("probe.Get(%q) = %q, %v, %v", it.Key, v, ok, err)
+		}
+	}
+	if err := pool.CheckPins(); err != nil {
+		t.Error(err)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"container/list"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
 	"svrdb/internal/storage/pagefile"
@@ -273,19 +274,50 @@ func (p *Pool) release(fr *Frame) {
 }
 
 // FlushAll writes every dirty resident page back to the underlying file.
-func (p *Pool) FlushAll() error {
+// It is FlushOrdered under its historical name: ordered writeback is never
+// worse than map-iteration order.
+func (p *Pool) FlushAll() error { return p.FlushOrdered() }
+
+// FlushOrdered writes every dirty resident page back in ascending page-ID
+// order — one sequential pass over the file.  Bulk writers call it after a
+// batch so the dirty pages a batch produced go out as one ordered sweep
+// instead of dribbling out in LRU eviction order.
+func (p *Pool) FlushOrdered() error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	dirty := make([]*Frame, 0, len(p.frames))
 	for _, fr := range p.frames {
 		if fr.dirty {
-			if err := p.file.Write(fr.id, fr.data); err != nil {
-				return err
-			}
-			fr.dirty = false
-			p.flushes++
+			dirty = append(dirty, fr)
 		}
 	}
+	sort.Slice(dirty, func(i, j int) bool { return dirty[i].id < dirty[j].id })
+	for _, fr := range dirty {
+		if err := p.file.Write(fr.id, fr.data); err != nil {
+			return err
+		}
+		fr.dirty = false
+		p.flushes++
+	}
 	return nil
+}
+
+// WriteThrough writes a full page image directly to the underlying file
+// without bringing the page into the pool, so bulk loads that write
+// structures much larger than the pool do not evict the working set.  data
+// must be at least PageSize bytes.  The caller must own the page: it is
+// intended for freshly allocated pages that no reader has seen yet.  If the
+// page happens to be resident its frame is updated in place and marked
+// clean, so later reads stay coherent.
+func (p *Pool) WriteThrough(id pagefile.PageID, data []byte) error {
+	p.mu.Lock()
+	if fr, ok := p.frames[id]; ok {
+		copy(fr.data, data[:p.file.PageSize()])
+		fr.dirty = false
+	}
+	p.flushes++
+	p.mu.Unlock()
+	return p.file.Write(id, data)
 }
 
 // EvictAll flushes and drops every unpinned page, producing a cold cache.

@@ -325,3 +325,87 @@ func TestEvictedBuffersRecycled(t *testing.T) {
 	}
 	fr2.Release()
 }
+
+func TestWriteThrough(t *testing.T) {
+	p, f := newPool(t, 128, 4)
+	id, err := f.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	page := make([]byte, 128)
+	page[0] = 0x5A
+	if err := p.WriteThrough(id, page); err != nil {
+		t.Fatal(err)
+	}
+	// The page must not have been pulled into the pool...
+	if p.ResidentPages() != 0 {
+		t.Errorf("WriteThrough made %d pages resident, want 0", p.ResidentPages())
+	}
+	// ...but a later Get must read the written contents.
+	fr, err := p.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.Data()[0] != 0x5A {
+		t.Error("WriteThrough contents not visible to Get")
+	}
+	fr.Release()
+
+	// Writing through to a resident page keeps the frame coherent and clean.
+	page[0] = 0x77
+	if err := p.WriteThrough(id, page); err != nil {
+		t.Fatal(err)
+	}
+	fr, err = p.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.Data()[0] != 0x77 {
+		t.Error("WriteThrough did not update the resident frame")
+	}
+	fr.Release()
+	if err := p.CheckPins(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFlushOrdered(t *testing.T) {
+	p, f := newPool(t, 128, 16)
+	// Dirty several pages in a scrambled creation order.
+	var ids []pagefile.PageID
+	for i := 0; i < 8; i++ {
+		fr, err := p.NewPage()
+		if err != nil {
+			t.Fatal(err)
+		}
+		fr.Data()[0] = byte(i + 1)
+		fr.MarkDirty()
+		ids = append(ids, fr.ID())
+		fr.Release()
+	}
+	before := f.Stats().Writes
+	if err := p.FlushOrdered(); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Stats().Writes - before; got != 8 {
+		t.Errorf("FlushOrdered wrote %d pages, want 8", got)
+	}
+	// A second flush writes nothing: everything is clean.
+	before = f.Stats().Writes
+	if err := p.FlushOrdered(); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Stats().Writes - before; got != 0 {
+		t.Errorf("second FlushOrdered wrote %d pages, want 0", got)
+	}
+	// The flushed contents are durable in the file.
+	buf := make([]byte, 128)
+	for i, id := range ids {
+		if err := f.Read(id, buf); err != nil {
+			t.Fatal(err)
+		}
+		if buf[0] != byte(i+1) {
+			t.Errorf("page %d contents = %d, want %d", id, buf[0], i+1)
+		}
+	}
+}

@@ -57,6 +57,7 @@ type File struct {
 
 	mu     sync.RWMutex
 	mem    [][]byte // in-memory backing; nil when disk-backed
+	slab   []byte   // in-memory allocation arena pages are carved from
 	disk   *os.File // disk backing; nil when memory-backed
 	nPages uint64
 
@@ -167,13 +168,29 @@ func (f *File) ReadLatency() time.Duration {
 	return time.Duration(f.readLatency.Load())
 }
 
+// memSlabPages is how many pages a memory-backed file reserves per arena
+// growth; carving pages out of an arena keeps a bulk load's thousands of
+// small allocations from becoming thousands of individual GC objects.
+const memSlabPages = 64
+
+// carvePageLocked returns a zeroed page buffer from the arena, growing it
+// when exhausted.  The caller holds f.mu.
+func (f *File) carvePageLocked() []byte {
+	if len(f.slab) < f.pageSize {
+		f.slab = make([]byte, memSlabPages*f.pageSize)
+	}
+	p := f.slab[:f.pageSize:f.pageSize]
+	f.slab = f.slab[f.pageSize:]
+	return p
+}
+
 // Allocate appends a zeroed page and returns its ID.
 func (f *File) Allocate() (PageID, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.allocs.Add(1)
 	if f.mem != nil {
-		f.mem = append(f.mem, make([]byte, f.pageSize))
+		f.mem = append(f.mem, f.carvePageLocked())
 		return PageID(len(f.mem) - 1), nil
 	}
 	id := PageID(f.nPages)
@@ -198,7 +215,7 @@ func (f *File) AllocateN(n int) (PageID, error) {
 	if f.mem != nil {
 		first := PageID(len(f.mem))
 		for i := 0; i < n; i++ {
-			f.mem = append(f.mem, make([]byte, f.pageSize))
+			f.mem = append(f.mem, f.carvePageLocked())
 		}
 		return first, nil
 	}
