@@ -106,6 +106,7 @@ func benchQueries(b *testing.B, m index.Method, k int, disjunctive, withTermScor
 func benchUpdates(b *testing.B, m index.Method) {
 	b.Helper()
 	_, _, updates := sharedCorpus()
+	patchesBefore := m.Stats().TablePatches
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		u := updates[i%len(updates)]
@@ -113,6 +114,10 @@ func benchUpdates(b *testing.B, m index.Method) {
 			b.Fatal(err)
 		}
 	}
+	b.StopTimer()
+	// Guard the in-place patch fast path: the metric makes a silent fallback
+	// to full leaf rewrites visible in every update benchmark run.
+	b.ReportMetric(float64(m.Stats().TablePatches-patchesBefore)/float64(b.N), "patches/op")
 }
 
 // BenchmarkTable1_BuildLongLists measures the bulk build that produces the

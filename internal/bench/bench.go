@@ -150,9 +150,40 @@ type Experiment struct {
 	Run func(Options) (*Table, error)
 }
 
+// checkedPools collects every buffer pool an experiment run creates so that
+// withPinCheck can audit pin accounting when the run finishes.  The harness
+// is single-threaded, so a plain slice suffices.
+var checkedPools []*buffer.Pool
+
+// registerPool enrolls a pool in the end-of-run pin audit.
+func registerPool(p *buffer.Pool) { checkedPools = append(checkedPools, p) }
+
+// withPinCheck wraps an experiment so that, after a successful run, every
+// pool the run created is audited with CheckPins: a pin leak or over-release
+// anywhere in the measured paths (including the patch fast path) fails the
+// experiment — and hence tier-1, which smoke-runs every experiment — instead
+// of shipping silently.
+func withPinCheck(run func(Options) (*Table, error)) func(Options) (*Table, error) {
+	return func(opts Options) (*Table, error) {
+		checkedPools = checkedPools[:0]
+		t, err := run(opts)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range checkedPools {
+			if err := p.CheckPins(); err != nil {
+				return nil, err
+			}
+		}
+		checkedPools = checkedPools[:0]
+		return t, nil
+	}
+}
+
 // Registry returns every experiment keyed by ID, in presentation order.
+// Every Run is wrapped with withPinCheck.
 func Registry() []Experiment {
-	return []Experiment{
+	experiments := []Experiment{
 		{ID: "table1", Paper: "Table 1", Description: "Size of the long inverted lists per method", Run: RunTable1},
 		{ID: "table2", Paper: "Table 2", Description: "Chunk-ratio sweep: update vs query time for several mean update steps", Run: RunTable2},
 		{ID: "figure7", Paper: "Figure 7", Description: "Update and query time per method as the number of score updates grows", Run: RunFigure7},
@@ -168,6 +199,10 @@ func Registry() []Experiment {
 		{ID: "ablation-chunking", Paper: "§4.3.2 (design choice)", Description: "Chunk-boundary policy ablation: score-ratio vs uniform boundaries", Run: RunChunkPolicyAblation},
 		{ID: "ablation-fancy", Paper: "§4.3.3 (design choice)", Description: "Fancy-list length ablation for Chunk-TermScore", Run: RunFancyListAblation},
 	}
+	for i := range experiments {
+		experiments[i].Run = withPinCheck(experiments[i].Run)
+	}
+	return experiments
 }
 
 // Lookup finds an experiment by ID.
@@ -195,6 +230,7 @@ func newRig(kind string, corpus *workload.Corpus, opts Options, cfg index.Config
 	file := pagefile.MustNewMem(pagefile.DefaultPageSize)
 	file.SetReadLatency(opts.ReadLatency)
 	pool := buffer.MustNew(file, opts.PoolPages)
+	registerPool(pool)
 	cfg.Pool = pool
 	m, err := newMethodByName(kind, cfg)
 	if err != nil {

@@ -475,6 +475,7 @@ func RunArchive(opts Options) (*Table, error) {
 		file := pagefile.MustNewMem(pagefile.DefaultPageSize)
 		file.SetReadLatency(opts.ReadLatency)
 		pool := buffer.MustNew(file, opts.PoolPages)
+		registerPool(pool)
 		db := relation.NewDB(pool)
 		if _, err := workload.BuildArchiveDB(db, workload.ArchiveParams{
 			NumMovies:        nMovies,

@@ -93,6 +93,38 @@ func NewEngine(db *relation.DB, opts Options) *Engine {
 	return &Engine{db: db, analyzer: a, indexes: map[string]*TextIndex{}}
 }
 
+// Close shuts the engine down: accumulated maintenance errors are surfaced,
+// dirty pages are written back in one ordered sweep, and the buffer pool's
+// pin accounting is audited (CheckPins) so that a pin leak or over-release
+// anywhere in the storage stack — e.g. on the B+-tree patch fast path —
+// fails loudly at close instead of shipping silently.  The underlying page
+// file is closed last.
+func (e *Engine) Close() error {
+	e.mu.RLock()
+	indexes := make([]*TextIndex, 0, len(e.indexes))
+	for _, ti := range e.indexes {
+		indexes = append(indexes, ti)
+	}
+	e.mu.RUnlock()
+	var errs []error
+	for _, ti := range indexes {
+		if err := ti.MaintenanceErr(); err != nil {
+			errs = append(errs, fmt.Errorf("core: index %q: %w", ti.name, err))
+		}
+	}
+	pool := e.db.Pool()
+	if err := pool.FlushOrdered(); err != nil {
+		errs = append(errs, err)
+	}
+	if err := pool.CheckPins(); err != nil {
+		errs = append(errs, err)
+	}
+	if err := pool.File().Close(); err != nil {
+		errs = append(errs, err)
+	}
+	return errors.Join(errs...)
+}
+
 // DB returns the engine's relational database.
 func (e *Engine) DB() *relation.DB { return e.db }
 

@@ -308,3 +308,61 @@ func TestScoreMethodThroughEngine(t *testing.T) {
 	}
 	_ = view.Spec{}
 }
+
+// TestEngineCloseAuditsPins drives the full update and search machinery —
+// including the B+-tree patch fast path on every score change — and then
+// checks Close: it must flush, pass the buffer pool's pin audit, and leave
+// the page file closed.
+func TestEngineCloseAuditsPins(t *testing.T) {
+	engine, db := newArchiveEngine(t, 60)
+	ti, err := engine.CreateTextIndex("movies", "Movies", "desc", IndexOptions{
+		Method: MethodChunk,
+		Spec:   workload.ArchiveSpec(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := db.Table("Statistics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		mID := int64(i%60 + 1)
+		row, err := stats.Get(mID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := stats.Update(mID, map[string]relation.Value{
+			"nVisit": relation.Int(row[2].I + int64(50+i)),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := ti.Search(SearchRequest{Query: "golden gate", K: 5, LoadRows: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := engine.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// The pool's backing file is closed: once the cache is dropped, page
+	// reads must fail instead of silently serving stale frames.
+	if err := engine.Pool().EvictAll(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := engine.Pool().Get(0); err == nil {
+		t.Error("Get after Close succeeded, want error")
+	}
+}
+
+// TestEngineCloseReportsPinLeak verifies the audit actually bites: a pin
+// taken and never released must surface as a Close error.
+func TestEngineCloseReportsPinLeak(t *testing.T) {
+	engine, _ := newArchiveEngine(t, 20)
+	if _, err := engine.Pool().Get(0); err != nil {
+		t.Fatal(err)
+	}
+	// Deliberately no Release.
+	if err := engine.Close(); err == nil {
+		t.Error("Close with a leaked pin returned nil, want error")
+	}
+}

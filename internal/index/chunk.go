@@ -377,6 +377,7 @@ func (m *ChunkMethod) Stats() Stats {
 		Method:           m.Name(),
 		LongListBytes:    m.longBytes,
 		ShortListEntries: m.short.Len(),
+		TablePatches:     m.score.Patches() + m.listChunk.Patches() + m.short.Patches(),
 	}
 	m.counters.fill(&s)
 	return s

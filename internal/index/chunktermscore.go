@@ -310,6 +310,7 @@ func (m *ChunkTermScoreMethod) Stats() Stats {
 		Method:           m.Name(),
 		LongListBytes:    m.longBytes + m.fancyBytes,
 		ShortListEntries: m.short.Len(),
+		TablePatches:     m.score.Patches() + m.listChunk.Patches() + m.short.Patches(),
 	}
 	m.counters.fill(&s)
 	return s

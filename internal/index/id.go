@@ -255,6 +255,7 @@ func (m *IDMethod) Stats() Stats {
 		Method:           m.Name(),
 		LongListBytes:    m.longBytes,
 		ShortListEntries: m.aux.Len(),
+		TablePatches:     m.score.Patches() + m.aux.Patches(),
 	}
 	m.counters.fill(&s)
 	return s

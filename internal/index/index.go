@@ -203,6 +203,12 @@ type Stats struct {
 	// Queries counts TopK calls; PostingsScanned the postings they consumed.
 	Queries         uint64
 	PostingsScanned uint64
+	// TablePatches counts B+-tree writes the method's updatable structures
+	// (Score table, ListScore/ListChunk tables, short and clustered lists)
+	// absorbed via the in-place leaf patch fast path instead of a full leaf
+	// rewrite.  On a pure score-update workload it should track ScoreUpdates
+	// closely; a collapse to zero means the fast path regressed.
+	TablePatches uint64
 }
 
 // Config carries the tunable parameters shared by the methods.

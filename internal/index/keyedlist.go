@@ -57,6 +57,13 @@ func newKeyedList(pool *buffer.Pool) (*keyedList, error) {
 // Len reports the number of postings in the list.
 func (l *keyedList) Len() int { return l.entries }
 
+// Patches reports how many posting writes the list's tree absorbed in place.
+// Posting values are fixed-width (op byte + float32 weight), so a Put that
+// re-records an existing (term, sortKey, doc) posting — e.g. a short-list
+// rewrite of a document already present at that rank, or a clustered-list
+// weight refresh — qualifies for the patch path.
+func (l *keyedList) Patches() uint64 { return l.tree.Patches() }
+
 func keyedListKey(term string, sortKey float64, doc DocID) []byte {
 	key := codec.PutOrderedString(nil, term)
 	key = codec.PutOrderedFloat64Desc(key, sortKey)

@@ -15,6 +15,9 @@ import (
 // During a write batch the table runs in staged mode like scoreTable: Put
 // and Delete collect in an overlay that Get consults first, and flushBatch
 // applies the overlay as one sorted UpsertBatch / DeleteBatch pair.
+// Rows are fixed-width (8-byte key, 9-byte value), so Put over an existing
+// document — the common case in Algorithm 1, where a score update moves a
+// document's recorded list position — hits the tree's in-place patch path.
 type listTable struct {
 	tree *btree.Tree
 
@@ -164,3 +167,6 @@ func (t *listTable) flushBatch() error {
 
 // Len reports the number of entries.
 func (t *listTable) Len() int { return t.tree.Len() }
+
+// Patches reports how many writes the table's tree absorbed in place.
+func (t *listTable) Patches() uint64 { return t.tree.Patches() }

@@ -228,6 +228,7 @@ func (m *ScoreMethod) Stats() Stats {
 	s := Stats{
 		Method:        m.Name(),
 		LongListBytes: size,
+		TablePatches:  m.score.Patches() + m.lists.Patches(),
 	}
 	m.counters.fill(&s)
 	return s

@@ -13,6 +13,12 @@ import (
 // score lookups during query processing are cheap (§4.2.1).  A deleted flag
 // supports document deletion as described in Appendix A.2.
 //
+// Every row is fixed-width (8-byte key, 9-byte value), so Set, MarkDeleted
+// and the staged flush all qualify for the B+-tree's in-place leaf patch
+// fast path: an existing document's score update overwrites 9 bytes in the
+// pinned leaf page instead of reserializing the whole leaf.  This is the
+// heart of Algorithm 1's hot loop for every method.
+//
 // During a write batch (Method.ApplyUpdates) the table runs in staged mode:
 // writes land in an in-memory overlay that reads consult first, and
 // flushBatch applies the overlay to the B+-tree as one sorted UpsertBatch,
@@ -183,6 +189,9 @@ func (s *scoreTable) bulkLoad(pool *buffer.Pool, items []btree.Item) error {
 // Lookups reports how many Get calls have been served (a proxy for random
 // probes in benchmarks).
 func (s *scoreTable) Lookups() uint64 { return s.lookups }
+
+// Patches reports how many writes the table's tree absorbed in place.
+func (s *scoreTable) Patches() uint64 { return s.tree.Patches() }
 
 // Len reports the number of entries (including deleted markers).
 func (s *scoreTable) Len() int { return s.tree.Len() }

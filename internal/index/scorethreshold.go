@@ -350,6 +350,7 @@ func (m *ScoreThresholdMethod) Stats() Stats {
 		Method:           m.Name(),
 		LongListBytes:    m.longBytes,
 		ShortListEntries: m.short.Len(),
+		TablePatches:     m.score.Patches() + m.listScore.Patches() + m.short.Patches(),
 	}
 	m.counters.fill(&s)
 	return s

@@ -11,10 +11,21 @@
 // the I/O counters reflect realistic access costs.
 //
 // Deletion is "lazy": a key is removed from its leaf but leaves are not
-// merged when they underflow.  This matches the access patterns in this
+// rebalanced when they underflow.  This matches the access patterns in this
 // repository (deletes are rare: only document deletion uses them) and keeps
 // scans and lookups correct; space from deleted entries is reclaimed when a
-// leaf is next split or rewritten.
+// leaf is next split or rewritten.  A leaf that empties completely is the
+// exception: it is unlinked from the sibling chain, removed from its parent
+// and its page recycled through the pagefile free list, so delete/reinsert
+// churn neither grows the page file without bound nor leaves dead leaves for
+// scans to traverse.
+//
+// Writes that replace an existing value with one of identical length — every
+// fixed-width table write: Score-table score updates, ListScore/ListChunk
+// rows, deleted-flag flips — take an in-place patch fast path: the value
+// bytes are overwritten directly in the pinned leaf page (Frame.Patch) with
+// no node parse or reserialize.  Upsert applies it automatically; Patch
+// exposes it directly.
 package btree
 
 import (
@@ -41,6 +52,12 @@ type Tree struct {
 	pool *buffer.Pool
 	root pagefile.PageID
 	size int // number of live keys
+
+	// patches counts writes absorbed by the in-place leaf patch fast path.
+	patches uint64
+	// disablePatch forces every write through the parse→reserialize path;
+	// equivalence tests use it to pit the two paths against each other.
+	disablePatch bool
 }
 
 // node is the in-memory form of a page.
@@ -85,6 +102,10 @@ func MustNew(pool *buffer.Pool) *Tree {
 
 // Len reports the number of keys stored in the tree.
 func (t *Tree) Len() int { return t.size }
+
+// Patches reports how many writes were absorbed by the in-place leaf patch
+// fast path since the tree was created.
+func (t *Tree) Patches() uint64 { return t.patches }
 
 // RootPage returns the page ID of the root node.
 func (t *Tree) RootPage() pagefile.PageID { return t.root }
@@ -277,81 +298,106 @@ func childIndex(n *node, key []byte) int {
 // key, without materializing the node.  It mirrors childIndex: keys[i]
 // separates children[i] (keys < keys[i]) from children[i+1] (keys >= keys[i]).
 func pageChild(id pagefile.PageID, data, key []byte) (pagefile.PageID, error) {
+	child, _, err := pageChildWithUpper(id, data, key)
+	return child, err
+}
+
+// pageChildWithUpper is pageChild extended with the separator that bounds
+// the chosen child from above within this node (nil when the child is the
+// node's rightmost).  The returned key aliases data.
+func pageChildWithUpper(id pagefile.PageID, data, key []byte) (pagefile.PageID, []byte, error) {
 	off := 1
 	nKeys64, sz, err := codec.Uvarint(data[off:])
 	if err != nil {
-		return pagefile.InvalidPageID, fmt.Errorf("btree: page %d: %w", id, err)
+		return pagefile.InvalidPageID, nil, fmt.Errorf("btree: page %d: %w", id, err)
 	}
 	off += sz
 	child0, sz, err := codec.Uint64(data[off:])
 	if err != nil {
-		return pagefile.InvalidPageID, err
+		return pagefile.InvalidPageID, nil, err
 	}
 	off += sz
 	cur := pagefile.PageID(child0)
+	matched := false // cur chosen by an equal separator; its upper bound is the next one
 	for i := 0; i < int(nKeys64); i++ {
 		k, sz, err := codec.LenBytes(data[off:])
 		if err != nil {
-			return pagefile.InvalidPageID, err
+			return pagefile.InvalidPageID, nil, err
 		}
 		off += sz
 		c, sz, err := codec.Uint64(data[off:])
 		if err != nil {
-			return pagefile.InvalidPageID, err
+			return pagefile.InvalidPageID, nil, err
 		}
 		off += sz
+		if matched {
+			return cur, k, nil
+		}
 		cmp := bytes.Compare(k, key)
 		if cmp > 0 {
-			return cur, nil
+			return cur, k, nil
 		}
 		cur = pagefile.PageID(c)
 		if cmp == 0 {
-			return cur, nil
+			matched = true
 		}
 	}
-	return cur, nil
+	return cur, nil, nil
 }
 
 // pageLeafLookup scans a serialized leaf for key, returning the value bytes
-// in place (aliasing data) when present.  The scan decodes the per-entry
-// length prefixes inline (with a fast path for the ubiquitous one-byte
-// varint) because this loop is the heart of every Score-table probe.
+// in place (aliasing data) when present.
 func pageLeafLookup(id pagefile.PageID, data, key []byte) ([]byte, bool, error) {
+	valOff, valLen, found, err := pageLeafFindValue(id, data, key)
+	if err != nil || !found {
+		return nil, false, err
+	}
+	return data[valOff : valOff+valLen], true, nil
+}
+
+// pageLeafFindValue scans a serialized leaf for key and returns the offset
+// and length of its value bytes within data — the patch fast path needs the
+// location so it can overwrite the value in the pinned page; pageLeafLookup
+// wraps it for callers that want the contents.  The scan decodes the
+// per-entry length prefixes inline (with a fast path for the ubiquitous
+// one-byte varint) because this loop is the heart of every Score-table
+// probe and every patched write.
+func pageLeafFindValue(id pagefile.PageID, data, key []byte) (valOff, valLen int, found bool, err error) {
 	off := 1
 	nKeys64, sz, err := codec.Uvarint(data[off:])
 	if err != nil {
-		return nil, false, fmt.Errorf("btree: page %d: %w", id, err)
+		return 0, 0, false, fmt.Errorf("btree: page %d: %w", id, err)
 	}
 	off += sz + 16 // skip next and prev pointers
 	for i := 0; i < int(nKeys64); i++ {
 		kl, sz, err := leafEntryLen(data, off)
 		if err != nil {
-			return nil, false, err
+			return 0, 0, false, err
 		}
 		off += sz
 		if off+kl > len(data) {
-			return nil, false, fmt.Errorf("btree: page %d leaf entry overruns page", id)
+			return 0, 0, false, fmt.Errorf("btree: page %d leaf entry overruns page", id)
 		}
 		k := data[off : off+kl]
 		off += kl
 		vl, sz, err := leafEntryLen(data, off)
 		if err != nil {
-			return nil, false, err
+			return 0, 0, false, err
 		}
 		off += sz
 		if off+vl > len(data) {
-			return nil, false, fmt.Errorf("btree: page %d leaf entry overruns page", id)
+			return 0, 0, false, fmt.Errorf("btree: page %d leaf entry overruns page", id)
 		}
 		cmp := bytes.Compare(k, key)
 		if cmp == 0 {
-			return data[off : off+vl], true, nil
+			return off, vl, true, nil
 		}
 		if cmp > 0 {
-			return nil, false, nil
+			return 0, 0, false, nil
 		}
 		off += vl
 	}
-	return nil, false, nil
+	return 0, 0, false, nil
 }
 
 // leafEntryLen decodes a length prefix at data[off:]; one-byte varints (all
@@ -372,6 +418,15 @@ func leafEntryLen(data []byte, off int) (int, int, error) {
 // parse-every-node descent it allocates nothing, which matters because every
 // Score-table and ListScore-table probe on the query hot path starts here.
 func (t *Tree) findLeafFrame(key []byte) (*buffer.Frame, error) {
+	return t.descendToLeaf(key, nil, nil)
+}
+
+// descendToLeaf is the shared serialized-page descent: it returns the leaf's
+// frame still pinned and, when the out-params are non-nil, appends the page
+// ID of every internal node visited to path and records the exclusive upper
+// bound of the leaf's key range in upper (left untouched — nil for a fresh
+// slice — when the leaf is rightmost).
+func (t *Tree) descendToLeaf(key []byte, path *[]pagefile.PageID, upper *[]byte) (*buffer.Frame, error) {
 	id := t.root
 	for {
 		fr, err := t.pool.Get(id)
@@ -387,10 +442,23 @@ func (t *Tree) findLeafFrame(key []byte) (*buffer.Frame, error) {
 		case nodeLeaf:
 			return fr, nil
 		case nodeInternal:
-			child, err := pageChild(id, data, key)
+			var child pagefile.PageID
+			if upper != nil {
+				var u []byte
+				child, u, err = pageChildWithUpper(id, data, key)
+				if u != nil {
+					// Copy out: u aliases the page, which is released below.
+					*upper = append((*upper)[:0], u...)
+				}
+			} else {
+				child, err = pageChild(id, data, key)
+			}
 			fr.Release()
 			if err != nil {
 				return nil, err
+			}
+			if path != nil {
+				*path = append(*path, id)
 			}
 			id = child
 		default:
@@ -448,15 +516,123 @@ func (t *Tree) Put(key, value []byte) error {
 	return err
 }
 
+// Patch overwrites the value stored under key in place when the existing
+// value has identical length, and reports whether it did.  The write happens
+// directly in the pinned leaf page — no node parse, no reserialize, no
+// structural change — which is why it is the fast path for every fixed-width
+// table write.  (false, nil) means the key is absent or the lengths differ;
+// the caller falls back to Upsert.
+func (t *Tree) Patch(key, value []byte) (bool, error) {
+	if len(key) == 0 {
+		return false, errors.New("btree: empty key")
+	}
+	fr, err := t.findLeafFrame(key)
+	if err != nil {
+		return false, err
+	}
+	ok, err := t.patchInFrame(fr, key, value)
+	fr.Release()
+	return ok, err
+}
+
+// patchInFrame applies the in-place patch against an already-pinned leaf
+// frame.  The caller retains the pin.
+func (t *Tree) patchInFrame(fr *buffer.Frame, key, value []byte) (bool, error) {
+	valOff, valLen, found, err := pageLeafFindValue(fr.ID(), fr.Data(), key)
+	if err != nil {
+		return false, err
+	}
+	if !found || valLen != len(value) {
+		return false, nil
+	}
+	fr.Patch(valOff, value)
+	t.patches++
+	return true, nil
+}
+
+// patchRun applies as many leading items as possible as in-place patches
+// against an already-pinned leaf frame, in one forward scan: items are in
+// ascending key order and so are the leaf's entries, so the two advance
+// together and a run of r replacements over a leaf of n entries costs
+// O(n+r) instead of r full scans.  It stops at the first item that is not a
+// same-length replacement of a key on this leaf (including items belonging
+// to later leaves) and returns how many items it consumed.
+func (t *Tree) patchRun(fr *buffer.Frame, items []Item) (int, error) {
+	id := fr.ID()
+	data := fr.Data()
+	off := 1
+	nKeys64, sz, err := codec.Uvarint(data[off:])
+	if err != nil {
+		return 0, fmt.Errorf("btree: page %d: %w", id, err)
+	}
+	off += sz + 16 // skip next and prev pointers
+	consumed := 0
+	for i := 0; i < int(nKeys64) && consumed < len(items); i++ {
+		kl, sz, err := leafEntryLen(data, off)
+		if err != nil {
+			return consumed, err
+		}
+		off += sz
+		if off+kl > len(data) {
+			return consumed, fmt.Errorf("btree: page %d leaf entry overruns page", id)
+		}
+		k := data[off : off+kl]
+		off += kl
+		vl, sz, err := leafEntryLen(data, off)
+		if err != nil {
+			return consumed, err
+		}
+		off += sz
+		if off+vl > len(data) {
+			return consumed, fmt.Errorf("btree: page %d leaf entry overruns page", id)
+		}
+		cmp := bytes.Compare(k, items[consumed].Key)
+		if cmp == 0 && vl == len(items[consumed].Value) {
+			fr.Patch(off, items[consumed].Value)
+			t.patches++
+			consumed++
+		} else if cmp >= 0 {
+			// The item is absent from this leaf (or present with a different
+			// value length): not patchable, hand the rest to the caller.
+			break
+		}
+		off += vl
+	}
+	return consumed, nil
+}
+
 // Upsert is Put that also reports whether a new key was inserted (false
 // means an existing value was replaced).  Callers that need to maintain an
 // entry count use it to avoid a separate Has probe per write.
+//
+// A same-length replacement is absorbed by the Patch fast path before the
+// general insert machinery runs: one descent over pinned pages and an
+// in-place value overwrite, no node parse or reserialize.  A write that
+// misses the patch (new key, changed length) pays that probe descent on top
+// of insertInto's own — a deliberate trade: the probe allocates nothing and
+// is far cheaper than the leaf parse and rewrite the miss path performs
+// anyway, while the hit path (every fixed-width table update, the paper's
+// dominant workload) skips the rewrite entirely.
 func (t *Tree) Upsert(key, value []byte) (bool, error) {
 	if len(key) == 0 {
 		return false, errors.New("btree: empty key")
 	}
 	if len(key)+len(value)+16 > t.maxEntrySize() {
 		return false, fmt.Errorf("%w: key %d + value %d bytes (max %d)", ErrEntryTooLarge, len(key), len(value), t.maxEntrySize())
+	}
+	if !t.disablePatch {
+		fr, err := t.findLeafFrame(key)
+		if err != nil {
+			return false, err
+		}
+		ok, err := t.patchInFrame(fr, key, value)
+		fr.Release()
+		if err != nil {
+			return false, err
+		}
+		if ok {
+			return false, nil
+		}
 	}
 	promoted, newChild, inserted, err := t.insertInto(t.root, key, value)
 	if err != nil {
@@ -606,7 +782,9 @@ func (t *Tree) splitInternal(n *node) ([]byte, pagefile.PageID, error) {
 // --- deletion ----------------------------------------------------------------
 
 // Delete removes key if present and reports whether it was found.  Leaves are
-// not rebalanced (see the package comment).
+// not rebalanced, but a leaf that empties completely is unlinked from the
+// sibling chain, removed from its ancestors and its page recycled (see the
+// package comment).
 func (t *Tree) Delete(key []byte) (bool, error) {
 	leaf, err := t.findLeaf(key)
 	if err != nil {
@@ -618,11 +796,143 @@ func (t *Tree) Delete(key []byte) (bool, error) {
 	}
 	leaf.keys = append(leaf.keys[:i], leaf.keys[i+1:]...)
 	leaf.vals = append(leaf.vals[:i], leaf.vals[i+1:]...)
-	if err := t.flushNode(leaf); err != nil {
-		return false, err
-	}
 	t.size--
-	return true, nil
+	if len(leaf.keys) == 0 && leaf.id != t.root {
+		// The page is about to be recycled; writing the dead image first
+		// would be wasted I/O.
+		return true, t.pruneEmptiedLeaf(leaf, key)
+	}
+	return true, t.flushNode(leaf)
+}
+
+// freePage recycles a dead node's page: the resident frame (if any) is
+// dropped without writeback and the page goes to the pagefile free list.
+func (t *Tree) freePage(id pagefile.PageID) error {
+	return t.pool.FreePage(id)
+}
+
+// internalPathTo returns the page IDs of the internal nodes on the
+// root-to-leaf descent for key (empty when the root is a leaf), scanning
+// serialized pages without parsing them.
+func (t *Tree) internalPathTo(key []byte) ([]pagefile.PageID, error) {
+	var path []pagefile.PageID
+	fr, err := t.descendToLeaf(key, &path, nil)
+	if err != nil {
+		return nil, err
+	}
+	fr.Release()
+	return path, nil
+}
+
+// pruneEmptiedLeaf dismantles a leaf a delete just emptied: it is unlinked
+// from the sibling chain, removed from the ancestor chain and its page
+// recycled, without ever writing the dead page image.  An internal node that
+// loses its only child is pruned the same way, a root that empties entirely
+// is rewritten as an empty leaf, and a root left with a single child
+// collapses onto it — so the tree sheds every page the deletes emptied.
+// leaf is the already-parsed (and already-emptied, unflushed) leaf; key is
+// any key that routes to it.
+func (t *Tree) pruneEmptiedLeaf(leaf *node, key []byte) error {
+	path, err := t.internalPathTo(key)
+	if err != nil {
+		return err
+	}
+
+	// Unlink from the doubly linked sibling chain.
+	if leaf.prev != pagefile.InvalidPageID {
+		prev, err := t.readNode(leaf.prev)
+		if err != nil {
+			return err
+		}
+		prev.next = leaf.next
+		if err := t.flushNode(prev); err != nil {
+			return err
+		}
+	}
+	if leaf.next != pagefile.InvalidPageID {
+		next, err := t.readNode(leaf.next)
+		if err != nil {
+			return err
+		}
+		next.prev = leaf.prev
+		if err := t.flushNode(next); err != nil {
+			return err
+		}
+	}
+	if err := t.freePage(leaf.id); err != nil {
+		return err
+	}
+
+	// Remove the dead child from its ancestors, pruning any internal node
+	// that empties in turn.
+	child := leaf.id
+	for pi := len(path) - 1; pi >= 0; pi-- {
+		parent, err := t.readNode(path[pi])
+		if err != nil {
+			return err
+		}
+		ci := -1
+		for j, c := range parent.children {
+			if c == child {
+				ci = j
+				break
+			}
+		}
+		if ci < 0 {
+			return fmt.Errorf("btree: page %d missing from parent %d during prune", child, path[pi])
+		}
+		parent.children = append(parent.children[:ci], parent.children[ci+1:]...)
+		if len(parent.keys) > 0 {
+			// Drop the separator adjacent to the removed child: keys[ci-1]
+			// separated it from its left neighbour; for child 0 the old
+			// keys[0] bounds the new leftmost subtree from below, which the
+			// invariants do not require.
+			ki := ci - 1
+			if ki < 0 {
+				ki = 0
+			}
+			parent.keys = append(parent.keys[:ki], parent.keys[ki+1:]...)
+		}
+		if len(parent.children) == 0 {
+			// The parent lost its only child.  A non-root parent is pruned in
+			// turn; an empty root means the whole tree emptied, so the root
+			// page is rewritten as an empty leaf (New's initial state).
+			if parent.id == t.root {
+				root := &node{id: t.root, leaf: true, next: pagefile.InvalidPageID, prev: pagefile.InvalidPageID}
+				return t.flushNode(root)
+			}
+			if err := t.freePage(parent.id); err != nil {
+				return err
+			}
+			child = parent.id
+			continue
+		}
+		if err := t.flushNode(parent); err != nil {
+			return err
+		}
+		break
+	}
+	return t.collapseRoot()
+}
+
+// collapseRoot repeatedly replaces an internal root that has a single child
+// with that child, recycling the old root's page (height reduction after
+// pruning).
+func (t *Tree) collapseRoot() error {
+	for {
+		n, err := t.readNode(t.root)
+		if err != nil {
+			return err
+		}
+		if n.leaf || len(n.children) != 1 {
+			return nil
+		}
+		old := t.root
+		t.root = n.children[0]
+		if err := t.freePage(old); err != nil {
+			return err
+		}
+	}
 }
 
 // --- scans -------------------------------------------------------------------

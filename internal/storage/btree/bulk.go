@@ -275,7 +275,31 @@ func (t *Tree) UpsertBatch(items []Item) (int, error) {
 	pageSize := t.pool.PageSize()
 	i := 0
 	for i < len(items) {
-		leaf, upper, err := t.findLeafWithUpper(items[i].Key)
+		fr, upper, err := t.findLeafFrameWithUpper(items[i].Key)
+		if err != nil {
+			return inserted, err
+		}
+		// Patch phase: a run of same-length replacements is applied directly
+		// to the pinned page in one forward scan over the serialized leaf
+		// (the sorted items and the leaf entries advance together), no parse
+		// or reserialize.  Replace-only batches (fixed-width table flushes)
+		// never leave this phase.
+		if !t.disablePatch {
+			n, perr := t.patchRun(fr, items[i:])
+			if perr != nil {
+				fr.Release()
+				return inserted, perr
+			}
+			i += n
+		}
+		if i >= len(items) || (upper != nil && bytes.Compare(items[i].Key, upper) >= 0) {
+			fr.Release()
+			continue
+		}
+		// Mixed run: materialize the leaf (any patches above are already in
+		// the page image) and fall through to the rewrite path.
+		leaf, err := parseNode(fr.ID(), fr.Data())
+		fr.Release()
 		if err != nil {
 			return inserted, err
 		}
@@ -331,14 +355,17 @@ func (t *Tree) UpsertBatch(items []Item) (int, error) {
 }
 
 // DeleteBatch removes a group of keys, sorting them so that keys sharing a
-// leaf share one descent and one leaf rewrite.  It reports how many keys
-// were present and removed, and reorders keys in place.
+// leaf share one descent and one leaf rewrite.  A leaf the batch empties is
+// pruned exactly as Delete would prune it: unlinked from the sibling chain
+// and its page recycled.  It reports how many keys were present and removed,
+// and reorders keys in place.
 func (t *Tree) DeleteBatch(keys [][]byte) (int, error) {
 	sort.Slice(keys, func(i, j int) bool { return bytes.Compare(keys[i], keys[j]) < 0 })
 	removed := 0
 	i := 0
 	for i < len(keys) {
-		leaf, upper, err := t.findLeafWithUpper(keys[i])
+		runKey := keys[i]
+		leaf, upper, err := t.findLeafWithUpper(runKey)
 		if err != nil {
 			return removed, err
 		}
@@ -355,7 +382,13 @@ func (t *Tree) DeleteBatch(keys [][]byte) (int, error) {
 			i++
 		}
 		if modified {
-			if err := t.flushNode(leaf); err != nil {
+			if len(leaf.keys) == 0 && leaf.id != t.root {
+				// The run emptied the leaf: skip the dead-image flush and
+				// dismantle it instead.
+				if err := t.pruneEmptiedLeaf(leaf, runKey); err != nil {
+					return removed, err
+				}
+			} else if err := t.flushNode(leaf); err != nil {
 				return removed, err
 			}
 		}
@@ -363,27 +396,30 @@ func (t *Tree) DeleteBatch(keys [][]byte) (int, error) {
 	return removed, nil
 }
 
-// findLeafWithUpper descends to the leaf that would hold key and also
-// returns the exclusive upper bound of the leaf's key range (nil when the
-// leaf is rightmost), so batched writers know which sorted keys belong to
-// the same leaf without peeking at the next leaf's page.
+// findLeafWithUpper is findLeafFrameWithUpper materialized: it returns the
+// parsed leaf instead of the pinned frame.
 func (t *Tree) findLeafWithUpper(key []byte) (*node, []byte, error) {
-	id := t.root
-	var upper []byte
-	for {
-		n, err := t.readNode(id)
-		if err != nil {
-			return nil, nil, err
-		}
-		if n.leaf {
-			return n, upper, nil
-		}
-		ci := childIndex(n, key)
-		if ci < len(n.keys) {
-			upper = n.keys[ci]
-		}
-		id = n.children[ci]
+	fr, upper, err := t.findLeafFrameWithUpper(key)
+	if err != nil {
+		return nil, nil, err
 	}
+	n, err := parseNode(fr.ID(), fr.Data())
+	fr.Release()
+	return n, upper, err
+}
+
+// findLeafFrameWithUpper descends to the leaf that would hold key and
+// returns the leaf's frame still pinned (the caller releases it) plus the
+// exclusive upper bound of the leaf's key range (nil when the leaf is
+// rightmost), so batched writers know which sorted keys belong to the same
+// leaf without peeking at the next leaf's page.
+func (t *Tree) findLeafFrameWithUpper(key []byte) (*buffer.Frame, []byte, error) {
+	var upper []byte
+	fr, err := t.descendToLeaf(key, nil, &upper)
+	if err != nil {
+		return nil, nil, err
+	}
+	return fr, upper, nil
 }
 
 // LeafStats walks the leaf chain and reports the number of leaves and their

@@ -68,6 +68,19 @@ func (fr *Frame) MarkDirty() {
 	fr.pool.mu.Unlock()
 }
 
+// Patch overwrites len(src) bytes of the page at offset off and marks the
+// frame dirty.  It is the mutate-in-place fast path for same-length value
+// rewrites: the caller edits the resident page image directly instead of
+// rebuilding and rewriting the whole page.  The caller must hold the pin for
+// the duration of the call and off+len(src) must lie within the page.
+func (fr *Frame) Patch(off int, src []byte) {
+	if off < 0 || off+len(src) > len(fr.data) {
+		panic(fmt.Sprintf("buffer: patch [%d,%d) outside page of %d bytes", off, off+len(src), len(fr.data)))
+	}
+	copy(fr.data[off:], src)
+	fr.MarkDirty()
+}
+
 // Release unpins the frame.  It is an error (reported by the pool's
 // CheckPins) to release a frame more times than it was pinned.
 func (fr *Frame) Release() {
@@ -318,6 +331,27 @@ func (p *Pool) WriteThrough(id pagefile.PageID, data []byte) error {
 	p.flushes++
 	p.mu.Unlock()
 	return p.file.Write(id, data)
+}
+
+// FreePage drops any resident frame for id without writing it back and
+// returns the page to the file's free list.  Callers use it to recycle pages
+// of structures they are dismantling (emptied B+-tree nodes); the page's
+// contents are dead, so flushing a dirty frame would be wasted I/O.  The
+// page must be unpinned.
+func (p *Pool) FreePage(id pagefile.PageID) error {
+	p.mu.Lock()
+	if fr, ok := p.frames[id]; ok {
+		if fr.pins > 0 {
+			p.mu.Unlock()
+			return fmt.Errorf("buffer: free of page %d with %d pins", id, fr.pins)
+		}
+		p.lru.Remove(fr.elem)
+		delete(p.frames, id)
+		p.recycleBufferLocked(fr.data)
+		fr.data = nil
+	}
+	p.mu.Unlock()
+	return p.file.Free(id)
 }
 
 // EvictAll flushes and drops every unpinned page, producing a cold cache.

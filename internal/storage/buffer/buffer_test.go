@@ -409,3 +409,103 @@ func TestFlushOrdered(t *testing.T) {
 		}
 	}
 }
+
+func TestFramePatch(t *testing.T) {
+	pool, _ := newPool(t, 256, 4)
+	fr, err := pool.NewPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := fr.ID()
+	copy(fr.Data(), []byte("aaaaaaaa"))
+	fr.MarkDirty()
+	fr.Patch(2, []byte("XY"))
+	fr.Release()
+	// Evict so the patched image must round-trip through the file.
+	if err := pool.EvictAll(); err != nil {
+		t.Fatal(err)
+	}
+	fr, err = pool.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := string(fr.Data()[:8]); got != "aaXYaaaa" {
+		t.Errorf("patched page = %q, want %q", got, "aaXYaaaa")
+	}
+	fr.Release()
+	if err := pool.CheckPins(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFramePatchBoundsPanic(t *testing.T) {
+	pool, _ := newPool(t, 256, 4)
+	fr, err := pool.NewPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fr.Release()
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-bounds Patch did not panic")
+		}
+	}()
+	fr.Patch(255, []byte("too long"))
+}
+
+func TestFreePageDropsFrameWithoutFlush(t *testing.T) {
+	pool, file := newPool(t, 256, 4)
+	fr, err := pool.NewPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := fr.ID()
+	copy(fr.Data(), []byte("doomed"))
+	fr.MarkDirty()
+	fr.Release()
+	flushesBefore := pool.Stats().Flushes
+	if err := pool.FreePage(id); err != nil {
+		t.Fatal(err)
+	}
+	if pool.Stats().Flushes != flushesBefore {
+		t.Error("FreePage flushed a dead page")
+	}
+	if pool.ResidentPages() != 0 {
+		t.Errorf("ResidentPages = %d after FreePage, want 0", pool.ResidentPages())
+	}
+	if file.FreePages() != 1 {
+		t.Errorf("file FreePages = %d, want 1", file.FreePages())
+	}
+	// The recycled page comes back zeroed through NewPage.
+	fr2, err := pool.NewPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr2.ID() != id {
+		t.Errorf("NewPage after FreePage = page %d, want recycled %d", fr2.ID(), id)
+	}
+	for _, b := range fr2.Data()[:8] {
+		if b != 0 {
+			t.Fatal("recycled page not zeroed")
+		}
+	}
+	fr2.Release()
+	if err := pool.CheckPins(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFreePageRefusesPinned(t *testing.T) {
+	pool, _ := newPool(t, 256, 4)
+	fr, err := pool.NewPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.FreePage(fr.ID()); err == nil {
+		t.Error("FreePage of a pinned page succeeded, want error")
+	}
+	fr.Release()
+	if err := pool.FreePage(fr.ID()); err != nil {
+		t.Errorf("FreePage after release: %v", err)
+	}
+}

@@ -41,6 +41,12 @@ type Stats struct {
 	Writes uint64
 	// Allocs is the number of pages allocated.
 	Allocs uint64
+	// Frees is the number of pages returned to the free list, and Reuses the
+	// number of allocations satisfied from it.  Together with Allocs they show
+	// whether delete/reinsert churn is bounded (freed pages are recycled) or
+	// growing the file.
+	Frees  uint64
+	Reuses uint64
 	// BytesRead and BytesWritten are the corresponding byte totals.
 	BytesRead    uint64
 	BytesWritten uint64
@@ -61,11 +67,19 @@ type File struct {
 	disk   *os.File // disk backing; nil when memory-backed
 	nPages uint64
 
+	// free is the stack of recycled page IDs (B+-tree delete hygiene returns
+	// emptied node pages here); freeSet guards against double frees, which
+	// would hand the same page to two structures.
+	free    []PageID
+	freeSet map[PageID]struct{}
+
 	readLatency atomic.Int64 // simulated latency per read, nanoseconds
 
 	reads        atomic.Uint64
 	writes       atomic.Uint64
 	allocs       atomic.Uint64
+	frees        atomic.Uint64
+	reuses       atomic.Uint64
 	bytesRead    atomic.Uint64
 	bytesWritten atomic.Uint64
 }
@@ -184,11 +198,27 @@ func (f *File) carvePageLocked() []byte {
 	return p
 }
 
-// Allocate appends a zeroed page and returns its ID.
+// Allocate returns a zeroed page: a recycled one from the free list when
+// available, otherwise a freshly appended one.
 func (f *File) Allocate() (PageID, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.allocs.Add(1)
+	if n := len(f.free); n > 0 {
+		id := f.free[n-1]
+		f.free = f.free[:n-1]
+		delete(f.freeSet, id)
+		f.reuses.Add(1)
+		if f.mem != nil {
+			clear(f.mem[id])
+			return id, nil
+		}
+		zero := make([]byte, f.pageSize)
+		if _, err := f.disk.WriteAt(zero, int64(id)*int64(f.pageSize)); err != nil {
+			return InvalidPageID, fmt.Errorf("pagefile: reuse page %d: %w", id, err)
+		}
+		return id, nil
+	}
 	if f.mem != nil {
 		f.mem = append(f.mem, f.carvePageLocked())
 		return PageID(len(f.mem) - 1), nil
@@ -200,6 +230,35 @@ func (f *File) Allocate() (PageID, error) {
 	}
 	f.nPages++
 	return id, nil
+}
+
+// Free returns an allocated page to the free list for a later Allocate to
+// reuse.  The file never shrinks, but a workload that frees as it allocates
+// (delete/reinsert churn over B+-trees) stays bounded instead of growing
+// without limit.  Freeing an unallocated or already-free page is an error.
+func (f *File) Free(id PageID) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if uint64(id) >= f.numPagesLocked() {
+		return fmt.Errorf("%w: free page %d of %d", ErrPageOutOfRange, id, f.numPagesLocked())
+	}
+	if _, dup := f.freeSet[id]; dup {
+		return fmt.Errorf("pagefile: double free of page %d", id)
+	}
+	if f.freeSet == nil {
+		f.freeSet = map[PageID]struct{}{}
+	}
+	f.freeSet[id] = struct{}{}
+	f.free = append(f.free, id)
+	f.frees.Add(1)
+	return nil
+}
+
+// FreePages reports how many pages are currently on the free list.
+func (f *File) FreePages() int {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return len(f.free)
 }
 
 // AllocateN allocates n consecutive pages and returns the ID of the first.
@@ -283,6 +342,8 @@ func (f *File) Stats() Stats {
 		Reads:        f.reads.Load(),
 		Writes:       f.writes.Load(),
 		Allocs:       f.allocs.Load(),
+		Frees:        f.frees.Load(),
+		Reuses:       f.reuses.Load(),
 		BytesRead:    f.bytesRead.Load(),
 		BytesWritten: f.bytesWritten.Load(),
 	}

@@ -190,3 +190,96 @@ func TestOpenRejectsMisalignedFile(t *testing.T) {
 		t.Error("Open with mismatched page size succeeded, want error")
 	}
 }
+
+func TestFreeListReuse(t *testing.T) {
+	f := MustNewMem(256)
+	ids := make([]PageID, 4)
+	for i := range ids {
+		id, err := f.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+	}
+	// Dirty page 2, free it, and check the next Allocate hands it back zeroed.
+	if err := f.Write(ids[2], bytes.Repeat([]byte{0xAB}, 256)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Free(ids[2]); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.FreePages(); got != 1 {
+		t.Fatalf("FreePages = %d, want 1", got)
+	}
+	before := f.NumPages()
+	id, err := f.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != ids[2] {
+		t.Errorf("Allocate after Free = page %d, want recycled page %d", id, ids[2])
+	}
+	if f.NumPages() != before {
+		t.Errorf("NumPages grew from %d to %d despite free list", before, f.NumPages())
+	}
+	dst := make([]byte, 256)
+	if err := f.Read(id, dst); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dst, make([]byte, 256)) {
+		t.Error("recycled page was not zeroed")
+	}
+	st := f.Stats()
+	if st.Frees != 1 || st.Reuses != 1 {
+		t.Errorf("Stats Frees=%d Reuses=%d, want 1 and 1", st.Frees, st.Reuses)
+	}
+}
+
+func TestFreeRejectsBadPages(t *testing.T) {
+	f := MustNewMem(256)
+	id, err := f.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Free(PageID(99)); err == nil {
+		t.Error("Free of unallocated page succeeded, want error")
+	}
+	if err := f.Free(id); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Free(id); err == nil {
+		t.Error("double Free succeeded, want error")
+	}
+}
+
+func TestFreeListDiskBacked(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pages.db")
+	f, err := Open(path, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	a, _ := f.Allocate()
+	b, _ := f.Allocate()
+	if err := f.Write(a, bytes.Repeat([]byte{0x7F}, 256)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	id, err := f.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != a {
+		t.Errorf("disk-backed Allocate after Free = %d, want %d", id, a)
+	}
+	dst := make([]byte, 256)
+	if err := f.Read(id, dst); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dst, make([]byte, 256)) {
+		t.Error("recycled disk page was not zeroed")
+	}
+	_ = b
+}
