@@ -1,0 +1,343 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+
+	"svrdb/internal/relation"
+	"svrdb/internal/storage/buffer"
+	"svrdb/internal/storage/pagefile"
+	"svrdb/internal/view"
+	"svrdb/internal/workload"
+)
+
+// serializeResult renders a search result deterministically so results can
+// be compared for exact equality across goroutines.
+func serializeResult(res *SearchResult) string {
+	out := ""
+	for _, h := range res.Hits {
+		out += fmt.Sprintf("%d:%v;", h.PK, h.Score)
+	}
+	return out
+}
+
+// tortureQueries returns the query mix of the torture test for a method.
+func tortureQueries(method MethodKind) []SearchRequest {
+	qs := []SearchRequest{
+		{Query: "golden gate", K: 10},
+		{Query: "silent river", K: 5, Disjunctive: true},
+	}
+	if method == MethodIDTermScore || method == MethodChunkTermScore {
+		qs = append(qs, SearchRequest{Query: "golden gate", K: 10, WithTermScores: true})
+	}
+	return qs
+}
+
+// TestConcurrentSearchTorture races N reader goroutines against a writer
+// applying update batches, for every method.  Batches are applied through
+// Engine.ApplyBatch, so each batch becomes visible atomically; after every
+// batch the writer captures the authoritative result of each query.  Every
+// result a racing reader observed must be byte-identical to the result of
+// some captured version — i.e. concurrent execution is equivalent to some
+// serial order of the applied batches.  Run under -race this doubles as the
+// data-race gate for the whole read path.
+func TestConcurrentSearchTorture(t *testing.T) {
+	for _, method := range AllMethods() {
+		method := method
+		t.Run(string(method), func(t *testing.T) {
+			nMovies, batches, perBatch := 150, 6, 12
+			if method == MethodScore {
+				// The Score method rewrites every posting of a document per
+				// score update; keep its collection small.
+				nMovies, batches, perBatch = 80, 4, 8
+			}
+			engine, db := newArchiveEngine(t, nMovies)
+			idx, err := engine.CreateTextIndex("m", "Movies", "desc", IndexOptions{
+				Method: method,
+				Spec:   workload.ArchiveSpec(),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			queries := tortureQueries(method)
+
+			// versions[qi] is the set of results query qi legitimately had at
+			// some point in the batch sequence.
+			versions := make([]map[string]bool, len(queries))
+			for qi := range versions {
+				versions[qi] = map[string]bool{}
+			}
+			capture := func() {
+				for qi, req := range queries {
+					res, err := idx.Search(req)
+					if err != nil {
+						t.Errorf("capture query %d: %v", qi, err)
+						return
+					}
+					versions[qi][serializeResult(res)] = true
+				}
+			}
+			capture() // version 0: the freshly built index
+
+			const readers = 4
+			stop := make(chan struct{})
+			observed := make([]map[int]map[string]bool, readers)
+			var wg sync.WaitGroup
+			for r := 0; r < readers; r++ {
+				r := r
+				observed[r] = map[int]map[string]bool{}
+				for qi := range queries {
+					observed[r][qi] = map[string]bool{}
+				}
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; ; i++ {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						qi := (i + r) % len(queries)
+						res, err := idx.Search(queries[qi])
+						if err != nil {
+							t.Errorf("reader %d: %v", r, err)
+							return
+						}
+						observed[r][qi][serializeResult(res)] = true
+					}
+				}()
+			}
+
+			stats, err := db.Table("Statistics")
+			if err != nil {
+				t.Fatal(err)
+			}
+			for b := 0; b < batches; b++ {
+				err := engine.ApplyBatch(func() error {
+					for j := 0; j < perBatch; j++ {
+						pk := int64((b*perBatch+j)%nMovies + 1)
+						row, err := stats.Get(pk)
+						if err != nil {
+							return err
+						}
+						delta := int64(50_000 * (j + 1) * (b + 1))
+						if err := stats.Update(pk, map[string]relation.Value{
+							"nVisit": relation.Int(row[2].I + delta),
+						}); err != nil {
+							return err
+						}
+					}
+					return nil
+				})
+				if err != nil {
+					t.Fatalf("batch %d: %v", b, err)
+				}
+				capture()
+			}
+			close(stop)
+			wg.Wait()
+
+			for r := range observed {
+				for qi, set := range observed[r] {
+					for s := range set {
+						if !versions[qi][s] {
+							t.Errorf("reader %d observed a result for query %d matching no serialized version:\n  got  %q\n  want one of %d captured versions", r, qi, s, len(versions[qi]))
+						}
+					}
+				}
+			}
+			if err := idx.MaintenanceErr(); err != nil {
+				t.Errorf("maintenance errors: %v", err)
+			}
+			if err := engine.Close(); err != nil {
+				t.Errorf("Close (includes pin audit): %v", err)
+			}
+		})
+	}
+}
+
+// TestConcurrentQueryStormPinsClean hammers one index with read-only
+// searches from many goroutines and then audits the buffer pool: every pin
+// taken by the concurrent read path must have been released, and the
+// engine's Close (which drains and re-audits) must succeed.
+func TestConcurrentQueryStormPinsClean(t *testing.T) {
+	engine, _ := newArchiveEngine(t, 200)
+	idx, err := engine.CreateTextIndex("m", "Movies", "desc", IndexOptions{
+		Method: MethodChunk,
+		Spec:   workload.ArchiveSpec(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines, perG = 8, 40
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			reqs := []SearchRequest{
+				{Query: "golden gate", K: 10, LoadRows: true},
+				{Query: "silent river city", K: 3, Disjunctive: true},
+			}
+			for i := 0; i < perG; i++ {
+				if _, err := idx.Search(reqs[(i+g)%len(reqs)]); err != nil {
+					t.Errorf("goroutine %d: %v", g, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err := engine.Pool().CheckPins(); err != nil {
+		t.Errorf("pin audit after query storm: %v", err)
+	}
+	if err := engine.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+}
+
+// TestClampScore pins the clamping domain: NaN (which a plain `s < 0` test
+// passes through), -0, negatives and +Inf must all map into the index's
+// key-safe range.
+func TestClampScore(t *testing.T) {
+	if got := clampScore(math.NaN()); got != 0 {
+		t.Errorf("clampScore(NaN) = %v, want 0", got)
+	}
+	if got := clampScore(-5); got != 0 {
+		t.Errorf("clampScore(-5) = %v, want 0", got)
+	}
+	if got := clampScore(math.Copysign(0, -1)); got != 0 || math.Signbit(got) {
+		t.Errorf("clampScore(-0) = %v (signbit %v), want +0", got, math.Signbit(got))
+	}
+	if got := clampScore(math.Inf(1)); got != math.MaxFloat64 {
+		t.Errorf("clampScore(+Inf) = %v, want MaxFloat64", got)
+	}
+	if got := clampScore(3.5); got != 3.5 {
+		t.Errorf("clampScore(3.5) = %v, want 3.5", got)
+	}
+}
+
+// TestNaNScoreDoesNotPoisonIndex drives a NaN (and then +Inf) score through
+// the live maintenance path — a structured update that makes the score
+// aggregate NaN — and checks the index stays healthy: no maintenance
+// errors, searches still return the document (clamped to 0), and a +Inf
+// score ranks first with a finite value instead of corrupting the B+-tree
+// key order.
+func TestNaNScoreDoesNotPoisonIndex(t *testing.T) {
+	db := relation.NewDB(buffer.MustNew(pagefile.MustNewMem(pagefile.DefaultPageSize), 2048))
+	tbl, err := db.CreateTable(relation.Schema{
+		Name: "Docs",
+		Columns: []relation.Column{
+			{Name: "id", Kind: relation.KindInt64},
+			{Name: "body", Kind: relation.KindString},
+			{Name: "val", Kind: relation.KindFloat64},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pk, doc := range map[int64]struct {
+		body string
+		val  float64
+	}{
+		1: {"alpha beta common", 10},
+		2: {"alpha gamma common", 5},
+		3: {"alpha delta common", 1},
+	} {
+		if err := tbl.Insert(relation.Row{relation.Int(pk), relation.Str(doc.body), relation.Float(doc.val)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	engine := NewEngine(db, Options{})
+	idx, err := engine.CreateTextIndex("d", "Docs", "body", IndexOptions{
+		Method: MethodChunk,
+		Spec:   view.Spec{Components: []view.Component{view.OwnColumn("Docs", "val")}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// NaN flows through the score view into onScoreChange.
+	if err := tbl.Update(1, map[string]relation.Value{"val": relation.Float(math.NaN())}); err != nil {
+		t.Fatal(err)
+	}
+	if err := idx.MaintenanceErr(); err != nil {
+		t.Fatalf("maintenance error after NaN score: %v", err)
+	}
+	res, err := idx.Search(SearchRequest{Query: "alpha", K: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Hits) != 3 {
+		t.Fatalf("got %d hits after NaN score, want 3 (the NaN document clamps to 0, it does not vanish)", len(res.Hits))
+	}
+	for _, h := range res.Hits {
+		if math.IsNaN(h.Score) {
+			t.Errorf("NaN score leaked into results: doc %d", h.PK)
+		}
+		if h.PK == 1 && h.Score != 0 {
+			t.Errorf("NaN-scored doc 1 has score %v, want 0", h.Score)
+		}
+	}
+
+	// +Inf clamps to MaxFloat64 and ranks first.
+	if err := tbl.Update(3, map[string]relation.Value{"val": relation.Float(math.Inf(1))}); err != nil {
+		t.Fatal(err)
+	}
+	if err := idx.MaintenanceErr(); err != nil {
+		t.Fatalf("maintenance error after +Inf score: %v", err)
+	}
+	res, err = idx.Search(SearchRequest{Query: "alpha", K: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Hits) == 0 || res.Hits[0].PK != 3 {
+		t.Fatalf("+Inf-scored doc should rank first; hits = %+v", res.Hits)
+	}
+	if math.IsInf(res.Hits[0].Score, 1) || res.Hits[0].Score != math.MaxFloat64 {
+		t.Errorf("+Inf score = %v, want MaxFloat64", res.Hits[0].Score)
+	}
+	if err := engine.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+}
+
+// TestMaintenanceErrCap checks that repeated maintenance failures retain a
+// bounded error list with an accurate dropped-count summary, and that
+// ClearMaintenanceErr restores a healthy report.
+func TestMaintenanceErrCap(t *testing.T) {
+	ti := &TextIndex{name: "capped"}
+	for i := 0; i < maxMaintenanceErrs+25; i++ {
+		ti.recordErr(fmt.Errorf("boom %d", i))
+	}
+	ti.mu.Lock()
+	retained, dropped := len(ti.maintenanceErrs), ti.droppedErrs
+	ti.mu.Unlock()
+	if retained != maxMaintenanceErrs {
+		t.Errorf("retained %d errors, want %d", retained, maxMaintenanceErrs)
+	}
+	if dropped != 25 {
+		t.Errorf("dropped %d errors, want 25", dropped)
+	}
+	err := ti.MaintenanceErr()
+	if err == nil {
+		t.Fatal("MaintenanceErr = nil with recorded errors")
+	}
+	if want := "25 further maintenance errors dropped"; !strings.Contains(err.Error(), want) {
+		t.Errorf("MaintenanceErr %q does not mention %q", err.Error(), want)
+	}
+	ti.ClearMaintenanceErr()
+	if err := ti.MaintenanceErr(); err != nil {
+		t.Errorf("MaintenanceErr after Clear = %v, want nil", err)
+	}
+	// The cap applies afresh after clearing.
+	ti.recordErr(fmt.Errorf("again"))
+	if err := ti.MaintenanceErr(); err == nil || strings.Contains(err.Error(), "dropped") {
+		t.Errorf("post-clear error report wrong: %v", err)
+	}
+}

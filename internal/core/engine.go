@@ -19,6 +19,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 
@@ -76,6 +77,11 @@ type Engine struct {
 
 	mu      sync.RWMutex
 	indexes map[string]*TextIndex
+
+	// batchMu serializes ApplyBatch calls: the per-index batching flag is
+	// engaged for the duration of one batch, so overlapping batches would
+	// flush each other's half-accumulated events.
+	batchMu sync.Mutex
 }
 
 // Options configures an Engine.
@@ -93,13 +99,26 @@ func NewEngine(db *relation.DB, opts Options) *Engine {
 	return &Engine{db: db, analyzer: a, indexes: map[string]*TextIndex{}}
 }
 
-// Close shuts the engine down: accumulated maintenance errors are surfaced,
-// dirty pages are written back in one ordered sweep, and the buffer pool's
-// pin accounting is audited (CheckPins) so that a pin leak or over-release
-// anywhere in the storage stack — e.g. on the B+-tree patch fast path —
-// fails loudly at close instead of shipping silently.  The underlying page
-// file is closed last.
+// Close shuts the engine down: in-flight queries are drained (each index's
+// write lock is acquired once, so every Search that started before Close
+// finishes and releases its pins before the audit below), accumulated
+// maintenance errors are surfaced, dirty pages are written back in one
+// ordered sweep, and the buffer pool's pin accounting is audited
+// (CheckPins) so that a pin leak or over-release anywhere in the storage
+// stack — e.g. on the B+-tree patch fast path — fails loudly at close
+// instead of shipping silently.  The underlying page file is closed last.
+// The drain also fences: each index is marked closed under its write lock,
+// so a search or maintenance write that acquires the lock after the drain
+// fails fast instead of pinning pages while the audit runs or touching a
+// closed file.  The fence covers the engine's own paths (Search and index
+// maintenance); direct relation.Table or ScoreView reads are not fenced —
+// callers that read tables directly must stop doing so before Close, or
+// the pin audit may observe their in-flight pins.  An in-flight ApplyBatch
+// is waited for: Close takes the batch lock first, so a batch's base-table
+// mutations and index flush complete before the drain and audit begin.
 func (e *Engine) Close() error {
+	e.batchMu.Lock()
+	defer e.batchMu.Unlock()
 	e.mu.RLock()
 	indexes := make([]*TextIndex, 0, len(e.indexes))
 	for _, ti := range e.indexes {
@@ -108,6 +127,12 @@ func (e *Engine) Close() error {
 	e.mu.RUnlock()
 	var errs []error
 	for _, ti := range indexes {
+		// Drain and fence: once the write lock is held, no search holding
+		// the read lock is still in flight (its pins are released), and the
+		// closed mark turns away any search that acquires the lock later.
+		ti.rw.Lock()
+		ti.closed = true
+		ti.rw.Unlock()
 		if err := ti.MaintenanceErr(); err != nil {
 			errs = append(errs, fmt.Errorf("core: index %q: %w", ti.name, err))
 		}
@@ -150,6 +175,14 @@ type IndexOptions struct {
 }
 
 // TextIndex is one SVR text index over a (table, column) pair.
+//
+// A TextIndex is safe for concurrent use: any number of goroutines may call
+// Search (and the other read-only accessors) concurrently, while the
+// maintenance paths — eager change events, ApplyUpdates, ApplyBatch flushes,
+// MergeShortLists — are serialized against each other and against all
+// in-flight searches by rw.  Queries take the read side, so the read-heavy
+// workloads the paper targets scale across cores; writes take the write
+// side, draining in-flight queries before mutating any index structure.
 type TextIndex struct {
 	name   string
 	table  string
@@ -159,14 +192,31 @@ type TextIndex struct {
 	view   *view.ScoreView
 	method index.Method
 
+	// rw is the reader/writer coordination for the underlying method:
+	// Search and Stats hold it shared, every maintenance path exclusive.
+	rw sync.RWMutex
+	// closed is set (under rw) by Engine.Close; a Search that acquires the
+	// read lock afterwards fails fast instead of touching a closed page
+	// file while the close-time pin audit runs.
+	closed bool
+
 	mu              sync.Mutex
 	maintenanceErrs []error
+	// droppedErrs counts maintenance errors discarded once maintenanceErrs
+	// reached maxMaintenanceErrs, so a repeatedly failing index reports a
+	// bounded error list plus an accurate drop count instead of growing
+	// without bound.
+	droppedErrs uint64
 	// batching defers incremental maintenance: change events convert to
 	// index.Update values in pending instead of hitting the method, and
 	// flushBatch applies them in one Method.ApplyUpdates call.
 	batching bool
 	pending  []index.Update
 }
+
+// maxMaintenanceErrs bounds how many maintenance errors a TextIndex retains;
+// further errors only bump the dropped-error counter.
+const maxMaintenanceErrs = 16
 
 // CreateTextIndex creates and bulk-builds a text index.
 func (e *Engine) CreateTextIndex(name, table, column string, opts IndexOptions) (*TextIndex, error) {
@@ -273,10 +323,22 @@ func (e *Engine) TextIndexNames() []string {
 }
 
 // clampScore enforces the paper's assumption that SVR scores are
-// non-negative; negative aggregates are clamped to zero.
+// non-negative and finite; out-of-domain aggregates are clamped rather than
+// let loose into the index:
+//
+//   - NaN maps to 0.  (A plain `s < 0` check passes NaN through, and a NaN
+//     score poisons the B+-tree: the order-preserving float encoding would
+//     place it unpredictably and every comparison against it is false, so
+//     score updates could neither find nor remove the old posting.)
+//   - Negative values and -0 map to +0, so the codec produces the canonical
+//     zero key.
+//   - +Inf maps to MaxFloat64, keeping early-termination bounds finite.
 func clampScore(s float64) float64 {
-	if s < 0 {
+	if math.IsNaN(s) || s <= 0 {
 		return 0
+	}
+	if math.IsInf(s, 1) {
+		return math.MaxFloat64
 	}
 	return s
 }
@@ -289,21 +351,46 @@ func (ti *TextIndex) recordErr(err error) {
 	}
 	ti.mu.Lock()
 	defer ti.mu.Unlock()
+	if len(ti.maintenanceErrs) >= maxMaintenanceErrs {
+		ti.droppedErrs++
+		return
+	}
 	ti.maintenanceErrs = append(ti.maintenanceErrs, err)
 }
 
 // MaintenanceErr returns the accumulated incremental-maintenance errors, if
-// any.  A healthy index returns nil.
+// any.  A healthy index returns nil.  At most maxMaintenanceErrs errors are
+// retained; when more occurred, the joined error ends with a summary of how
+// many were dropped.
 func (ti *TextIndex) MaintenanceErr() error {
 	ti.mu.Lock()
 	defer ti.mu.Unlock()
 	if len(ti.maintenanceErrs) == 0 {
 		return nil
 	}
-	return errors.Join(ti.maintenanceErrs...)
+	errs := ti.maintenanceErrs
+	if ti.droppedErrs > 0 {
+		errs = append(append([]error(nil), errs...),
+			fmt.Errorf("core: %d further maintenance errors dropped (only the first %d are retained)", ti.droppedErrs, maxMaintenanceErrs))
+	}
+	return errors.Join(errs...)
+}
+
+// ClearMaintenanceErr discards the accumulated maintenance errors and the
+// dropped-error count, so an index whose failure cause has been repaired
+// (for example by MergeShortLists rebuilding its structures) can report
+// healthy again.
+func (ti *TextIndex) ClearMaintenanceErr() {
+	ti.mu.Lock()
+	defer ti.mu.Unlock()
+	ti.maintenanceErrs = nil
+	ti.droppedErrs = 0
 }
 
 // onScoreChange reacts to Score view changes (Algorithm 1's entry point).
+// Eager maintenance takes the index write lock around the method call so it
+// drains and excludes concurrent searches; in batch mode the event only
+// lands in the pending queue and no lock beyond ti.mu is needed.
 func (ti *TextIndex) onScoreChange(c view.ScoreChange) {
 	doc := index.DocID(c.Doc)
 	switch {
@@ -311,7 +398,7 @@ func (ti *TextIndex) onScoreChange(c view.ScoreChange) {
 		if ti.enqueue(index.Update{Op: index.DeleteOp, Doc: doc}) {
 			return
 		}
-		ti.recordErr(ti.method.DeleteDocument(doc))
+		ti.recordErr(ti.writeLocked(func() error { return ti.method.DeleteDocument(doc) }))
 	case c.Inserted:
 		tokens, err := ti.tokensOf(c.Doc)
 		if err != nil {
@@ -321,13 +408,27 @@ func (ti *TextIndex) onScoreChange(c view.ScoreChange) {
 		if ti.enqueue(index.Update{Op: index.InsertOp, Doc: doc, Tokens: tokens, Score: clampScore(c.New)}) {
 			return
 		}
-		ti.recordErr(ti.method.InsertDocument(doc, tokens, clampScore(c.New)))
+		ti.recordErr(ti.writeLocked(func() error { return ti.method.InsertDocument(doc, tokens, clampScore(c.New)) }))
 	default:
 		if ti.enqueue(index.Update{Op: index.ScoreOp, Doc: doc, Score: clampScore(c.New)}) {
 			return
 		}
-		ti.recordErr(ti.method.UpdateScore(doc, clampScore(c.New)))
+		ti.recordErr(ti.writeLocked(func() error { return ti.method.UpdateScore(doc, clampScore(c.New)) }))
 	}
+}
+
+// writeLocked runs fn holding the index write lock: in-flight searches drain
+// first and no new search starts until fn returns.  Like Search, it honours
+// the close fence — a maintenance write that acquires the lock after
+// Engine.Close has drained must not touch the flushed, audited, closed
+// storage underneath.
+func (ti *TextIndex) writeLocked(fn func() error) error {
+	ti.rw.Lock()
+	defer ti.rw.Unlock()
+	if ti.closed {
+		return fmt.Errorf("core: text index %q: engine is closed", ti.name)
+	}
+	return fn()
 }
 
 // enqueue buffers an update when batch mode is active, reporting whether it
@@ -350,13 +451,25 @@ func (ti *TextIndex) beginBatch() {
 }
 
 // flushBatch applies the deferred events through the method's batched write
-// pipeline.
+// pipeline.  The index write lock is acquired *before* batching is cleared:
+// an eager maintenance event that observes batching == false can therefore
+// only run its own writeLocked after this flush's apply completes, so the
+// batch's older ops can never be overtaken by a newer event (which would
+// permanently diverge a content diff).
 func (ti *TextIndex) flushBatch() error {
+	ti.rw.Lock()
+	defer ti.rw.Unlock()
 	ti.mu.Lock()
 	ops := ti.pending
 	ti.pending = nil
 	ti.batching = false
 	ti.mu.Unlock()
+	if ti.closed {
+		if len(ops) == 0 {
+			return nil
+		}
+		return fmt.Errorf("core: text index %q: engine is closed, %d batched updates dropped", ti.name, len(ops))
+	}
 	if len(ops) == 0 {
 		return nil
 	}
@@ -365,9 +478,10 @@ func (ti *TextIndex) flushBatch() error {
 
 // ApplyUpdates feeds a prepared batch straight into the method's batched
 // write pipeline.  Bulk ingestion paths (benchmarks, loaders) use it to
-// bypass the per-row change plumbing.
+// bypass the per-row change plumbing.  The batch holds the index write lock
+// for its duration, so concurrent searches see either none or all of it.
 func (ti *TextIndex) ApplyUpdates(batch []index.Update) error {
-	return ti.method.ApplyUpdates(batch)
+	return ti.writeLocked(func() error { return ti.method.ApplyUpdates(batch) })
 }
 
 // ApplyBatch runs fn — typically a burst of structured-data mutations —
@@ -391,7 +505,13 @@ func (ti *TextIndex) ApplyUpdates(batch []index.Update) error {
 //
 // Errors from fn and from the flushes are joined; the flush runs even if
 // fn panics, so the indexes never stay in deferred mode.
+//
+// ApplyBatch calls serialize against each other (batches from concurrent
+// goroutines apply one after another, each atomically); fn must not call
+// ApplyBatch recursively.
 func (e *Engine) ApplyBatch(fn func() error) (err error) {
+	e.batchMu.Lock()
+	defer e.batchMu.Unlock()
 	e.mu.RLock()
 	indexes := make([]*TextIndex, 0, len(e.indexes))
 	for _, ti := range e.indexes {
@@ -436,7 +556,7 @@ func (ti *TextIndex) onBaseRowChange(c relation.Change) {
 	if ti.enqueue(index.Update{Op: index.ContentOp, Doc: index.DocID(c.PK), OldTokens: oldTokens, NewTokens: newTokens}) {
 		return
 	}
-	ti.recordErr(ti.method.UpdateContent(index.DocID(c.PK), oldTokens, newTokens))
+	ti.recordErr(ti.writeLocked(func() error { return ti.method.UpdateContent(index.DocID(c.PK), oldTokens, newTokens) }))
 }
 
 func (ti *TextIndex) tokensOf(pk int64) ([]string, error) {
@@ -492,6 +612,12 @@ type SearchResult struct {
 
 // Search runs a keyword query and returns the top-k rows ranked by the
 // latest structured-value scores.
+//
+// Search is safe to call from many goroutines concurrently: it holds the
+// index read lock for the duration of the top-k evaluation, so concurrent
+// searches proceed in parallel while any maintenance write drains them
+// first and is seen atomically (a search observes the index either before
+// or after a write batch, never mid-flight).
 func (ti *TextIndex) Search(req SearchRequest) (*SearchResult, error) {
 	if req.K < 1 {
 		return nil, fmt.Errorf("core: search k = %d must be positive", req.K)
@@ -501,6 +627,11 @@ func (ti *TextIndex) Search(req SearchRequest) (*SearchResult, error) {
 		return nil, errors.New("core: query contains no indexable terms")
 	}
 	terms = text.DistinctTerms(terms)
+	ti.rw.RLock()
+	defer ti.rw.RUnlock()
+	if ti.closed {
+		return nil, fmt.Errorf("core: text index %q: engine is closed", ti.name)
+	}
 	qr, err := ti.method.TopK(index.Query{
 		Terms:          terms,
 		K:              req.K,
@@ -517,7 +648,15 @@ func (ti *TextIndex) Search(req SearchRequest) (*SearchResult, error) {
 	}
 	if req.LoadRows && len(qr.Results) > 0 {
 		// Join the ranked IDs back to the base rows in one batch so the
-		// probes hit the row tree in key order.
+		// probes hit the row tree in key order.  The join runs under the
+		// same read lock as the top-k evaluation, so no index write batch
+		// lands between ranking and join.  One documented staleness window
+		// remains: inside Engine.ApplyBatch, base-table mutations commit
+		// before the index flush, so a hit ranked from the not-yet-flushed
+		// index may join to a row fn already deleted — its Row stays nil,
+		// mirroring ApplyBatch's "searches see the batch's start" note.
+		// Callers using LoadRows concurrently with batches must treat a nil
+		// Row as "deleted under the batch".
 		tbl, err := ti.engine.db.Table(ti.table)
 		if err != nil {
 			return nil, err
@@ -547,14 +686,28 @@ func (ti *TextIndex) Method() index.Method { return ti.method }
 // View returns the Score materialized view backing this index.
 func (ti *TextIndex) View() *view.ScoreView { return ti.view }
 
-// Stats returns the underlying index statistics.
-func (ti *TextIndex) Stats() index.Stats { return ti.method.Stats() }
+// Stats returns the underlying index statistics.  It holds the index read
+// lock: the structure-size walks some methods perform must not race a
+// writer.  After Engine.Close it returns a zero-valued Stats (bar the
+// method name) instead of walking trees over a closed page file.
+func (ti *TextIndex) Stats() index.Stats {
+	ti.rw.RLock()
+	defer ti.rw.RUnlock()
+	if ti.closed {
+		return index.Stats{Method: ti.method.Name()}
+	}
+	return ti.method.Stats()
+}
 
 // MergeShortLists runs the periodic offline merge on the underlying index:
 // the long inverted lists are rebuilt from the current scores and contents
 // and the short lists emptied.  Deployments run this during maintenance
 // windows; the paper excludes it from the measured update costs (§5.1).
-func (ti *TextIndex) MergeShortLists() error { return ti.method.MergeShortLists() }
+// The merge holds the index write lock, so searches stall for its duration
+// rather than observing a half-rebuilt index.
+func (ti *TextIndex) MergeShortLists() error {
+	return ti.writeLocked(func() error { return ti.method.MergeShortLists() })
+}
 
 // ScoreOf returns the current SVR score of a document.
 func (ti *TextIndex) ScoreOf(pk int64) (float64, bool, error) { return ti.view.Score(pk) }

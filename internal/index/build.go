@@ -142,7 +142,7 @@ func (b *base) populateScoreTable(bc *builtCorpus) error {
 		if err := b.score.bulkLoad(b.cfg.Pool, items); err != nil {
 			return err
 		}
-		b.numDocs = int64(len(bc.docs))
+		b.numDocs.Store(int64(len(bc.docs)))
 		return nil
 	}
 	for _, doc := range bc.docs {
@@ -150,7 +150,7 @@ func (b *base) populateScoreTable(bc *builtCorpus) error {
 			return err
 		}
 	}
-	b.numDocs = int64(len(bc.docs))
+	b.numDocs.Store(int64(len(bc.docs)))
 	return nil
 }
 

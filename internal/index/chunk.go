@@ -169,7 +169,7 @@ func (m *ChunkMethod) InsertDocument(doc DocID, tokens []string, score float64) 
 	}
 	m.dict.AddDocumentTerms(distinct)
 	m.knownTokens[doc] = distinct
-	m.numDocs++
+	m.numDocs.Add(1)
 	return m.listChunk.Put(doc, listEntry{Key: float64(cid), InShortList: true})
 }
 
@@ -202,7 +202,7 @@ func (m *ChunkMethod) DeleteDocument(doc DocID) error {
 		return err
 	}
 	delete(m.knownTokens, doc)
-	m.numDocs--
+	m.numDocs.Add(-1)
 	return nil
 }
 
@@ -279,7 +279,8 @@ func (m *ChunkMethod) TopK(q Query) (*QueryResult, error) {
 	if q.WithTermScores {
 		return nil, ErrTermScoresUnsupported
 	}
-	streams := make([]postings.BatchIterator, 0, len(q.Terms))
+	ctx := newQueryCtx()
+	defer ctx.release()
 	for _, term := range q.Terms {
 		long, err := m.longIterator(term)
 		if err != nil {
@@ -289,10 +290,10 @@ func (m *ChunkMethod) TopK(q Query) (*QueryResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		streams = append(streams, combinedStream(short, long))
+		ctx.streams = append(ctx.streams, combinedStream(short, long))
 	}
 	return m.runRanked(rankedQuery{
-		streams:     streams,
+		streams:     ctx.streams,
 		k:           q.K,
 		conjunctive: !q.Disjunctive,
 		maxPossible: m.maxPossibleScore,

@@ -112,13 +112,16 @@ func (m *ChunkTermScoreMethod) TopK(q Query) (*QueryResult, error) {
 	}
 	m.counters.queries.Add(1)
 
-	stats := text.CollectionStats{NumDocs: m.numDocs}
-	idfs := make([]float64, len(q.Terms))
-	epsilons := make([]float64, len(q.Terms)) // ε_i · idf_i, the per-term cap for unseen docs
-	for i, term := range q.Terms {
-		idfs[i] = text.IDF(stats, m.dict.DocFreq(term))
-		epsilons[i] = text.TFIDF(m.fancyMinW[term], idfs[i])
+	ctx := newQueryCtx()
+	defer ctx.release()
+	stats := text.CollectionStats{NumDocs: m.numDocs.Load()}
+	for _, term := range q.Terms {
+		idf := text.IDF(stats, m.dict.DocFreq(term))
+		ctx.idfs = append(ctx.idfs, idf)
+		// ε_i · idf_i, the per-term cap for unseen docs.
+		ctx.epsilons = append(ctx.epsilons, text.TFIDF(m.fancyMinW[term], idf))
 	}
+	idfs, epsilons := ctx.idfs, ctx.epsilons
 	epsilonSum := 0.0
 	for _, e := range epsilons {
 		epsilonSum += e
@@ -142,15 +145,14 @@ func (m *ChunkTermScoreMethod) TopK(q Query) (*QueryResult, error) {
 	}
 	remain := map[DocID]*remainInfo{}
 
-	fancyStreams := make([]postings.BatchIterator, len(q.Terms))
-	for i, term := range q.Terms {
+	for _, term := range q.Terms {
 		it, err := m.fancyIterator(term)
 		if err != nil {
 			return nil, err
 		}
-		fancyStreams[i] = it
+		ctx.streams = append(ctx.streams, it)
 	}
-	fancyMerger := postings.NewGroupMerger(fancyStreams...)
+	fancyMerger := postings.NewGroupMerger(ctx.streams...)
 	defer fancyMerger.Close()
 	for {
 		g, ok, err := fancyMerger.Next()
@@ -188,9 +190,11 @@ func (m *ChunkTermScoreMethod) TopK(q Query) (*QueryResult, error) {
 		remain[g.Doc] = info
 	}
 
-	// Phase 2 (lines 10-34): scan the chunked lists top chunk first.
-	streams := make([]postings.BatchIterator, len(q.Terms))
-	for i, term := range q.Terms {
+	// Phase 2 (lines 10-34): scan the chunked lists top chunk first.  The
+	// fancy merger copied its stream references into its own heads, so the
+	// context's stream slice can be reused for this phase.
+	ctx.streams = ctx.streams[:0]
+	for _, term := range q.Terms {
 		long, err := m.longIterator(term)
 		if err != nil {
 			return nil, err
@@ -199,9 +203,9 @@ func (m *ChunkTermScoreMethod) TopK(q Query) (*QueryResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		streams[i] = combinedStream(short, long)
+		ctx.streams = append(ctx.streams, combinedStream(short, long))
 	}
-	merger := postings.NewGroupMerger(streams...)
+	merger := postings.NewGroupMerger(ctx.streams...)
 	defer merger.Close()
 	lastCID := int32(math.MinInt32)
 	haveCID := false

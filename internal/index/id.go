@@ -132,7 +132,7 @@ func (m *IDMethod) InsertDocument(doc DocID, tokens []string, score float64) err
 	}
 	m.dict.AddDocumentTerms(distinct)
 	m.knownTokens[doc] = distinct
-	m.numDocs++
+	m.numDocs.Add(1)
 	return nil
 }
 
@@ -147,7 +147,7 @@ func (m *IDMethod) DeleteDocument(doc DocID) error {
 		}
 	}
 	delete(m.knownTokens, doc)
-	m.numDocs--
+	m.numDocs.Add(-1)
 	return nil
 }
 
@@ -194,9 +194,9 @@ func (m *IDMethod) TopK(q Query) (*QueryResult, error) {
 		return nil, ErrTermScoresUnsupported
 	}
 
-	streams := make([]postings.BatchIterator, 0, len(q.Terms))
-	idfs := make([]float64, 0, len(q.Terms))
-	stats := text.CollectionStats{NumDocs: m.numDocs}
+	ctx := newQueryCtx()
+	defer ctx.release()
+	stats := text.CollectionStats{NumDocs: m.numDocs.Load()}
 	for _, term := range q.Terms {
 		long, err := m.longIterator(term)
 		if err != nil {
@@ -206,9 +206,10 @@ func (m *IDMethod) TopK(q Query) (*QueryResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		streams = append(streams, combinedStream(short, long))
-		idfs = append(idfs, text.IDF(stats, m.dict.DocFreq(term)))
+		ctx.streams = append(ctx.streams, combinedStream(short, long))
+		ctx.idfs = append(ctx.idfs, text.IDF(stats, m.dict.DocFreq(term)))
 	}
+	idfs := ctx.idfs
 
 	resolve := m.currentScoreResolver()
 	if q.WithTermScores {
@@ -229,7 +230,7 @@ func (m *IDMethod) TopK(q Query) (*QueryResult, error) {
 	}
 
 	return m.runRanked(rankedQuery{
-		streams:     streams,
+		streams:     ctx.streams,
 		k:           q.K,
 		conjunctive: !q.Disjunctive,
 		maxPossible: neverStop,

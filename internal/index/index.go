@@ -276,8 +276,10 @@ type base struct {
 
 	longRefs  map[string]blob.Ref
 	longBytes uint64
-	numDocs   int64
-	counters  counters
+	// numDocs is atomic so concurrent queries can read the collection size
+	// (for IDF) while a serialized writer inserts or deletes documents.
+	numDocs  atomic.Int64
+	counters counters
 }
 
 func newBase(cfg Config) (*base, error) {

@@ -2,10 +2,44 @@ package index
 
 import (
 	"math"
+	"sync"
 
 	"svrdb/internal/postings"
 	"svrdb/internal/topk"
 )
+
+// queryCtx is the per-query scratch a TopK call assembles its pipeline in:
+// the per-term stream slice plus the IDF/epsilon arrays of the TermScore
+// algorithms.  Every query gets its own context from a sync.Pool — two
+// concurrent Searches never share scratch, and the steady-state query path
+// reuses the slices instead of allocating them anew per query.  The context
+// must be released only after the query is fully evaluated (the group merger
+// reads the streams it references).
+type queryCtx struct {
+	streams  []postings.BatchIterator
+	idfs     []float64
+	epsilons []float64
+}
+
+var queryCtxPool = sync.Pool{New: func() any { return &queryCtx{} }}
+
+// newQueryCtx returns an empty context with capacity hints for n terms.
+func newQueryCtx() *queryCtx {
+	c := queryCtxPool.Get().(*queryCtx)
+	c.streams = c.streams[:0]
+	c.idfs = c.idfs[:0]
+	c.epsilons = c.epsilons[:0]
+	return c
+}
+
+// release returns the context to the pool.  The caller must not touch the
+// context (or slices taken from it) afterwards.
+func (c *queryCtx) release() {
+	for i := range c.streams {
+		c.streams[i] = nil // drop iterator references so the pool retains no streams
+	}
+	queryCtxPool.Put(c)
+}
 
 // rankedQuery is the shared skeleton of Algorithm 2 and its relatives: merge
 // the per-term streams (each the union of a short and a long list, already

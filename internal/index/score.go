@@ -132,7 +132,7 @@ func (m *ScoreMethod) InsertDocument(doc DocID, tokens []string, score float64) 
 		distinct = append(distinct, tw.term)
 	}
 	m.dict.AddDocumentTerms(distinct)
-	m.numDocs++
+	m.numDocs.Add(1)
 	return nil
 }
 
@@ -158,7 +158,7 @@ func (m *ScoreMethod) DeleteDocument(doc DocID) error {
 	if err := m.score.MarkDeleted(doc); err != nil {
 		return err
 	}
-	m.numDocs--
+	m.numDocs.Add(-1)
 	return nil
 }
 
@@ -201,12 +201,13 @@ func (m *ScoreMethod) TopK(q Query) (*QueryResult, error) {
 	if q.WithTermScores {
 		return nil, ErrTermScoresUnsupported
 	}
-	streams := make([]postings.BatchIterator, 0, len(q.Terms))
+	ctx := newQueryCtx()
+	defer ctx.release()
 	for _, term := range q.Terms {
-		streams = append(streams, m.lists.Cursor(term, false))
+		ctx.streams = append(ctx.streams, m.lists.Cursor(term, false))
 	}
 	return m.runRanked(rankedQuery{
-		streams:     streams,
+		streams:     ctx.streams,
 		k:           q.K,
 		conjunctive: !q.Disjunctive,
 		maxPossible: func(sortKey float64) float64 { return sortKey },

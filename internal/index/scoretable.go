@@ -2,6 +2,7 @@ package index
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"svrdb/internal/codec"
 	"svrdb/internal/storage/btree"
@@ -24,8 +25,10 @@ import (
 // flushBatch applies the overlay to the B+-tree as one sorted UpsertBatch,
 // so a batch touching a leaf many times rewrites it once.
 type scoreTable struct {
-	tree    *btree.Tree
-	lookups uint64
+	tree *btree.Tree
+	// lookups is atomic: concurrent queries (plain Gets and per-query
+	// probes) all count through it while holding only the index read lock.
+	lookups atomic.Uint64
 
 	staged  bool
 	pending map[DocID]scoreVal
@@ -85,7 +88,7 @@ func (s *scoreTable) put(doc DocID, score float64, deleted bool) error {
 
 // Get returns the current score of a document.
 func (s *scoreTable) Get(doc DocID) (score float64, deleted bool, ok bool, err error) {
-	s.lookups++
+	s.lookups.Add(1)
 	if s.staged {
 		if v, hit := s.pending[doc]; hit {
 			return v.score, v.deleted, true, nil
@@ -117,7 +120,7 @@ func (s *scoreTable) newProbe() *scoreProbe {
 
 // Get mirrors scoreTable.Get through the probe.
 func (sp *scoreProbe) Get(doc DocID) (score float64, deleted bool, ok bool, err error) {
-	sp.s.lookups++
+	sp.s.lookups.Add(1)
 	data, found, err := sp.p.Get(scoreTableKey(doc))
 	if err != nil || !found {
 		return 0, false, false, err
@@ -188,7 +191,7 @@ func (s *scoreTable) bulkLoad(pool *buffer.Pool, items []btree.Item) error {
 
 // Lookups reports how many Get calls have been served (a proxy for random
 // probes in benchmarks).
-func (s *scoreTable) Lookups() uint64 { return s.lookups }
+func (s *scoreTable) Lookups() uint64 { return s.lookups.Load() }
 
 // Patches reports how many writes the table's tree absorbed in place.
 func (s *scoreTable) Patches() uint64 { return s.tree.Patches() }

@@ -160,7 +160,7 @@ func (m *ScoreThresholdMethod) InsertDocument(doc DocID, tokens []string, score 
 	}
 	m.dict.AddDocumentTerms(distinct)
 	m.knownTokens[doc] = distinct
-	m.numDocs++
+	m.numDocs.Add(1)
 	return m.listScore.Put(doc, listEntry{Key: score, InShortList: true})
 }
 
@@ -196,7 +196,7 @@ func (m *ScoreThresholdMethod) DeleteDocument(doc DocID) error {
 		return err
 	}
 	delete(m.knownTokens, doc)
-	m.numDocs--
+	m.numDocs.Add(-1)
 	return nil
 }
 
@@ -280,7 +280,8 @@ func (m *ScoreThresholdMethod) TopK(q Query) (*QueryResult, error) {
 	if q.WithTermScores {
 		return nil, ErrTermScoresUnsupported
 	}
-	streams := make([]postings.BatchIterator, 0, len(q.Terms))
+	ctx := newQueryCtx()
+	defer ctx.release()
 	for _, term := range q.Terms {
 		long, err := m.longIterator(term)
 		if err != nil {
@@ -290,10 +291,10 @@ func (m *ScoreThresholdMethod) TopK(q Query) (*QueryResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		streams = append(streams, combinedStream(short, long))
+		ctx.streams = append(ctx.streams, combinedStream(short, long))
 	}
 	return m.runRanked(rankedQuery{
-		streams:     streams,
+		streams:     ctx.streams,
 		k:           q.K,
 		conjunctive: !q.Disjunctive,
 		maxPossible: m.thresholdValueOf,

@@ -1,0 +1,90 @@
+package relation
+
+import (
+	"sync"
+	"testing"
+
+	"svrdb/internal/storage/buffer"
+	"svrdb/internal/storage/pagefile"
+)
+
+// TestConcurrentUpdateNotificationOrder drives many goroutines updating the
+// same row and asserts listeners observe the changes in commit order: every
+// delivered change's Old value must equal the previous delivery's New value
+// (out-of-order delivery would hand the text indexes a divergent content
+// diff chain).  Readers run alongside to exercise the reader/writer path
+// under -race.
+func TestConcurrentUpdateNotificationOrder(t *testing.T) {
+	pool := buffer.MustNew(pagefile.MustNewMem(pagefile.DefaultPageSize), 256)
+	tbl, err := NewTable(pool, Schema{
+		Name: "T",
+		Columns: []Column{
+			{Name: "id", Kind: KindInt64},
+			{Name: "n", Kind: KindInt64},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Insert(Row{Int(1), Int(0)}); err != nil {
+		t.Fatal(err)
+	}
+
+	var chain []Change // appended by the (serialized) listener
+	tbl.OnChange(func(c Change) {
+		chain = append(chain, c)
+	})
+
+	const writers, perW = 8, 25
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				row, err := tbl.Get(1)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if err := tbl.Update(1, map[string]Value{"n": Int(row[1].I + int64(w) + 1)}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	// Concurrent readers exercise Get/GetMany against the writers.
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if _, err := tbl.GetMany([]int64{1}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	if len(chain) != writers*perW {
+		t.Fatalf("delivered %d changes, want %d", len(chain), writers*perW)
+	}
+	prev := int64(0)
+	for i, c := range chain {
+		if c.Old[1].I != prev {
+			t.Fatalf("delivery %d out of commit order: Old.n = %d, want %d (previous delivery's New)", i, c.Old[1].I, prev)
+		}
+		prev = c.New[1].I
+	}
+	final, err := tbl.Get(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final[1].I != prev {
+		t.Fatalf("table holds n=%d but last delivered New was %d", final[1].I, prev)
+	}
+}

@@ -71,6 +71,10 @@ var ErrNotFound = errors.New("relation: row not found")
 // ErrDuplicateKey is returned when inserting a row whose primary key exists.
 var ErrDuplicateKey = errors.New("relation: duplicate primary key")
 
+// ErrIndexExists is returned by CreateIndex when the column already has a
+// secondary index (EnsureIndex treats it as success).
+var ErrIndexExists = errors.New("relation: index already exists")
+
 // ColumnIndex returns the position of the named column.
 func (s Schema) ColumnIndex(name string) (int, error) {
 	for i, c := range s.Columns {
@@ -258,9 +262,32 @@ type Change struct {
 type Listener func(Change)
 
 // Table stores rows of a single schema keyed by their primary key.
+//
+// A Table is safe for concurrent use: readers (Get, GetMany, Scan,
+// LookupByColumn) may run from any number of goroutines, and the mutating
+// operations (Insert, Update, Delete) serialize against each other and
+// against readers through rowMu.  Change listeners are invoked after the
+// mutation's locks are released, so a listener may freely read the table
+// (the search engine's maintenance callbacks do).  Scan and LookupByColumn
+// visitors run under the read lock and must not mutate the table.
 type Table struct {
 	schema Schema
 	tree   *btree.Tree
+
+	// rowMu guards the row tree and the secondary index trees: readers
+	// share it, mutations take it exclusively.
+	rowMu sync.RWMutex
+	// Notification ordering: each mutation draws a ticket (notifySeq) while
+	// still holding rowMu, then delivers its change when notifyNext reaches
+	// its ticket — so listeners observe changes in exactly the order the
+	// mutations committed (an out-of-order content diff would diverge the
+	// text indexes permanently).  Deliveries wait for their turn holding no
+	// lock, so listeners may freely read the table; they must not mutate
+	// it (a mutating listener would wait forever for its own turn).
+	notifySeq  uint64 // next ticket to hand out; guarded by rowMu
+	notifyMu   sync.Mutex
+	notifyCond sync.Cond // signals notifyNext advancing; uses notifyMu
+	notifyNext uint64    // ticket currently allowed to deliver; guarded by notifyMu
 
 	mu        sync.RWMutex
 	secondary map[string]*btree.Tree // column name -> (value, pk) index
@@ -279,12 +306,14 @@ func NewTable(pool *buffer.Pool, schema Schema) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Table{
+	t := &Table{
 		schema:    schema,
 		tree:      tree,
 		secondary: map[string]*btree.Tree{},
 		pool:      pool,
-	}, nil
+	}
+	t.notifyCond.L = &t.notifyMu
+	return t, nil
 }
 
 // Schema returns the table's schema.
@@ -334,12 +363,49 @@ func (t *Table) validateRow(row Row) error {
 	return nil
 }
 
+// commitAndNotify is the tail of every mutation: called with rowMu held, it
+// draws the next notification ticket, releases rowMu, waits (holding no
+// lock) until every earlier commit has delivered, delivers the change, and
+// passes the turn on.
+func (t *Table) commitAndNotify(c Change) {
+	ticket := t.notifySeq
+	t.notifySeq++
+	t.rowMu.Unlock()
+
+	t.notifyMu.Lock()
+	for t.notifyNext != ticket {
+		t.notifyCond.Wait()
+	}
+	t.notifyMu.Unlock()
+
+	// Pass the turn on even if a listener panics — a wedged ticket would
+	// block every later mutation on the table forever.
+	defer func() {
+		t.notifyMu.Lock()
+		t.notifyNext++
+		t.notifyCond.Broadcast()
+		t.notifyMu.Unlock()
+	}()
+	t.notify(c)
+}
+
 // Insert adds a row.  The primary key must not already exist.
 func (t *Table) Insert(row Row) error {
 	if err := t.validateRow(row); err != nil {
 		return err
 	}
 	pk := row[0].I
+	t.rowMu.Lock()
+	if err := t.insertLocked(pk, row); err != nil {
+		t.rowMu.Unlock()
+		return err
+	}
+	t.commitAndNotify(Change{Table: t.schema.Name, Kind: ChangeInsert, PK: pk, New: row})
+	return nil
+}
+
+// insertLocked applies the insert; the caller holds rowMu.
+func (t *Table) insertLocked(pk int64, row Row) error {
 	key := pkKey(pk)
 	if ok, err := t.tree.Has(key); err != nil {
 		return err
@@ -352,15 +418,18 @@ func (t *Table) Insert(row Row) error {
 	t.mu.Lock()
 	t.rowCount++
 	t.mu.Unlock()
-	if err := t.indexRow(row, true); err != nil {
-		return err
-	}
-	t.notify(Change{Table: t.schema.Name, Kind: ChangeInsert, PK: pk, New: row})
-	return nil
+	return t.indexRow(row, true)
 }
 
 // Get returns the row with the given primary key.
 func (t *Table) Get(pk int64) (Row, error) {
+	t.rowMu.RLock()
+	defer t.rowMu.RUnlock()
+	return t.getLocked(pk)
+}
+
+// getLocked is Get for callers already holding rowMu (either side).
+func (t *Table) getLocked(pk int64) (Row, error) {
 	data, ok, err := t.tree.Get(pkKey(pk))
 	if err != nil {
 		return nil, err
@@ -376,6 +445,8 @@ func (t *Table) Get(pk int64) (Row, error) {
 // in ascending key order so that a ranked result set joins back to the base
 // table with B+-tree page locality, then restored to the requested order.
 func (t *Table) GetMany(pks []int64) ([]Row, error) {
+	t.rowMu.RLock()
+	defer t.rowMu.RUnlock()
 	rows := make([]Row, len(pks))
 	order := make([]int, len(pks))
 	for i := range order {
@@ -401,60 +472,85 @@ func (t *Table) GetMany(pks []int64) ([]Row, error) {
 
 // Update replaces the named columns of the row with the given primary key.
 func (t *Table) Update(pk int64, updates map[string]Value) error {
-	old, err := t.Get(pk)
+	t.rowMu.Lock()
+	old, updated, err := t.updateLocked(pk, updates)
 	if err != nil {
+		t.rowMu.Unlock()
 		return err
 	}
-	updated := append(Row(nil), old...)
+	t.commitAndNotify(Change{Table: t.schema.Name, Kind: ChangeUpdate, PK: pk, Old: old, New: updated})
+	return nil
+}
+
+// updateLocked applies the read-modify-write; the caller holds rowMu.
+func (t *Table) updateLocked(pk int64, updates map[string]Value) (old, updated Row, err error) {
+	old, err = t.getLocked(pk)
+	if err != nil {
+		return nil, nil, err
+	}
+	updated = append(Row(nil), old...)
 	for name, v := range updates {
 		idx, err := t.schema.ColumnIndex(name)
 		if err != nil {
-			return err
+			return nil, nil, err
 		}
 		if idx == 0 {
-			return fmt.Errorf("relation: table %q: primary key column cannot be updated", t.schema.Name)
+			return nil, nil, fmt.Errorf("relation: table %q: primary key column cannot be updated", t.schema.Name)
 		}
 		if v.Kind != t.schema.Columns[idx].Kind {
-			return fmt.Errorf("relation: table %q column %q expects %s, got %s",
+			return nil, nil, fmt.Errorf("relation: table %q column %q expects %s, got %s",
 				t.schema.Name, name, t.schema.Columns[idx].Kind, v.Kind)
 		}
 		updated[idx] = v
 	}
 	if err := t.unindexRow(old); err != nil {
-		return err
+		return nil, nil, err
 	}
 	if err := t.tree.Put(pkKey(pk), encodeRow(updated)); err != nil {
-		return err
+		return nil, nil, err
 	}
 	if err := t.indexRow(updated, false); err != nil {
-		return err
+		return nil, nil, err
 	}
-	t.notify(Change{Table: t.schema.Name, Kind: ChangeUpdate, PK: pk, Old: old, New: updated})
-	return nil
+	return old, updated, nil
 }
 
 // Delete removes the row with the given primary key.
 func (t *Table) Delete(pk int64) error {
-	old, err := t.Get(pk)
+	t.rowMu.Lock()
+	old, err := t.deleteLocked(pk)
 	if err != nil {
+		t.rowMu.Unlock()
 		return err
+	}
+	t.commitAndNotify(Change{Table: t.schema.Name, Kind: ChangeDelete, PK: pk, Old: old})
+	return nil
+}
+
+// deleteLocked applies the delete; the caller holds rowMu.
+func (t *Table) deleteLocked(pk int64) (Row, error) {
+	old, err := t.getLocked(pk)
+	if err != nil {
+		return nil, err
 	}
 	if err := t.unindexRow(old); err != nil {
-		return err
+		return nil, err
 	}
 	if _, err := t.tree.Delete(pkKey(pk)); err != nil {
-		return err
+		return nil, err
 	}
 	t.mu.Lock()
 	t.rowCount--
 	t.mu.Unlock()
-	t.notify(Change{Table: t.schema.Name, Kind: ChangeDelete, PK: pk, Old: old})
-	return nil
+	return old, nil
 }
 
 // Scan visits every row in primary-key order.  Returning false from the
-// visitor stops the scan.
+// visitor stops the scan.  The visitor runs under the table read lock and
+// must not mutate the table.
 func (t *Table) Scan(visit func(Row) bool) error {
+	t.rowMu.RLock()
+	defer t.rowMu.RUnlock()
 	var decodeErr error
 	err := t.tree.Ascend(func(k, v []byte) bool {
 		row, err := decodeRow(v)
@@ -481,41 +577,64 @@ func (t *Table) HasIndex(column string) bool {
 }
 
 // EnsureIndex creates a secondary index on the named column if one does not
-// already exist.
+// already exist.  It is safe to call concurrently: when two callers race,
+// the loser's duplicate creation is treated as success.
 func (t *Table) EnsureIndex(column string) error {
 	if t.HasIndex(column) {
 		return nil
 	}
-	return t.CreateIndex(column)
+	if err := t.CreateIndex(column); err != nil && !errors.Is(err, ErrIndexExists) {
+		return err
+	}
+	return nil
 }
 
 // CreateIndex builds a secondary index on the named column.  Existing rows
-// are indexed immediately; subsequent mutations maintain the index.
+// are indexed immediately; subsequent mutations maintain the index.  The
+// whole build runs under the exclusive row lock and the tree is published
+// into t.secondary only after the backfill succeeds, so HasIndex and
+// LookupByColumn never observe a half-built (or failed-and-discarded)
+// index, and no mutation can slip between backfill and publish.
 func (t *Table) CreateIndex(column string) error {
 	idx, err := t.schema.ColumnIndex(column)
 	if err != nil {
 		return err
 	}
-	t.mu.Lock()
-	if _, exists := t.secondary[column]; exists {
-		t.mu.Unlock()
-		return fmt.Errorf("relation: index on %q.%q already exists", t.schema.Name, column)
+	t.rowMu.Lock()
+	defer t.rowMu.Unlock()
+	t.mu.RLock()
+	_, exists := t.secondary[column]
+	t.mu.RUnlock()
+	if exists {
+		return fmt.Errorf("%w: on %q.%q", ErrIndexExists, t.schema.Name, column)
 	}
 	tree, err := btree.New(t.pool)
 	if err != nil {
-		t.mu.Unlock()
 		return err
 	}
-	t.secondary[column] = tree
-	t.mu.Unlock()
-
-	return t.Scan(func(row Row) bool {
-		key := secondaryKey(row[idx], row[0].I)
-		if err := tree.Put(key, nil); err != nil {
+	var fillErr error
+	err = t.tree.Ascend(func(k, v []byte) bool {
+		row, err := decodeRow(v)
+		if err != nil {
+			fillErr = err
+			return false
+		}
+		if err := tree.Put(secondaryKey(row[idx], row[0].I), nil); err != nil {
+			fillErr = err
 			return false
 		}
 		return true
 	})
+	if fillErr == nil {
+		fillErr = err
+	}
+	if fillErr != nil {
+		return fillErr
+	}
+	t.mu.Lock()
+	t.secondary[column] = tree
+	t.mu.Unlock()
+	return nil
 }
 
 // secondaryKey builds an order-preserving (value, pk) composite key.
@@ -566,7 +685,8 @@ func (t *Table) unindexRow(row Row) error {
 }
 
 // LookupByColumn returns the rows whose named (indexed) column equals value.
-// The column must have a secondary index.
+// The column must have a secondary index.  The visitor runs under the table
+// read lock and must not mutate the table.
 func (t *Table) LookupByColumn(column string, value Value, visit func(Row) bool) error {
 	t.mu.RLock()
 	tree, ok := t.secondary[column]
@@ -574,6 +694,8 @@ func (t *Table) LookupByColumn(column string, value Value, visit func(Row) bool)
 	if !ok {
 		return fmt.Errorf("relation: no index on %q.%q", t.schema.Name, column)
 	}
+	t.rowMu.RLock()
+	defer t.rowMu.RUnlock()
 	prefix := secondaryKey(value, 0)
 	// Strip the trailing pk portion (last 8 bytes) to form the value prefix.
 	prefix = prefix[:len(prefix)-8]
@@ -585,7 +707,7 @@ func (t *Table) LookupByColumn(column string, value Value, visit func(Row) bool)
 			innerErr = err
 			return false
 		}
-		row, err := t.Get(int64(pk))
+		row, err := t.getLocked(int64(pk))
 		if err != nil {
 			innerErr = err
 			return false

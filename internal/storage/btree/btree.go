@@ -33,6 +33,8 @@ import (
 	"errors"
 	"fmt"
 
+	"sync/atomic"
+
 	"svrdb/internal/codec"
 	"svrdb/internal/storage/buffer"
 	"svrdb/internal/storage/pagefile"
@@ -48,17 +50,30 @@ var ErrEntryTooLarge = errors.New("btree: entry too large for page")
 
 // Tree is a B+-tree.  It is not safe for concurrent mutation; the engine
 // serializes index updates, as the paper's single update stream does.
+// Concurrent readers (Get, Has, Probe, cursors, range scans) are safe with
+// each other, and the mutable tree metadata — the root page, the key count
+// and the patch counter — is held in atomics so that metadata reads
+// (Len, Patches, a reader starting its descent) race-cleanly against a
+// serialized writer instead of tearing.  Readers racing a concurrent writer
+// over node *contents* still require external coordination (the engine's
+// index-level RW lock provides it).
 type Tree struct {
 	pool *buffer.Pool
-	root pagefile.PageID
-	size int // number of live keys
+	root atomic.Uint64 // current root pagefile.PageID
+	size atomic.Int64  // number of live keys
 
 	// patches counts writes absorbed by the in-place leaf patch fast path.
-	patches uint64
+	patches atomic.Uint64
 	// disablePatch forces every write through the parse→reserialize path;
 	// equivalence tests use it to pit the two paths against each other.
 	disablePatch bool
 }
+
+// rootID returns the current root page.
+func (t *Tree) rootID() pagefile.PageID { return pagefile.PageID(t.root.Load()) }
+
+// setRoot installs a new root page.
+func (t *Tree) setRoot(id pagefile.PageID) { t.root.Store(uint64(id)) }
 
 // node is the in-memory form of a page.
 type node struct {
@@ -88,7 +103,9 @@ func New(pool *buffer.Pool) (*Tree, error) {
 		return nil, err
 	}
 	fr.Release()
-	return &Tree{pool: pool, root: root.id}, nil
+	t := &Tree{pool: pool}
+	t.setRoot(root.id)
+	return t, nil
 }
 
 // MustNew is like New but panics on error; intended for tests and examples.
@@ -101,14 +118,14 @@ func MustNew(pool *buffer.Pool) *Tree {
 }
 
 // Len reports the number of keys stored in the tree.
-func (t *Tree) Len() int { return t.size }
+func (t *Tree) Len() int { return int(t.size.Load()) }
 
 // Patches reports how many writes were absorbed by the in-place leaf patch
 // fast path since the tree was created.
-func (t *Tree) Patches() uint64 { return t.patches }
+func (t *Tree) Patches() uint64 { return t.patches.Load() }
 
 // RootPage returns the page ID of the root node.
-func (t *Tree) RootPage() pagefile.PageID { return t.root }
+func (t *Tree) RootPage() pagefile.PageID { return t.rootID() }
 
 // maxEntrySize is the largest serialized key+value entry allowed, chosen so
 // that a node can always hold at least four entries.
@@ -427,7 +444,7 @@ func (t *Tree) findLeafFrame(key []byte) (*buffer.Frame, error) {
 // bound of the leaf's key range in upper (left untouched — nil for a fresh
 // slice — when the leaf is rightmost).
 func (t *Tree) descendToLeaf(key []byte, path *[]pagefile.PageID, upper *[]byte) (*buffer.Frame, error) {
-	id := t.root
+	id := t.rootID()
 	for {
 		fr, err := t.pool.Get(id)
 		if err != nil {
@@ -546,7 +563,7 @@ func (t *Tree) patchInFrame(fr *buffer.Frame, key, value []byte) (bool, error) {
 		return false, nil
 	}
 	fr.Patch(valOff, value)
-	t.patches++
+	t.patches.Add(1)
 	return true, nil
 }
 
@@ -589,7 +606,7 @@ func (t *Tree) patchRun(fr *buffer.Frame, items []Item) (int, error) {
 		cmp := bytes.Compare(k, items[consumed].Key)
 		if cmp == 0 && vl == len(items[consumed].Value) {
 			fr.Patch(off, items[consumed].Value)
-			t.patches++
+			t.patches.Add(1)
 			consumed++
 		} else if cmp >= 0 {
 			// The item is absent from this leaf (or present with a different
@@ -634,12 +651,12 @@ func (t *Tree) Upsert(key, value []byte) (bool, error) {
 			return false, nil
 		}
 	}
-	promoted, newChild, inserted, err := t.insertInto(t.root, key, value)
+	promoted, newChild, inserted, err := t.insertInto(t.rootID(), key, value)
 	if err != nil {
 		return false, err
 	}
 	if inserted {
-		t.size++
+		t.size.Add(1)
 	}
 	if newChild == pagefile.InvalidPageID {
 		return inserted, nil
@@ -650,11 +667,11 @@ func (t *Tree) Upsert(key, value []byte) (bool, error) {
 		return false, err
 	}
 	newRoot.keys = [][]byte{promoted}
-	newRoot.children = []pagefile.PageID{t.root, newChild}
+	newRoot.children = []pagefile.PageID{t.rootID(), newChild}
 	if err := t.flushNode(newRoot); err != nil {
 		return false, err
 	}
-	t.root = newRoot.id
+	t.setRoot(newRoot.id)
 	return inserted, nil
 }
 
@@ -796,8 +813,8 @@ func (t *Tree) Delete(key []byte) (bool, error) {
 	}
 	leaf.keys = append(leaf.keys[:i], leaf.keys[i+1:]...)
 	leaf.vals = append(leaf.vals[:i], leaf.vals[i+1:]...)
-	t.size--
-	if len(leaf.keys) == 0 && leaf.id != t.root {
+	t.size.Add(-1)
+	if len(leaf.keys) == 0 && leaf.id != t.rootID() {
 		// The page is about to be recycled; writing the dead image first
 		// would be wasted I/O.
 		return true, t.pruneEmptiedLeaf(leaf, key)
@@ -897,8 +914,8 @@ func (t *Tree) pruneEmptiedLeaf(leaf *node, key []byte) error {
 			// The parent lost its only child.  A non-root parent is pruned in
 			// turn; an empty root means the whole tree emptied, so the root
 			// page is rewritten as an empty leaf (New's initial state).
-			if parent.id == t.root {
-				root := &node{id: t.root, leaf: true, next: pagefile.InvalidPageID, prev: pagefile.InvalidPageID}
+			if parent.id == t.rootID() {
+				root := &node{id: t.rootID(), leaf: true, next: pagefile.InvalidPageID, prev: pagefile.InvalidPageID}
 				return t.flushNode(root)
 			}
 			if err := t.freePage(parent.id); err != nil {
@@ -920,15 +937,15 @@ func (t *Tree) pruneEmptiedLeaf(leaf *node, key []byte) error {
 // pruning).
 func (t *Tree) collapseRoot() error {
 	for {
-		n, err := t.readNode(t.root)
+		n, err := t.readNode(t.rootID())
 		if err != nil {
 			return err
 		}
 		if n.leaf || len(n.children) != 1 {
 			return nil
 		}
-		old := t.root
-		t.root = n.children[0]
+		old := t.rootID()
+		t.setRoot(n.children[0])
 		if err := t.freePage(old); err != nil {
 			return err
 		}
@@ -1048,7 +1065,7 @@ func prefixEnd(prefix []byte) []byte {
 }
 
 func (t *Tree) leftmostLeaf() (*node, error) {
-	n, err := t.readNode(t.root)
+	n, err := t.readNode(t.rootID())
 	if err != nil {
 		return nil, err
 	}
@@ -1062,7 +1079,7 @@ func (t *Tree) leftmostLeaf() (*node, error) {
 }
 
 func (t *Tree) rightmostLeaf() (*node, error) {
-	n, err := t.readNode(t.root)
+	n, err := t.readNode(t.rootID())
 	if err != nil {
 		return nil, err
 	}
@@ -1080,7 +1097,7 @@ func (t *Tree) rightmostLeaf() (*node, error) {
 // Height returns the number of levels in the tree (1 for a single leaf).
 func (t *Tree) Height() (int, error) {
 	h := 1
-	n, err := t.readNode(t.root)
+	n, err := t.readNode(t.rootID())
 	if err != nil {
 		return 0, err
 	}
@@ -1098,7 +1115,7 @@ func (t *Tree) Height() (int, error) {
 // separator keys bounding subtrees, and leaf sibling links consistent.  It is
 // used by tests and returns a descriptive error on the first violation.
 func (t *Tree) CheckInvariants() error {
-	_, _, err := t.checkSubtree(t.root, nil, nil)
+	_, _, err := t.checkSubtree(t.rootID(), nil, nil)
 	if err != nil {
 		return err
 	}

@@ -240,7 +240,10 @@ func BulkLoadFill(pool *buffer.Pool, items []Item, fill float64) (*Tree, error) 
 	}
 
 	top := levelIDs[len(levelIDs)-1]
-	return &Tree{pool: pool, root: top[0], size: len(items)}, nil
+	t := &Tree{pool: pool}
+	t.setRoot(top[0])
+	t.size.Store(int64(len(items)))
+	return t, nil
 }
 
 // UpsertBatch applies a group of upserts, sorting the items by key so that
@@ -328,7 +331,7 @@ func (t *Tree) UpsertBatch(items []Item) (int, error) {
 				leaf.vals[j] = append([]byte(nil), it.Value...)
 				size = newSize
 				inserted++
-				t.size++
+				t.size.Add(1)
 			}
 			modified = true
 			i++
@@ -376,13 +379,13 @@ func (t *Tree) DeleteBatch(keys [][]byte) (int, error) {
 				leaf.keys = append(leaf.keys[:j], leaf.keys[j+1:]...)
 				leaf.vals = append(leaf.vals[:j], leaf.vals[j+1:]...)
 				removed++
-				t.size--
+				t.size.Add(-1)
 				modified = true
 			}
 			i++
 		}
 		if modified {
-			if len(leaf.keys) == 0 && leaf.id != t.root {
+			if len(leaf.keys) == 0 && leaf.id != t.rootID() {
 				// The run emptied the leaf: skip the dead-image flush and
 				// dismantle it instead.
 				if err := t.pruneEmptiedLeaf(leaf, runKey); err != nil {

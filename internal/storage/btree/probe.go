@@ -35,7 +35,7 @@ func (p *Probe) Get(key []byte) ([]byte, bool, error) {
 	// Fast path: the key lands on the cached leaf.  A cached root leaf
 	// covers every key (the whole tree is one leaf — e.g. a table no update
 	// has touched yet), so even misses resolve without a descent.
-	if p.leaf != nil && (p.leaf.id == p.t.root ||
+	if p.leaf != nil && (p.leaf.id == p.t.rootID() ||
 		(len(p.leaf.keys) > 0 && bytes.Compare(key, p.leaf.keys[0]) >= 0)) {
 		if v, ok, decided := p.lookupInLeaf(key); decided {
 			return v, ok, nil

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"svrdb/internal/storage/pagefile"
 )
@@ -100,11 +101,14 @@ type Pool struct {
 	// miss does not allocate.
 	freeData [][]byte
 
-	hits         uint64
-	misses       uint64
-	evictions    uint64
-	flushes      uint64
-	overReleases uint64
+	// The activity counters are atomics so that Stats and the benchmark
+	// harness can sample them while concurrent queries hammer the pool,
+	// without taking p.mu and without torn reads on 32-bit platforms.
+	hits         atomic.Uint64
+	misses       atomic.Uint64
+	evictions    atomic.Uint64
+	flushes      atomic.Uint64
+	overReleases atomic.Uint64
 }
 
 // maxFreeBuffers bounds the recycled page-buffer list.
@@ -151,7 +155,7 @@ func (p *Pool) PageSize() int { return p.file.PageSize() }
 func (p *Pool) Get(id pagefile.PageID) (*Frame, error) {
 	p.mu.Lock()
 	if fr, ok := p.frames[id]; ok {
-		p.hits++
+		p.hits.Add(1)
 		fr.pins++
 		p.lru.MoveToFront(fr.elem)
 		p.mu.Unlock()
@@ -164,7 +168,7 @@ func (p *Pool) Get(id pagefile.PageID) (*Frame, error) {
 		}
 		return fr, nil
 	}
-	p.misses++
+	p.misses.Add(1)
 	fr, err := p.allocFrameLocked(id)
 	if err != nil {
 		p.mu.Unlock()
@@ -264,13 +268,13 @@ func (p *Pool) evictOneLocked() error {
 			if err := p.file.Write(fr.id, fr.data); err != nil {
 				return err
 			}
-			p.flushes++
+			p.flushes.Add(1)
 		}
 		p.lru.Remove(e)
 		delete(p.frames, fr.id)
 		p.recycleBufferLocked(fr.data)
 		fr.data = nil
-		p.evictions++
+		p.evictions.Add(1)
 		return nil
 	}
 	return ErrPoolFull
@@ -282,7 +286,7 @@ func (p *Pool) release(fr *Frame) {
 	if fr.pins > 0 {
 		fr.pins--
 	} else {
-		p.overReleases++
+		p.overReleases.Add(1)
 	}
 }
 
@@ -310,7 +314,7 @@ func (p *Pool) FlushOrdered() error {
 			return err
 		}
 		fr.dirty = false
-		p.flushes++
+		p.flushes.Add(1)
 	}
 	return nil
 }
@@ -328,7 +332,7 @@ func (p *Pool) WriteThrough(id pagefile.PageID, data []byte) error {
 		copy(fr.data, data[:p.file.PageSize()])
 		fr.dirty = false
 	}
-	p.flushes++
+	p.flushes.Add(1)
 	p.mu.Unlock()
 	return p.file.Write(id, data)
 }
@@ -370,12 +374,12 @@ func (p *Pool) EvictAll() error {
 				return err
 			}
 			fr.dirty = false
-			p.flushes++
+			p.flushes.Add(1)
 		}
 		if fr.pins == 0 {
 			p.lru.Remove(e)
 			delete(p.frames, fr.id)
-			p.evictions++
+			p.evictions.Add(1)
 		}
 	}
 	return nil
@@ -415,8 +419,8 @@ func (p *Pool) CheckPins() error {
 			pinned++
 		}
 	}
-	if pinned > 0 || p.overReleases > 0 {
-		return fmt.Errorf("buffer: pin accounting violated: %d frames still pinned, %d over-releases", pinned, p.overReleases)
+	if pinned > 0 || p.overReleases.Load() > 0 {
+		return fmt.Errorf("buffer: pin accounting violated: %d frames still pinned, %d over-releases", pinned, p.overReleases.Load())
 	}
 	return nil
 }
@@ -425,7 +429,7 @@ func (p *Pool) CheckPins() error {
 func (p *Pool) Stats() Stats {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return Stats{Hits: p.hits, Misses: p.misses, Evictions: p.evictions, Flushes: p.flushes, OverReleases: p.overReleases}
+	return Stats{Hits: p.hits.Load(), Misses: p.misses.Load(), Evictions: p.evictions.Load(), Flushes: p.flushes.Load(), OverReleases: p.overReleases.Load()}
 }
 
 // ResetStats zeroes the pool counters.  The over-release counter is
@@ -433,5 +437,8 @@ func (p *Pool) Stats() Stats {
 func (p *Pool) ResetStats() {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	p.hits, p.misses, p.evictions, p.flushes = 0, 0, 0, 0
+	p.hits.Store(0)
+	p.misses.Store(0)
+	p.evictions.Store(0)
+	p.flushes.Store(0)
 }

@@ -274,6 +274,18 @@ type ScoreView struct {
 	spec      Spec
 	tree      *btree.Tree
 
+	// refreshMu serializes Refresh and Remove end to end — component
+	// evaluation, tree write and listener notification — so concurrent base
+	// mutations of the same document cannot interleave their refreshes
+	// (last-computed-wins would let a stale score overwrite a fresh one,
+	// and notifications would reach the indexes out of order).
+	refreshMu sync.Mutex
+
+	// treeMu guards the materialized score tree: Score and ForEach readers
+	// share it, Refresh and Remove take it exclusively.  Score components
+	// never run under it.
+	treeMu sync.RWMutex
+
 	mu        sync.RWMutex
 	listeners []ScoreListener
 	attached  bool
@@ -351,6 +363,13 @@ func (v *ScoreView) compute(pk int64) (float64, error) {
 
 // Score returns the materialized score of a document.
 func (v *ScoreView) Score(pk int64) (float64, bool, error) {
+	v.treeMu.RLock()
+	defer v.treeMu.RUnlock()
+	return v.scoreLocked(pk)
+}
+
+// scoreLocked is Score for callers already holding treeMu (either side).
+func (v *ScoreView) scoreLocked(pk int64) (float64, bool, error) {
 	data, ok, err := v.tree.Get(scoreKey(pk))
 	if err != nil || !ok {
 		return 0, false, err
@@ -362,8 +381,11 @@ func (v *ScoreView) Score(pk int64) (float64, bool, error) {
 	return s, true, nil
 }
 
-// ForEach visits every (document, score) pair in primary-key order.
+// ForEach visits every (document, score) pair in primary-key order.  The
+// visitor runs under the view read lock and must not mutate the view.
 func (v *ScoreView) ForEach(visit func(pk int64, score float64) bool) error {
+	v.treeMu.RLock()
+	defer v.treeMu.RUnlock()
 	var innerErr error
 	err := v.tree.Ascend(func(k, val []byte) bool {
 		pk, _, err := codec.OrderedUint64(k)
@@ -384,47 +406,75 @@ func (v *ScoreView) ForEach(visit func(pk int64, score float64) bool) error {
 	return err
 }
 
-// Build fully (re)materializes the view from the base relation.
+// Build fully (re)materializes the view from the base relation.  The
+// primary keys are collected first and each document refreshed after the
+// scan, because Refresh evaluates score components that may read the base
+// table itself — re-entering the table from inside its own scan would
+// nest read locks (a deadlock hazard if a writer queues between them).
 func (v *ScoreView) Build() error {
 	base, err := v.db.Table(v.baseTable)
 	if err != nil {
 		return err
 	}
-	var scanErr error
+	pks := make([]int64, 0, base.Len())
 	err = base.Scan(func(row relation.Row) bool {
-		pk := row[0].I
-		if scanErr = v.Refresh(pk); scanErr != nil {
-			return false
-		}
+		pks = append(pks, row[0].I)
 		return true
 	})
-	if scanErr != nil {
-		return scanErr
+	if err != nil {
+		return err
 	}
-	return err
+	for _, pk := range pks {
+		if err := v.Refresh(pk); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Refresh recomputes the score of one document and notifies listeners if it
 // changed.  This is the unit of incremental maintenance.
 func (v *ScoreView) Refresh(pk int64) error {
+	v.refreshMu.Lock()
+	defer v.refreshMu.Unlock()
 	v.mu.Lock()
 	v.refreshes++
 	v.mu.Unlock()
+
+	// Re-check existence under refreshMu: a racing base-table Delete whose
+	// Remove already ran (or will run after this refresh, serialized behind
+	// refreshMu) must not have this refresh re-materialize a score row for
+	// a dead document.
+	base, err := v.db.Table(v.baseTable)
+	if err != nil {
+		return err
+	}
+	if _, err := base.Get(pk); err != nil {
+		if errors.Is(err, relation.ErrNotFound) {
+			return nil
+		}
+		return err
+	}
 
 	newScore, err := v.compute(pk)
 	if err != nil {
 		return err
 	}
-	old, existed, err := v.Score(pk)
+	v.treeMu.Lock()
+	old, existed, err := v.scoreLocked(pk)
 	if err != nil {
+		v.treeMu.Unlock()
 		return err
 	}
 	if existed && old == newScore {
+		v.treeMu.Unlock()
 		return nil
 	}
 	if err := v.tree.Put(scoreKey(pk), codec.PutFloat64(nil, newScore)); err != nil {
+		v.treeMu.Unlock()
 		return err
 	}
+	v.treeMu.Unlock()
 	if !existed {
 		v.mu.Lock()
 		v.rows++
@@ -436,16 +486,23 @@ func (v *ScoreView) Refresh(pk int64) error {
 
 // Remove drops a document from the view (document deletion).
 func (v *ScoreView) Remove(pk int64) error {
-	old, existed, err := v.Score(pk)
+	v.refreshMu.Lock()
+	defer v.refreshMu.Unlock()
+	v.treeMu.Lock()
+	old, existed, err := v.scoreLocked(pk)
 	if err != nil {
+		v.treeMu.Unlock()
 		return err
 	}
 	if !existed {
+		v.treeMu.Unlock()
 		return nil
 	}
 	if _, err := v.tree.Delete(scoreKey(pk)); err != nil {
+		v.treeMu.Unlock()
 		return err
 	}
+	v.treeMu.Unlock()
 	v.mu.Lock()
 	v.rows--
 	v.mu.Unlock()
