@@ -6,21 +6,24 @@
 //
 // The full parameter sweeps that regenerate the papers' tables row by row —
 // including the cold-cache methodology — live in internal/bench and are run
-// with cmd/svrbench; see DESIGN.md for the experiment index and
-// EXPERIMENTS.md for recorded results.
+// with cmd/svrbench (-list prints the experiment index); CHANGES.md records
+// before/after numbers and ARCHITECTURE.md maps the layers under test.
 package svrdb_test
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"svrdb/internal/bench"
 	"svrdb/internal/core"
 	"svrdb/internal/index"
 	"svrdb/internal/postings"
 	"svrdb/internal/relation"
+	"svrdb/internal/server"
 	"svrdb/internal/storage/buffer"
 	"svrdb/internal/storage/pagefile"
 	"svrdb/internal/workload"
@@ -319,6 +322,56 @@ func BenchmarkConcurrentSearch(b *testing.B) {
 		})
 	}
 	if err := engine.Close(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkServeQuery is BenchmarkConcurrentSearch one more layer up: the
+// same archive dataset and query pool, but every query travels the full
+// serving stack — loopback TCP, JSON codec, route mux, metrics — via the
+// internal/server load generator.  Comparing its workers=1 line against
+// BenchmarkConcurrentSearch/workers=1 is the measured HTTP serving
+// overhead; svrbench -experiment serve reports the same comparison as a
+// table.
+func BenchmarkServeQuery(b *testing.B) {
+	db := relation.NewDB(buffer.MustNew(pagefile.MustNewMem(pagefile.DefaultPageSize), 8192))
+	if _, err := workload.BuildArchiveDB(db, workload.DefaultArchiveParams()); err != nil {
+		b.Fatal(err)
+	}
+	engine := core.NewEngine(db, core.Options{})
+	if _, err := engine.CreateTextIndex("m", "Movies", "desc", core.IndexOptions{
+		Method: core.MethodChunk,
+		Spec:   workload.ArchiveSpec(),
+	}); err != nil {
+		b.Fatal(err)
+	}
+	srv := server.New(engine, server.Options{})
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	baseURL := "http://" + addr
+	queries := [][]string{{"golden", "gate"}, {"silent", "river"}, {"pacific", "harbor"}, {"midnight", "fog"}}
+	for _, workers := range bench.WorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			client := server.NewLoadClient(workers)
+			// One warm pass establishes the keep-alive connections.
+			if _, err := server.RunSearchLoad(client, baseURL, "m", queries, 10, workers, workers); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			res, err := server.RunSearchLoad(client, baseURL, "m", queries, 10, workers, b.N)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			b.ReportMetric(res.QPS, "qps")
+			b.ReportMetric(float64(res.P99.Nanoseconds())/1e6, "p99-ms")
+		})
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
 		b.Fatal(err)
 	}
 }

@@ -1,0 +1,71 @@
+package svrdb_test
+
+import (
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestDocsGate is the documentation gate: every package under internal/
+// must carry a godoc package comment (by convention in a doc.go file, but
+// any non-test file satisfies go/doc), so `go doc svrdb/internal/<pkg>`
+// always gives a real overview of the layer.  A new package added without
+// one fails tier-1, not just review.
+func TestDocsGate(t *testing.T) {
+	var pkgDirs []string
+	err := filepath.WalkDir("internal", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			return nil
+		}
+		if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+			dir := filepath.Dir(path)
+			if len(pkgDirs) == 0 || pkgDirs[len(pkgDirs)-1] != dir {
+				pkgDirs = append(pkgDirs, dir)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgDirs) < 10 {
+		t.Fatalf("docs gate walked only %d package dirs under internal/ — the walk is broken", len(pkgDirs))
+	}
+
+	for _, dir := range pkgDirs {
+		if !packageHasDoc(t, dir) {
+			t.Errorf("package %q has no package comment: add a doc.go with a `// Package <name> ...` overview (see ARCHITECTURE.md)", dir)
+		}
+	}
+}
+
+// packageHasDoc reports whether any non-test Go file in dir carries a
+// package doc comment.
+func packageHasDoc(t *testing.T, dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.PackageClauseOnly)
+		if err != nil {
+			t.Fatalf("parsing %s/%s: %v", dir, name, err)
+		}
+		if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+			return true
+		}
+	}
+	return false
+}

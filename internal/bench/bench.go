@@ -1,13 +1,3 @@
-// Package bench implements the experiment harness that regenerates every
-// table and figure of the paper's evaluation (§5) on the Go implementation:
-// it builds the requested index structures over the synthetic (or
-// archive-style) workload, replays score-update traces, runs the query
-// workloads on a cold cache, and prints rows in the same shape as the paper
-// reports them.
-//
-// Absolute numbers differ from the paper (different hardware, scaled-down
-// data), but each experiment preserves the comparison the paper makes: which
-// method wins, by roughly what factor, and where the crossovers are.
 package bench
 
 import (
@@ -196,6 +186,7 @@ func Registry() []Experiment {
 		{ID: "threshold", Paper: "§5.3.1", Description: "Threshold-ratio sweep for the Score-Threshold method", Run: RunThresholdSweep},
 		{ID: "selectivity", Paper: "§5.3.7 / §5.1", Description: "Query-selectivity sweep across the three keyword classes", Run: RunSelectivity},
 		{ID: "concurrent", Paper: "§5 (read scaling)", Description: "Concurrent query serving: aggregate QPS at 1/2/4/GOMAXPROCS query workers", Run: RunConcurrent},
+		{ID: "serve", Paper: "§5 (serving layer)", Description: "HTTP serving: Figure 7 query mix over the svrserve JSON API vs direct Search, QPS + p50/p99 per worker count", Run: RunServe},
 		{ID: "archive", Paper: "§5.3.7", Description: "Archive-style (real-data analogue) workload across methods", Run: RunArchive},
 		{ID: "ablation-chunking", Paper: "§4.3.2 (design choice)", Description: "Chunk-boundary policy ablation: score-ratio vs uniform boundaries", Run: RunChunkPolicyAblation},
 		{ID: "ablation-fancy", Paper: "§4.3.3 (design choice)", Description: "Fancy-list length ablation for Chunk-TermScore", Run: RunFancyListAblation},

@@ -1,11 +1,3 @@
-// Package codec provides the low-level binary encodings shared by the
-// storage engine and the inverted-list layouts: unsigned and zig-zag signed
-// varints, delta ("d-gap") encoding of sorted integer sequences, and
-// fixed-width float encodings.
-//
-// The ID and Chunk methods in the paper owe part of their compactness to
-// differential encoding of document IDs within ID-ordered runs (§5.2,
-// Table 1); this package supplies exactly that primitive.
 package codec
 
 import (

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"svrdb/internal/relation"
+	"svrdb/internal/storage/buffer"
+	"svrdb/internal/storage/pagefile"
+	"svrdb/internal/view"
+	"svrdb/internal/workload"
+)
+
+// TestApplyBatchAfterClose pins the engine-level close fence: a batch that
+// acquires the batch lock after Close must fail fast with ErrClosed and
+// never run fn — otherwise its base-table mutations would land on storage
+// that has already been flushed, pin-audited and closed.
+func TestApplyBatchAfterClose(t *testing.T) {
+	db := relation.NewDB(buffer.MustNew(pagefile.MustNewMem(pagefile.DefaultPageSize), 2048))
+	params := workload.DefaultArchiveParams()
+	params.NumMovies = 10
+	if _, err := workload.BuildArchiveDB(db, params); err != nil {
+		t.Fatal(err)
+	}
+	engine := NewEngine(db, Options{})
+	if _, err := engine.CreateTextIndex("m", "Movies", "desc", IndexOptions{Spec: workload.ArchiveSpec()}); err != nil {
+		t.Fatal(err)
+	}
+	if err := engine.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	ran := false
+	err := engine.ApplyBatch(func() error { ran = true; return nil })
+	if !errors.Is(err, ErrClosed) {
+		t.Errorf("ApplyBatch after Close error = %v, want ErrClosed", err)
+	}
+	if ran {
+		t.Error("ApplyBatch ran fn against a closed engine")
+	}
+
+	// Close is idempotent.
+	if err := engine.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+}
+
+// TestSearchAfterCloseSentinel pins that the per-index fence reports the
+// same sentinel the serving layer maps to 503.
+func TestSearchAfterCloseSentinel(t *testing.T) {
+	db := relation.NewDB(buffer.MustNew(pagefile.MustNewMem(pagefile.DefaultPageSize), 2048))
+	tbl, err := db.CreateTable(relation.Schema{
+		Name: "Docs",
+		Columns: []relation.Column{
+			{Name: "id", Kind: relation.KindInt64},
+			{Name: "body", Kind: relation.KindString},
+			{Name: "val", Kind: relation.KindFloat64},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Insert(relation.Row{relation.Int(1), relation.Str("alpha"), relation.Float(1)}); err != nil {
+		t.Fatal(err)
+	}
+	engine := NewEngine(db, Options{})
+	idx, err := engine.CreateTextIndex("d", "Docs", "body", IndexOptions{
+		Spec: view.Spec{Components: []view.Component{view.OwnColumn("Docs", "val")}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := engine.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := idx.Search(SearchRequest{Query: "alpha", K: 1}); !errors.Is(err, ErrClosed) {
+		t.Errorf("Search after Close error = %v, want ErrClosed", err)
+	}
+}

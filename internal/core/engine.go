@@ -1,19 +1,3 @@
-// Package core implements the SVR engine: the paper's "text management
-// component" (§3), tightly integrated with the relational substrate.
-//
-// The engine owns a relational database, a text analyzer and any number of
-// text indexes.  Creating a text index on a (table, text column) pair with a
-// score specification does everything Figure 2 of the paper describes:
-//
-//  1. the Score materialized view is created and populated from the score
-//     specification (§3.1, §3.2);
-//  2. the chosen inverted-list method (§4) is bulk built from the text
-//     column and the view;
-//  3. incremental maintenance is wired up: structured-data updates flow
-//     through the view into Algorithm 1, document inserts/deletes/content
-//     edits flow into the Appendix A maintenance paths;
-//  4. keyword search queries run the method's top-k algorithm against the
-//     latest scores and join the ranked IDs back to the base rows.
 package core
 
 import (
@@ -30,6 +14,18 @@ import (
 	"svrdb/internal/text"
 	"svrdb/internal/view"
 )
+
+// ErrClosed is wrapped into the error every engine entry point returns once
+// Engine.Close has fenced the engine; callers (the HTTP serving layer in
+// particular) match it with errors.Is to distinguish "shutting down" from a
+// real failure.
+var ErrClosed = errors.New("engine is closed")
+
+// ErrInvalidRequest is wrapped into request-validation failures in Search
+// (non-positive k, a query with no indexable terms) so callers — the HTTP
+// layer in particular — can distinguish a caller mistake from an engine
+// fault.
+var ErrInvalidRequest = errors.New("invalid search request")
 
 // MethodKind selects which inverted-list structure a text index uses.
 type MethodKind string
@@ -82,6 +78,10 @@ type Engine struct {
 	// engaged for the duration of one batch, so overlapping batches would
 	// flush each other's half-accumulated events.
 	batchMu sync.Mutex
+	// closed (guarded by batchMu) is set by Close; an ApplyBatch that
+	// acquires batchMu afterwards must fail fast rather than run fn's
+	// base-table mutations against flushed, audited, closed storage.
+	closed bool
 }
 
 // Options configures an Engine.
@@ -116,9 +116,16 @@ func NewEngine(db *relation.DB, opts Options) *Engine {
 // the pin audit may observe their in-flight pins.  An in-flight ApplyBatch
 // is waited for: Close takes the batch lock first, so a batch's base-table
 // mutations and index flush complete before the drain and audit begin.
+// Close is idempotent: a second call returns nil without touching the
+// already-closed storage, and an ApplyBatch that acquires the batch lock
+// after Close fails fast with ErrClosed.
 func (e *Engine) Close() error {
 	e.batchMu.Lock()
 	defer e.batchMu.Unlock()
+	if e.closed {
+		return nil
+	}
+	e.closed = true
 	e.mu.RLock()
 	indexes := make([]*TextIndex, 0, len(e.indexes))
 	for _, ti := range e.indexes {
@@ -426,7 +433,7 @@ func (ti *TextIndex) writeLocked(fn func() error) error {
 	ti.rw.Lock()
 	defer ti.rw.Unlock()
 	if ti.closed {
-		return fmt.Errorf("core: text index %q: engine is closed", ti.name)
+		return fmt.Errorf("core: text index %q: %w", ti.name, ErrClosed)
 	}
 	return fn()
 }
@@ -468,7 +475,7 @@ func (ti *TextIndex) flushBatch() error {
 		if len(ops) == 0 {
 			return nil
 		}
-		return fmt.Errorf("core: text index %q: engine is closed, %d batched updates dropped", ti.name, len(ops))
+		return fmt.Errorf("core: text index %q: %w, %d batched updates dropped", ti.name, ErrClosed, len(ops))
 	}
 	if len(ops) == 0 {
 		return nil
@@ -512,6 +519,13 @@ func (ti *TextIndex) ApplyUpdates(batch []index.Update) error {
 func (e *Engine) ApplyBatch(fn func() error) (err error) {
 	e.batchMu.Lock()
 	defer e.batchMu.Unlock()
+	if e.closed {
+		// The engine-level fence: without it, a batch that lost the race
+		// against Close would run fn's base-table mutations against closed
+		// storage (past the flush and pin audit) and only the index flush
+		// afterwards would report the closed error.
+		return fmt.Errorf("core: %w", ErrClosed)
+	}
 	e.mu.RLock()
 	indexes := make([]*TextIndex, 0, len(e.indexes))
 	for _, ti := range e.indexes {
@@ -620,17 +634,17 @@ type SearchResult struct {
 // or after a write batch, never mid-flight).
 func (ti *TextIndex) Search(req SearchRequest) (*SearchResult, error) {
 	if req.K < 1 {
-		return nil, fmt.Errorf("core: search k = %d must be positive", req.K)
+		return nil, fmt.Errorf("core: %w: k = %d must be positive", ErrInvalidRequest, req.K)
 	}
 	terms := ti.engine.analyzer.Tokenize(req.Query)
 	if len(terms) == 0 {
-		return nil, errors.New("core: query contains no indexable terms")
+		return nil, fmt.Errorf("core: %w: query contains no indexable terms", ErrInvalidRequest)
 	}
 	terms = text.DistinctTerms(terms)
 	ti.rw.RLock()
 	defer ti.rw.RUnlock()
 	if ti.closed {
-		return nil, fmt.Errorf("core: text index %q: engine is closed", ti.name)
+		return nil, fmt.Errorf("core: text index %q: %w", ti.name, ErrClosed)
 	}
 	qr, err := ti.method.TopK(index.Query{
 		Terms:          terms,
@@ -678,6 +692,12 @@ func (ti *TextIndex) Search(req SearchRequest) (*SearchResult, error) {
 
 // Name returns the index name.
 func (ti *TextIndex) Name() string { return ti.name }
+
+// Table returns the name of the indexed base table.
+func (ti *TextIndex) Table() string { return ti.table }
+
+// Column returns the name of the indexed text column.
+func (ti *TextIndex) Column() string { return ti.column }
 
 // Method returns the underlying index method (exposed for benchmarks and
 // diagnostics).

@@ -1,25 +1,3 @@
-// Package index implements the paper's family of inverted-list index
-// structures and their query and update algorithms:
-//
-//   - ID              (§4.2.1) — ID-ordered lists, score lookups per result.
-//   - Score           (§4.2.2) — score-ordered clustered B+-tree lists,
-//     rewritten on every score update.
-//   - Score-Threshold (§4.3.1) — stale score-ordered long lists plus short
-//     lists for documents whose score moved past a threshold; Algorithm 1
-//     for updates, Algorithm 2 for queries.
-//   - Chunk           (§4.3.2) — long lists ordered by descending chunk ID,
-//     ID-ordered within a chunk; short lists updated when a document climbs
-//     two or more chunks.
-//   - ID-TermScore    (§5.2)  — the ID baseline extended with per-posting
-//     term weights.
-//   - Chunk-TermScore (§4.3.3) — the Chunk method extended with per-posting
-//     term weights and per-term fancy lists; Algorithm 3 for queries.
-//
-// All methods implement the Method interface so the engine, the benchmark
-// harness and the correctness tests treat them uniformly.  Every method
-// guarantees that TopK returns the correct top-k result set with respect to
-// the *latest* document scores, no matter how stale its long lists are
-// (Theorems 1 and 2 of the paper).
 package index
 
 import (

@@ -1,0 +1,15 @@
+// Package relation implements the minimal relational substrate the SVR
+// engine sits on: typed schemas, tables keyed by an integer primary key and
+// stored in B+-trees, secondary indexes, and change notification hooks used
+// for incremental materialized-view maintenance.
+//
+// The paper assumes an ordinary SQL engine (DB2/Oracle/Informix style) that
+// stores the base relations, evaluates the SQL-bodied scoring functions and
+// incrementally maintains the Score materialized view.  This package is that
+// substrate, reduced to the operations those components actually need:
+// point lookups by primary key, foreign-key lookups through secondary
+// indexes, full scans, and per-row update notifications.
+//
+// See ARCHITECTURE.md for the layer map — where this package sits in the
+// stack — and for the repo-wide concurrency contract.
+package relation

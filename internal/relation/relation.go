@@ -1,14 +1,3 @@
-// Package relation implements the minimal relational substrate the SVR
-// engine sits on: typed schemas, tables keyed by an integer primary key and
-// stored in B+-trees, secondary indexes, and change notification hooks used
-// for incremental materialized-view maintenance.
-//
-// The paper assumes an ordinary SQL engine (DB2/Oracle/Informix style) that
-// stores the base relations, evaluates the SQL-bodied scoring functions and
-// incrementally maintains the Score materialized view.  This package is that
-// substrate, reduced to the operations those components actually need:
-// point lookups by primary key, foreign-key lookups through secondary
-// indexes, full scans, and per-row update notifications.
 package relation
 
 import (
@@ -65,8 +54,9 @@ type Schema struct {
 // ErrNoSuchColumn is returned when a column name is not part of a schema.
 var ErrNoSuchColumn = errors.New("relation: no such column")
 
-// ErrNotFound is returned by lookups for absent rows.
-var ErrNotFound = errors.New("relation: row not found")
+// ErrNotFound is wrapped into lookup errors for absent rows and absent
+// tables; the wrapping error says which.
+var ErrNotFound = errors.New("relation: not found")
 
 // ErrDuplicateKey is returned when inserting a row whose primary key exists.
 var ErrDuplicateKey = errors.New("relation: duplicate primary key")
@@ -758,7 +748,7 @@ func (db *DB) Table(name string) (*Table, error) {
 	defer db.mu.RUnlock()
 	t, ok := db.tables[name]
 	if !ok {
-		return nil, fmt.Errorf("relation: no table named %q", name)
+		return nil, fmt.Errorf("%w: no table named %q", ErrNotFound, name)
 	}
 	return t, nil
 }

@@ -1,0 +1,732 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"svrdb/internal/core"
+	"svrdb/internal/relation"
+)
+
+// Server exposes a core.Engine over an HTTP JSON API.  One Server owns one
+// engine: requests fan straight into the engine's goroutine-safe entry
+// points (TextIndex.Search, Engine.ApplyBatch), so the HTTP layer adds
+// routing, JSON codec work and metrics but no locking of its own.
+//
+// Lifecycle: New → Start (or Handler, for an external listener) → Shutdown.
+// Shutdown is graceful and rides the engine's drain machinery: new requests
+// are turned away with a clean 503 the moment draining begins, in-flight
+// requests run to completion (http.Server.Shutdown waits for them), and only
+// then is Engine.Close invoked — which drains index locks and runs the
+// buffer-pool pin audit.  Within the shutdown context's deadline a request
+// never observes a closed engine; a straggler past the deadline hits the
+// engine's close fence and gets a clean 503 — never a torn response.
+type Server struct {
+	engine  *core.Engine
+	metrics *Registry
+	mux     *http.ServeMux
+
+	// draining turns new requests away with 503 while Shutdown waits for
+	// in-flight ones; it is the HTTP analogue of the engine's close fence.
+	draining atomic.Bool
+	// inflightN counts requests inside Handler, so Shutdown can drain them
+	// even when the server does not own the listener (a caller embedding
+	// Handler() in its own http.Server) — http.Server.Shutdown only covers
+	// the owned-listener path.  A mutex-guarded counter with an idle
+	// signal, not a sync.WaitGroup: requests keep arriving (to be 503'd)
+	// while the drain waits, and Add racing Wait from zero is documented
+	// WaitGroup misuse that can panic.
+	inflightMu sync.Mutex
+	inflightN  int
+	// inflightIdle, when non-nil, is closed by the request that drops the
+	// counter to zero; Shutdown installs it to wait for the drain.
+	inflightIdle chan struct{}
+
+	httpSrv  *http.Server
+	listener net.Listener
+	// serveDone closes when the accept loop exits; serveErr (valid after
+	// the close) is nil on a clean ErrServerClosed exit.  Exposed through
+	// Done/ServeErr so a daemon can notice its accept loop dying instead
+	// of serving nothing until an operator intervenes.
+	serveDone chan struct{}
+	serveErr  error
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// Options configures a Server.
+type Options struct {
+	// ReadTimeout and WriteTimeout bound request parsing and response
+	// writing when the server owns the listener (Start).  Zero means no
+	// timeout, matching net/http.
+	ReadTimeout  time.Duration
+	WriteTimeout time.Duration
+}
+
+// New builds a Server over an engine.
+func New(engine *core.Engine, opts Options) *Server {
+	s := &Server{
+		engine:    engine,
+		metrics:   NewRegistry(),
+		mux:       http.NewServeMux(),
+		serveDone: make(chan struct{}),
+	}
+	s.httpSrv = &http.Server{
+		Handler:      s.Handler(),
+		ReadTimeout:  opts.ReadTimeout,
+		WriteTimeout: opts.WriteTimeout,
+	}
+	s.routes()
+	return s
+}
+
+// Handler returns the server's root handler: the route mux behind the
+// draining fence.  Exposed so tests and embedding callers can serve it from
+// their own listener.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Count before the fence check: a request that passes the check is
+		// always visible to Shutdown's drain wait.
+		s.inflightMu.Lock()
+		s.inflightN++
+		s.inflightMu.Unlock()
+		defer func() {
+			s.inflightMu.Lock()
+			s.inflightN--
+			if s.inflightN == 0 && s.inflightIdle != nil {
+				close(s.inflightIdle)
+				s.inflightIdle = nil
+			}
+			s.inflightMu.Unlock()
+		}()
+		if s.draining.Load() {
+			writeError(w, http.StatusServiceUnavailable, errors.New("server is draining"))
+			return
+		}
+		// The mux's built-in 404/405 responses are plain text; the API
+		// contract says every non-2xx body is {"error":...} JSON, so those
+		// defaults are rewritten on the way out and recorded under a
+		// catch-all metrics label (they never reach an instrumented route).
+		jw := &jsonErrorWriter{ResponseWriter: w}
+		start := time.Now()
+		s.mux.ServeHTTP(jw, r)
+		if jw.rewrote {
+			s.metrics.Observe("(unmatched)", jw.status, time.Since(start))
+		}
+	})
+}
+
+// jsonErrorWriter rewrites net/http's plain-text 404 ("404 page not found")
+// and 405 ("Method Not Allowed") default bodies into the API's JSON error
+// shape.  The server's own handlers always set an application/json
+// Content-Type before writing a header, so anything arriving at WriteHeader
+// with those statuses and a different content type is a mux default.
+type jsonErrorWriter struct {
+	http.ResponseWriter
+	status  int
+	rewrote bool
+}
+
+func (w *jsonErrorWriter) WriteHeader(code int) {
+	if (code == http.StatusNotFound || code == http.StatusMethodNotAllowed) &&
+		!strings.HasPrefix(w.Header().Get("Content-Type"), "application/json") {
+		w.rewrote = true
+		w.status = code
+		writeJSON(w.ResponseWriter, code, ErrorResponse{Error: http.StatusText(code)})
+		return
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *jsonErrorWriter) Write(b []byte) (int, error) {
+	if w.rewrote {
+		// Swallow the plain-text default body; the JSON body is already out.
+		return len(b), nil
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// Metrics returns the server's metrics registry.
+func (s *Server) Metrics() *Registry { return s.metrics }
+
+// Engine returns the engine the server fronts.
+func (s *Server) Engine() *core.Engine { return s.engine }
+
+// Start listens on addr (e.g. ":8080", or "127.0.0.1:0" for an ephemeral
+// port) and serves in a background goroutine.  It returns the bound address.
+func (s *Server) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.listener = ln
+	go func() {
+		err := s.httpSrv.Serve(ln)
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			s.serveErr = err
+		}
+		close(s.serveDone)
+	}()
+	return ln.Addr().String(), nil
+}
+
+// Done closes when the accept loop has exited — after Shutdown, or early if
+// Serve failed.  A daemon selects on it alongside its signal channel.
+func (s *Server) Done() <-chan struct{} { return s.serveDone }
+
+// ServeErr reports why the accept loop exited; it is meaningful once Done
+// is closed and nil for a clean shutdown.
+func (s *Server) ServeErr() error { return s.serveErr }
+
+// Shutdown drains and closes, in the order that keeps every response whole:
+//
+//  1. the draining fence flips — requests arriving from here on get a
+//     clean 503 without touching the engine;
+//  2. http.Server.Shutdown stops the listener and waits (up to ctx) for
+//     in-flight handlers to finish writing their responses;
+//  3. Engine.Close drains the index locks, surfaces maintenance errors,
+//     flushes dirty pages and audits buffer-pool pin accounting.
+//
+// Shutdown is idempotent; concurrent and repeated calls return the first
+// call's result.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.closeOnce.Do(func() {
+		s.draining.Store(true)
+		var errs []error
+		if s.listener != nil {
+			if err := s.httpSrv.Shutdown(ctx); err != nil {
+				errs = append(errs, fmt.Errorf("server: http shutdown: %w", err))
+			}
+			<-s.serveDone
+			if s.serveErr != nil {
+				errs = append(errs, fmt.Errorf("server: serve: %w", s.serveErr))
+			}
+		}
+		// Drain the handlers themselves (covers the embedded-Handler case,
+		// where no owned http.Server waits for them).  Requests arriving
+		// during the wait only run the 503 fence path, so the one
+		// zero-crossing signal suffices.  If ctx expires first,
+		// Engine.Close proceeds anyway: stragglers then hit the engine's
+		// close fence and return a clean 503, never a torn response.
+		s.inflightMu.Lock()
+		var drained chan struct{}
+		if s.inflightN > 0 {
+			drained = make(chan struct{})
+			s.inflightIdle = drained
+		}
+		s.inflightMu.Unlock()
+		if drained != nil {
+			select {
+			case <-drained:
+			case <-ctx.Done():
+				errs = append(errs, fmt.Errorf("server: handler drain: %w", ctx.Err()))
+			}
+		}
+		if err := s.engine.Close(); err != nil {
+			errs = append(errs, fmt.Errorf("server: engine close: %w", err))
+		}
+		s.closeErr = errors.Join(errs...)
+	})
+	return s.closeErr
+}
+
+// routes installs every endpoint, instrumented with the metrics registry.
+func (s *Server) routes() {
+	register := func(pattern string, h http.HandlerFunc) {
+		s.mux.HandleFunc(pattern, s.metrics.instrument(pattern, h))
+	}
+	register("GET /healthz", s.handleHealthz)
+	register("GET /v1/stats", s.handleStats)
+	register("POST /v1/indexes/{name}/search", s.handleSearch)
+	register("POST /v1/tables/{name}/rows", s.handleInsertRows)
+	register("POST /v1/batch", s.handleBatch)
+}
+
+// --- request/response types ------------------------------------------------------
+
+// SearchRequest is the body of POST /v1/indexes/{name}/search.
+type SearchRequest struct {
+	// Query is the raw query text; Terms is the pre-tokenized alternative
+	// (the load generator uses it).  Exactly one must be non-empty: a
+	// request setting both is rejected rather than one being silently
+	// ignored.
+	Query string   `json:"query,omitempty"`
+	Terms []string `json:"terms,omitempty"`
+	// K is the number of results wanted; it defaults to 10.
+	K int `json:"k,omitempty"`
+	// Disjunctive selects OR semantics (default AND).
+	Disjunctive bool `json:"disjunctive,omitempty"`
+	// WithTermScores combines TF-IDF term scores with the SVR score
+	// (requires a TermScore method).
+	WithTermScores bool `json:"with_term_scores,omitempty"`
+	// LoadRows also returns each hit's base-table row.
+	LoadRows bool `json:"load_rows,omitempty"`
+}
+
+// SearchHit is one ranked result.
+type SearchHit struct {
+	PK    int64          `json:"pk"`
+	Score float64        `json:"score"`
+	Row   map[string]any `json:"row,omitempty"`
+}
+
+// SearchResponse is the body returned by the search endpoint.
+type SearchResponse struct {
+	Hits            []SearchHit `json:"hits"`
+	PostingsScanned int         `json:"postings_scanned"`
+	Stopped         bool        `json:"stopped"`
+}
+
+// InsertRowsRequest is the body of POST /v1/tables/{name}/rows.
+type InsertRowsRequest struct {
+	Rows []map[string]json.RawMessage `json:"rows"`
+}
+
+// InsertRowsResponse reports how many rows were inserted.
+type InsertRowsResponse struct {
+	Inserted int `json:"inserted"`
+}
+
+// BatchOp is one operation of POST /v1/batch.
+type BatchOp struct {
+	// Op is "insert", "update" or "delete".
+	Op    string `json:"op"`
+	Table string `json:"table"`
+	// Row carries a full row for insert.
+	Row map[string]json.RawMessage `json:"row,omitempty"`
+	// PK addresses the row for update and delete.  A pointer so that an
+	// omitted field is distinguishable from primary key 0 — silently
+	// defaulting to row 0 would make a client's forgotten "pk" mutate a
+	// real row.
+	PK *int64 `json:"pk,omitempty"`
+	// Set carries the changed columns for update.
+	Set map[string]json.RawMessage `json:"set,omitempty"`
+}
+
+// BatchRequest is the body of POST /v1/batch.
+type BatchRequest struct {
+	Ops []BatchOp `json:"ops"`
+}
+
+// BatchResponse reports how many operations were applied.
+type BatchResponse struct {
+	Applied int `json:"applied"`
+}
+
+// ErrorResponse is the body of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// --- handlers --------------------------------------------------------------------
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"uptime_seconds": s.metrics.Uptime().Seconds(),
+		"indexes":        s.engine.TextIndexNames(),
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	indexes := map[string]any{}
+	for _, name := range s.engine.TextIndexNames() {
+		ti, err := s.engine.TextIndex(name)
+		if err != nil {
+			continue
+		}
+		st := ti.Stats()
+		indexes[name] = map[string]any{
+			"method":                      st.Method,
+			"long_list_bytes":             st.LongListBytes,
+			"short_list_entries":          st.ShortListEntries,
+			"score_updates":               st.ScoreUpdates,
+			"short_list_postings_written": st.ShortListPostingsWritten,
+			"long_list_postings_written":  st.LongListPostingsWritten,
+			"queries":                     st.Queries,
+			"postings_scanned":            st.PostingsScanned,
+			"table_patches":               st.TablePatches,
+		}
+	}
+	pool := s.engine.Pool()
+	ps := pool.Stats()
+	fs := pool.File().Stats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"uptime_seconds": s.metrics.Uptime().Seconds(),
+		"indexes":        indexes,
+		"pool": map[string]any{
+			"hits":          ps.Hits,
+			"misses":        ps.Misses,
+			"evictions":     ps.Evictions,
+			"flushes":       ps.Flushes,
+			"over_releases": ps.OverReleases,
+		},
+		"pagefile": map[string]any{
+			"reads":         fs.Reads,
+			"writes":        fs.Writes,
+			"allocs":        fs.Allocs,
+			"frees":         fs.Frees,
+			"reuses":        fs.Reuses,
+			"bytes_read":    fs.BytesRead,
+			"bytes_written": fs.BytesWritten,
+		},
+		"endpoints": s.metrics.Snapshot(),
+	})
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	ti, err := s.engine.TextIndex(r.PathValue("name"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	var req SearchRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	query := req.Query
+	if query == "" {
+		if len(req.Terms) == 0 {
+			writeError(w, http.StatusBadRequest, errors.New("one of \"query\" or \"terms\" is required"))
+			return
+		}
+		query = strings.Join(req.Terms, " ")
+	} else if len(req.Terms) > 0 {
+		writeError(w, http.StatusBadRequest, errors.New("\"query\" and \"terms\" are mutually exclusive"))
+		return
+	}
+	k := req.K
+	if k == 0 {
+		k = 10
+	}
+	if k < 1 || k > maxSearchK {
+		// Bounding k here protects the daemon: the top-k heap preallocates
+		// proportionally to k, so an unchecked client value could exhaust
+		// memory with one request.
+		writeError(w, http.StatusBadRequest, fmt.Errorf("k must be between 1 and %d", maxSearchK))
+		return
+	}
+	res, err := ti.Search(core.SearchRequest{
+		Query:          query,
+		K:              k,
+		Disjunctive:    req.Disjunctive,
+		WithTermScores: req.WithTermScores,
+		LoadRows:       req.LoadRows,
+	})
+	if err != nil {
+		writeError(w, statusForEngineErr(err), err)
+		return
+	}
+	resp := SearchResponse{
+		Hits:            make([]SearchHit, len(res.Hits)),
+		PostingsScanned: res.PostingsScanned,
+		Stopped:         res.Stopped,
+	}
+	var schema relation.Schema
+	if req.LoadRows {
+		if tbl, err := s.engine.DB().Table(ti.Table()); err == nil {
+			schema = tbl.Schema()
+		}
+	}
+	for i, h := range res.Hits {
+		resp.Hits[i] = SearchHit{PK: h.PK, Score: h.Score}
+		if h.Row != nil && len(schema.Columns) > 0 {
+			resp.Hits[i].Row = rowToJSON(schema, h.Row)
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleInsertRows(w http.ResponseWriter, r *http.Request) {
+	tbl, err := s.engine.DB().Table(r.PathValue("name"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	var req InsertRowsRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Rows) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("\"rows\" must be a non-empty array"))
+		return
+	}
+	rows := make([]relation.Row, len(req.Rows))
+	for i, obj := range req.Rows {
+		row, err := rowFromJSON(tbl.Schema(), obj)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("row %d: %w", i, err))
+			return
+		}
+		rows[i] = row
+	}
+	// One ApplyBatch per request: the rows' index maintenance flushes
+	// through the batched write pipeline instead of one tree round-trip
+	// per row.  Rows are schema-validated above, but a runtime failure
+	// (e.g. a duplicate primary key) has no rollback — rows before the
+	// failing one stay inserted, and the error names where the batch
+	// stopped.
+	err = s.engine.ApplyBatch(func() error {
+		for i, row := range rows {
+			if err := tbl.Insert(row); err != nil {
+				return fmt.Errorf("row %d: %w", i, err)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		writeError(w, statusForEngineErr(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, InsertRowsResponse{Inserted: len(rows)})
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Ops) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("\"ops\" must be a non-empty array"))
+		return
+	}
+	// Schema-validate and bind every op before mutating anything, so a
+	// malformed op (unknown table/column, wrong type, unknown op kind)
+	// rejects the batch with 400 before any write.  Runtime failures inside
+	// the batch (duplicate primary key, update/delete of a missing row) are
+	// a different matter: the engine has no rollback, so ops before the
+	// failing one stay applied and the error names the op that stopped the
+	// batch — clients must treat a non-2xx as "applied up to the named op".
+	apply := make([]func() error, len(req.Ops))
+	for i, op := range req.Ops {
+		fn, err := s.bindOp(op)
+		if err != nil {
+			// An unknown table is the same 404 the rows endpoint returns;
+			// everything else bindOp rejects is a malformed request.
+			status := http.StatusBadRequest
+			if errors.Is(err, relation.ErrNotFound) {
+				status = http.StatusNotFound
+			}
+			writeError(w, status, fmt.Errorf("op %d: %w", i, err))
+			return
+		}
+		apply[i] = fn
+	}
+	err := s.engine.ApplyBatch(func() error {
+		for i, fn := range apply {
+			if err := fn(); err != nil {
+				return fmt.Errorf("op %d: %w", i, err)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		writeError(w, statusForEngineErr(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, BatchResponse{Applied: len(apply)})
+}
+
+// bindOp resolves one batch op against the schema and returns the closure
+// that applies it.
+func (s *Server) bindOp(op BatchOp) (func() error, error) {
+	tbl, err := s.engine.DB().Table(op.Table)
+	if err != nil {
+		return nil, err
+	}
+	switch op.Op {
+	case "insert":
+		if op.Row == nil {
+			return nil, errors.New("insert requires \"row\"")
+		}
+		row, err := rowFromJSON(tbl.Schema(), op.Row)
+		if err != nil {
+			return nil, err
+		}
+		return func() error { return tbl.Insert(row) }, nil
+	case "update":
+		if op.PK == nil {
+			return nil, errors.New("update requires \"pk\"")
+		}
+		if len(op.Set) == 0 {
+			return nil, errors.New("update requires a non-empty \"set\"")
+		}
+		set, err := setFromJSON(tbl.Schema(), op.Set)
+		if err != nil {
+			return nil, err
+		}
+		pk := *op.PK
+		return func() error { return tbl.Update(pk, set) }, nil
+	case "delete":
+		if op.PK == nil {
+			return nil, errors.New("delete requires \"pk\"")
+		}
+		pk := *op.PK
+		return func() error { return tbl.Delete(pk) }, nil
+	default:
+		return nil, fmt.Errorf("unknown op %q (want insert, update or delete)", op.Op)
+	}
+}
+
+// --- JSON plumbing ---------------------------------------------------------------
+
+// maxBodyBytes bounds request bodies; a row batch far past this belongs in
+// the bulk loader, not an HTTP request.
+const maxBodyBytes = 32 << 20
+
+// maxSearchK bounds the per-request result count.
+const maxSearchK = 10000
+
+func decodeJSON(r *http.Request, dst any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, maxBodyBytes))
+	dec.UseNumber()
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return fmt.Errorf("invalid request body: %w", err)
+	}
+	// The body must be exactly one JSON document: trailing garbage or a
+	// second concatenated document means a buggy client whose extra input
+	// would otherwise be silently dropped.
+	if _, err := dec.Token(); !errors.Is(err, io.EOF) {
+		return errors.New("invalid request body: trailing data after JSON document")
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(body)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, ErrorResponse{Error: err.Error()})
+}
+
+// statusForEngineErr maps engine errors onto HTTP statuses: a request the
+// engine rejected as invalid is 400, a missing row or table is 404, a
+// duplicate primary key is 409 (a client mistake, and one a blind retry
+// would only repeat), a closed engine is 503 (the server is going away),
+// anything else is a plain 500.
+func statusForEngineErr(err error) int {
+	switch {
+	case errors.Is(err, core.ErrInvalidRequest):
+		return http.StatusBadRequest
+	case errors.Is(err, relation.ErrNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, relation.ErrDuplicateKey):
+		return http.StatusConflict
+	case errors.Is(err, core.ErrClosed):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// rowToJSON renders a row as a column-name-keyed object.
+func rowToJSON(schema relation.Schema, row relation.Row) map[string]any {
+	obj := make(map[string]any, len(row))
+	for i, v := range row {
+		if i >= len(schema.Columns) {
+			break
+		}
+		switch v.Kind {
+		case relation.KindInt64:
+			obj[schema.Columns[i].Name] = v.I
+		case relation.KindFloat64:
+			obj[schema.Columns[i].Name] = v.F
+		default:
+			obj[schema.Columns[i].Name] = v.S
+		}
+	}
+	return obj
+}
+
+// rowFromJSON decodes a full row: every schema column must be present.
+func rowFromJSON(schema relation.Schema, obj map[string]json.RawMessage) (relation.Row, error) {
+	row := make(relation.Row, len(schema.Columns))
+	for i, col := range schema.Columns {
+		raw, ok := obj[col.Name]
+		if !ok {
+			return nil, fmt.Errorf("missing column %q", col.Name)
+		}
+		v, err := valueFromJSON(col, raw)
+		if err != nil {
+			return nil, err
+		}
+		row[i] = v
+	}
+	if len(obj) > len(schema.Columns) {
+		for name := range obj {
+			if _, err := schema.ColumnIndex(name); err != nil {
+				return nil, fmt.Errorf("unknown column %q", name)
+			}
+		}
+	}
+	return row, nil
+}
+
+// setFromJSON decodes an update's changed-column map.
+func setFromJSON(schema relation.Schema, obj map[string]json.RawMessage) (map[string]relation.Value, error) {
+	set := make(map[string]relation.Value, len(obj))
+	for name, raw := range obj {
+		idx, err := schema.ColumnIndex(name)
+		if err != nil {
+			return nil, err
+		}
+		v, err := valueFromJSON(schema.Columns[idx], raw)
+		if err != nil {
+			return nil, err
+		}
+		set[name] = v
+	}
+	return set, nil
+}
+
+// valueFromJSON decodes one cell according to its column kind.
+func valueFromJSON(col relation.Column, raw json.RawMessage) (relation.Value, error) {
+	switch col.Kind {
+	case relation.KindInt64:
+		var n json.Number
+		if err := json.Unmarshal(raw, &n); err != nil {
+			return relation.Value{}, fmt.Errorf("column %q: want an integer: %w", col.Name, err)
+		}
+		i, err := n.Int64()
+		if err != nil {
+			return relation.Value{}, fmt.Errorf("column %q: want an integer: %w", col.Name, err)
+		}
+		return relation.Int(i), nil
+	case relation.KindFloat64:
+		var n json.Number
+		if err := json.Unmarshal(raw, &n); err != nil {
+			return relation.Value{}, fmt.Errorf("column %q: want a number: %w", col.Name, err)
+		}
+		f, err := n.Float64()
+		if err != nil {
+			return relation.Value{}, fmt.Errorf("column %q: want a number: %w", col.Name, err)
+		}
+		return relation.Float(f), nil
+	case relation.KindString:
+		var s string
+		if err := json.Unmarshal(raw, &s); err != nil {
+			return relation.Value{}, fmt.Errorf("column %q: want a string: %w", col.Name, err)
+		}
+		return relation.Str(s), nil
+	default:
+		return relation.Value{}, fmt.Errorf("column %q: unsupported kind", col.Name)
+	}
+}

@@ -1,0 +1,433 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"svrdb/internal/core"
+	"svrdb/internal/relation"
+	"svrdb/internal/storage/buffer"
+	"svrdb/internal/storage/pagefile"
+	"svrdb/internal/view"
+)
+
+// newTestServer builds a small engine (a Docs table whose SVR score is its
+// own "val" column), starts a Server on an ephemeral port, and registers a
+// cleanup that shuts it down.
+func newTestServer(t *testing.T) (*Server, string, *core.TextIndex, *relation.Table) {
+	t.Helper()
+	db := relation.NewDB(buffer.MustNew(pagefile.MustNewMem(pagefile.DefaultPageSize), 4096))
+	tbl, err := db.CreateTable(relation.Schema{
+		Name: "Docs",
+		Columns: []relation.Column{
+			{Name: "id", Kind: relation.KindInt64},
+			{Name: "body", Kind: relation.KindString},
+			{Name: "val", Kind: relation.KindFloat64},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs := []struct {
+		id   int64
+		body string
+		val  float64
+	}{
+		{1, "alpha beta common", 30},
+		{2, "alpha gamma common", 20},
+		{3, "alpha delta common", 10},
+		{4, "beta delta rare", 5},
+	}
+	for _, d := range docs {
+		if err := tbl.Insert(relation.Row{relation.Int(d.id), relation.Str(d.body), relation.Float(d.val)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	engine := core.NewEngine(db, core.Options{})
+	ti, err := engine.CreateTextIndex("docs", "Docs", "body", core.IndexOptions{
+		Method: core.MethodChunk,
+		Spec:   view.Spec{Components: []view.Component{view.OwnColumn("Docs", "val")}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(engine, Options{})
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("Shutdown: %v", err)
+		}
+	})
+	return srv, "http://" + addr, ti, tbl
+}
+
+// postJSON posts a body and returns the status plus decoded response bytes.
+func postJSON(t *testing.T, url string, body any) (int, []byte) {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, data
+}
+
+func getJSON(t *testing.T, url string, dst any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(dst); err != nil {
+		t.Fatalf("decoding %s: %v", url, err)
+	}
+	return resp.StatusCode
+}
+
+func TestSearchEndpointMatchesDirect(t *testing.T) {
+	_, base, ti, _ := newTestServer(t)
+
+	direct, err := ti.Search(core.SearchRequest{Query: "alpha common", K: 10, LoadRows: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	status, data := postJSON(t, base+"/v1/indexes/docs/search", SearchRequest{Query: "alpha common", K: 10, LoadRows: true})
+	if status != http.StatusOK {
+		t.Fatalf("search status = %d, body %s", status, data)
+	}
+	var got SearchResponse
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Hits) != len(direct.Hits) {
+		t.Fatalf("HTTP search returned %d hits, direct %d", len(got.Hits), len(direct.Hits))
+	}
+	for i, h := range got.Hits {
+		if h.PK != direct.Hits[i].PK || h.Score != direct.Hits[i].Score {
+			t.Errorf("hit %d: HTTP (%d, %v) != direct (%d, %v)", i, h.PK, h.Score, direct.Hits[i].PK, direct.Hits[i].Score)
+		}
+		if h.Row == nil {
+			t.Errorf("hit %d: load_rows set but no row returned", i)
+			continue
+		}
+		if body, ok := h.Row["body"].(string); !ok || !strings.Contains(body, "common") {
+			t.Errorf("hit %d: row body = %v, want the document text", i, h.Row["body"])
+		}
+	}
+	if got.PostingsScanned != direct.PostingsScanned {
+		t.Errorf("postings_scanned = %d, direct %d", got.PostingsScanned, direct.PostingsScanned)
+	}
+
+	// Terms form of the request matches the query form.
+	status, data = postJSON(t, base+"/v1/indexes/docs/search", SearchRequest{Terms: []string{"alpha", "common"}, K: 10})
+	if status != http.StatusOK {
+		t.Fatalf("terms search status = %d, body %s", status, data)
+	}
+	var viaTerms SearchResponse
+	if err := json.Unmarshal(data, &viaTerms); err != nil {
+		t.Fatal(err)
+	}
+	if len(viaTerms.Hits) != len(direct.Hits) {
+		t.Errorf("terms search returned %d hits, want %d", len(viaTerms.Hits), len(direct.Hits))
+	}
+}
+
+func TestSearchValidation(t *testing.T) {
+	_, base, _, _ := newTestServer(t)
+	for _, tc := range []struct {
+		name string
+		url  string
+		body string
+		want int
+	}{
+		{"unknown index", base + "/v1/indexes/nope/search", `{"query":"alpha"}`, http.StatusNotFound},
+		{"malformed body", base + "/v1/indexes/docs/search", `{"query":`, http.StatusBadRequest},
+		{"unknown field", base + "/v1/indexes/docs/search", `{"qwery":"alpha"}`, http.StatusBadRequest},
+		{"missing query", base + "/v1/indexes/docs/search", `{"k":5}`, http.StatusBadRequest},
+		{"no indexable terms", base + "/v1/indexes/docs/search", `{"query":"!!!"}`, http.StatusBadRequest},
+		{"negative k", base + "/v1/indexes/docs/search", `{"query":"alpha","k":-1}`, http.StatusBadRequest},
+		{"huge k (OOM guard)", base + "/v1/indexes/docs/search", `{"query":"alpha","k":2000000000}`, http.StatusBadRequest},
+		{"query and terms both set", base + "/v1/indexes/docs/search", `{"query":"alpha","terms":["beta"]}`, http.StatusBadRequest},
+		{"trailing data", base + "/v1/indexes/docs/search", `{"query":"alpha"}{"query":"beta"}`, http.StatusBadRequest},
+	} {
+		resp, err := http.Post(tc.url, "application/json", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s: status = %d, want %d (body %s)", tc.name, resp.StatusCode, tc.want, data)
+		}
+		var er ErrorResponse
+		if err := json.Unmarshal(data, &er); err != nil || er.Error == "" {
+			t.Errorf("%s: error body %q is not an ErrorResponse", tc.name, data)
+		}
+	}
+}
+
+func TestInsertRowsThenSearch(t *testing.T) {
+	_, base, _, _ := newTestServer(t)
+
+	status, data := postJSON(t, base+"/v1/tables/Docs/rows", map[string]any{
+		"rows": []map[string]any{
+			{"id": 10, "body": "alpha zeta common", "val": 99.5},
+			{"id": 11, "body": "zeta omega", "val": 50},
+		},
+	})
+	if status != http.StatusOK {
+		t.Fatalf("insert status = %d, body %s", status, data)
+	}
+	var ir InsertRowsResponse
+	if err := json.Unmarshal(data, &ir); err != nil || ir.Inserted != 2 {
+		t.Fatalf("insert response %s, want inserted=2", data)
+	}
+
+	status, data = postJSON(t, base+"/v1/indexes/docs/search", SearchRequest{Query: "zeta", K: 5})
+	if status != http.StatusOK {
+		t.Fatalf("search status = %d, body %s", status, data)
+	}
+	var sr SearchResponse
+	if err := json.Unmarshal(data, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.Hits) != 2 || sr.Hits[0].PK != 10 || sr.Hits[0].Score != 99.5 {
+		t.Fatalf("search after insert = %+v, want docs 10 (score 99.5) and 11", sr.Hits)
+	}
+
+	// Validation: missing column, unknown table, duplicate key.
+	status, _ = postJSON(t, base+"/v1/tables/Docs/rows", map[string]any{
+		"rows": []map[string]any{{"id": 12, "val": 1}},
+	})
+	if status != http.StatusBadRequest {
+		t.Errorf("missing column: status = %d, want 400", status)
+	}
+	status, _ = postJSON(t, base+"/v1/tables/Nope/rows", map[string]any{
+		"rows": []map[string]any{{"id": 12}},
+	})
+	if status != http.StatusNotFound {
+		t.Errorf("unknown table: status = %d, want 404", status)
+	}
+	status, _ = postJSON(t, base+"/v1/tables/Docs/rows", map[string]any{
+		"rows": []map[string]any{{"id": 10, "body": "dup", "val": 1}},
+	})
+	if status != http.StatusConflict {
+		t.Errorf("duplicate key: status = %d, want 409", status)
+	}
+}
+
+func TestBatchEndpoint(t *testing.T) {
+	_, base, ti, _ := newTestServer(t)
+
+	// One batch: bump doc 3 to the top, delete doc 2, insert doc 20.
+	status, data := postJSON(t, base+"/v1/batch", map[string]any{
+		"ops": []map[string]any{
+			{"op": "update", "table": "Docs", "pk": 3, "set": map[string]any{"val": 1000}},
+			{"op": "delete", "table": "Docs", "pk": 2},
+			{"op": "insert", "table": "Docs", "row": map[string]any{"id": 20, "body": "alpha common epsilon", "val": 500}},
+		},
+	})
+	if status != http.StatusOK {
+		t.Fatalf("batch status = %d, body %s", status, data)
+	}
+	var br BatchResponse
+	if err := json.Unmarshal(data, &br); err != nil || br.Applied != 3 {
+		t.Fatalf("batch response %s, want applied=3", data)
+	}
+
+	res, err := ti.Search(core.SearchRequest{Query: "alpha common", K: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantOrder := []int64{3, 20, 1}
+	if len(res.Hits) != len(wantOrder) {
+		t.Fatalf("after batch: %d hits (%+v), want %v", len(res.Hits), res.Hits, wantOrder)
+	}
+	for i, pk := range wantOrder {
+		if res.Hits[i].PK != pk {
+			t.Errorf("after batch: hit %d = doc %d, want %d", i, res.Hits[i].PK, pk)
+		}
+	}
+
+	// A malformed op rejects the whole batch before anything applies.
+	for name, batch := range map[string]map[string]any{
+		"unknown op kind": {"ops": []map[string]any{
+			{"op": "update", "table": "Docs", "pk": 1, "set": map[string]any{"val": 7}},
+			{"op": "upsert", "table": "Docs", "pk": 1},
+		}},
+		"update without pk": {"ops": []map[string]any{
+			{"op": "update", "table": "Docs", "pk": 1, "set": map[string]any{"val": 7}},
+			{"op": "update", "table": "Docs", "set": map[string]any{"val": 8}},
+		}},
+		"delete without pk": {"ops": []map[string]any{
+			{"op": "update", "table": "Docs", "pk": 1, "set": map[string]any{"val": 7}},
+			{"op": "delete", "table": "Docs"},
+		}},
+	} {
+		status, data := postJSON(t, base+"/v1/batch", batch)
+		if status != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400 (body %s)", name, status, data)
+		}
+		if score, _, _ := ti.ScoreOf(1); score != 30 {
+			t.Errorf("%s: rejected batch still applied: doc 1 score = %v, want 30", name, score)
+		}
+	}
+
+	// An unknown table in a batch is the same 404 the rows endpoint gives.
+	status, _ = postJSON(t, base+"/v1/batch", map[string]any{
+		"ops": []map[string]any{{"op": "delete", "table": "Nope", "pk": 1}},
+	})
+	if status != http.StatusNotFound {
+		t.Errorf("unknown table in batch: status = %d, want 404", status)
+	}
+}
+
+func TestHealthzAndStats(t *testing.T) {
+	_, base, _, _ := newTestServer(t)
+
+	var health map[string]any
+	if status := getJSON(t, base+"/healthz", &health); status != http.StatusOK {
+		t.Fatalf("healthz status = %d", status)
+	}
+	if health["status"] != "ok" {
+		t.Errorf("healthz = %v, want status ok", health)
+	}
+
+	// A few searches so the stats have something to show.
+	for i := 0; i < 3; i++ {
+		if status, data := postJSON(t, base+"/v1/indexes/docs/search", SearchRequest{Query: "alpha"}); status != http.StatusOK {
+			t.Fatalf("search status = %d, body %s", status, data)
+		}
+	}
+
+	var stats struct {
+		Indexes map[string]struct {
+			Method  string `json:"method"`
+			Queries uint64 `json:"queries"`
+		} `json:"indexes"`
+		Pool      map[string]uint64  `json:"pool"`
+		Pagefile  map[string]uint64  `json:"pagefile"`
+		Endpoints []EndpointSnapshot `json:"endpoints"`
+	}
+	if status := getJSON(t, base+"/v1/stats", &stats); status != http.StatusOK {
+		t.Fatalf("stats status = %d", status)
+	}
+	idx, ok := stats.Indexes["docs"]
+	if !ok || idx.Method == "" || idx.Queries < 3 {
+		t.Errorf("stats.indexes[docs] = %+v, want queries >= 3 and a method name", idx)
+	}
+	var search *EndpointSnapshot
+	for i := range stats.Endpoints {
+		if strings.Contains(stats.Endpoints[i].Route, "/search") {
+			search = &stats.Endpoints[i]
+		}
+	}
+	if search == nil || search.Count < 3 || search.QPS <= 0 || search.P99MS <= 0 {
+		t.Errorf("search endpoint metrics = %+v, want count >= 3 with QPS and latency", search)
+	}
+	if stats.Pagefile["reads"] == 0 && stats.Pool["hits"] == 0 {
+		t.Errorf("stats show no storage activity at all: pool=%v pagefile=%v", stats.Pool, stats.Pagefile)
+	}
+}
+
+func TestUnmatchedRoutesReturnJSON(t *testing.T) {
+	_, base, _, _ := newTestServer(t)
+	for name, tc := range map[string]struct {
+		method, url string
+		want        int
+	}{
+		"unknown path":   {http.MethodGet, base + "/nope", http.StatusNotFound},
+		"wrong method":   {http.MethodGet, base + "/v1/batch", http.StatusMethodNotAllowed},
+		"mistyped route": {http.MethodPost, base + "/v1/index/docs/search", http.StatusNotFound},
+	} {
+		req, err := http.NewRequest(tc.method, tc.url, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s: status = %d, want %d", name, resp.StatusCode, tc.want)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+			t.Errorf("%s: Content-Type = %q, want application/json", name, ct)
+		}
+		var er ErrorResponse
+		if err := json.Unmarshal(data, &er); err != nil || er.Error == "" {
+			t.Errorf("%s: body %q does not decode as an ErrorResponse", name, data)
+		}
+	}
+}
+
+func TestLoadGenerator(t *testing.T) {
+	_, base, _, _ := newTestServer(t)
+	queries := [][]string{{"alpha"}, {"common"}, {"beta"}}
+	res, err := RunSearchLoad(nil, base, "docs", queries, 5, 2, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Queries != 40 || res.QPS <= 0 || res.P99 < res.P50 || res.P50 <= 0 {
+		t.Errorf("load result %+v: want 40 queries with sane QPS/latency stats", res)
+	}
+}
+
+func TestMetricsRegistry(t *testing.T) {
+	r := NewRegistry()
+	for i := 0; i < 100; i++ {
+		r.Observe("GET /x", 200, 2*time.Millisecond)
+	}
+	r.Observe("GET /x", 500, 2*time.Second)
+	snaps := r.Snapshot()
+	if len(snaps) != 1 {
+		t.Fatalf("got %d snapshots, want 1", len(snaps))
+	}
+	s := snaps[0]
+	if s.Count != 101 || s.Errors != 1 {
+		t.Errorf("count=%d errors=%d, want 101/1", s.Count, s.Errors)
+	}
+	// p50 sits in the 2ms bucket (upper bound 4.096ms); p99 must reflect
+	// the one 2s outlier's bucket only at p>100/101, so it stays near 4ms.
+	if s.P50MS < 2 || s.P50MS > 5 {
+		t.Errorf("p50 = %vms, want ~2-4ms", s.P50MS)
+	}
+	if s.P99MS > 10 {
+		t.Errorf("p99 = %vms, want to exclude the single 2s outlier at this count", s.P99MS)
+	}
+	if s.AvgMS < 15 {
+		t.Errorf("avg = %vms, want the outlier pulling it above ~20ms", s.AvgMS)
+	}
+
+	// A second outlier pushes the nearest-rank p99 index past the fast
+	// bucket: the tail must now surface (ceil rounding — a floor would
+	// still report the fast bucket).
+	r.Observe("GET /x", 200, 2*time.Second)
+	s = r.Snapshot()[0]
+	if s.P99MS < 1000 {
+		t.Errorf("p99 = %vms after 2/102 slow observations, want the ~2s tail bucket", s.P99MS)
+	}
+}

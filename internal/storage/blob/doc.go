@@ -1,0 +1,14 @@
+// Package blob implements an append-only store for large immutable byte
+// objects on top of a buffer pool.
+//
+// The paper stores the long inverted lists "as binary objects in the
+// database since they are never updated; they were read in a page at a time
+// during query processing" (§5.2).  This package is that facility: a blob is
+// written once across consecutive pages and read back through a streaming
+// Reader that fetches one page at a time, so query algorithms that terminate
+// early (Score-Threshold, Chunk, Chunk-TermScore) touch only a prefix of the
+// blob's pages and the buffer-pool statistics show exactly how many.
+//
+// See ARCHITECTURE.md for the layer map — where this package sits in the
+// stack — and for the repo-wide concurrency contract.
+package blob

@@ -1,0 +1,14 @@
+// Package buffer implements an LRU page buffer pool over a pagefile.File.
+//
+// The paper runs all queries against a BerkeleyDB cache of fixed size
+// (100 MB) that is deliberately too small to hold the long inverted lists,
+// and evaluates queries on a cold cache.  This pool reproduces that set-up:
+// it has a fixed capacity in pages, tracks hits and misses, and exposes
+// EvictAll so the benchmark harness can force a cold cache before each
+// query measurement while leaving the small structures (Score table, short
+// lists) to be re-warmed naturally, exactly as described in §5.2 of the
+// paper.
+//
+// See ARCHITECTURE.md for the layer map — where this package sits in the
+// stack — and for the repo-wide concurrency contract.
+package buffer

@@ -1,14 +1,3 @@
-// Package pagefile provides a fixed-size-page storage abstraction that the
-// rest of the storage engine is built on.
-//
-// The paper's implementation stores all index structures in BerkeleyDB, whose
-// performance characteristics are dominated by how many disk pages each
-// operation touches.  This package reproduces that model: every structure
-// above it (B+-trees, blob-stored inverted lists) allocates, reads and writes
-// whole pages, and the file keeps precise counters of logical page I/O so
-// that experiments can report "pages read" alongside wall-clock time.  An
-// optional simulated per-read latency lets benchmarks approximate a
-// cold-cache disk even when the backing store is main memory.
 package pagefile
 
 import (

@@ -1,0 +1,13 @@
+// Package text provides the text-analysis substrate used by the inverted
+// list indexes: tokenization, a term dictionary, per-document term
+// statistics and the normalized term scores (TF and IDF) consumed by the
+// TermScore index variants.
+//
+// The paper combines SVR scores with "term scores (such as TF-IDF)"
+// (§4.3.3); the Chunk-TermScore and ID-TermScore methods store a normalized
+// term frequency with each posting and combine it with an IDF factor and the
+// SVR score at query time.  This package computes those quantities.
+//
+// See ARCHITECTURE.md for the layer map — where this package sits in the
+// stack — and for the repo-wide concurrency contract.
+package text

@@ -1,0 +1,8 @@
+// Package topk implements the bounded result heap used by every query
+// algorithm in the paper: a min-heap of the current best k (document, score)
+// pairs, plus the bookkeeping the stopping rules need (whether k results
+// have been collected, and the smallest score among them).
+//
+// See ARCHITECTURE.md for the layer map — where this package sits in the
+// stack — and for the repo-wide concurrency contract.
+package topk

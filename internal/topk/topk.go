@@ -1,7 +1,3 @@
-// Package topk implements the bounded result heap used by every query
-// algorithm in the paper: a min-heap of the current best k (document, score)
-// pairs, plus the bookkeeping the stopping rules need (whether k results
-// have been collected, and the smallest score among them).
 package topk
 
 import (

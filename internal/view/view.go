@@ -1,15 +1,3 @@
-// Package view implements the SVR score specification framework of §3.1 and
-// the incrementally maintained Score materialized view of §3.2.
-//
-// A score specification names a set of scoring components — the Go
-// equivalents of the paper's SQL-bodied functions S1..Sm, each mapping a
-// primary-key value of the indexed relation to a float — and an aggregation
-// function Agg that combines them into the document's SVR score.  The
-// ScoreView materializes Agg(S1(pk), ..., Sm(pk)) for every row of the
-// indexed relation, keeps it up to date incrementally as the base relations
-// change (by subscribing to table change notifications, the equivalent of
-// incremental view maintenance), and notifies listeners — the inverted-list
-// indexes — whenever a document's score changes.
 package view
 
 import (

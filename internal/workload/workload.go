@@ -1,26 +1,3 @@
-// Package workload generates the synthetic and Internet-Archive-style data
-// sets, score-update traces and keyword-query workloads used by the paper's
-// evaluation (§5.1, Figure 6), scaled to run on a laptop.
-//
-// The shapes of the distributions follow the paper exactly:
-//
-//   - term occurrences follow a Zipf distribution with parameter 0.1 over a
-//     fixed vocabulary;
-//   - document scores range over [0, ScoreMax] and follow a Zipf
-//     distribution with parameter 0.75 (what the authors measured on the
-//     real Internet Archive data);
-//   - score updates target high-score documents more often (Zipf over the
-//     score rank), have sizes uniform in [0, 2·mean], and a configurable
-//     "focus set" of documents receives a configurable share of strictly
-//     increasing updates (flash crowds);
-//   - queries draw their keywords from the most frequent terms, with three
-//     selectivity classes corresponding to the paper's unselective /
-//     medium-selective / selective workloads.
-//
-// Absolute sizes are scaled down (the paper uses 2000-term documents over a
-// 200 000-term vocabulary and an 805 MB table); Params.Scale lets the
-// benchmark harness pick a size appropriate for the machine while keeping
-// every distribution parameter identical.
 package workload
 
 import (
