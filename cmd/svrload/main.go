@@ -34,6 +34,7 @@ func main() {
 		build     = flag.Bool("build", false, "bulk-build an index over the corpus and replay the trace through the batched write pipeline")
 		method    = flag.String("method", "chunk", "index method for -build: id, score, score-threshold, chunk, id-termscore, chunk-termscore")
 		batchSize = flag.Int("batch", 512, "ApplyUpdates batch size for -build")
+		dataPath  = flag.String("data", "", "durable data file for -build; empty builds in memory.  Each stage commits, so the built structures survive the process")
 	)
 	flag.Parse()
 
@@ -97,7 +98,7 @@ func main() {
 	}
 
 	if *build {
-		if err := buildAndIngest(corpus, trace, *method, *batchSize); err != nil {
+		if err := buildAndIngest(corpus, trace, *method, *batchSize, *dataPath); err != nil {
 			fmt.Fprintln(os.Stderr, "svrload:", err)
 			os.Exit(1)
 		}
@@ -105,12 +106,24 @@ func main() {
 }
 
 // buildAndIngest bulk-builds the chosen method over the corpus and replays
-// the score-update trace through ApplyUpdates, printing stage timings.
-func buildAndIngest(corpus *workload.Corpus, trace []workload.ScoreUpdate, method string, batchSize int) error {
+// the score-update trace through ApplyUpdates, printing stage timings.  With
+// a data path the pagefile is disk-backed and each stage ends in an atomic
+// commit (checkpoint), so the build is crash-durable.
+func buildAndIngest(corpus *workload.Corpus, trace []workload.ScoreUpdate, method string, batchSize int, dataPath string) error {
 	if batchSize < 1 {
 		batchSize = 1
 	}
-	pool := buffer.MustNew(pagefile.MustNewMem(pagefile.DefaultPageSize), 8192)
+	var file pagefile.File
+	if dataPath == "" {
+		file = pagefile.MustNewMem(pagefile.DefaultPageSize)
+	} else {
+		var err error
+		if file, err = pagefile.Open(dataPath); err != nil {
+			return err
+		}
+		defer file.Close()
+	}
+	pool := buffer.MustNew(file, 8192)
 	cfg := index.Config{Pool: pool}
 	var (
 		m   index.Method
@@ -140,12 +153,15 @@ func buildAndIngest(corpus *workload.Corpus, trace []workload.ScoreUpdate, metho
 	if err := m.Build(corpus, corpus.ScoreFunc()); err != nil {
 		return err
 	}
-	if err := pool.FlushOrdered(); err != nil {
+	if err := pool.Checkpoint(nil); err != nil {
 		return err
 	}
 	buildTime := time.Since(start)
 	stats := m.Stats()
 	fmt.Printf("bulk build (%s): %s, long lists %.2f MB\n", m.Name(), buildTime.Round(time.Millisecond), float64(stats.LongListBytes)/(1024*1024))
+	if dataPath != "" {
+		fmt.Printf("committed to %s (%.2f MB on disk)\n", dataPath, float64(file.SizeBytes())/(1024*1024))
+	}
 
 	if len(trace) == 0 {
 		return nil
@@ -165,12 +181,17 @@ func buildAndIngest(corpus *workload.Corpus, trace []workload.ScoreUpdate, metho
 			return err
 		}
 	}
-	if err := pool.FlushOrdered(); err != nil {
+	if err := pool.Checkpoint(nil); err != nil {
 		return err
 	}
 	ingestTime := time.Since(start)
 	fmt.Printf("batched updates: %d in %s (%.0f updates/s, batch size %d)\n",
 		len(trace), ingestTime.Round(time.Millisecond), float64(len(trace))/ingestTime.Seconds(), batchSize)
+	if dataPath != "" {
+		fs := file.Stats()
+		fmt.Printf("durability: %d commits, %.2f MB WAL written, %d fsyncs\n",
+			fs.Commits, float64(fs.WALBytes)/(1024*1024), fs.Fsyncs)
+	}
 	return nil
 }
 

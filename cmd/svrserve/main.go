@@ -7,6 +7,7 @@
 // Usage:
 //
 //	svrserve -addr :8080 -movies 2000 -method chunk
+//	svrserve -addr :8080 -data archive.svrdb   # build once, serve forever
 //
 //	curl localhost:8080/healthz
 //	curl -d '{"query":"golden gate","k":5,"load_rows":true}' \
@@ -30,6 +31,7 @@ import (
 	"svrdb/internal/server"
 	"svrdb/internal/storage/buffer"
 	"svrdb/internal/storage/pagefile"
+	"svrdb/internal/view"
 	"svrdb/internal/workload"
 )
 
@@ -41,31 +43,78 @@ func main() {
 		poolPages = flag.Int("pool", 16384, "buffer pool capacity in pages")
 		seed      = flag.Int64("seed", 11, "random seed for the example dataset")
 		drainWait = flag.Duration("drain", 30*time.Second, "how long shutdown waits for in-flight requests")
+		dataPath  = flag.String("data", "", "durable data file; empty serves from memory.  A fresh file is built once, an existing file is recovered and served without rebuilding")
 	)
 	flag.Parse()
 
-	if err := run(*addr, *movies, *method, *poolPages, *seed, *drainWait); err != nil {
+	if err := run(*addr, *movies, *method, *poolPages, *seed, *drainWait, *dataPath); err != nil {
 		fmt.Fprintln(os.Stderr, "svrserve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, movies int, method string, poolPages int, seed int64, drainWait time.Duration) error {
-	pool := buffer.MustNew(pagefile.MustNewMem(pagefile.DefaultPageSize), poolPages)
-	db := relation.NewDB(pool)
+// newEngine builds or reopens the engine.  With a data path the engine is
+// durable: the first run ingests the example dataset and every later run
+// recovers the committed state (replaying the WAL if the last run was killed)
+// and serves it without rebuilding.
+func newEngine(movies int, method string, poolPages int, seed int64, dataPath string) (*core.Engine, error) {
 	params := workload.DefaultArchiveParams()
 	params.NumMovies = movies
 	params.Seed = seed
-	fmt.Printf("building archive database with %d movies...\n", movies)
-	if _, err := workload.BuildArchiveDB(db, params); err != nil {
-		return err
+
+	if dataPath == "" {
+		pool := buffer.MustNew(pagefile.MustNewMem(pagefile.DefaultPageSize), poolPages)
+		db := relation.NewDB(pool)
+		fmt.Printf("building archive database with %d movies...\n", movies)
+		if _, err := workload.BuildArchiveDB(db, params); err != nil {
+			return nil, err
+		}
+		engine := core.NewEngine(db, core.Options{})
+		if _, err := engine.CreateTextIndex("movies_desc", "Movies", "desc", core.IndexOptions{
+			Method: core.MethodKind(method),
+			Spec:   workload.ArchiveSpec(),
+		}); err != nil {
+			return nil, err
+		}
+		return engine, nil
 	}
 
-	engine := core.NewEngine(db, core.Options{})
-	ti, err := engine.CreateTextIndex("movies_desc", "Movies", "desc", core.IndexOptions{
-		Method: core.MethodKind(method),
-		Spec:   workload.ArchiveSpec(),
+	open := time.Now()
+	engine, err := core.Open(dataPath, core.OpenOptions{
+		Specs:     map[string]view.Spec{"archive": workload.ArchiveSpec()},
+		PoolPages: poolPages,
 	})
+	if err != nil {
+		return nil, err
+	}
+	if len(engine.TextIndexNames()) > 0 {
+		fs := engine.Pool().File().Stats()
+		fmt.Printf("recovered %s in %s (%d WAL replays, %d torn pages detected)\n",
+			dataPath, time.Since(open).Round(time.Millisecond), fs.Recoveries, fs.TornPages)
+		return engine, nil
+	}
+	fmt.Printf("building archive database with %d movies into %s...\n", movies, dataPath)
+	if _, err := workload.BuildArchiveDB(engine.DB(), params); err != nil {
+		engine.Close()
+		return nil, err
+	}
+	if _, err := engine.CreateTextIndex("movies_desc", "Movies", "desc", core.IndexOptions{
+		Method:   core.MethodKind(method),
+		Spec:     workload.ArchiveSpec(),
+		SpecName: "archive",
+	}); err != nil {
+		engine.Close()
+		return nil, err
+	}
+	return engine, nil
+}
+
+func run(addr string, movies int, method string, poolPages int, seed int64, drainWait time.Duration, dataPath string) error {
+	engine, err := newEngine(movies, method, poolPages, seed, dataPath)
+	if err != nil {
+		return err
+	}
+	ti, err := engine.TextIndex("movies_desc")
 	if err != nil {
 		return err
 	}

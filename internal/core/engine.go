@@ -11,6 +11,7 @@ import (
 	"svrdb/internal/postings"
 	"svrdb/internal/relation"
 	"svrdb/internal/storage/buffer"
+	"svrdb/internal/storage/pagefile"
 	"svrdb/internal/text"
 	"svrdb/internal/view"
 )
@@ -82,6 +83,15 @@ type Engine struct {
 	// acquires batchMu afterwards must fail fast rather than run fn's
 	// base-table mutations against flushed, audited, closed storage.
 	closed bool
+
+	// durable marks engines opened from a page file on disk (core.Open):
+	// every ApplyBatch return and Close writes an atomic checkpoint
+	// (commitDurable).  In-memory engines skip all of it.
+	durable bool
+	// catalogPages is the page chain holding the last committed catalog;
+	// the next commit frees it and writes a fresh chain (guarded by
+	// batchMu, like the commits that use it).
+	catalogPages []pagefile.PageID
 }
 
 // Options configures an Engine.
@@ -145,7 +155,15 @@ func (e *Engine) Close() error {
 		}
 	}
 	pool := e.db.Pool()
-	if err := pool.FlushOrdered(); err != nil {
+	// A durable engine writes a final checkpoint (flush + catalog + commit)
+	// so a clean shutdown reopens without WAL replay; in-memory engines just
+	// flush.  The checkpoint runs after the drain above, so every index is
+	// quiesced and its tree roots are final.
+	if e.durable {
+		if err := e.commitDurable(); err != nil {
+			errs = append(errs, err)
+		}
+	} else if err := pool.FlushOrdered(); err != nil {
 		errs = append(errs, err)
 	}
 	if err := pool.CheckPins(); err != nil {
@@ -173,6 +191,12 @@ type IndexOptions struct {
 	Method MethodKind
 	// Spec is the SVR score specification (§3.1).
 	Spec view.Spec
+	// SpecName is the registry name the spec can be resolved under when the
+	// engine is reopened from a durable file (see OpenOptions.Specs).  Specs
+	// hold Go functions and cannot be serialized, so a durable engine
+	// records this name in its catalog instead.  Required for durable
+	// engines; ignored for in-memory ones.
+	SpecName string
 	// ThresholdRatio, ChunkRatio, MinChunkSize and FancyListSize override the
 	// method knobs; zero values use the paper's defaults.
 	ThresholdRatio float64
@@ -194,6 +218,11 @@ type TextIndex struct {
 	name   string
 	table  string
 	column string
+	// specName and cfg are recorded in the durable catalog so the index can
+	// be reattached on reopen (the spec is resolved by name, the config
+	// rebuilds the method knobs).
+	specName string
+	cfg      index.Config
 
 	engine *Engine
 	view   *view.ScoreView
@@ -267,12 +296,14 @@ func (e *Engine) CreateTextIndex(name, table, column string, opts IndexOptions) 
 	}
 
 	ti := &TextIndex{
-		name:   name,
-		table:  table,
-		column: column,
-		engine: e,
-		view:   sv,
-		method: method,
+		name:     name,
+		table:    table,
+		column:   column,
+		specName: opts.SpecName,
+		cfg:      cfg,
+		engine:   e,
+		view:     sv,
+		method:   method,
 	}
 
 	src := &tableDocSource{table: tbl, colIdx: colIdx, analyzer: e.analyzer}
@@ -303,6 +334,16 @@ func (e *Engine) CreateTextIndex(name, table, column string, opts IndexOptions) 
 	e.mu.Lock()
 	e.indexes[name] = ti
 	e.mu.Unlock()
+
+	// A durable engine checkpoints the freshly built index immediately: the
+	// build is the most expensive thing the engine ever does, and an
+	// un-checkpointed build would be lost to a crash before the first batch.
+	e.batchMu.Lock()
+	err = e.commitDurable()
+	e.batchMu.Unlock()
+	if err != nil {
+		return nil, err
+	}
 	return ti, nil
 }
 
@@ -540,6 +581,11 @@ func (e *Engine) ApplyBatch(fn func() error) (err error) {
 		for _, ti := range indexes {
 			errs = append(errs, ti.flushBatch())
 		}
+		// Durable engines commit the whole batch — base-table pages, index
+		// pages and the refreshed catalog — as one atomic WAL transaction;
+		// when ApplyBatch returns, the batch either survives any crash or
+		// (on commit error) is reported failed.
+		errs = append(errs, e.commitDurable())
 		err = errors.Join(errs...)
 	}()
 	return fn()

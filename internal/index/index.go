@@ -159,6 +159,12 @@ type Method interface {
 	TopK(q Query) (*QueryResult, error)
 	// Stats returns cumulative counters and structure sizes.
 	Stats() Stats
+	// State snapshots the method's navigational state for a checkpoint; the
+	// page-resident structures it anchors must already be flushed.
+	State() MethodState
+	// SetSource rewires the document source after a Restore (Build sets it
+	// itself).
+	SetSource(src DocSource)
 }
 
 // Stats describes an index's size and the work it has performed.

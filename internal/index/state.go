@@ -1,0 +1,244 @@
+package index
+
+import (
+	"fmt"
+
+	"svrdb/internal/storage/blob"
+	"svrdb/internal/storage/btree"
+	"svrdb/internal/storage/buffer"
+	"svrdb/internal/storage/pagefile"
+	"svrdb/internal/text"
+)
+
+// TreeRef anchors one B+-tree for a checkpoint: its root page and key
+// count.  Entries additionally carries a keyedList's posting count (which
+// the list tracks separately from the tree's key count).
+type TreeRef struct {
+	Root    pagefile.PageID
+	Size    int
+	Entries int
+}
+
+func treeRefOf(t *btree.Tree) TreeRef {
+	return TreeRef{Root: t.RootPage(), Size: t.Len()}
+}
+
+// MethodState is the serializable navigational state of one index method:
+// everything Restore needs to reattach to the trees and blobs a checkpoint
+// left in the page file.  Kind selects which of the optional structure
+// anchors are meaningful; unused ones stay zero.
+type MethodState struct {
+	// Kind is the Method.Name() of the snapshotted index.
+	Kind string
+
+	NumDocs   int64
+	LongBytes uint64
+	// LongRefs maps each term to its immutable long inverted list blob.
+	LongRefs map[string]blob.Ref
+	Dict     text.DictionaryState
+	// Score anchors the Score table's tree.
+	Score TreeRef
+
+	// Lists anchors the ID family's auxiliary list, the Score method's
+	// clustered lists, and the threshold/chunk families' short lists — each
+	// method has exactly one mutable keyed list.
+	Lists TreeRef
+	// ListTable anchors the ListScore/ListChunk table (threshold and chunk
+	// families only).
+	ListTable TreeRef
+	// KnownTokens carries the distinct-term cache for incrementally inserted
+	// documents (every family except the Score method keeps one).
+	KnownTokens map[DocID][]string
+
+	// ChunkLower is the chunker's boundary vector (chunk families only).
+	ChunkLower []float64
+
+	// Fancy-list anchors (Chunk-TermScore only).
+	FancyRefs  map[string]blob.Ref
+	FancyMinW  map[string]float32
+	FancyBytes uint64
+}
+
+// --- per-structure snapshot/open helpers -------------------------------------
+
+func (l *keyedList) state() TreeRef {
+	r := treeRefOf(l.tree)
+	r.Entries = l.entries
+	return r
+}
+
+func openKeyedList(pool *buffer.Pool, r TreeRef) *keyedList {
+	return &keyedList{tree: btree.Open(pool, r.Root, r.Size), entries: r.Entries}
+}
+
+func openScoreTable(pool *buffer.Pool, r TreeRef) *scoreTable {
+	return &scoreTable{tree: btree.Open(pool, r.Root, r.Size)}
+}
+
+func openListTable(pool *buffer.Pool, r TreeRef) *listTable {
+	return &listTable{tree: btree.Open(pool, r.Root, r.Size)}
+}
+
+func copyTokenCache(src map[DocID][]string) map[DocID][]string {
+	out := make(map[DocID][]string, len(src))
+	for doc, terms := range src {
+		out[doc] = append([]string(nil), terms...)
+	}
+	return out
+}
+
+func copyRefs(src map[string]blob.Ref) map[string]blob.Ref {
+	out := make(map[string]blob.Ref, len(src))
+	for t, r := range src {
+		out[t] = r
+	}
+	return out
+}
+
+// baseState fills the fields shared by every method.
+func (b *base) baseState(kind string) MethodState {
+	return MethodState{
+		Kind:      kind,
+		NumDocs:   b.numDocs.Load(),
+		LongBytes: b.longBytes,
+		LongRefs:  copyRefs(b.longRefs),
+		Dict:      b.dict.State(),
+		Score:     treeRefOf(b.score.tree),
+	}
+}
+
+// openBase rebuilds the shared plumbing from a snapshot.  The document
+// source must be rewired by the caller (SetSource) before maintenance runs.
+func openBase(cfg Config, st *MethodState) (*base, error) {
+	if cfg.Pool == nil {
+		return nil, fmt.Errorf("index: Config.Pool is required")
+	}
+	cfg = cfg.Defaults()
+	b := &base{
+		cfg:       cfg,
+		store:     blob.NewStore(cfg.Pool),
+		dict:      text.RestoreDictionary(st.Dict),
+		score:     openScoreTable(cfg.Pool, st.Score),
+		longRefs:  copyRefs(st.LongRefs),
+		longBytes: st.LongBytes,
+	}
+	b.numDocs.Store(st.NumDocs)
+	return b, nil
+}
+
+// SetSource rewires the document source after a restore.  The source feeds
+// maintenance paths that need a document's token stream (Score-method
+// posting moves, deletions); it must present the same document IDs the
+// index was built over.
+func (b *base) SetSource(src DocSource) { b.src = src }
+
+// --- per-method State -------------------------------------------------------
+
+// State implements Method.
+func (m *IDMethod) State() MethodState {
+	st := m.baseState(m.Name())
+	st.Lists = m.aux.state()
+	st.KnownTokens = copyTokenCache(m.knownTokens)
+	return st
+}
+
+// State implements Method.
+func (m *ScoreMethod) State() MethodState {
+	st := m.baseState(m.Name())
+	st.Lists = m.lists.state()
+	return st
+}
+
+// State implements Method.
+func (m *ScoreThresholdMethod) State() MethodState {
+	st := m.baseState(m.Name())
+	st.Lists = m.short.state()
+	st.ListTable = treeRefOf(m.listScore.tree)
+	st.KnownTokens = copyTokenCache(m.knownTokens)
+	return st
+}
+
+// State implements Method.
+func (m *ChunkMethod) State() MethodState {
+	st := m.baseState(m.Name())
+	st.Lists = m.short.state()
+	st.ListTable = treeRefOf(m.listChunk.tree)
+	st.KnownTokens = copyTokenCache(m.knownTokens)
+	if m.chunks != nil {
+		st.ChunkLower = append([]float64(nil), m.chunks.lower...)
+	}
+	return st
+}
+
+// State implements Method.
+func (m *ChunkTermScoreMethod) State() MethodState {
+	st := m.ChunkMethod.State()
+	st.Kind = m.Name()
+	st.FancyRefs = copyRefs(m.fancyRefs)
+	st.FancyMinW = make(map[string]float32, len(m.fancyMinW))
+	for t, w := range m.fancyMinW {
+		st.FancyMinW[t] = w
+	}
+	st.FancyBytes = m.fancyBytes
+	return st
+}
+
+// --- Restore ----------------------------------------------------------------
+
+// Restore reattaches a method to the structures a checkpoint recorded.  It
+// is the inverse of Method.State(): no pages are read and nothing is
+// rebuilt; the returned method serves queries and updates against the trees
+// and blobs already in the page file.  Call SetSource afterwards to rewire
+// the document source.
+func Restore(cfg Config, st MethodState) (Method, error) {
+	b, err := openBase(cfg, &st)
+	if err != nil {
+		return nil, err
+	}
+	switch st.Kind {
+	case "ID", "ID-TermScore":
+		return &IDMethod{
+			base:           b,
+			withTermScores: st.Kind == "ID-TermScore",
+			aux:            openKeyedList(b.cfg.Pool, st.Lists),
+			knownTokens:    copyTokenCache(st.KnownTokens),
+		}, nil
+	case "Score":
+		return &ScoreMethod{
+			base:  b,
+			lists: openKeyedList(b.cfg.Pool, st.Lists),
+		}, nil
+	case "Score-Threshold":
+		return &ScoreThresholdMethod{
+			base:        b,
+			short:       openKeyedList(b.cfg.Pool, st.Lists),
+			listScore:   openListTable(b.cfg.Pool, st.ListTable),
+			knownTokens: copyTokenCache(st.KnownTokens),
+		}, nil
+	case "Chunk", "Chunk-TermScore":
+		cm := &ChunkMethod{
+			base:        b,
+			short:       openKeyedList(b.cfg.Pool, st.Lists),
+			listChunk:   openListTable(b.cfg.Pool, st.ListTable),
+			knownTokens: copyTokenCache(st.KnownTokens),
+		}
+		if len(st.ChunkLower) > 0 {
+			cm.chunks = &chunker{lower: append([]float64(nil), st.ChunkLower...)}
+		}
+		if st.Kind == "Chunk" {
+			return cm, nil
+		}
+		cts := &ChunkTermScoreMethod{
+			ChunkMethod: cm,
+			fancyRefs:   copyRefs(st.FancyRefs),
+			fancyMinW:   make(map[string]float32, len(st.FancyMinW)),
+			fancyBytes:  st.FancyBytes,
+		}
+		for t, w := range st.FancyMinW {
+			cts.fancyMinW[t] = w
+		}
+		return cts, nil
+	default:
+		return nil, fmt.Errorf("index: cannot restore unknown method kind %q", st.Kind)
+	}
+}

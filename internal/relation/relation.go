@@ -9,6 +9,7 @@ import (
 	"svrdb/internal/codec"
 	"svrdb/internal/storage/btree"
 	"svrdb/internal/storage/buffer"
+	"svrdb/internal/storage/pagefile"
 )
 
 // Kind enumerates the column types supported by the substrate.
@@ -763,4 +764,66 @@ func (db *DB) TableNames() []string {
 	}
 	sort.Strings(names)
 	return names
+}
+
+// TreeState records one B+-tree's checkpoint anchor: its root page and key
+// count, everything btree.Open needs to reattach.
+type TreeState struct {
+	Root pagefile.PageID
+	Size int
+}
+
+// TableState is the serializable snapshot of a table's navigational state.
+// The rows themselves live in pages; this captures where the trees start.
+type TableState struct {
+	Schema    Schema
+	Tree      TreeState
+	Secondary map[string]TreeState // column name -> secondary index tree
+}
+
+// State snapshots the table for a checkpoint.  The caller must hold the
+// engine's batch rung so no mutation is mid-flight.
+func (t *Table) State() TableState {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	st := TableState{
+		Schema: t.schema,
+		Tree:   TreeState{Root: t.tree.RootPage(), Size: t.tree.Len()},
+	}
+	if len(t.secondary) > 0 {
+		st.Secondary = make(map[string]TreeState, len(t.secondary))
+		for col, tr := range t.secondary {
+			st.Secondary[col] = TreeState{Root: tr.RootPage(), Size: tr.Len()}
+		}
+	}
+	return st
+}
+
+// RestoreTable reattaches a table to its checkpointed trees.  The table is
+// registered in the database under its schema name.
+func (db *DB) RestoreTable(st TableState) (*Table, error) {
+	if err := st.Schema.Validate(); err != nil {
+		return nil, err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, exists := db.tables[st.Schema.Name]; exists {
+		return nil, fmt.Errorf("relation: table %q already exists", st.Schema.Name)
+	}
+	t := &Table{
+		schema:    st.Schema,
+		tree:      btree.Open(db.pool, st.Tree.Root, st.Tree.Size),
+		secondary: map[string]*btree.Tree{},
+		pool:      db.pool,
+		rowCount:  st.Tree.Size,
+	}
+	for col, ts := range st.Secondary {
+		if _, err := st.Schema.ColumnIndex(col); err != nil {
+			return nil, err
+		}
+		t.secondary[col] = btree.Open(db.pool, ts.Root, ts.Size)
+	}
+	t.notifyCond.L = &t.notifyMu
+	db.tables[st.Schema.Name] = t
+	return t, nil
 }

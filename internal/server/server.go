@@ -380,6 +380,13 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"bytes_read":    fs.BytesRead,
 			"bytes_written": fs.BytesWritten,
 		},
+		"durability": map[string]any{
+			"commits":    fs.Commits,
+			"wal_bytes":  fs.WALBytes,
+			"fsyncs":     fs.Fsyncs,
+			"recoveries": fs.Recoveries,
+			"torn_pages": fs.TornPages,
+		},
 		"endpoints": s.metrics.Snapshot(),
 	})
 }

@@ -89,6 +89,16 @@ func MustNew(pool *buffer.Pool) *Tree {
 	return t
 }
 
+// Open attaches to an existing tree whose root page and key count were
+// recorded at a checkpoint (see RootPage and Len).  It does no I/O: the
+// first descent validates the root the usual way.
+func Open(pool *buffer.Pool, root pagefile.PageID, size int) *Tree {
+	t := &Tree{pool: pool}
+	t.setRoot(root)
+	t.size.Store(int64(size))
+	return t
+}
+
 // Len reports the number of keys stored in the tree.
 func (t *Tree) Len() int { return int(t.size.Load()) }
 

@@ -80,7 +80,7 @@ func (fr *Frame) Release() {
 
 // Pool is a fixed-capacity LRU buffer pool.  It is safe for concurrent use.
 type Pool struct {
-	file     *pagefile.File
+	file     pagefile.File
 	capacity int
 
 	mu     sync.Mutex
@@ -110,7 +110,7 @@ var ErrPoolFull = errors.New("buffer: all frames pinned")
 
 // New creates a pool over file with space for capacity pages.  Capacity must
 // be at least 1.
-func New(file *pagefile.File, capacity int) (*Pool, error) {
+func New(file pagefile.File, capacity int) (*Pool, error) {
 	if capacity < 1 {
 		return nil, fmt.Errorf("buffer: capacity %d must be at least 1", capacity)
 	}
@@ -123,7 +123,7 @@ func New(file *pagefile.File, capacity int) (*Pool, error) {
 }
 
 // MustNew is like New but panics on error.
-func MustNew(file *pagefile.File, capacity int) *Pool {
+func MustNew(file pagefile.File, capacity int) *Pool {
 	p, err := New(file, capacity)
 	if err != nil {
 		panic(err)
@@ -135,7 +135,7 @@ func MustNew(file *pagefile.File, capacity int) *Pool {
 func (p *Pool) Capacity() int { return p.capacity }
 
 // File returns the underlying page file.
-func (p *Pool) File() *pagefile.File { return p.file }
+func (p *Pool) File() pagefile.File { return p.file }
 
 // PageSize reports the page size of the underlying file.
 func (p *Pool) PageSize() int { return p.file.PageSize() }
@@ -280,6 +280,20 @@ func (p *Pool) release(fr *Frame) {
 	}
 }
 
+// FlushError identifies the page whose writeback failed during a flush
+// sweep.  The frame for PageID and every frame after it in the sweep order
+// are still dirty: a flush that hits a FlushError can simply be retried.
+type FlushError struct {
+	PageID pagefile.PageID
+	Err    error
+}
+
+func (e *FlushError) Error() string {
+	return fmt.Sprintf("buffer: flush of page %d failed: %v", e.PageID, e.Err)
+}
+
+func (e *FlushError) Unwrap() error { return e.Err }
+
 // FlushAll writes every dirty resident page back to the underlying file.
 // It is FlushOrdered under its historical name: ordered writeback is never
 // worse than map-iteration order.
@@ -289,9 +303,17 @@ func (p *Pool) FlushAll() error { return p.FlushOrdered() }
 // order — one sequential pass over the file.  Bulk writers call it after a
 // batch so the dirty pages a batch produced go out as one ordered sweep
 // instead of dribbling out in LRU eviction order.
+//
+// On failure it returns a *FlushError naming the page that could not be
+// written; that frame and every later frame in the sweep stay dirty, so the
+// sweep can be retried without losing updates.
 func (p *Pool) FlushOrdered() error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	return p.flushOrderedLocked()
+}
+
+func (p *Pool) flushOrderedLocked() error {
 	dirty := make([]*Frame, 0, len(p.frames))
 	for _, fr := range p.frames {
 		if fr.dirty {
@@ -301,12 +323,32 @@ func (p *Pool) FlushOrdered() error {
 	sort.Slice(dirty, func(i, j int) bool { return dirty[i].id < dirty[j].id })
 	for _, fr := range dirty {
 		if err := p.file.Write(fr.id, fr.data); err != nil {
-			return err
+			return &FlushError{PageID: fr.id, Err: err}
 		}
 		fr.dirty = false
 		p.flushes.Add(1)
 	}
 	return nil
+}
+
+// Checkpoint flushes every dirty resident page and commits the underlying
+// file with meta as its new application root.  Over a durable file this is
+// the atomic-commit boundary: the flushed pages and meta become visible
+// together after a crash, or not at all.  Over a memory file the commit is
+// just a meta store, so callers can checkpoint unconditionally.
+//
+// The flush and the commit run under the pool lock as one critical section,
+// so pages dirtied by a concurrent writer cannot slip between the sweep and
+// the commit point.  (In the engine's lock order, callers already hold the
+// batch/table rungs above the pool, making the checkpoint's content
+// deterministic; the pool lock here only protects frame state.)
+func (p *Pool) Checkpoint(meta []byte) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := p.flushOrderedLocked(); err != nil {
+		return err
+	}
+	return p.file.Commit(meta)
 }
 
 // WriteThrough writes a full page image directly to the underlying file

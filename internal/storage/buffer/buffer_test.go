@@ -8,7 +8,7 @@ import (
 	"svrdb/internal/storage/pagefile"
 )
 
-func newPool(t testing.TB, pageSize, capacity int) (*Pool, *pagefile.File) {
+func newPool(t testing.TB, pageSize, capacity int) (*Pool, pagefile.File) {
 	t.Helper()
 	f := pagefile.MustNewMem(pageSize)
 	p, err := New(f, capacity)

@@ -1,0 +1,188 @@
+package pagefile
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrInjectedFault is the sentinel wrapped into every error the fault
+// injector produces, so tests can distinguish injected failures from real
+// ones with errors.Is.
+var ErrInjectedFault = errors.New("pagefile: injected fault")
+
+// FaultPlan selects which I/O operation fails.  All counters are 1-based
+// and count operations across both the data file and the WAL, in the order
+// the backend issues them — so a plan derived from a counting run replays
+// the exact same sequence.  The zero value injects nothing.
+type FaultPlan struct {
+	// FailWrite makes the Nth WriteAt fail.  With TornWrite set, the first
+	// half of that write reaches the file before the error — simulating a
+	// torn page from a crash mid-write.
+	FailWrite int
+	TornWrite bool
+	// FailSync makes the Nth Sync return an error (the write cache is
+	// "lost": the preceding writes still happened, which is exactly what a
+	// crash between write and fsync looks like after the kernel cache is
+	// dropped — for this single-process model, what matters is that the
+	// caller cannot treat the commit as durable).
+	FailSync int
+	// FailRead makes the Nth ReadAt fail with a short read.
+	FailRead int
+}
+
+// FaultInjector wraps the backend's file handles and fails deterministically
+// per its FaultPlan.  After the first injected fault the injector goes
+// dead: every subsequent operation fails too, modeling a kill -9 — the
+// process never gets to issue more I/O after the crash point.
+//
+// With a zero FaultPlan the injector is a pure counter; use Writes, Syncs
+// and Reads after a clean run to learn how many injection sites a workload
+// has, then iterate FailWrite/FailSync/FailRead over 1..N.
+type FaultInjector struct {
+	plan FaultPlan
+
+	mu     sync.Mutex
+	writes int
+	syncs  int
+	reads  int
+	dead   bool
+}
+
+// NewFaultInjector returns an injector executing plan.
+func NewFaultInjector(plan FaultPlan) *FaultInjector {
+	return &FaultInjector{plan: plan}
+}
+
+// Writes returns the number of WriteAt calls observed so far.
+func (fi *FaultInjector) Writes() int {
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	return fi.writes
+}
+
+// Syncs returns the number of Sync calls observed so far.
+func (fi *FaultInjector) Syncs() int {
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	return fi.syncs
+}
+
+// Reads returns the number of ReadAt calls observed so far.
+func (fi *FaultInjector) Reads() int {
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	return fi.reads
+}
+
+// Tripped reports whether a fault has been injected.
+func (fi *FaultInjector) Tripped() bool {
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	return fi.dead
+}
+
+// wrap decorates b with the injector; a nil receiver (no WithFaults option)
+// returns b unchanged.
+func (fi *FaultInjector) wrap(b backing) backing {
+	if fi == nil {
+		return b
+	}
+	return &faultyBacking{fi: fi, b: b}
+}
+
+type faultyBacking struct {
+	fi *FaultInjector
+	b  backing
+}
+
+func (f *faultyBacking) WriteAt(p []byte, off int64) (int, error) {
+	fi := f.fi
+	fi.mu.Lock()
+	if fi.dead {
+		fi.mu.Unlock()
+		return 0, errorsJoinFault("write after crash point")
+	}
+	fi.writes++
+	inject := fi.plan.FailWrite > 0 && fi.writes == fi.plan.FailWrite
+	torn := inject && fi.plan.TornWrite
+	if inject {
+		fi.dead = true
+	}
+	fi.mu.Unlock()
+	if !inject {
+		return f.b.WriteAt(p, off)
+	}
+	if torn && len(p) > 1 {
+		// Half the bytes land; the rest are lost to the crash.
+		f.b.WriteAt(p[:len(p)/2], off)
+	}
+	return 0, errorsJoinFault("write failed")
+}
+
+func (f *faultyBacking) ReadAt(p []byte, off int64) (int, error) {
+	fi := f.fi
+	fi.mu.Lock()
+	if fi.dead {
+		fi.mu.Unlock()
+		return 0, errorsJoinFault("read after crash point")
+	}
+	fi.reads++
+	inject := fi.plan.FailRead > 0 && fi.reads == fi.plan.FailRead
+	if inject {
+		fi.dead = true
+	}
+	fi.mu.Unlock()
+	if inject {
+		// Short read: a prefix arrives, then the error.
+		if len(p) > 1 {
+			n, _ := f.b.ReadAt(p[:len(p)/2], off)
+			return n, errorsJoinFault("short read")
+		}
+		return 0, errorsJoinFault("short read")
+	}
+	return f.b.ReadAt(p, off)
+}
+
+func (f *faultyBacking) Sync() error {
+	fi := f.fi
+	fi.mu.Lock()
+	if fi.dead {
+		fi.mu.Unlock()
+		return errorsJoinFault("sync after crash point")
+	}
+	fi.syncs++
+	inject := fi.plan.FailSync > 0 && fi.syncs == fi.plan.FailSync
+	if inject {
+		fi.dead = true
+	}
+	fi.mu.Unlock()
+	if inject {
+		return errorsJoinFault("sync failed")
+	}
+	return f.b.Sync()
+}
+
+func (f *faultyBacking) Truncate(size int64) error {
+	fi := f.fi
+	fi.mu.Lock()
+	dead := fi.dead
+	fi.mu.Unlock()
+	if dead {
+		return errorsJoinFault("truncate after crash point")
+	}
+	return f.b.Truncate(size)
+}
+
+// Close always reaches the real handle so tests can reopen the path even
+// after a simulated crash.
+func (f *faultyBacking) Close() error { return f.b.Close() }
+
+func errorsJoinFault(msg string) error {
+	return &injectedError{msg: msg}
+}
+
+type injectedError struct{ msg string }
+
+func (e *injectedError) Error() string { return "pagefile: injected fault: " + e.msg }
+
+func (e *injectedError) Is(target error) bool { return target == ErrInjectedFault }

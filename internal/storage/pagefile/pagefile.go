@@ -3,7 +3,6 @@ package pagefile
 import (
 	"errors"
 	"fmt"
-	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -39,22 +38,145 @@ type Stats struct {
 	// BytesRead and BytesWritten are the corresponding byte totals.
 	BytesRead    uint64
 	BytesWritten uint64
+	// Durability counters; all zero for a memory-backed file.
+	//
+	// Commits counts successful Commit calls; WALBytes the bytes appended to
+	// the write-ahead log; Fsyncs the fsync calls issued (WAL and data file);
+	// Recoveries how many Opens had to replay a WAL record; TornPages how
+	// many corrupt or half-written structures (torn WAL tail, bad header)
+	// recovery detected and discarded.
+	Commits    uint64
+	WALBytes   uint64
+	Fsyncs     uint64
+	Recoveries uint64
+	TornPages  uint64
 }
 
 // File is a page-addressed storage area.
 //
-// A File is safe for concurrent use.  Two backing implementations are
-// provided: an in-memory backing (NewMem) used by tests and benchmarks, and a
-// disk backing (Open) used when datasets must survive the process or exceed
-// memory.
-type File struct {
+// Implementations are safe for concurrent use.  Two backings are provided:
+// an in-memory backing (NewMem) used by tests and in-memory benchmarks, and
+// a durable disk backing (Open) whose contents survive the process — see
+// disk.go for the on-disk format and the WAL commit protocol.
+//
+// Writes to a durable file are buffered (staged) until Commit makes them
+// atomically durable; a crash at any point loses at most the writes since
+// the last successful Commit, never committed state.  The in-memory backing
+// applies writes immediately and treats Commit as a meta store.
+type File interface {
+	// PageSize reports the fixed page size of the file.
+	PageSize() int
+	// NumPages reports how many pages have been allocated (including, for a
+	// durable file, allocations not yet committed).
+	NumPages() uint64
+	// Allocate returns a zeroed page: a recycled one from the free list when
+	// available, otherwise a freshly appended one.
+	Allocate() (PageID, error)
+	// AllocateN allocates n consecutive pages and returns the ID of the
+	// first.  It is used by the blob store to reserve space for large
+	// immutable objects (the long inverted lists) in one call.
+	AllocateN(n int) (PageID, error)
+	// Free returns an allocated page to the free list for a later Allocate
+	// to reuse.  The file never shrinks, but a workload that frees as it
+	// allocates (delete/reinsert churn over B+-trees) stays bounded instead
+	// of growing without limit.  Freeing an unallocated or already-free page
+	// is an error.
+	Free(id PageID) error
+	// FreePages reports how many pages are currently on the free list.
+	FreePages() int
+	// Read copies the contents of page id into dst, which must be at least
+	// PageSize bytes long.
+	Read(id PageID, dst []byte) error
+	// Write replaces the contents of page id with src, which must be at
+	// least PageSize bytes long (only the first PageSize bytes are stored).
+	Write(id PageID, src []byte) error
+	// Commit atomically makes every write since the previous Commit durable
+	// together with meta, a small opaque application root (the engine stores
+	// its catalog pointer there).  On a memory-backed file Commit only
+	// records meta.
+	Commit(meta []byte) error
+	// Meta returns the most recently committed meta, nil if none.
+	Meta() []byte
+	// Stats returns a snapshot of the I/O counters.
+	Stats() Stats
+	// ResetStats zeroes the per-window I/O counters.  Allocation counts and
+	// the recovery counters are preserved: they describe the file, not a
+	// measurement window.
+	ResetStats()
+	// SizeBytes reports the total allocated size of the file in bytes.
+	SizeBytes() uint64
+	// SetReadLatency configures a simulated latency charged on every page
+	// read.  A zero duration disables the simulation.  The benchmark harness
+	// uses it to approximate cold-cache disk behaviour for long inverted
+	// lists on the in-memory backing.
+	SetReadLatency(d time.Duration)
+	// ReadLatency reports the configured simulated read latency.
+	ReadLatency() time.Duration
+	// Close releases the backing resources.  Close does not commit: staged
+	// writes on a durable file are discarded (the engine commits first).
+	Close() error
+}
+
+// ErrPageOutOfRange is returned when a page ID beyond the allocated range is
+// read or written.
+var ErrPageOutOfRange = errors.New("pagefile: page out of range")
+
+// ErrBadPageSize is returned by constructors when the requested page size is
+// not usable.
+var ErrBadPageSize = errors.New("pagefile: bad page size")
+
+// counters groups the atomic statistics shared by both backings.
+type counters struct {
+	reads        atomic.Uint64
+	writes       atomic.Uint64
+	allocs       atomic.Uint64
+	frees        atomic.Uint64
+	reuses       atomic.Uint64
+	bytesRead    atomic.Uint64
+	bytesWritten atomic.Uint64
+	commits      atomic.Uint64
+	walBytes     atomic.Uint64
+	fsyncs       atomic.Uint64
+	recoveries   atomic.Uint64
+	tornPages    atomic.Uint64
+}
+
+func (c *counters) snapshot() Stats {
+	return Stats{
+		Reads:        c.reads.Load(),
+		Writes:       c.writes.Load(),
+		Allocs:       c.allocs.Load(),
+		Frees:        c.frees.Load(),
+		Reuses:       c.reuses.Load(),
+		BytesRead:    c.bytesRead.Load(),
+		BytesWritten: c.bytesWritten.Load(),
+		Commits:      c.commits.Load(),
+		WALBytes:     c.walBytes.Load(),
+		Fsyncs:       c.fsyncs.Load(),
+		Recoveries:   c.recoveries.Load(),
+		TornPages:    c.tornPages.Load(),
+	}
+}
+
+func (c *counters) reset() {
+	c.reads.Store(0)
+	c.writes.Store(0)
+	c.bytesRead.Store(0)
+	c.bytesWritten.Store(0)
+	c.commits.Store(0)
+	c.walBytes.Store(0)
+	c.fsyncs.Store(0)
+}
+
+// memFile is the in-memory backing: a simulated disk with I/O counters and
+// optional per-read latency, used by tests and the in-memory benchmarks.
+type memFile struct {
 	pageSize int
 
-	mu     sync.RWMutex
-	mem    [][]byte // in-memory backing; nil when disk-backed
-	slab   []byte   // in-memory allocation arena pages are carved from
-	disk   *os.File // disk backing; nil when memory-backed
-	nPages uint64
+	mu   sync.RWMutex
+	mem  [][]byte // page images
+	slab []byte   // allocation arena pages are carved from
+	meta []byte
 
 	// free is the stack of recycled page IDs (B+-tree delete hygiene returns
 	// emptied node pages here); freeSet guards against double frees, which
@@ -64,34 +186,20 @@ type File struct {
 
 	readLatency atomic.Int64 // simulated latency per read, nanoseconds
 
-	reads        atomic.Uint64
-	writes       atomic.Uint64
-	allocs       atomic.Uint64
-	frees        atomic.Uint64
-	reuses       atomic.Uint64
-	bytesRead    atomic.Uint64
-	bytesWritten atomic.Uint64
+	counters
 }
 
-// ErrPageOutOfRange is returned when a page ID beyond the allocated range is
-// read or written.
-var ErrPageOutOfRange = errors.New("pagefile: page out of range")
-
-// ErrBadPageSize is returned by constructors when the requested page size is
-// not positive.
-var ErrBadPageSize = errors.New("pagefile: page size must be positive")
-
 // NewMem creates a memory-backed file with the given page size.
-func NewMem(pageSize int) (*File, error) {
+func NewMem(pageSize int) (File, error) {
 	if pageSize <= 0 {
 		return nil, ErrBadPageSize
 	}
-	return &File{pageSize: pageSize, mem: make([][]byte, 0, 64)}, nil
+	return &memFile{pageSize: pageSize, mem: make([][]byte, 0, 64)}, nil
 }
 
 // MustNewMem is like NewMem but panics on error.  It is intended for tests
 // and examples where the page size is a constant.
-func MustNewMem(pageSize int) *File {
+func MustNewMem(pageSize int) File {
 	f, err := NewMem(pageSize)
 	if err != nil {
 		panic(err)
@@ -99,75 +207,30 @@ func MustNewMem(pageSize int) *File {
 	return f
 }
 
-// Open creates or opens a disk-backed file at path with the given page size.
-// An existing file must have a length that is a multiple of the page size.
-func Open(path string, pageSize int) (*File, error) {
-	if pageSize <= 0 {
-		return nil, ErrBadPageSize
-	}
-	fd, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
-	if err != nil {
-		return nil, fmt.Errorf("pagefile: open %s: %w", path, err)
-	}
-	info, err := fd.Stat()
-	if err != nil {
-		fd.Close()
-		return nil, fmt.Errorf("pagefile: stat %s: %w", path, err)
-	}
-	if info.Size()%int64(pageSize) != 0 {
-		fd.Close()
-		return nil, fmt.Errorf("pagefile: %s size %d is not a multiple of page size %d", path, info.Size(), pageSize)
-	}
-	return &File{
-		pageSize: pageSize,
-		disk:     fd,
-		nPages:   uint64(info.Size() / int64(pageSize)),
-	}, nil
-}
-
-// Close releases the backing resources.  Closing a memory-backed file drops
-// its pages.
-func (f *File) Close() error {
+// Close drops the pages of a memory-backed file.
+func (f *memFile) Close() error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.mem = nil
-	if f.disk != nil {
-		err := f.disk.Close()
-		f.disk = nil
-		return err
-	}
 	return nil
 }
 
-// PageSize reports the fixed page size of the file.
-func (f *File) PageSize() int { return f.pageSize }
+func (f *memFile) PageSize() int { return f.pageSize }
 
-// NumPages reports how many pages have been allocated.
-func (f *File) NumPages() uint64 {
+func (f *memFile) NumPages() uint64 {
 	f.mu.RLock()
 	defer f.mu.RUnlock()
-	return f.numPagesLocked()
+	return uint64(len(f.mem))
 }
 
-func (f *File) numPagesLocked() uint64 {
-	if f.mem != nil {
-		return uint64(len(f.mem))
-	}
-	return f.nPages
-}
-
-// SetReadLatency configures a simulated latency charged on every page read.
-// A zero duration disables the simulation.  This is used by the benchmark
-// harness to approximate cold-cache disk behaviour for long inverted lists.
-func (f *File) SetReadLatency(d time.Duration) {
+func (f *memFile) SetReadLatency(d time.Duration) {
 	if d < 0 {
 		d = 0
 	}
 	f.readLatency.Store(int64(d))
 }
 
-// ReadLatency reports the configured simulated read latency.
-func (f *File) ReadLatency() time.Duration {
+func (f *memFile) ReadLatency() time.Duration {
 	return time.Duration(f.readLatency.Load())
 }
 
@@ -178,7 +241,7 @@ const memSlabPages = 64
 
 // carvePageLocked returns a zeroed page buffer from the arena, growing it
 // when exhausted.  The caller holds f.mu.
-func (f *File) carvePageLocked() []byte {
+func (f *memFile) carvePageLocked() []byte {
 	if len(f.slab) < f.pageSize {
 		f.slab = make([]byte, memSlabPages*f.pageSize)
 	}
@@ -187,9 +250,7 @@ func (f *File) carvePageLocked() []byte {
 	return p
 }
 
-// Allocate returns a zeroed page: a recycled one from the free list when
-// available, otherwise a freshly appended one.
-func (f *File) Allocate() (PageID, error) {
+func (f *memFile) Allocate() (PageID, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.allocs.Add(1)
@@ -198,38 +259,18 @@ func (f *File) Allocate() (PageID, error) {
 		f.free = f.free[:n-1]
 		delete(f.freeSet, id)
 		f.reuses.Add(1)
-		if f.mem != nil {
-			clear(f.mem[id])
-			return id, nil
-		}
-		zero := make([]byte, f.pageSize)
-		if _, err := f.disk.WriteAt(zero, int64(id)*int64(f.pageSize)); err != nil {
-			return InvalidPageID, fmt.Errorf("pagefile: reuse page %d: %w", id, err)
-		}
+		clear(f.mem[id])
 		return id, nil
 	}
-	if f.mem != nil {
-		f.mem = append(f.mem, f.carvePageLocked())
-		return PageID(len(f.mem) - 1), nil
-	}
-	id := PageID(f.nPages)
-	zero := make([]byte, f.pageSize)
-	if _, err := f.disk.WriteAt(zero, int64(id)*int64(f.pageSize)); err != nil {
-		return InvalidPageID, fmt.Errorf("pagefile: allocate page %d: %w", id, err)
-	}
-	f.nPages++
-	return id, nil
+	f.mem = append(f.mem, f.carvePageLocked())
+	return PageID(len(f.mem) - 1), nil
 }
 
-// Free returns an allocated page to the free list for a later Allocate to
-// reuse.  The file never shrinks, but a workload that frees as it allocates
-// (delete/reinsert churn over B+-trees) stays bounded instead of growing
-// without limit.  Freeing an unallocated or already-free page is an error.
-func (f *File) Free(id PageID) error {
+func (f *memFile) Free(id PageID) error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	if uint64(id) >= f.numPagesLocked() {
-		return fmt.Errorf("%w: free page %d of %d", ErrPageOutOfRange, id, f.numPagesLocked())
+	if uint64(id) >= uint64(len(f.mem)) {
+		return fmt.Errorf("%w: free page %d of %d", ErrPageOutOfRange, id, len(f.mem))
 	}
 	if _, dup := f.freeSet[id]; dup {
 		return fmt.Errorf("pagefile: double free of page %d", id)
@@ -243,42 +284,27 @@ func (f *File) Free(id PageID) error {
 	return nil
 }
 
-// FreePages reports how many pages are currently on the free list.
-func (f *File) FreePages() int {
+func (f *memFile) FreePages() int {
 	f.mu.RLock()
 	defer f.mu.RUnlock()
 	return len(f.free)
 }
 
-// AllocateN allocates n consecutive pages and returns the ID of the first.
-// It is used by the blob store to reserve space for large immutable objects
-// (the long inverted lists) in one call.
-func (f *File) AllocateN(n int) (PageID, error) {
+func (f *memFile) AllocateN(n int) (PageID, error) {
 	if n <= 0 {
 		return InvalidPageID, fmt.Errorf("pagefile: AllocateN(%d): n must be positive", n)
 	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.allocs.Add(uint64(n))
-	if f.mem != nil {
-		first := PageID(len(f.mem))
-		for i := 0; i < n; i++ {
-			f.mem = append(f.mem, f.carvePageLocked())
-		}
-		return first, nil
+	first := PageID(len(f.mem))
+	for i := 0; i < n; i++ {
+		f.mem = append(f.mem, f.carvePageLocked())
 	}
-	first := PageID(f.nPages)
-	zero := make([]byte, f.pageSize*n)
-	if _, err := f.disk.WriteAt(zero, int64(first)*int64(f.pageSize)); err != nil {
-		return InvalidPageID, fmt.Errorf("pagefile: allocate %d pages: %w", n, err)
-	}
-	f.nPages += uint64(n)
 	return first, nil
 }
 
-// Read copies the contents of page id into dst, which must be at least
-// PageSize bytes long.
-func (f *File) Read(id PageID, dst []byte) error {
+func (f *memFile) Read(id PageID, dst []byte) error {
 	if len(dst) < f.pageSize {
 		return fmt.Errorf("pagefile: read buffer of %d bytes is smaller than page size %d", len(dst), f.pageSize)
 	}
@@ -287,67 +313,53 @@ func (f *File) Read(id PageID, dst []byte) error {
 	}
 	f.mu.RLock()
 	defer f.mu.RUnlock()
-	if uint64(id) >= f.numPagesLocked() {
-		return fmt.Errorf("%w: read page %d of %d", ErrPageOutOfRange, id, f.numPagesLocked())
+	if uint64(id) >= uint64(len(f.mem)) {
+		return fmt.Errorf("%w: read page %d of %d", ErrPageOutOfRange, id, len(f.mem))
 	}
 	f.reads.Add(1)
 	f.bytesRead.Add(uint64(f.pageSize))
-	if f.mem != nil {
-		copy(dst, f.mem[id])
-		return nil
-	}
-	if _, err := f.disk.ReadAt(dst[:f.pageSize], int64(id)*int64(f.pageSize)); err != nil {
-		return fmt.Errorf("pagefile: read page %d: %w", id, err)
-	}
+	copy(dst, f.mem[id])
 	return nil
 }
 
-// Write replaces the contents of page id with src, which must be at least
-// PageSize bytes long (only the first PageSize bytes are stored).
-func (f *File) Write(id PageID, src []byte) error {
+func (f *memFile) Write(id PageID, src []byte) error {
 	if len(src) < f.pageSize {
 		return fmt.Errorf("pagefile: write buffer of %d bytes is smaller than page size %d", len(src), f.pageSize)
 	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	if uint64(id) >= f.numPagesLocked() {
-		return fmt.Errorf("%w: write page %d of %d", ErrPageOutOfRange, id, f.numPagesLocked())
+	if uint64(id) >= uint64(len(f.mem)) {
+		return fmt.Errorf("%w: write page %d of %d", ErrPageOutOfRange, id, len(f.mem))
 	}
 	f.writes.Add(1)
 	f.bytesWritten.Add(uint64(f.pageSize))
-	if f.mem != nil {
-		copy(f.mem[id], src[:f.pageSize])
-		return nil
-	}
-	if _, err := f.disk.WriteAt(src[:f.pageSize], int64(id)*int64(f.pageSize)); err != nil {
-		return fmt.Errorf("pagefile: write page %d: %w", id, err)
-	}
+	copy(f.mem[id], src[:f.pageSize])
 	return nil
 }
 
-// Stats returns a snapshot of the I/O counters.
-func (f *File) Stats() Stats {
-	return Stats{
-		Reads:        f.reads.Load(),
-		Writes:       f.writes.Load(),
-		Allocs:       f.allocs.Load(),
-		Frees:        f.frees.Load(),
-		Reuses:       f.reuses.Load(),
-		BytesRead:    f.bytesRead.Load(),
-		BytesWritten: f.bytesWritten.Load(),
+// Commit on a memory-backed file records meta; the page images are already
+// "durable" for the life of the process.
+func (f *memFile) Commit(meta []byte) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.meta = append(f.meta[:0], meta...)
+	f.commits.Add(1)
+	return nil
+}
+
+func (f *memFile) Meta() []byte {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	if f.meta == nil {
+		return nil
 	}
+	return append([]byte(nil), f.meta...)
 }
 
-// ResetStats zeroes the I/O counters.  Allocation counts are preserved since
-// they describe the size of the file rather than a measurement window.
-func (f *File) ResetStats() {
-	f.reads.Store(0)
-	f.writes.Store(0)
-	f.bytesRead.Store(0)
-	f.bytesWritten.Store(0)
-}
+func (f *memFile) Stats() Stats { return f.counters.snapshot() }
 
-// SizeBytes reports the total allocated size of the file in bytes.
-func (f *File) SizeBytes() uint64 {
+func (f *memFile) ResetStats() { f.counters.reset() }
+
+func (f *memFile) SizeBytes() uint64 {
 	return f.NumPages() * uint64(f.pageSize)
 }

@@ -142,7 +142,7 @@ func TestReadLatency(t *testing.T) {
 
 func TestDiskBackedFile(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "pages.db")
-	f, err := Open(path, 256)
+	f, err := Open(path, WithPageSize(512))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,43 +150,86 @@ func TestDiskBackedFile(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	src := bytes.Repeat([]byte{7}, 256)
+	src := bytes.Repeat([]byte{7}, 512)
 	if err := f.Write(id, src); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Commit([]byte("root")); err != nil {
 		t.Fatal(err)
 	}
 	if err := f.Close(); err != nil {
 		t.Fatal(err)
 	}
 
-	// Reopen and verify the page survived.
-	f2, err := Open(path, 256)
+	// Reopen — no explicit page size: it comes from the header — and verify
+	// the committed page and meta survived.
+	f2, err := Open(path)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer f2.Close()
+	if f2.PageSize() != 512 {
+		t.Fatalf("reopened PageSize = %d, want 512", f2.PageSize())
+	}
 	if f2.NumPages() != 1 {
 		t.Fatalf("reopened NumPages = %d, want 1", f2.NumPages())
 	}
-	dst := make([]byte, 256)
+	dst := make([]byte, 512)
 	if err := f2.Read(0, dst); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(src, dst) {
 		t.Error("reopened page contents differ")
 	}
+	if got := f2.Meta(); !bytes.Equal(got, []byte("root")) {
+		t.Errorf("reopened Meta = %q, want %q", got, "root")
+	}
+}
+
+func TestUncommittedWritesLostOnReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pages.db")
+	f, err := Open(path, WithPageSize(512))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := f.Allocate()
+	if err := f.Write(a, bytes.Repeat([]byte{1}, 512)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Commit(nil); err != nil {
+		t.Fatal(err)
+	}
+	// Second page allocated and written but never committed.
+	b, _ := f.Allocate()
+	if err := f.Write(b, bytes.Repeat([]byte{2}, 512)); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	f2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f2.Close()
+	if f2.NumPages() != 1 {
+		t.Errorf("reopened NumPages = %d, want only the 1 committed page", f2.NumPages())
+	}
 }
 
 func TestOpenRejectsMisalignedFile(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "pages.db")
-	f, err := Open(path, 256)
+	f, err := Open(path, WithPageSize(512))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if _, err := f.Allocate(); err != nil {
 		t.Fatal(err)
 	}
+	if err := f.Commit(nil); err != nil {
+		t.Fatal(err)
+	}
 	f.Close()
-	if _, err := Open(path, 100); err == nil {
+	if _, err := Open(path, WithPageSize(1024)); err == nil {
 		t.Error("Open with mismatched page size succeeded, want error")
 	}
 }
@@ -254,14 +297,14 @@ func TestFreeRejectsBadPages(t *testing.T) {
 
 func TestFreeListDiskBacked(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "pages.db")
-	f, err := Open(path, 256)
+	f, err := Open(path, WithPageSize(512))
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer f.Close()
 	a, _ := f.Allocate()
 	b, _ := f.Allocate()
-	if err := f.Write(a, bytes.Repeat([]byte{0x7F}, 256)); err != nil {
+	if err := f.Write(a, bytes.Repeat([]byte{0x7F}, 512)); err != nil {
 		t.Fatal(err)
 	}
 	if err := f.Free(a); err != nil {
@@ -274,11 +317,11 @@ func TestFreeListDiskBacked(t *testing.T) {
 	if id != a {
 		t.Errorf("disk-backed Allocate after Free = %d, want %d", id, a)
 	}
-	dst := make([]byte, 256)
+	dst := make([]byte, 512)
 	if err := f.Read(id, dst); err != nil {
 		t.Fatal(err)
 	}
-	if !bytes.Equal(dst, make([]byte, 256)) {
+	if !bytes.Equal(dst, make([]byte, 512)) {
 		t.Error("recycled disk page was not zeroed")
 	}
 	_ = b

@@ -178,6 +178,40 @@ func (d *Dictionary) DocFreq(term string) int64 {
 	return 0
 }
 
+// DictionaryState is the serializable snapshot of a Dictionary, captured at
+// a checkpoint and restored on open.  Terms are listed in TermID order; the
+// term→ID map is rebuilt from it.
+type DictionaryState struct {
+	Terms   []string
+	DocFreq []int64
+}
+
+// State snapshots the dictionary.
+func (d *Dictionary) State() DictionaryState {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return DictionaryState{
+		Terms:   append([]string(nil), d.terms...),
+		DocFreq: append([]int64(nil), d.docFreq...),
+	}
+}
+
+// RestoreDictionary rebuilds a dictionary from a snapshot.
+func RestoreDictionary(st DictionaryState) *Dictionary {
+	d := &Dictionary{
+		ids:     make(map[string]TermID, len(st.Terms)),
+		terms:   append([]string(nil), st.Terms...),
+		docFreq: append([]int64(nil), st.DocFreq...),
+	}
+	for i, t := range d.terms {
+		d.ids[t] = TermID(i)
+	}
+	for len(d.docFreq) < len(d.terms) {
+		d.docFreq = append(d.docFreq, 0)
+	}
+	return d
+}
+
 // CollectionStats carries the collection-level counts needed for IDF.
 type CollectionStats struct {
 	NumDocs int64

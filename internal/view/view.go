@@ -303,6 +303,45 @@ func NewScoreView(db *relation.DB, baseTable string, spec Spec) (*ScoreView, err
 // Spec returns the view's score specification.
 func (v *ScoreView) Spec() Spec { return v.spec }
 
+// State records the view's checkpoint anchor: where its materialized score
+// tree lives.  The spec itself holds Go functions and cannot be serialized;
+// reopening resolves it by name from a registry (see core.OpenOptions).
+type State struct {
+	Root relation.TreeState // reuse the tree-anchor shape
+	Rows int
+}
+
+// State snapshots the view for a checkpoint.  The caller must hold the
+// engine's batch rung so no refresh is mid-flight.
+func (v *ScoreView) State() State {
+	v.treeMu.RLock()
+	defer v.treeMu.RUnlock()
+	v.mu.RLock()
+	rows := v.rows
+	v.mu.RUnlock()
+	return State{
+		Root: relation.TreeState{Root: v.tree.RootPage(), Size: v.tree.Len()},
+		Rows: rows,
+	}
+}
+
+// OpenScoreView reattaches a view to its checkpointed score tree.  The spec
+// must be the same one the view was built with (resolved from the caller's
+// registry); Attach must be called afterwards, as with NewScoreView.
+func OpenScoreView(db *relation.DB, baseTable string, spec Spec, st State) (*ScoreView, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if spec.Agg == nil {
+		spec.Agg = Sum()
+	}
+	if _, err := db.Table(baseTable); err != nil {
+		return nil, err
+	}
+	tree := btree.Open(db.Pool(), st.Root.Root, st.Root.Size)
+	return &ScoreView{db: db, baseTable: baseTable, spec: spec, tree: tree, rows: st.Rows}, nil
+}
+
 // Len reports how many documents currently have a materialized score.
 func (v *ScoreView) Len() int {
 	v.mu.RLock()

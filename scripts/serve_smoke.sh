@@ -57,5 +57,53 @@ kill -TERM "$PID"
 wait "$PID" # non-zero exit (failed drain or pin audit) fails the smoke
 grep -q "shutdown complete" "$LOG"
 
+# --- restart leg: durability under kill -9 -----------------------------------
+# Serve against a -data file, commit a batch, SIGKILL the daemon mid-flight,
+# restart against the same file, and require the committed query results to
+# come back byte-identical — the WAL recovery path over real HTTP.
+DATA=$(mktemp -d)/smoke.svrdb
+LOG2=$(mktemp)
+
+start_durable() {
+  "$BIN" -addr 127.0.0.1:0 -movies 500 -data "$DATA" >"$LOG2" 2>&1 &
+  PID=$!
+  ADDR=""
+  for _ in $(seq 1 150); do
+    ADDR=$(sed -n 's|^serving on http://\([^ ]*\).*|\1|p' "$LOG2")
+    if [ -n "$ADDR" ] && curl -fsS "http://$ADDR/healthz" >/dev/null 2>&1; then break; fi
+    sleep 0.2
+  done
+  [ -n "$ADDR" ] || { echo "durable daemon never started listening" >&2; cat "$LOG2" >&2; exit 1; }
+}
+
+cleanup2() { kill -9 "$PID" 2>/dev/null || true; cat "$LOG2"; }
+trap cleanup2 EXIT
+
+echo "--- durable build + committed batch"
+start_durable
+curl -fsS -d '{"ops":[{"op":"update","table":"Statistics","pk":7,"set":{"nVisit":123456}}]}' \
+  "http://$ADDR/v1/batch" | grep -q '"applied":1'
+PRE=$(curl -fsS -d '{"query":"golden gate","k":5}' "http://$ADDR/v1/indexes/movies_desc/search")
+
+echo "--- SIGKILL mid-serve"
+kill -9 "$PID"
+wait "$PID" 2>/dev/null || true
+
+echo "--- restart from the data file, assert committed state intact"
+: >"$LOG2"
+start_durable
+grep -q "recovered" "$LOG2" || { echo "restart rebuilt instead of recovering" >&2; exit 1; }
+POST=$(curl -fsS -d '{"query":"golden gate","k":5}' "http://$ADDR/v1/indexes/movies_desc/search")
+[ "$PRE" = "$POST" ] || {
+  echo "post-restart results diverge from committed pre-kill results" >&2
+  echo "pre:  $PRE" >&2
+  echo "post: $POST" >&2
+  exit 1
+}
+echo "--- second graceful shutdown closes the durable engine"
+kill -TERM "$PID"
+wait "$PID"
+grep -q "shutdown complete" "$LOG2"
+
 trap - EXIT
-echo "serve smoke OK"
+echo "serve smoke OK (including SIGKILL restart leg)"
