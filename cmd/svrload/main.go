@@ -159,6 +159,12 @@ func buildAndIngest(corpus *workload.Corpus, trace []workload.ScoreUpdate, metho
 	buildTime := time.Since(start)
 	stats := m.Stats()
 	fmt.Printf("bulk build (%s): %s, long lists %.2f MB\n", m.Name(), buildTime.Round(time.Millisecond), float64(stats.LongListBytes)/(1024*1024))
+	if stats.LongListRawBytes > 0 {
+		fmt.Printf("postings: %.2f MB stored vs %.2f MB fixed-width (%.2fx compression)\n",
+			float64(stats.LongListBytes)/(1024*1024),
+			float64(stats.LongListRawBytes)/(1024*1024),
+			float64(stats.LongListRawBytes)/float64(stats.LongListBytes))
+	}
 	if dataPath != "" {
 		fmt.Printf("committed to %s (%.2f MB on disk)\n", dataPath, float64(file.SizeBytes())/(1024*1024))
 	}

@@ -9,6 +9,11 @@
 // data), but each experiment preserves the comparison the paper makes: which
 // method wins, by roughly what factor, and where the crossovers are.
 //
+// Beyond the paper's tables, the harness carries engineering experiments for
+// this implementation: update throughput, concurrent serving, durable cold
+// start, and the posting-block compression A/B ("compression"), which also
+// enforces the ≥ 2x compression-ratio gate in CI.
+//
 // See ARCHITECTURE.md for the layer map — where this package sits in the
 // stack — and for the repo-wide concurrency contract.
 package bench

@@ -32,6 +32,7 @@ type catalogIndexEntry struct {
 	ChunkRatio     float64
 	MinChunkSize   int
 	FancyListSize  int
+	Uncompressed   bool
 
 	View   view.State
 	Method index.MethodState
@@ -180,6 +181,7 @@ func (e *Engine) buildCatalog() *catalog {
 			ChunkRatio:     ti.cfg.ChunkRatio,
 			MinChunkSize:   ti.cfg.MinChunkSize,
 			FancyListSize:  ti.cfg.FancyListSize,
+			Uncompressed:   ti.cfg.Uncompressed,
 			View:           ti.view.State(),
 			Method:         ti.method.State(),
 		}
@@ -355,6 +357,7 @@ func (e *Engine) restoreTextIndex(ent catalogIndexEntry, specs map[string]view.S
 		ChunkRatio:     ent.ChunkRatio,
 		MinChunkSize:   ent.MinChunkSize,
 		FancyListSize:  ent.FancyListSize,
+		Uncompressed:   ent.Uncompressed,
 	}
 	method, err := index.Restore(cfg, ent.Method)
 	if err != nil {

@@ -72,7 +72,7 @@ func (m *ChunkMethod) Build(src DocSource, scores ScoreFunc) error {
 	}
 	m.chunks = buildChunker(bc.allScores(), m.cfg.ChunkRatio, m.cfg.MinChunkSize)
 	for _, term := range bc.terms() {
-		builder := postings.NewChunkedListBuilder()
+		builder := postings.NewChunkedEncoder(!m.cfg.Uncompressed, false)
 		cids, byChunk := bc.chunked(term, m.chunks)
 		for _, cid := range cids {
 			if err := builder.AddChunk(cid, byChunk[cid]); err != nil {
@@ -86,6 +86,7 @@ func (m *ChunkMethod) Build(src DocSource, scores ScoreFunc) error {
 		}
 		m.longRefs[term] = ref
 		m.longBytes += uint64(len(data))
+		m.longRawBytes += uint64(builder.Len())*rawBytesIDPosting + uint64(builder.Chunks())*rawBytesChunkHeader
 	}
 	return nil
 }
@@ -377,9 +378,11 @@ func (m *ChunkMethod) Stats() Stats {
 	s := Stats{
 		Method:           m.Name(),
 		LongListBytes:    m.longBytes,
+		LongListRawBytes: m.longRawBytes,
 		ShortListEntries: m.short.Len(),
 		TablePatches:     m.score.Patches() + m.listChunk.Patches() + m.short.Patches(),
 	}
 	m.counters.fill(&s)
+	m.fillPoolStats(&s)
 	return s
 }

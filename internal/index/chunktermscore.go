@@ -58,7 +58,7 @@ func (m *ChunkTermScoreMethod) Build(src DocSource, scores ScoreFunc) error {
 	}
 	m.chunks = buildChunker(bc.allScores(), m.cfg.ChunkRatio, m.cfg.MinChunkSize)
 	for _, term := range bc.terms() {
-		builder := postings.NewChunkedTermListBuilder()
+		builder := postings.NewChunkedEncoder(!m.cfg.Uncompressed, true)
 		cids, byChunk := bc.chunked(term, m.chunks)
 		for _, cid := range cids {
 			if err := builder.AddChunk(cid, byChunk[cid]); err != nil {
@@ -72,11 +72,12 @@ func (m *ChunkTermScoreMethod) Build(src DocSource, scores ScoreFunc) error {
 		}
 		m.longRefs[term] = ref
 		m.longBytes += uint64(len(data))
+		m.longRawBytes += uint64(builder.Len())*rawBytesIDTermPosting + uint64(builder.Chunks())*rawBytesChunkHeader
 
 		// Fancy list: the FancyListSize postings with the highest term
 		// weights, stored in ID order.
 		fancyPosts, minW := bc.fancy(term, m.cfg.FancyListSize)
-		fb := postings.NewIDTermListBuilder()
+		fb := postings.NewIDTermEncoder(!m.cfg.Uncompressed)
 		for _, dw := range fancyPosts {
 			if err := fb.Add(dw.doc, dw.w); err != nil {
 				return fmt.Errorf("index: build fancy list for %q: %w", term, err)
@@ -90,6 +91,7 @@ func (m *ChunkTermScoreMethod) Build(src DocSource, scores ScoreFunc) error {
 		m.fancyRefs[term] = fref
 		m.fancyMinW[term] = minW
 		m.fancyBytes += uint64(len(fdata))
+		m.longRawBytes += uint64(fb.Len()) * rawBytesIDTermPosting
 	}
 	return nil
 }
@@ -313,9 +315,11 @@ func (m *ChunkTermScoreMethod) Stats() Stats {
 	s := Stats{
 		Method:           m.Name(),
 		LongListBytes:    m.longBytes + m.fancyBytes,
+		LongListRawBytes: m.longRawBytes,
 		ShortListEntries: m.short.Len(),
 		TablePatches:     m.score.Patches() + m.listChunk.Patches() + m.short.Patches(),
 	}
 	m.counters.fill(&s)
+	m.fillPoolStats(&s)
 	return s
 }

@@ -70,21 +70,23 @@ func (m *IDMethod) Build(src DocSource, scores ScoreFunc) error {
 	for _, term := range bc.terms() {
 		var data []byte
 		if m.withTermScores {
-			builder := postings.NewIDTermListBuilder()
+			builder := postings.NewIDTermEncoder(!m.cfg.Uncompressed)
 			for _, dw := range bc.termDocs[term] {
 				if err := builder.Add(dw.doc, dw.w); err != nil {
 					return fmt.Errorf("index: build %s list for %q: %w", m.Name(), term, err)
 				}
 			}
 			data = builder.Bytes()
+			m.longRawBytes += uint64(builder.Len()) * rawBytesIDTermPosting
 		} else {
-			builder := postings.NewIDListBuilder()
+			builder := postings.NewIDEncoder(!m.cfg.Uncompressed)
 			for _, dw := range bc.termDocs[term] {
 				if err := builder.Add(dw.doc); err != nil {
 					return fmt.Errorf("index: build %s list for %q: %w", m.Name(), term, err)
 				}
 			}
 			data = builder.Bytes()
+			m.longRawBytes += uint64(builder.Len()) * rawBytesIDPosting
 		}
 		ref, err := m.store.Put(data)
 		if err != nil {
@@ -255,10 +257,12 @@ func (m *IDMethod) Stats() Stats {
 	s := Stats{
 		Method:           m.Name(),
 		LongListBytes:    m.longBytes,
+		LongListRawBytes: m.longRawBytes,
 		ShortListEntries: m.aux.Len(),
 		TablePatches:     m.score.Patches() + m.aux.Patches(),
 	}
 	m.counters.fill(&s)
+	m.fillPoolStats(&s)
 	return s
 }
 

@@ -174,6 +174,18 @@ type Stats struct {
 	// (Table 1 of the paper).  For the Score method it is the size of the
 	// clustered score-ordered B+-tree contents.
 	LongListBytes uint64
+	// LongListRawBytes is what the same long-list postings would occupy in
+	// fixed-width form (8 bytes per doc id, 8 per score, 4 per term weight
+	// or chunk header) — the denominator of the compression ratio.  Zero
+	// for the Score method, whose postings live in B+-tree leaves rather
+	// than blobs.
+	LongListRawBytes uint64
+	// PagesRead and PageHits mirror the buffer pool's cumulative miss and
+	// hit counters for the pool hosting this index.  On a pool shared by
+	// several indexes they aggregate across all of them; the bench rig
+	// gives each method its own pool so per-query page deltas are exact.
+	PagesRead uint64
+	PageHits  uint64
 	// ShortListEntries is the number of postings currently in short lists.
 	ShortListEntries int
 	// ScoreUpdates counts UpdateScore calls.
@@ -210,6 +222,12 @@ type Config struct {
 	// FancyListSize is the number of highest-term-score postings kept in each
 	// fancy list of the Chunk-TermScore method.
 	FancyListSize int
+	// Uncompressed stores long-list blobs in the legacy fixed-width
+	// encodings instead of compressed posting blocks.  The default (false)
+	// compresses; the flag exists for A/B comparison in benchmarks and
+	// equivalence tests.  Reads auto-detect the encoding, so the flag only
+	// affects builds.
+	Uncompressed bool
 }
 
 // Defaults fills unset fields with the values used throughout the paper's
@@ -249,6 +267,24 @@ func (c *counters) fill(s *Stats) {
 	s.PostingsScanned = c.postingsScanned.Load()
 }
 
+// fillPoolStats copies the buffer pool's page counters into s.
+func (b *base) fillPoolStats(s *Stats) {
+	ps := b.cfg.Pool.Stats()
+	s.PagesRead = ps.Misses
+	s.PageHits = ps.Hits
+}
+
+// Fixed-width per-posting footprints of the long-list layouts, used for
+// the raw side of the compression ratio: doc ids and scores at 8 bytes,
+// term weights at 4, plus a 4-byte header per chunk in the chunked
+// layouts.
+const (
+	rawBytesIDPosting     = 8
+	rawBytesIDTermPosting = 12
+	rawBytesScorePosting  = 16
+	rawBytesChunkHeader   = 4
+)
+
 // base bundles the plumbing common to every method: the blob store for long
 // lists, the score table, the dictionary and the document source.
 type base struct {
@@ -260,6 +296,10 @@ type base struct {
 
 	longRefs  map[string]blob.Ref
 	longBytes uint64
+	// longRawBytes accumulates the fixed-width footprint of every posting
+	// written to long-list blobs (fancy lists included), so Stats can
+	// report the compression ratio without re-reading the lists.
+	longRawBytes uint64
 	// numDocs is atomic so concurrent queries can read the collection size
 	// (for IDF) while a serialized writer inserts or deletes documents.
 	numDocs  atomic.Int64

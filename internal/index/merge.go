@@ -102,6 +102,7 @@ func (m *IDMethod) MergeShortLists() error {
 	origSrc := m.src
 	m.longRefs = map[string]blob.Ref{}
 	m.longBytes = 0
+	m.longRawBytes = 0
 	m.dict = text.NewDictionary()
 	aux, err := newKeyedList(m.cfg.Pool)
 	if err != nil {
@@ -129,6 +130,7 @@ func (m *ScoreThresholdMethod) MergeShortLists() error {
 	origSrc := m.src
 	m.longRefs = map[string]blob.Ref{}
 	m.longBytes = 0
+	m.longRawBytes = 0
 	m.dict = text.NewDictionary()
 	short, err := newKeyedList(m.cfg.Pool)
 	if err != nil {
@@ -167,6 +169,7 @@ func (m *ChunkMethod) MergeShortLists() error {
 func (m *ChunkMethod) resetChunkState() {
 	m.longRefs = map[string]blob.Ref{}
 	m.longBytes = 0
+	m.longRawBytes = 0
 	m.dict = text.NewDictionary()
 	if short, err := newKeyedList(m.cfg.Pool); err == nil {
 		m.short = short

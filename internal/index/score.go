@@ -229,8 +229,11 @@ func (m *ScoreMethod) Stats() Stats {
 	s := Stats{
 		Method:        m.Name(),
 		LongListBytes: size,
-		TablePatches:  m.score.Patches() + m.lists.Patches(),
+		// LongListRawBytes stays zero: the Score method keeps its postings in
+		// B+-tree leaves, not compressed long-list blobs.
+		TablePatches: m.score.Patches() + m.lists.Patches(),
 	}
 	m.counters.fill(&s)
+	m.fillPoolStats(&s)
 	return s
 }

@@ -25,6 +25,11 @@ type ScoreThresholdMethod struct {
 	listScore *listTable
 	// knownTokens caches terms of incrementally inserted documents.
 	knownTokens map[DocID][]string
+	// scoreDir is the score directory of the compressed long lists: the
+	// distinct build-time scores in descending order, shared by every list
+	// so each posting stores a small rank delta instead of a raw float64.
+	// Nil when the lists were built uncompressed.
+	scoreDir []float64
 }
 
 // NewScoreThreshold creates a Score-Threshold index with the configured
@@ -68,8 +73,11 @@ func (m *ScoreThresholdMethod) Build(src DocSource, scores ScoreFunc) error {
 	if err := m.populateScoreTable(bc); err != nil {
 		return err
 	}
+	if !m.cfg.Uncompressed {
+		m.scoreDir = postings.BuildScoreDir(bc.allScores())
+	}
 	for _, term := range bc.terms() {
-		builder := postings.NewScoreListBuilder()
+		builder := postings.NewScoreEncoder(!m.cfg.Uncompressed, m.scoreDir)
 		for _, dw := range bc.sortedByScoreDesc(term) {
 			if err := builder.Add(dw.doc, bc.docScores[dw.doc]); err != nil {
 				return fmt.Errorf("index: build Score-Threshold list for %q: %w", term, err)
@@ -82,6 +90,7 @@ func (m *ScoreThresholdMethod) Build(src DocSource, scores ScoreFunc) error {
 		}
 		m.longRefs[term] = ref
 		m.longBytes += uint64(len(data))
+		m.longRawBytes += uint64(builder.Len()) * rawBytesScorePosting
 	}
 	return nil
 }
@@ -342,7 +351,7 @@ func (m *ScoreThresholdMethod) longIterator(term string) (postings.BatchIterator
 	if !ok {
 		return postings.NewSliceIterator(nil), nil
 	}
-	return postings.NewStreamScoreList(m.store.NewReader(ref))
+	return postings.NewStreamScoreListDir(m.store.NewReader(ref), m.scoreDir)
 }
 
 // Stats implements Method.
@@ -350,9 +359,11 @@ func (m *ScoreThresholdMethod) Stats() Stats {
 	s := Stats{
 		Method:           m.Name(),
 		LongListBytes:    m.longBytes,
+		LongListRawBytes: m.longRawBytes,
 		ShortListEntries: m.short.Len(),
 		TablePatches:     m.score.Patches() + m.listScore.Patches() + m.short.Patches(),
 	}
 	m.counters.fill(&s)
+	m.fillPoolStats(&s)
 	return s
 }

@@ -33,6 +33,9 @@ type MethodState struct {
 
 	NumDocs   int64
 	LongBytes uint64
+	// LongRawBytes is the fixed-width footprint of the long-list postings
+	// (the raw side of the compression ratio reported by Stats).
+	LongRawBytes uint64
 	// LongRefs maps each term to its immutable long inverted list blob.
 	LongRefs map[string]blob.Ref
 	Dict     text.DictionaryState
@@ -52,6 +55,11 @@ type MethodState struct {
 
 	// ChunkLower is the chunker's boundary vector (chunk families only).
 	ChunkLower []float64
+
+	// ScoreDir is the Score-Threshold method's score directory: the distinct
+	// build-time scores in descending order that its compressed long lists
+	// encode ranks against.  Nil for other methods or uncompressed builds.
+	ScoreDir []float64
 
 	// Fancy-list anchors (Chunk-TermScore only).
 	FancyRefs  map[string]blob.Ref
@@ -98,12 +106,13 @@ func copyRefs(src map[string]blob.Ref) map[string]blob.Ref {
 // baseState fills the fields shared by every method.
 func (b *base) baseState(kind string) MethodState {
 	return MethodState{
-		Kind:      kind,
-		NumDocs:   b.numDocs.Load(),
-		LongBytes: b.longBytes,
-		LongRefs:  copyRefs(b.longRefs),
-		Dict:      b.dict.State(),
-		Score:     treeRefOf(b.score.tree),
+		Kind:         kind,
+		NumDocs:      b.numDocs.Load(),
+		LongBytes:    b.longBytes,
+		LongRawBytes: b.longRawBytes,
+		LongRefs:     copyRefs(b.longRefs),
+		Dict:         b.dict.State(),
+		Score:        treeRefOf(b.score.tree),
 	}
 }
 
@@ -115,12 +124,13 @@ func openBase(cfg Config, st *MethodState) (*base, error) {
 	}
 	cfg = cfg.Defaults()
 	b := &base{
-		cfg:       cfg,
-		store:     blob.NewStore(cfg.Pool),
-		dict:      text.RestoreDictionary(st.Dict),
-		score:     openScoreTable(cfg.Pool, st.Score),
-		longRefs:  copyRefs(st.LongRefs),
-		longBytes: st.LongBytes,
+		cfg:          cfg,
+		store:        blob.NewStore(cfg.Pool),
+		dict:         text.RestoreDictionary(st.Dict),
+		score:        openScoreTable(cfg.Pool, st.Score),
+		longRefs:     copyRefs(st.LongRefs),
+		longBytes:    st.LongBytes,
+		longRawBytes: st.LongRawBytes,
 	}
 	b.numDocs.Store(st.NumDocs)
 	return b, nil
@@ -155,6 +165,7 @@ func (m *ScoreThresholdMethod) State() MethodState {
 	st.Lists = m.short.state()
 	st.ListTable = treeRefOf(m.listScore.tree)
 	st.KnownTokens = copyTokenCache(m.knownTokens)
+	st.ScoreDir = append([]float64(nil), m.scoreDir...)
 	return st
 }
 
@@ -214,6 +225,7 @@ func Restore(cfg Config, st MethodState) (Method, error) {
 			short:       openKeyedList(b.cfg.Pool, st.Lists),
 			listScore:   openListTable(b.cfg.Pool, st.ListTable),
 			knownTokens: copyTokenCache(st.KnownTokens),
+			scoreDir:    append([]float64(nil), st.ScoreDir...),
 		}, nil
 	case "Chunk", "Chunk-TermScore":
 		cm := &ChunkMethod{

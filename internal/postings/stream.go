@@ -139,6 +139,91 @@ func (b *blockReader) byte() (byte, error) {
 	return c, nil
 }
 
+// peek returns the next byte without consuming it; io.EOF when the source
+// is exhausted.
+func (b *blockReader) peek() (byte, error) {
+	if err := b.ensure(1); err != nil {
+		return 0, err
+	}
+	if b.avail() < 1 {
+		return 0, io.EOF
+	}
+	return b.buf[b.pos], nil
+}
+
+// view consumes the next n bytes and returns them as a contiguous slice of
+// the buffer, valid until the next fill.  n must not exceed the buffer
+// size; posting blocks are built small enough that a whole block body
+// always fits (see blockCap).
+func (b *blockReader) view(n int) ([]byte, error) {
+	if n > len(b.buf) {
+		return nil, fmt.Errorf("postings: block body of %d bytes exceeds %d-byte buffer", n, len(b.buf))
+	}
+	if err := b.ensure(n); err != nil {
+		return nil, err
+	}
+	if b.avail() < n {
+		return nil, io.ErrUnexpectedEOF
+	}
+	p := b.buf[b.pos : b.pos+n]
+	b.pos += n
+	return p, nil
+}
+
+// byteSkipper is the optional fast-skip protocol of the underlying reader;
+// blob readers implement it by advancing their offset without faulting in
+// the skipped pages.
+type byteSkipper interface{ Skip(n uint64) error }
+
+// skip consumes n bytes.  Bytes beyond the buffered tail are skipped on
+// the underlying reader without being read when it supports that, which is
+// what lets a seek jump posting blocks without touching their pages.
+func (b *blockReader) skip(n int) error {
+	if a := b.avail(); a >= n {
+		b.pos += n
+		return nil
+	}
+	n -= b.avail()
+	b.pos = b.lim
+	if !b.eof {
+		if sk, ok := b.r.(byteSkipper); ok {
+			return sk.Skip(uint64(n))
+		}
+	}
+	for n > 0 {
+		if err := b.fill(); err != nil {
+			return err
+		}
+		if b.avail() == 0 {
+			return io.ErrUnexpectedEOF
+		}
+		t := b.avail()
+		if t > n {
+			t = n
+		}
+		b.pos += t
+		n -= t
+	}
+	return nil
+}
+
+// maybeCompressed dispatches on the blob's first byte: compressed blobs
+// start with blockMagic, which no legacy non-empty list can (their first
+// byte is a uvarint count >= 1).  It reports whether the compressed path
+// claimed the stream; when it did not, the legacy decoders proceed
+// unchanged.
+func maybeCompressed(br *blockReader, dir []float64) (*blockList, bool, error) {
+	c, err := br.peek()
+	if err != nil || c != blockMagic {
+		return nil, false, nil
+	}
+	d, err := newBlockList(br, dir)
+	if err != nil {
+		return nil, true, err
+	}
+	return d, true, nil
+}
+
 // nextOne adapts a NextBatch implementation to the single-step Iterator
 // protocol with a stack buffer.
 func nextOne(b BatchIterator) (Entry, bool, error) {
@@ -155,9 +240,11 @@ func nextOne(b BatchIterator) (Entry, bool, error) {
 
 // --- streaming ID list ---------------------------------------------------------
 
-// StreamIDList decodes an IDListBuilder blob lazily from r.
+// StreamIDList decodes an IDListBuilder or BlockIDListBuilder blob lazily
+// from r, dispatching on the blob's first byte.
 type StreamIDList struct {
 	br   *blockReader
+	comp *blockList
 	n    int
 	seen int
 	last DocID
@@ -168,6 +255,15 @@ type StreamIDList struct {
 // reader yields an empty list.
 func NewStreamIDList(r io.Reader) (*StreamIDList, error) {
 	br := newBlockReader(r)
+	if c, ok, err := maybeCompressed(br, nil); ok || err != nil {
+		if err != nil {
+			return nil, fmt.Errorf("postings: stream id list header: %w", err)
+		}
+		if c.layout != 0 && c.layout != layoutID {
+			return nil, fmt.Errorf("postings: stream id list: unexpected block layout %d", c.layout)
+		}
+		return &StreamIDList{br: br, comp: c, n: c.count}, nil
+	}
 	n, err := br.uvarint()
 	if err == io.EOF {
 		return &StreamIDList{br: br}, nil
@@ -181,8 +277,23 @@ func NewStreamIDList(r io.Reader) (*StreamIDList, error) {
 // Len reports the total number of postings in the list.
 func (s *StreamIDList) Len() int { return s.n }
 
+// SeekDoc positions the iterator so the next entry returned is the first
+// with Doc >= doc, skipping whole posting blocks — without decoding them
+// or faulting in their pages — via the per-block skip headers.  It reports
+// whether seeking was available: legacy uncompressed blobs have no skip
+// headers and are left unpositioned.
+func (s *StreamIDList) SeekDoc(doc DocID) (bool, error) {
+	if s.comp == nil {
+		return false, nil
+	}
+	return true, s.comp.seekDoc(doc)
+}
+
 // NextBatch implements BatchIterator.
 func (s *StreamIDList) NextBatch(out []Entry) (int, error) {
+	if s.comp != nil {
+		return s.comp.NextBatch(out)
+	}
 	if s.err != nil {
 		return 0, s.err
 	}
@@ -210,17 +321,37 @@ func (s *StreamIDList) Next() (Entry, bool, error) { return nextOne(s) }
 
 // --- streaming score list ------------------------------------------------------
 
-// StreamScoreList decodes a ScoreListBuilder blob lazily from r.
+// StreamScoreList decodes a ScoreListBuilder or BlockScoreListBuilder blob
+// lazily from r, dispatching on the blob's first byte.
 type StreamScoreList struct {
 	br   *blockReader
+	comp *blockList
 	n    int
 	seen int
 	err  error
 }
 
-// NewStreamScoreList reads the header and returns a lazy iterator.
+// NewStreamScoreList reads the header and returns a lazy iterator.  It is
+// NewStreamScoreListDir without a score directory: compressed blobs that
+// encode ranks require the directory the encoder used.
 func NewStreamScoreList(r io.Reader) (*StreamScoreList, error) {
+	return NewStreamScoreListDir(r, nil)
+}
+
+// NewStreamScoreListDir reads the header and returns a lazy iterator that
+// resolves compressed score ranks through dir (see BuildScoreDir); dir
+// must be the directory the list was encoded with.
+func NewStreamScoreListDir(r io.Reader, dir []float64) (*StreamScoreList, error) {
 	br := newBlockReader(r)
+	if c, ok, err := maybeCompressed(br, dir); ok || err != nil {
+		if err != nil {
+			return nil, fmt.Errorf("postings: stream score list header: %w", err)
+		}
+		if c.layout != 0 && c.layout != layoutScore {
+			return nil, fmt.Errorf("postings: stream score list: unexpected block layout %d", c.layout)
+		}
+		return &StreamScoreList{br: br, comp: c, n: c.count}, nil
+	}
 	n, err := br.uvarint()
 	if err == io.EOF {
 		return &StreamScoreList{br: br}, nil
@@ -234,8 +365,22 @@ func NewStreamScoreList(r io.Reader) (*StreamScoreList, error) {
 // Len reports the total number of postings.
 func (s *StreamScoreList) Len() int { return s.n }
 
+// SeekScoreLE positions the iterator so the next entry returned is the
+// first with score <= s (the layout sorts descending by score), skipping
+// whole posting blocks via the skip headers.  It reports whether seeking
+// was available (compressed blobs only).
+func (s *StreamScoreList) SeekScoreLE(score float64) (bool, error) {
+	if s.comp == nil {
+		return false, nil
+	}
+	return true, s.comp.seekScoreLE(score)
+}
+
 // NextBatch implements BatchIterator.
 func (s *StreamScoreList) NextBatch(out []Entry) (int, error) {
+	if s.comp != nil {
+		return s.comp.NextBatch(out)
+	}
 	if s.err != nil {
 		return 0, s.err
 	}
@@ -263,9 +408,12 @@ func (s *StreamScoreList) Next() (Entry, bool, error) { return nextOne(s) }
 
 // --- streaming chunked list ----------------------------------------------------
 
-// StreamChunkedList decodes a ChunkedListBuilder blob lazily from r.
+// StreamChunkedList decodes a ChunkedListBuilder or
+// BlockChunkedListBuilder blob lazily from r, dispatching on the blob's
+// first byte.
 type StreamChunkedList struct {
 	br       *blockReader
+	comp     *blockList
 	n        int
 	chunks   int
 	withTerm bool
@@ -280,6 +428,15 @@ type StreamChunkedList struct {
 // NewStreamChunkedList reads the header and returns a lazy iterator.
 func NewStreamChunkedList(r io.Reader) (*StreamChunkedList, error) {
 	br := newBlockReader(r)
+	if c, ok, err := maybeCompressed(br, nil); ok || err != nil {
+		if err != nil {
+			return nil, fmt.Errorf("postings: stream chunked list header: %w", err)
+		}
+		if c.layout != 0 && c.layout != layoutChunk && c.layout != layoutChunkTerm {
+			return nil, fmt.Errorf("postings: stream chunked list: unexpected block layout %d", c.layout)
+		}
+		return &StreamChunkedList{br: br, comp: c, n: c.count, chunks: c.chunks, withTerm: c.layout == layoutChunkTerm}, nil
+	}
 	n, err := br.uvarint()
 	if err == io.EOF {
 		return &StreamChunkedList{br: br}, nil
@@ -302,8 +459,22 @@ func NewStreamChunkedList(r io.Reader) (*StreamChunkedList, error) {
 func (s *StreamChunkedList) Len() int       { return s.n }
 func (s *StreamChunkedList) NumChunks() int { return s.chunks }
 
+// SeekChunkLE positions the iterator so the next entry returned is the
+// first with CID <= cid (the layout sorts descending by chunk), skipping
+// whole posting blocks via the skip headers.  It reports whether seeking
+// was available (compressed blobs only).
+func (s *StreamChunkedList) SeekChunkLE(cid int32) (bool, error) {
+	if s.comp == nil {
+		return false, nil
+	}
+	return true, s.comp.seekChunkLE(cid)
+}
+
 // NextBatch implements BatchIterator.
 func (s *StreamChunkedList) NextBatch(out []Entry) (int, error) {
+	if s.comp != nil {
+		return s.comp.NextBatch(out)
+	}
 	if s.err != nil {
 		return 0, s.err
 	}
@@ -355,9 +526,11 @@ func (s *StreamChunkedList) Next() (Entry, bool, error) { return nextOne(s) }
 
 // --- streaming ID+term list ----------------------------------------------------
 
-// StreamIDTermList decodes an IDTermListBuilder blob lazily from r.
+// StreamIDTermList decodes an IDTermListBuilder or BlockIDTermListBuilder
+// blob lazily from r, dispatching on the blob's first byte.
 type StreamIDTermList struct {
 	br   *blockReader
+	comp *blockList
 	n    int
 	seen int
 	last DocID
@@ -367,6 +540,15 @@ type StreamIDTermList struct {
 // NewStreamIDTermList reads the header and returns a lazy iterator.
 func NewStreamIDTermList(r io.Reader) (*StreamIDTermList, error) {
 	br := newBlockReader(r)
+	if c, ok, err := maybeCompressed(br, nil); ok || err != nil {
+		if err != nil {
+			return nil, fmt.Errorf("postings: stream id+term list header: %w", err)
+		}
+		if c.layout != 0 && c.layout != layoutIDTerm {
+			return nil, fmt.Errorf("postings: stream id+term list: unexpected block layout %d", c.layout)
+		}
+		return &StreamIDTermList{br: br, comp: c, n: c.count}, nil
+	}
 	n, err := br.uvarint()
 	if err == io.EOF {
 		return &StreamIDTermList{br: br}, nil
@@ -380,8 +562,21 @@ func NewStreamIDTermList(r io.Reader) (*StreamIDTermList, error) {
 // Len reports the total number of postings.
 func (s *StreamIDTermList) Len() int { return s.n }
 
+// SeekDoc positions the iterator so the next entry returned is the first
+// with Doc >= doc, skipping whole posting blocks via the skip headers.  It
+// reports whether seeking was available (compressed blobs only).
+func (s *StreamIDTermList) SeekDoc(doc DocID) (bool, error) {
+	if s.comp == nil {
+		return false, nil
+	}
+	return true, s.comp.seekDoc(doc)
+}
+
 // NextBatch implements BatchIterator.
 func (s *StreamIDTermList) NextBatch(out []Entry) (int, error) {
+	if s.comp != nil {
+		return s.comp.NextBatch(out)
+	}
 	if s.err != nil {
 		return 0, s.err
 	}

@@ -346,9 +346,16 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			continue
 		}
 		st := ti.Stats()
+		ratio := 0.0
+		if st.LongListBytes > 0 && st.LongListRawBytes > 0 {
+			ratio = float64(st.LongListRawBytes) / float64(st.LongListBytes)
+		}
 		indexes[name] = map[string]any{
 			"method":                      st.Method,
 			"long_list_bytes":             st.LongListBytes,
+			"long_list_raw_bytes":         st.LongListRawBytes,
+			"compression_ratio":           ratio,
+			"pages_read":                  st.PagesRead,
 			"short_list_entries":          st.ShortListEntries,
 			"score_updates":               st.ScoreUpdates,
 			"short_list_postings_written": st.ShortListPostingsWritten,

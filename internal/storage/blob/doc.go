@@ -8,6 +8,9 @@
 // Reader that fetches one page at a time, so query algorithms that terminate
 // early (Score-Threshold, Chunk, Chunk-TermScore) touch only a prefix of the
 // blob's pages and the buffer-pool statistics show exactly how many.
+// Reader.Skip advances the position without faulting the pages in between,
+// which is what lets the compressed posting blocks (package postings) seek
+// past whole super-blocks without paying their I/O.
 //
 // See ARCHITECTURE.md for the layer map — where this package sits in the
 // stack — and for the repo-wide concurrency contract.

@@ -46,6 +46,19 @@ echo "--- stats scrape"
 STATS=$(curl -fsS "http://$ADDR/v1/stats")
 echo "$STATS" | grep -q '"table_patches"'
 echo "$STATS" | grep -q '"endpoints"'
+echo "$STATS" | grep -q '"long_list_raw_bytes"'
+echo "$STATS" | grep -q '"compression_ratio"'
+echo "$STATS" | grep -q '"pages_read"'
+# Long lists must actually be compressed: every index with a nonzero raw
+# footprint must report ratio > 1 (raw bytes strictly above stored bytes).
+echo "$STATS" | python3 -c '
+import json, sys
+stats = json.load(sys.stdin)
+for name, idx in stats["indexes"].items():
+    raw, stored = idx["long_list_raw_bytes"], idx["long_list_bytes"]
+    if raw > 0 and idx["compression_ratio"] <= 1.0:
+        sys.exit(f"{name}: raw {raw} B stored {stored} B — not compressed")
+'
 
 echo "--- malformed request gets a clean 400"
 CODE=$(curl -s -o /dev/null -w '%{http_code}' -d '{"query":' \
