@@ -98,6 +98,13 @@ func RunCompression(opts Options) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The seek probe is also an assertion: SeekDoc exists so that the
+	// conjunctive planner can leapfrog selective terms past non-matching
+	// super-blocks, which is only real if seeking faults in strictly fewer
+	// pages than scanning the same distance.
+	if seekPages >= scanPages {
+		return nil, fmt.Errorf("bench: SeekDoc read %d pages vs %d for a sequential scan — super-block skips are not saving page reads", seekPages, scanPages)
+	}
 	t.Notes = append(t.Notes, fmt.Sprintf(
 		"seek probe: reaching the tail of a 200k-posting compressed ID list (%d pages) costs %d pages by scanning vs %d by SeekDoc — super-block skips advance past pages without faulting them",
 		listPages, scanPages, seekPages))

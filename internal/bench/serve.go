@@ -18,7 +18,7 @@ import (
 
 // This file implements the HTTP serving experiment: the Figure 7 query mix
 // replayed over the real serving stack — TCP loopback, JSON codec, mux,
-// metrics, the engine's RW-lock coordination — at 1/2/4/GOMAXPROCS client
+// metrics, the engine's snapshot coordination — at 1/2/4/GOMAXPROCS client
 // workers, next to the same queries through a direct core.TextIndex.Search
 // call.  The gap between the two rows is the measured serving overhead; the
 // paper's evaluation stops at the method layer, but the engine's north star
@@ -163,7 +163,7 @@ func RunServe(opts Options) (*Table, error) {
 		Name: "HTTP Serving — Figure 7 query mix over the serving stack vs direct Search",
 		Caption: fmt.Sprintf("Chunk method, k=%d, conjunctive, warm cache, after %d score updates; %d queries per worker, GOMAXPROCS=%d",
 			opts.K, len(updates), baseQueries, runtime.GOMAXPROCS(0)),
-		Header: []string{"Path", "Workers", "QPS", "avg (ms)", "p50 (ms)", "p99 (ms)", "Scaling vs 1 worker"},
+		Header: []string{"Path", "Workers", "QPS", "avg (ms)", "p50 (ms)", "p99 (ms)", "p99.9 (ms)", "Scaling vs 1 worker"},
 	}
 	addRow := func(path string, r server.LoadResult, baseQPS float64) {
 		scaling := "1.00x"
@@ -172,7 +172,7 @@ func RunServe(opts Options) (*Table, error) {
 		}
 		t.Rows = append(t.Rows, []string{
 			path, fmt.Sprintf("%d", r.Workers), fmt.Sprintf("%.0f", r.QPS),
-			fmtDur(r.Avg), fmtDur(r.P50), fmtDur(r.P99), scaling,
+			fmtDur(r.Avg), fmtDur(r.P50), fmtDur(r.P99), fmtDur(r.P999), scaling,
 		})
 	}
 	addRow("direct Search", direct, 0)

@@ -1,0 +1,266 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"svrdb/internal/core"
+	"svrdb/internal/index"
+	"svrdb/internal/server"
+	"svrdb/internal/workload"
+)
+
+// This file implements the tail-latency experiment: the Figure 7 query mix
+// racing a continuous update storm through the full engine.  It is the
+// benchmark behind the epoch-read design — before snapshots, a search
+// arriving during an ApplyBatch flush queued behind the writer and the
+// search tail stretched to the length of the maintenance window; with epoch
+// reads the storm should cost cache pressure, not stalls.  The experiment
+// therefore doubles as a regression gate: it fails outright if the storm
+// p99 exceeds tailLatencyFactor times the idle p99.
+
+// tailLatencyFactor is the multiple of the idle percentile the storm
+// percentile must stay within for the experiment to pass.
+const tailLatencyFactor = 5
+
+// tailP50Grace and tailP99Grace are absolute slack on the two gates.  A
+// search that queues behind maintenance waits for the in-flight batch —
+// ~10ms+ at default scale — and it waits on every request, so the median
+// moves by the full batch length and 2ms of slack hides nothing.  The p99
+// grace is wider because on a single-core host the storm and the search
+// workers time-share the CPU and the tail picks up scheduler slices
+// (~10-40ms) that are not lock waits; a real stall regression still trips
+// the median gate there.
+const (
+	tailP50Grace = 2 * time.Millisecond
+	tailP99Grace = 50 * time.Millisecond
+)
+
+// tailGateScale is the smallest collection scale at which the p99 gate is
+// enforced.  At smoke scale every query is sub-millisecond, so the idle p99
+// carries no slow-query mass and the storm's GC/pool-contention jitter —
+// real but bounded in absolute terms — dominates the ratio.  At realistic
+// scale the query mix includes genuinely expensive conjunctions and the
+// ratio measures what it should: whether those queries stall behind
+// maintenance.  (The absolute stall bound is covered at every scale by
+// TestSearchMaxLatencyUnderMaintenanceStall.)
+const tailGateScale = 0.1
+
+// stormBatch is the number of score updates per ApplyBatch in the storm:
+// large enough that the flush path (batch apply, snapshot publication) is
+// continuously exercised, small enough that batches recur many times per
+// measured window.
+const stormBatch = 128
+
+// RunTailLatency measures search latency with and without a concurrent
+// maintenance storm, per method.
+func RunTailLatency(opts Options) (*Table, error) {
+	opts = opts.normalized()
+	corpus := corpusFor(opts)
+	queries := workload.GenerateQueries(corpus, queryParams(opts))
+
+	up := workload.DefaultUpdateParams()
+	up.NumUpdates = opts.NumUpdates
+	up.MeanStep = opts.MeanStep
+	up.Seed = opts.Seed + 53
+	updates := workload.GenerateUpdates(corpus, up)
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > 4 {
+		workers = 4
+	}
+	// p99 of n samples is the ceil(0.01*n)-th slowest observation; at 200
+	// samples that is the 2nd slowest and run-to-run noise swamps the
+	// signal.  1000 samples make the idle and storm tails reproducible.
+	total := opts.NumQueries * 50
+	if total < 1000 {
+		total = 1000
+	}
+
+	t := &Table{
+		Name: "Tail latency — Figure 7 query mix vs a continuous update storm",
+		Caption: fmt.Sprintf("warm cache, k=%d, conjunctive, %d query workers x %d queries; storm = back-to-back ApplyBatch rounds of %d score updates",
+			opts.K, workers, total, stormBatch),
+		Header: []string{"Method", "Phase", "QPS", "p50 (ms)", "p99 (ms)", "p99.9 (ms)", "max (ms)", "p99 vs idle"},
+		Notes: []string{
+			fmt.Sprintf("gate (scale >= %.2g): storm p50 and p99 must stay within %dx of idle (+%s/+%s) — searches read a pinned epoch snapshot and never queue behind the writer", tailGateScale, tailLatencyFactor, tailP50Grace, tailP99Grace),
+			"the residual storm/idle gap is cache and CPU contention, not lock waits; max is the hard ceiling a maintenance stall would show up in",
+		},
+	}
+	if runtime.GOMAXPROCS(0) == 1 {
+		t.Notes = append(t.Notes,
+			"single-CPU host: the storm time-shares the core with the search workers, so the storm tail includes scheduler slices; the p50 gate carries the lock-wait signal here")
+	}
+
+	for _, mk := range []struct {
+		name string
+		kind core.MethodKind
+	}{
+		{"ID", core.MethodID},
+		{"Chunk", core.MethodChunk},
+	} {
+		idle, storm, batches, stats, err := measureTailLatency(corpus, queries, updates, opts, mk.kind, workers, total)
+		if err != nil {
+			return nil, fmt.Errorf("bench: tail-latency %s: %w", mk.name, err)
+		}
+		if opts.Scale >= tailGateScale {
+			if storm.P50 > tailLatencyFactor*idle.P50+tailP50Grace {
+				return nil, fmt.Errorf("bench: %s storm p50 %s exceeds %dx idle p50 %s (+%s) — every search is queueing behind maintenance",
+					mk.name, storm.P50, tailLatencyFactor, idle.P50, tailP50Grace)
+			}
+			if storm.P99 > tailLatencyFactor*idle.P99+tailP99Grace {
+				return nil, fmt.Errorf("bench: %s storm p99 %s exceeds %dx idle p99 %s (+%s) — the search tail is stalling behind maintenance",
+					mk.name, storm.P99, tailLatencyFactor, idle.P99, tailP99Grace)
+			}
+		}
+		addTailRow(t, mk.name, "idle", idle, idle)
+		addTailRow(t, mk.name, "storm", storm, idle)
+		t.Notes = append(t.Notes, fmt.Sprintf(
+			"%s: storm applied %d batches (%d updates) concurrently; epoch advanced to %d, %d retained pages awaiting reader drain at scrape time",
+			mk.name, batches, batches*stormBatch, stats.Epoch, stats.RetainedPages))
+	}
+	return t, nil
+}
+
+func addTailRow(t *Table, method, phase string, r, idle server.LoadResult) {
+	ratio := "1.00x"
+	if phase != "idle" && idle.P99 > 0 {
+		ratio = fmt.Sprintf("%.2fx", float64(r.P99)/float64(idle.P99))
+	}
+	t.Rows = append(t.Rows, []string{
+		method, phase, fmt.Sprintf("%.0f", r.QPS),
+		fmtDur(r.P50), fmtDur(r.P99), fmtDur(r.P999), fmtDur(r.Max), ratio,
+	})
+}
+
+// measureTailLatency builds one engine-backed index and measures the query
+// load twice: idle (no writer) and under the storm (a background goroutine
+// pushing continuous score-update batches through Engine.ApplyBatch).
+func measureTailLatency(corpus *workload.Corpus, queries [][]string, updates []workload.ScoreUpdate, opts Options, kind core.MethodKind, workers, total int) (idle, storm server.LoadResult, batches int, stats index.Stats, err error) {
+	se, err := buildTailEngine(corpus, queries, opts, kind, updates)
+	if err != nil {
+		return
+	}
+	idle, err = runEngineSearchLoad(se, queries, opts.K, workers, total)
+	if err != nil {
+		return
+	}
+
+	stop := make(chan struct{})
+	stormErr := make(chan error, 1)
+	var applied atomic.Int64
+	go func() {
+		stormErr <- func() error {
+			i := 0
+			for {
+				select {
+				case <-stop:
+					return nil
+				default:
+				}
+				end := i + stormBatch
+				if end > len(updates) {
+					end = len(updates)
+				}
+				if err := se.applyServeUpdates(updates[i:end], stormBatch); err != nil {
+					return err
+				}
+				applied.Add(1)
+				i = end
+				if i >= len(updates) {
+					i = 0
+				}
+			}
+		}()
+	}()
+	storm, err = runEngineSearchLoad(se, queries, opts.K, workers, total)
+	close(stop)
+	if serr := <-stormErr; err == nil && serr != nil {
+		err = serr
+	}
+	batches = int(applied.Load())
+	if err != nil {
+		return
+	}
+	stats = se.index.Stats()
+	err = se.engine.Close()
+	return
+}
+
+// buildTailEngine builds the engine, pre-populates the short lists with a
+// slice of the update trace (so idle queries exercise the patched read path,
+// not a pristine build), and warms the cache.
+func buildTailEngine(corpus *workload.Corpus, queries [][]string, opts Options, kind core.MethodKind, updates []workload.ScoreUpdate) (*serveEngine, error) {
+	se, err := buildServeEngine(corpus, opts, kind)
+	if err != nil {
+		return nil, err
+	}
+	seed := len(updates) / 4
+	if seed > 0 {
+		if err := se.applyServeUpdates(updates[:seed], 256); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := se.measureDirect(queries, opts.K, len(queries)); err != nil {
+		return nil, err
+	}
+	return se, nil
+}
+
+// runEngineSearchLoad replays total queries across workers goroutines
+// through core.TextIndex.Search, handing work out via an atomic cursor (the
+// same discipline as server.RunSearchLoad) and summarizing per-request
+// latency with the shared percentile math, so idle and storm rows — and the
+// serve experiment's HTTP rows — are all on the same scale.
+func runEngineSearchLoad(se *serveEngine, queries [][]string, k, workers, total int) (server.LoadResult, error) {
+	reqs := make([]string, len(queries))
+	for i, terms := range queries {
+		reqs[i] = strings.Join(terms, " ")
+	}
+	var cursor atomic.Int64
+	var (
+		errMu    sync.Mutex
+		firstErr error
+	)
+	latencies := make([][]time.Duration, workers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lats := make([]time.Duration, 0, total/workers+1)
+			for {
+				i := cursor.Add(1) - 1
+				if i >= int64(total) {
+					break
+				}
+				qStart := time.Now()
+				if _, err := se.index.Search(core.SearchRequest{Query: reqs[i%int64(len(reqs))], K: k}); err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+					break
+				}
+				lats = append(lats, time.Since(qStart))
+			}
+			latencies[w] = lats
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if firstErr != nil {
+		return server.LoadResult{}, firstErr
+	}
+	var all []time.Duration
+	for _, lats := range latencies {
+		all = append(all, lats...)
+	}
+	return server.Summarize(all, elapsed, workers), nil
+}

@@ -1,0 +1,91 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"svrdb/internal/core"
+	"svrdb/internal/relation"
+	"svrdb/internal/workload"
+)
+
+// maintenanceStall is the length of the deliberately slow maintenance batch
+// the stall test parks inside ApplyBatch.  The bound asserted on the search
+// side is half of it: a search that queues behind the writer waits the whole
+// stall, a search on the epoch snapshot finishes in microseconds, so half is
+// a wide, unambiguous line between the two regimes.
+const maintenanceStall = 700 * time.Millisecond
+
+// TestSearchMaxLatencyUnderMaintenanceStall is the CI race-smoke gate for
+// the epoch-read contract at the bench layer: while an ApplyBatch is
+// parked mid-maintenance for maintenanceStall, a burst of concurrent
+// searches must all complete against the published snapshot — the maximum
+// observed search latency must stay under half the stall length.  Before
+// the snapshot refactor the first search queued for the full stall.
+func TestSearchMaxLatencyUnderMaintenanceStall(t *testing.T) {
+	opts := tinyOptions()
+	corpus := corpusFor(opts)
+	queries := workload.GenerateQueries(corpus, queryParams(opts))
+
+	up := workload.DefaultUpdateParams()
+	up.NumUpdates = opts.NumUpdates
+	up.Seed = opts.Seed + 53
+	updates := workload.GenerateUpdates(corpus, up)
+
+	se, err := buildTailEngine(corpus, queries, opts, core.MethodChunk, updates)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	inBatch := make(chan struct{})
+	batchDone := make(chan error, 1)
+	go func() {
+		batchDone <- se.engine.ApplyBatch(func() error {
+			tbl, err := se.engine.DB().Table("Docs")
+			if err != nil {
+				return err
+			}
+			u := updates[len(updates)-1]
+			if err := tbl.Update(int64(u.Doc), map[string]relation.Value{
+				"score": relation.Float(u.NewScore + 1),
+			}); err != nil {
+				return err
+			}
+			close(inBatch)
+			time.Sleep(maintenanceStall)
+			return nil
+		})
+	}()
+	<-inBatch
+
+	res, err := runEngineSearchLoad(se, queries, opts.K, 2, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-batchDone; err != nil {
+		t.Fatalf("stalled ApplyBatch: %v", err)
+	}
+	if res.Max > maintenanceStall/2 {
+		t.Fatalf("max search latency %s during a %s maintenance stall — searches are queueing behind the writer (p99 %s)",
+			res.Max, maintenanceStall, res.P99)
+	}
+	if err := se.engine.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+// TestTailLatencyGate smoke-runs the full experiment (both methods, idle and
+// storm phases, the 5x p99 gate) at tiny scale; CI runs it under -race so
+// the storm itself is also a data-race probe on the snapshot read path.
+func TestTailLatencyGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tail-latency gate skipped in -short mode")
+	}
+	tbl, err := RunTailLatency(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("expected 4 rows (2 methods x idle/storm), got %d", len(tbl.Rows))
+	}
+}

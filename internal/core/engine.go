@@ -109,26 +109,27 @@ func NewEngine(db *relation.DB, opts Options) *Engine {
 	return &Engine{db: db, analyzer: a, indexes: map[string]*TextIndex{}}
 }
 
-// Close shuts the engine down: in-flight queries are drained (each index's
-// write lock is acquired once, so every Search that started before Close
-// finishes and releases its pins before the audit below), accumulated
-// maintenance errors are surfaced, dirty pages are written back in one
-// ordered sweep, and the buffer pool's pin accounting is audited
-// (CheckPins) so that a pin leak or over-release anywhere in the storage
-// stack — e.g. on the B+-tree patch fast path — fails loudly at close
-// instead of shipping silently.  The underlying page file is closed last.
-// The drain also fences: each index is marked closed under its write lock,
-// so a search or maintenance write that acquires the lock after the drain
-// fails fast instead of pinning pages while the audit runs or touching a
-// closed file.  The fence covers the engine's own paths (Search and index
-// maintenance); direct relation.Table or ScoreView reads are not fenced —
-// callers that read tables directly must stop doing so before Close, or
-// the pin audit may observe their in-flight pins.  An in-flight ApplyBatch
-// is waited for: Close takes the batch lock first, so a batch's base-table
-// mutations and index flush complete before the drain and audit begin.
-// Close is idempotent: a second call returns nil without touching the
-// already-closed storage, and an ApplyBatch that acquires the batch lock
-// after Close fails fast with ErrClosed.
+// Close shuts the engine down: in-flight maintenance writes and searches
+// are drained (the writer mutex and the shutdown fence's write side are
+// each acquired once, so every write and Search that started before Close
+// finishes first), each index's epoch readers are drained and its retired
+// pages recycled (Method.Drain), accumulated maintenance errors are
+// surfaced, dirty pages are written back in one ordered sweep, and the
+// buffer pool's pin accounting is audited (CheckPins) so that a pin leak
+// or over-release anywhere in the storage stack — e.g. on the B+-tree
+// patch fast path — fails loudly at close instead of shipping silently.
+// The underlying page file is closed last.  The drain also fences: each
+// index is marked closed, so a search or maintenance write that starts
+// after the drain fails fast instead of pinning pages while the audit runs
+// or touching a closed file.  The fence covers the engine's own paths
+// (Search and index maintenance); direct relation.Table or ScoreView reads
+// are not fenced — callers that read tables directly must stop doing so
+// before Close, or the pin audit may observe their in-flight pins.  An
+// in-flight ApplyBatch is waited for: Close takes the batch lock first, so
+// a batch's base-table mutations and index flush complete before the drain
+// and audit begin.  Close is idempotent: a second call returns nil without
+// touching the already-closed storage, and an ApplyBatch that acquires the
+// batch lock after Close fails fast with ErrClosed.
 func (e *Engine) Close() error {
 	e.batchMu.Lock()
 	defer e.batchMu.Unlock()
@@ -144,12 +145,20 @@ func (e *Engine) Close() error {
 	e.mu.RUnlock()
 	var errs []error
 	for _, ti := range indexes {
-		// Drain and fence: once the write lock is held, no search holding
-		// the read lock is still in flight (its pins are released), and the
-		// closed mark turns away any search that acquires the lock later.
+		// Drain and fence.  writerMu waits out any in-flight maintenance
+		// write; the rw write lock waits out in-flight searches (the only
+		// writer of rw is this drain); the closed mark turns away anything
+		// that starts later.  Method.Drain then waits for any straggling
+		// epoch readers and recycles every page retired for them, so the
+		// pin audit and the final flush below see quiesced structures.
+		ti.writerMu.Lock()
 		ti.rw.Lock()
 		ti.closed = true
 		ti.rw.Unlock()
+		ti.writerMu.Unlock()
+		if err := ti.method.Drain(); err != nil {
+			errs = append(errs, fmt.Errorf("core: index %q: drain: %w", ti.name, err))
+		}
 		if err := ti.MaintenanceErr(); err != nil {
 			errs = append(errs, fmt.Errorf("core: index %q: %w", ti.name, err))
 		}
@@ -207,13 +216,14 @@ type IndexOptions struct {
 
 // TextIndex is one SVR text index over a (table, column) pair.
 //
-// A TextIndex is safe for concurrent use: any number of goroutines may call
-// Search (and the other read-only accessors) concurrently, while the
-// maintenance paths — eager change events, ApplyUpdates, ApplyBatch flushes,
-// MergeShortLists — are serialized against each other and against all
-// in-flight searches by rw.  Queries take the read side, so the read-heavy
-// workloads the paper targets scale across cores; writes take the write
-// side, draining in-flight queries before mutating any index structure.
+// A TextIndex is safe for concurrent use, and searches never block behind
+// maintenance: every query evaluates against the method's atomically
+// published snapshot (see internal/index: epoch/snapshot reads), so the
+// write paths — eager change events, ApplyUpdates, ApplyBatch flushes,
+// MergeShortLists — only serialize against each other on writerMu, never
+// against readers.  The only lock a search takes is the read side of rw,
+// whose write side is taken exactly once, by Engine.Close, to fence
+// shutdown; during normal operation it is uncontended.
 type TextIndex struct {
 	name   string
 	table  string
@@ -228,12 +238,18 @@ type TextIndex struct {
 	view   *view.ScoreView
 	method index.Method
 
-	// rw is the reader/writer coordination for the underlying method:
-	// Search and Stats hold it shared, every maintenance path exclusive.
+	// writerMu serializes the maintenance paths against each other.  Readers
+	// never take it: queries run against published snapshots.
+	writerMu sync.Mutex
+	// rw is the shutdown fence only.  Search holds the read side across the
+	// top-k evaluation and the row join; Engine.Close takes the write side
+	// once to drain in-flight searches before the pin audit and file close.
+	// No maintenance path ever takes the write side, so searches never wait
+	// on it in a running engine.
 	rw sync.RWMutex
-	// closed is set (under rw) by Engine.Close; a Search that acquires the
-	// read lock afterwards fails fast instead of touching a closed page
-	// file while the close-time pin audit runs.
+	// closed is set by Engine.Close with both writerMu and rw held; a Search
+	// or maintenance write that starts afterwards fails fast instead of
+	// touching a closed page file while the close-time pin audit runs.
 	closed bool
 
 	mu              sync.Mutex
@@ -465,14 +481,15 @@ func (ti *TextIndex) onScoreChange(c view.ScoreChange) {
 	}
 }
 
-// writeLocked runs fn holding the index write lock: in-flight searches drain
-// first and no new search starts until fn returns.  Like Search, it honours
-// the close fence — a maintenance write that acquires the lock after
-// Engine.Close has drained must not touch the flushed, audited, closed
+// writeLocked runs fn holding the writer mutex: maintenance writes serialize
+// against each other, while searches keep running against the last published
+// snapshot and flip to fn's result atomically when the method publishes.  It
+// honours the close fence — a maintenance write that acquires the mutex
+// after Engine.Close has drained must not touch the flushed, audited, closed
 // storage underneath.
 func (ti *TextIndex) writeLocked(fn func() error) error {
-	ti.rw.Lock()
-	defer ti.rw.Unlock()
+	ti.writerMu.Lock()
+	defer ti.writerMu.Unlock()
 	if ti.closed {
 		return fmt.Errorf("core: text index %q: %w", ti.name, ErrClosed)
 	}
@@ -499,14 +516,14 @@ func (ti *TextIndex) beginBatch() {
 }
 
 // flushBatch applies the deferred events through the method's batched write
-// pipeline.  The index write lock is acquired *before* batching is cleared:
-// an eager maintenance event that observes batching == false can therefore
+// pipeline.  The writer mutex is acquired *before* batching is cleared: an
+// eager maintenance event that observes batching == false can therefore
 // only run its own writeLocked after this flush's apply completes, so the
 // batch's older ops can never be overtaken by a newer event (which would
 // permanently diverge a content diff).
 func (ti *TextIndex) flushBatch() error {
-	ti.rw.Lock()
-	defer ti.rw.Unlock()
+	ti.writerMu.Lock()
+	defer ti.writerMu.Unlock()
 	ti.mu.Lock()
 	ops := ti.pending
 	ti.pending = nil
@@ -673,11 +690,13 @@ type SearchResult struct {
 // Search runs a keyword query and returns the top-k rows ranked by the
 // latest structured-value scores.
 //
-// Search is safe to call from many goroutines concurrently: it holds the
-// index read lock for the duration of the top-k evaluation, so concurrent
-// searches proceed in parallel while any maintenance write drains them
-// first and is seen atomically (a search observes the index either before
-// or after a write batch, never mid-flight).
+// Search is safe to call from many goroutines concurrently and never blocks
+// behind maintenance: the top-k evaluation runs entirely against the
+// method's published snapshot (pinning its epoch so superseded pages stay
+// valid), so a search observes the index either before or after a write
+// batch, never mid-flight, without waiting for the batch.  The only lock
+// held is the read side of the shutdown fence, whose write side only
+// Engine.Close takes.
 func (ti *TextIndex) Search(req SearchRequest) (*SearchResult, error) {
 	if req.K < 1 {
 		return nil, fmt.Errorf("core: %w: k = %d must be positive", ErrInvalidRequest, req.K)
@@ -708,15 +727,13 @@ func (ti *TextIndex) Search(req SearchRequest) (*SearchResult, error) {
 	}
 	if req.LoadRows && len(qr.Results) > 0 {
 		// Join the ranked IDs back to the base rows in one batch so the
-		// probes hit the row tree in key order.  The join runs under the
-		// same read lock as the top-k evaluation, so no index write batch
-		// lands between ranking and join.  One documented staleness window
-		// remains: inside Engine.ApplyBatch, base-table mutations commit
-		// before the index flush, so a hit ranked from the not-yet-flushed
-		// index may join to a row fn already deleted — its Row stays nil,
-		// mirroring ApplyBatch's "searches see the batch's start" note.
-		// Callers using LoadRows concurrently with batches must treat a nil
-		// Row as "deleted under the batch".
+		// probes hit the row tree in key order.  The ranked IDs come from
+		// the pinned snapshot while the join reads the live table, so a
+		// concurrent batch can land between ranking and join: a hit whose
+		// row the batch deleted joins to a nil Row, and base-table
+		// mutations inside Engine.ApplyBatch commit before the index flush
+		// either way.  Callers using LoadRows concurrently with writes must
+		// treat a nil Row as "deleted since ranking".
 		tbl, err := ti.engine.db.Table(ti.table)
 		if err != nil {
 			return nil, err
@@ -752,16 +769,13 @@ func (ti *TextIndex) Method() index.Method { return ti.method }
 // View returns the Score materialized view backing this index.
 func (ti *TextIndex) View() *view.ScoreView { return ti.view }
 
-// Stats returns the underlying index statistics.  It holds the index read
-// lock: the structure-size walks some methods perform must not race a
-// writer.  After Engine.Close it returns a zero-valued Stats (bar the
-// method name) instead of walking trees over a closed page file.
+// Stats returns the underlying index statistics.  It is lock-free for the
+// caller: the method snapshots its structure sizes from the published
+// snapshot under an epoch guard, so a stats scrape returns promptly even
+// while a long ApplyBatch or merge holds the writer mutex.  After
+// Engine.Close (once the method is drained) it returns a zero-valued Stats
+// bar the method name instead of walking trees over a closed page file.
 func (ti *TextIndex) Stats() index.Stats {
-	ti.rw.RLock()
-	defer ti.rw.RUnlock()
-	if ti.closed {
-		return index.Stats{Method: ti.method.Name()}
-	}
 	return ti.method.Stats()
 }
 
@@ -769,8 +783,9 @@ func (ti *TextIndex) Stats() index.Stats {
 // the long inverted lists are rebuilt from the current scores and contents
 // and the short lists emptied.  Deployments run this during maintenance
 // windows; the paper excludes it from the measured update costs (§5.1).
-// The merge holds the index write lock, so searches stall for its duration
-// rather than observing a half-rebuilt index.
+// The merge holds only the writer mutex: searches keep serving the
+// pre-merge snapshot for its whole duration and flip to the merged index
+// atomically when it publishes.
 func (ti *TextIndex) MergeShortLists() error {
 	return ti.writeLocked(func() error { return ti.method.MergeShortLists() })
 }

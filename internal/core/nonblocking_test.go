@@ -1,0 +1,111 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"svrdb/internal/relation"
+	"svrdb/internal/workload"
+)
+
+// TestSearchAndStatsDoNotBlockBehindMaintenance pins the epoch-read
+// contract: while a maintenance write holds the writer mutex — the position
+// of a long ApplyBatch flush or an offline merge — searches and stats
+// scrapes must still complete against the published snapshot instead of
+// queueing behind the writer.  Before the snapshot refactor both took the
+// reader side of a lock the writer held exclusively, so this test timed out.
+func TestSearchAndStatsDoNotBlockBehindMaintenance(t *testing.T) {
+	engine, _ := newArchiveEngine(t, 120)
+	idx, err := engine.CreateTextIndex("m", "Movies", "desc", IndexOptions{
+		Method: MethodChunk,
+		Spec:   workload.ArchiveSpec(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Park a writer inside the maintenance critical section.
+	hold := make(chan struct{})
+	held := make(chan struct{})
+	writerDone := make(chan error, 1)
+	go func() {
+		writerDone <- idx.writeLocked(func() error {
+			close(held)
+			<-hold
+			return nil
+		})
+	}()
+	<-held
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		res, err := idx.Search(SearchRequest{Query: "golden gate", K: 5})
+		if err != nil {
+			t.Errorf("Search while maintenance holds the writer mutex: %v", err)
+			return
+		}
+		if len(res.Hits) == 0 {
+			t.Error("Search under maintenance returned no hits from the published snapshot")
+		}
+		st := idx.Stats()
+		if st.Method != "Chunk" {
+			t.Errorf("Stats under maintenance returned method %q, want Chunk", st.Method)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("search/stats blocked behind a maintenance write holding the writer mutex")
+	}
+	close(hold)
+	if err := <-writerDone; err != nil {
+		t.Fatalf("parked writer: %v", err)
+	}
+
+	// The /v1/stats shape: scraping mid-ApplyBatch must also return promptly.
+	stats, err := engine.DB().Table("Statistics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inBatch := make(chan struct{})
+	release := make(chan struct{})
+	batchDone := make(chan error, 1)
+	go func() {
+		batchDone <- engine.ApplyBatch(func() error {
+			row, err := stats.Get(1)
+			if err != nil {
+				return err
+			}
+			if err := stats.Update(1, map[string]relation.Value{
+				"nVisit": relation.Int(row[2].I + 1_000_000),
+			}); err != nil {
+				return err
+			}
+			close(inBatch)
+			<-release
+			return nil
+		})
+	}()
+	<-inBatch
+	scrape := make(chan struct{})
+	go func() {
+		defer close(scrape)
+		if st := idx.Stats(); st.Method != "Chunk" {
+			t.Errorf("Stats mid-batch returned method %q, want Chunk", st.Method)
+		}
+	}()
+	select {
+	case <-scrape:
+	case <-time.After(10 * time.Second):
+		t.Fatal("stats scrape stalled behind an in-flight ApplyBatch")
+	}
+	close(release)
+	if err := <-batchDone; err != nil {
+		t.Fatalf("ApplyBatch: %v", err)
+	}
+
+	if err := engine.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}

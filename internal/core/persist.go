@@ -155,8 +155,10 @@ func readCatalogChain(file pagefile.File, head pagefile.PageID, length int) ([]b
 // --- commit -------------------------------------------------------------------
 
 // buildCatalog snapshots the engine.  The caller holds batchMu, so no batch
-// is mid-flight; each index is additionally snapshotted under its read lock
-// so an eager maintenance write cannot interleave.
+// is mid-flight; each index is additionally snapshotted under its writer
+// mutex so an eager maintenance write cannot interleave.  Searches are not
+// excluded — they read the published snapshot and never move navigational
+// state.
 func (e *Engine) buildCatalog() *catalog {
 	cat := &catalog{Version: catalogVersion}
 	for _, name := range e.db.TableNames() {
@@ -171,7 +173,7 @@ func (e *Engine) buildCatalog() *catalog {
 		if err != nil {
 			continue
 		}
-		ti.rw.RLock()
+		ti.writerMu.Lock()
 		entry := catalogIndexEntry{
 			Name:           ti.name,
 			Table:          ti.table,
@@ -185,7 +187,7 @@ func (e *Engine) buildCatalog() *catalog {
 			View:           ti.view.State(),
 			Method:         ti.method.State(),
 		}
-		ti.rw.RUnlock()
+		ti.writerMu.Unlock()
 		cat.Indexes = append(cat.Indexes, entry)
 	}
 	return cat

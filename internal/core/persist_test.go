@@ -209,6 +209,85 @@ func TestOpenMissingSpecFails(t *testing.T) {
 	}
 }
 
+// TestCrashDuringEpochSwapServesPreSwapSnapshot pins the boundary between
+// the in-memory publish and the durable publish: a write batch swaps every
+// index's epoch (the snapshot readers see) before the WAL commit makes the
+// batch durable.  If the process dies between the swap and the commit, the
+// swap must not count — the WAL commit point is the only publish that
+// survives a crash, so the reopened engine must serve the pre-swap state
+// byte for byte.
+func TestCrashDuringEpochSwapServesPreSwapSnapshot(t *testing.T) {
+	const nMovies = 12
+	dir := t.TempDir()
+	template := filepath.Join(dir, "template.svrdb")
+	buildDurableArchive(t, template, nMovies)
+
+	pre := func() string {
+		p := filepath.Join(dir, "pre.svrdb")
+		cloneEngineFile(t, template, p)
+		e, err := Open(p, durableOpts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer e.Close()
+		return searchSnapshot(t, e)
+	}()
+
+	// Fail the first file write after open: every write the batch issues
+	// before that point — base-table mutations, index flushes, the epoch
+	// swaps themselves — is in-memory, so the fault lands exactly between
+	// the in-memory publish and the durable commit.
+	work := filepath.Join(dir, "work.svrdb")
+	cloneEngineFile(t, template, work)
+	fi := pagefile.NewFaultInjector(pagefile.FaultPlan{FailWrite: 1})
+	file, err := pagefile.Open(work, pagefile.WithFaults(fi))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := openFromFile(file, durableOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	epochsBefore := map[string]uint64{}
+	for _, name := range e.TextIndexNames() {
+		ti, err := e.TextIndex(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		epochsBefore[name] = ti.Stats().Epoch
+	}
+	if err := e.ApplyBatch(applyArchiveMutations(t, e.DB(), nMovies, 10)); err == nil {
+		t.Fatal("ApplyBatch reported success despite the injected commit fault")
+	}
+	if !fi.Tripped() {
+		t.Fatal("the commit never reached the faulted write site")
+	}
+	// The batch must have swapped epochs in memory before the commit fault:
+	// that is the window this test exists to crash in.
+	for _, name := range e.TextIndexNames() {
+		ti, err := e.TextIndex(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := ti.Stats().Epoch; got <= epochsBefore[name] {
+			t.Errorf("index %q epoch did not advance before the commit fault (%d -> %d); the crash landed before the swap", name, epochsBefore[name], got)
+		}
+	}
+	file.Close()
+
+	re, err := Open(work, durableOpts())
+	if err != nil {
+		t.Fatalf("clean reopen after crash: %v", err)
+	}
+	got := searchSnapshot(t, re)
+	if err := re.Close(); err != nil {
+		t.Errorf("close after recovery: %v", err)
+	}
+	if got != pre {
+		t.Errorf("crash between epoch swap and WAL commit must recover the pre-swap snapshot:\nwant\n%s\ngot\n%s", pre, got)
+	}
+}
+
 // TestCrashRecoveryMatrixEngine is the tentpole acceptance test: a committed
 // archive database absorbs one mutation batch while a deterministic fault
 // kills the process at every write, torn-write and fsync site of the commit

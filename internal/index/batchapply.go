@@ -52,6 +52,10 @@ func (b *base) runBatch(m Method, batch []Update, tables ...stager) error {
 	if len(batch) == 0 {
 		return nil
 	}
+	// Suppress the per-update snapshot publications; the batch publishes
+	// once after the flush, so concurrent queries see either the whole
+	// batch or none of it.
+	b.suppress = true
 	for _, t := range tables {
 		t.beginBatch()
 	}
@@ -66,5 +70,7 @@ func (b *base) runBatch(m Method, batch []Update, tables ...stager) error {
 			errs = append(errs, err)
 		}
 	}
+	b.suppress = false
+	b.publish()
 	return errors.Join(errs...)
 }

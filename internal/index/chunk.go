@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"svrdb/internal/postings"
+	"svrdb/internal/storage/blob"
 	"svrdb/internal/text"
 )
 
@@ -43,7 +44,26 @@ func NewChunk(cfg Config) (*ChunkMethod, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &ChunkMethod{base: b, short: short, listChunk: lc, knownTokens: map[DocID][]string{}}, nil
+	m := &ChunkMethod{base: b, short: short, listChunk: lc, knownTokens: map[DocID][]string{}}
+	m.initSnapshots()
+	return m, nil
+}
+
+// initSnapshots wires the short lists and the ListChunk table into the
+// epoch machinery and publishes the initial snapshot; also used after
+// Restore and after a merge replaces the structures.  The Chunk-TermScore
+// method layers its own fillExtra on top of this one.
+func (m *ChunkMethod) initSnapshots() {
+	m.short.enableCOW(m.retirePage)
+	m.listChunk.enableCOW(m.retirePage)
+	m.fillExtra = func(s *snap) { m.fillChunkSnap(s) }
+	m.publish()
+}
+
+func (m *ChunkMethod) fillChunkSnap(s *snap) {
+	s.lists = m.short.snapshotView()
+	s.table = m.listChunk.snapshotView()
+	s.chunks = m.chunks
 }
 
 // Name implements Method.
@@ -62,6 +82,7 @@ func (m *ChunkMethod) NumChunks() int {
 
 // Build implements Method.
 func (m *ChunkMethod) Build(src DocSource, scores ScoreFunc) error {
+	defer m.publish()
 	m.src = src
 	bc, err := accumulate(src, scores, m.dict)
 	if err != nil {
@@ -71,6 +92,9 @@ func (m *ChunkMethod) Build(src DocSource, scores ScoreFunc) error {
 		return err
 	}
 	m.chunks = buildChunker(bc.allScores(), m.cfg.ChunkRatio, m.cfg.MinChunkSize)
+	// Published snapshots share the ref map by pointer, so accumulate into a
+	// fresh map and swap it in wholesale.
+	refs := make(map[string]blob.Ref, len(bc.termDocs))
 	for _, term := range bc.terms() {
 		builder := postings.NewChunkedEncoder(!m.cfg.Uncompressed, false)
 		cids, byChunk := bc.chunked(term, m.chunks)
@@ -84,10 +108,11 @@ func (m *ChunkMethod) Build(src DocSource, scores ScoreFunc) error {
 		if err != nil {
 			return err
 		}
-		m.longRefs[term] = ref
+		refs[term] = ref
 		m.longBytes += uint64(len(data))
 		m.longRawBytes += uint64(builder.Len())*rawBytesIDPosting + uint64(builder.Chunks())*rawBytesChunkHeader
 	}
+	m.longRefs = refs
 	return nil
 }
 
@@ -101,6 +126,7 @@ func (m *ChunkMethod) ApplyUpdates(batch []Update) error {
 // UpdateScore implements Method (Algorithm 1 with chunk IDs in place of
 // scores).
 func (m *ChunkMethod) UpdateScore(doc DocID, newScore float64) error {
+	defer m.publish()
 	m.counters.scoreUpdates.Add(1)
 	oldScore, deleted, ok, err := m.score.Get(doc)
 	if err != nil {
@@ -152,6 +178,7 @@ func (m *ChunkMethod) UpdateScore(doc DocID, newScore float64) error {
 
 // InsertDocument implements Method (Appendix A.2).
 func (m *ChunkMethod) InsertDocument(doc DocID, tokens []string, score float64) error {
+	defer m.publish()
 	if m.chunks == nil {
 		return fmt.Errorf("index: Chunk method must be built before inserting documents")
 	}
@@ -176,6 +203,7 @@ func (m *ChunkMethod) InsertDocument(doc DocID, tokens []string, score float64) 
 
 // DeleteDocument implements Method (Appendix A.2).
 func (m *ChunkMethod) DeleteDocument(doc DocID) error {
+	defer m.publish()
 	score, _, ok, err := m.score.Get(doc)
 	if err != nil {
 		return err
@@ -209,6 +237,7 @@ func (m *ChunkMethod) DeleteDocument(doc DocID) error {
 
 // UpdateContent implements Method (Appendix A.1).
 func (m *ChunkMethod) UpdateContent(doc DocID, oldTokens, newTokens []string) error {
+	defer m.publish()
 	listCID, err := m.listPosition(doc)
 	if err != nil {
 		return err
@@ -280,14 +309,19 @@ func (m *ChunkMethod) TopK(q Query) (*QueryResult, error) {
 	if q.WithTermScores {
 		return nil, ErrTermScoresUnsupported
 	}
+	s, guard, err := m.acquire()
+	if err != nil {
+		return nil, err
+	}
+	defer guard.Leave()
 	ctx := newQueryCtx()
 	defer ctx.release()
 	for _, term := range q.Terms {
-		long, err := m.longIterator(term)
+		long, err := m.longIterator(s, term)
 		if err != nil {
 			return nil, err
 		}
-		short, err := m.short.Iterator(term)
+		short, err := s.lists.Iterator(term)
 		if err != nil {
 			return nil, err
 		}
@@ -297,18 +331,19 @@ func (m *ChunkMethod) TopK(q Query) (*QueryResult, error) {
 		streams:     ctx.streams,
 		k:           q.K,
 		conjunctive: !q.Disjunctive,
-		maxPossible: m.maxPossibleScore,
-		resolve:     m.probedResolver(),
+		maxPossible: maxPossibleChunkScore(s),
+		resolve:     probedChunkResolver(s),
 	})
 }
 
-// probedResolver returns a per-query resolveCandidate whose ListChunk and
-// Score lookups run through leaf-locality probes: within a chunk the
-// candidates arrive in ascending document order, so both tables are walked
-// left to right instead of descended per candidate.
-func (m *ChunkMethod) probedResolver() func(g postings.Group) (float64, bool, error) {
-	lp := m.listChunk.newProbe()
-	sp := m.score.newProbe()
+// probedChunkResolver returns a per-query resolveCandidate whose ListChunk
+// and Score lookups run through leaf-locality probes pinned to the
+// snapshot: within a chunk the candidates arrive in ascending document
+// order, so both tables are walked left to right instead of descended per
+// candidate.  Shared by the Chunk and Chunk-TermScore methods.
+func probedChunkResolver(s *snap) func(g postings.Group) (float64, bool, error) {
+	lp := s.table.newProbe()
+	sp := s.score.newProbe()
 	return func(g postings.Group) (float64, bool, error) {
 		entry, exists, err := lp.Get(g.Doc)
 		if err != nil {
@@ -329,44 +364,19 @@ func (m *ChunkMethod) probedResolver() func(g postings.Group) (float64, bool, er
 	}
 }
 
-// maxPossibleScore bounds the current score of any document whose postings
-// have not been reached when the scan is at chunk cid: such a document's
-// list chunk is at most cid, and since a score may drift one chunk above its
-// list chunk without triggering a short-list rewrite, its current score is
-// below the upper bound of chunk cid+1.
-func (m *ChunkMethod) maxPossibleScore(sortKey float64) float64 {
-	return m.chunks.UpperBound(thresholdChunk(int32(sortKey)))
+// maxPossibleChunkScore bounds the current score of any document whose
+// postings have not been reached when the scan is at chunk cid: such a
+// document's list chunk is at most cid, and since a score may drift one
+// chunk above its list chunk without triggering a short-list rewrite, its
+// current score is below the upper bound of chunk cid+1.
+func maxPossibleChunkScore(s *snap) func(sortKey float64) float64 {
+	return func(sortKey float64) float64 {
+		return s.chunks.UpperBound(thresholdChunk(int32(sortKey)))
+	}
 }
 
-// resolveCandidate mirrors the Score-Threshold resolver with chunk IDs.  The
-// Chunk method never stores scores in its lists, so every accepted candidate
-// costs one Score-table probe.
-func (m *ChunkMethod) resolveCandidate(g postings.Group) (float64, bool, error) {
-	entry, exists, err := m.listChunk.Get(g.Doc)
-	if err != nil {
-		return 0, false, err
-	}
-	if exists && entry.InShortList && g.SortKey != entry.Key {
-		// Stale long-list copy of a document whose postings moved to the
-		// short lists; the short copy is (or was) processed instead.
-		return 0, false, nil
-	}
-	return m.currentScore(g.Doc)
-}
-
-func (m *ChunkMethod) currentScore(doc DocID) (float64, bool, error) {
-	score, deleted, ok, err := m.score.Get(doc)
-	if err != nil {
-		return 0, false, err
-	}
-	if !ok || deleted {
-		return 0, false, nil
-	}
-	return score, true, nil
-}
-
-func (m *ChunkMethod) longIterator(term string) (postings.BatchIterator, error) {
-	ref, ok := m.longRefs[term]
+func (m *ChunkMethod) longIterator(s *snap, term string) (postings.BatchIterator, error) {
+	ref, ok := s.longRefs[term]
 	if !ok {
 		return postings.NewSliceIterator(nil), nil
 	}
@@ -375,14 +385,20 @@ func (m *ChunkMethod) longIterator(term string) (postings.BatchIterator, error) 
 
 // Stats implements Method.
 func (m *ChunkMethod) Stats() Stats {
+	sn, guard, err := m.acquire()
+	if err != nil {
+		return Stats{Method: m.Name()}
+	}
+	defer guard.Leave()
 	s := Stats{
 		Method:           m.Name(),
-		LongListBytes:    m.longBytes,
-		LongListRawBytes: m.longRawBytes,
-		ShortListEntries: m.short.Len(),
-		TablePatches:     m.score.Patches() + m.listChunk.Patches() + m.short.Patches(),
+		LongListBytes:    sn.longBytes,
+		LongListRawBytes: sn.longRawBytes,
+		ShortListEntries: sn.lists.Len(),
+		TablePatches:     sn.score.Patches() + sn.table.Patches() + sn.lists.Patches(),
 	}
 	m.counters.fill(&s)
 	m.fillPoolStats(&s)
+	m.fillEpochStats(&s)
 	return s
 }

@@ -25,6 +25,8 @@ import (
 // produce a better combined score.
 type ChunkTermScoreMethod struct {
 	*ChunkMethod
+	// fancyRefs/fancyMinW are replaced wholesale on build and merge (never
+	// mutated in place) because published snapshots share them by pointer.
 	fancyRefs  map[string]blob.Ref
 	fancyMinW  map[string]float32
 	fancyBytes uint64
@@ -36,11 +38,26 @@ func NewChunkTermScore(cfg Config) (*ChunkTermScoreMethod, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &ChunkTermScoreMethod{
+	m := &ChunkTermScoreMethod{
 		ChunkMethod: inner,
 		fancyRefs:   map[string]blob.Ref{},
 		fancyMinW:   map[string]float32{},
-	}, nil
+	}
+	m.initSnapshots()
+	return m, nil
+}
+
+// initSnapshots replaces the embedded Chunk method's publication hook with
+// one that also captures the fancy-list state, and republishes.
+func (m *ChunkTermScoreMethod) initSnapshots() {
+	m.ChunkMethod.initSnapshots()
+	m.fillExtra = func(s *snap) {
+		m.fillChunkSnap(s)
+		s.fancyRefs = m.fancyRefs
+		s.fancyMinW = m.fancyMinW
+		s.fancyBytes = m.fancyBytes
+	}
+	m.publish()
 }
 
 // Name implements Method.
@@ -48,6 +65,7 @@ func (m *ChunkTermScoreMethod) Name() string { return "Chunk-TermScore" }
 
 // Build implements Method.
 func (m *ChunkTermScoreMethod) Build(src DocSource, scores ScoreFunc) error {
+	defer m.publish()
 	m.src = src
 	bc, err := accumulate(src, scores, m.dict)
 	if err != nil {
@@ -57,6 +75,11 @@ func (m *ChunkTermScoreMethod) Build(src DocSource, scores ScoreFunc) error {
 		return err
 	}
 	m.chunks = buildChunker(bc.allScores(), m.cfg.ChunkRatio, m.cfg.MinChunkSize)
+	// Snapshots share these maps by pointer: accumulate locally, swap in
+	// wholesale.
+	refs := make(map[string]blob.Ref, len(bc.termDocs))
+	fancyRefs := make(map[string]blob.Ref, len(bc.termDocs))
+	fancyMinW := make(map[string]float32, len(bc.termDocs))
 	for _, term := range bc.terms() {
 		builder := postings.NewChunkedEncoder(!m.cfg.Uncompressed, true)
 		cids, byChunk := bc.chunked(term, m.chunks)
@@ -70,7 +93,7 @@ func (m *ChunkTermScoreMethod) Build(src DocSource, scores ScoreFunc) error {
 		if err != nil {
 			return err
 		}
-		m.longRefs[term] = ref
+		refs[term] = ref
 		m.longBytes += uint64(len(data))
 		m.longRawBytes += uint64(builder.Len())*rawBytesIDTermPosting + uint64(builder.Chunks())*rawBytesChunkHeader
 
@@ -88,11 +111,14 @@ func (m *ChunkTermScoreMethod) Build(src DocSource, scores ScoreFunc) error {
 		if err != nil {
 			return err
 		}
-		m.fancyRefs[term] = fref
-		m.fancyMinW[term] = minW
+		fancyRefs[term] = fref
+		fancyMinW[term] = minW
 		m.fancyBytes += uint64(len(fdata))
 		m.longRawBytes += uint64(fb.Len()) * rawBytesIDTermPosting
 	}
+	m.longRefs = refs
+	m.fancyRefs = fancyRefs
+	m.fancyMinW = fancyMinW
 	return nil
 }
 
@@ -112,16 +138,20 @@ func (m *ChunkTermScoreMethod) TopK(q Query) (*QueryResult, error) {
 	if !q.WithTermScores {
 		return m.ChunkMethod.TopK(q)
 	}
+	s, guard, err := m.acquire()
+	if err != nil {
+		return nil, err
+	}
+	defer guard.Leave()
 	m.counters.queries.Add(1)
 
 	ctx := newQueryCtx()
 	defer ctx.release()
-	stats := text.CollectionStats{NumDocs: m.numDocs.Load()}
 	for _, term := range q.Terms {
-		idf := text.IDF(stats, m.dict.DocFreq(term))
+		idf := s.idf(term)
 		ctx.idfs = append(ctx.idfs, idf)
 		// ε_i · idf_i, the per-term cap for unseen docs.
-		ctx.epsilons = append(ctx.epsilons, text.TFIDF(m.fancyMinW[term], idf))
+		ctx.epsilons = append(ctx.epsilons, text.TFIDF(s.fancyMinW[term], idf))
 	}
 	idfs, epsilons := ctx.idfs, ctx.epsilons
 	epsilonSum := 0.0
@@ -135,8 +165,8 @@ func (m *ChunkTermScoreMethod) TopK(q Query) (*QueryResult, error) {
 	// document order (per chunk), so their score resolution runs through
 	// leaf-locality probes; checkStop's remainList pruning probes documents
 	// in arbitrary order and keeps the plain lookups.
-	fancyScores := m.score.newProbe()
-	resolve := m.probedResolver()
+	fancyScores := s.score.newProbe()
+	resolve := probedChunkResolver(s)
 
 	// Phase 1 (Algorithm 3 lines 8-9): merge the fancy lists.  Documents
 	// present in every fancy list have exact combined scores and seed the
@@ -148,7 +178,7 @@ func (m *ChunkTermScoreMethod) TopK(q Query) (*QueryResult, error) {
 	remain := map[DocID]*remainInfo{}
 
 	for _, term := range q.Terms {
-		it, err := m.fancyIterator(term)
+		it, err := m.fancyIterator(s, term)
 		if err != nil {
 			return nil, err
 		}
@@ -197,11 +227,11 @@ func (m *ChunkTermScoreMethod) TopK(q Query) (*QueryResult, error) {
 	// context's stream slice can be reused for this phase.
 	ctx.streams = ctx.streams[:0]
 	for _, term := range q.Terms {
-		long, err := m.longIterator(term)
+		long, err := m.longIterator(s, term)
 		if err != nil {
 			return nil, err
 		}
-		short, err := m.short.Iterator(term)
+		short, err := s.lists.Iterator(term)
 		if err != nil {
 			return nil, err
 		}
@@ -219,10 +249,10 @@ func (m *ChunkTermScoreMethod) TopK(q Query) (*QueryResult, error) {
 		}
 		// The SVR score of any document not yet reached is below the upper
 		// bound of the chunk one above the chunks still to be scanned.
-		svrBound := m.chunks.UpperBound(cidJustFinished)
+		svrBound := s.chunks.UpperBound(cidJustFinished)
 		// Prune remainList entries that can no longer win.
 		for doc, info := range remain {
-			svr, present, err := m.currentScore(doc)
+			svr, present, err := s.currentScore(doc)
 			if err != nil {
 				return false, err
 			}
@@ -301,8 +331,8 @@ func (m *ChunkTermScoreMethod) TopK(q Query) (*QueryResult, error) {
 	return res, nil
 }
 
-func (m *ChunkTermScoreMethod) fancyIterator(term string) (postings.BatchIterator, error) {
-	ref, ok := m.fancyRefs[term]
+func (m *ChunkTermScoreMethod) fancyIterator(s *snap, term string) (postings.BatchIterator, error) {
+	ref, ok := s.fancyRefs[term]
 	if !ok {
 		return postings.NewSliceIterator(nil), nil
 	}
@@ -312,14 +342,20 @@ func (m *ChunkTermScoreMethod) fancyIterator(term string) (postings.BatchIterato
 // Stats implements Method; LongListBytes includes the fancy lists since they
 // are part of the read-only structure rebuilt offline.
 func (m *ChunkTermScoreMethod) Stats() Stats {
+	sn, guard, err := m.acquire()
+	if err != nil {
+		return Stats{Method: m.Name()}
+	}
+	defer guard.Leave()
 	s := Stats{
 		Method:           m.Name(),
-		LongListBytes:    m.longBytes + m.fancyBytes,
-		LongListRawBytes: m.longRawBytes,
-		ShortListEntries: m.short.Len(),
-		TablePatches:     m.score.Patches() + m.listChunk.Patches() + m.short.Patches(),
+		LongListBytes:    sn.longBytes + sn.fancyBytes,
+		LongListRawBytes: sn.longRawBytes,
+		ShortListEntries: sn.lists.Len(),
+		TablePatches:     sn.score.Patches() + sn.table.Patches() + sn.lists.Patches(),
 	}
 	m.counters.fill(&s)
 	m.fillPoolStats(&s)
+	m.fillEpochStats(&s)
 	return s
 }

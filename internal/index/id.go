@@ -4,7 +4,9 @@ import (
 	"fmt"
 
 	"svrdb/internal/postings"
+	"svrdb/internal/storage/blob"
 	"svrdb/internal/text"
+	"svrdb/internal/topk"
 )
 
 // IDMethod implements the ID method of §4.2.1 and, when built with term
@@ -15,7 +17,11 @@ import (
 // never touches the lists: only the Score table changes.  The price is paid
 // at query time: because the lists carry no score information, every list
 // must be scanned to the end and every candidate's score looked up, no
-// matter how small k is.
+// matter how small k is.  The one exception is a multi-term conjunctive
+// query, where the intersection itself bounds the work: the query planner
+// leapfrogs the lists with SeekDoc so that super-blocks proven (by their
+// skip headers) to contain no common document are never decoded or even
+// paged in.
 //
 // Incrementally inserted documents and content updates go to an auxiliary
 // ID-ordered short list (Appendix A applies the same mechanism to every
@@ -46,7 +52,17 @@ func newIDMethod(cfg Config, withTermScores bool) (*IDMethod, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &IDMethod{base: b, withTermScores: withTermScores, aux: aux, knownTokens: map[DocID][]string{}}, nil
+	m := &IDMethod{base: b, withTermScores: withTermScores, aux: aux, knownTokens: map[DocID][]string{}}
+	m.initSnapshots()
+	return m, nil
+}
+
+// initSnapshots wires the auxiliary list into the epoch machinery and
+// publishes the initial (empty) snapshot; also used after Restore.
+func (m *IDMethod) initSnapshots() {
+	m.aux.enableCOW(m.retirePage)
+	m.fillExtra = func(s *snap) { s.lists = m.aux.snapshotView() }
+	m.publish()
 }
 
 // Name implements Method.
@@ -67,6 +83,9 @@ func (m *IDMethod) Build(src DocSource, scores ScoreFunc) error {
 	if err := m.populateScoreTable(bc); err != nil {
 		return err
 	}
+	// Published snapshots share the ref map by pointer, so accumulate into a
+	// fresh map and swap it in wholesale.
+	refs := make(map[string]blob.Ref, len(bc.termDocs))
 	for _, term := range bc.terms() {
 		var data []byte
 		if m.withTermScores {
@@ -92,9 +111,11 @@ func (m *IDMethod) Build(src DocSource, scores ScoreFunc) error {
 		if err != nil {
 			return err
 		}
-		m.longRefs[term] = ref
+		refs[term] = ref
 		m.longBytes += uint64(len(data))
 	}
+	m.longRefs = refs
+	m.publish()
 	return nil
 }
 
@@ -107,6 +128,7 @@ func (m *IDMethod) ApplyUpdates(batch []Update) error {
 
 // UpdateScore implements Method: the only work is one Score-table write.
 func (m *IDMethod) UpdateScore(doc DocID, newScore float64) error {
+	defer m.publish()
 	m.counters.scoreUpdates.Add(1)
 	_, _, ok, err := m.score.Get(doc)
 	if err != nil {
@@ -120,6 +142,7 @@ func (m *IDMethod) UpdateScore(doc DocID, newScore float64) error {
 
 // InsertDocument implements Method.
 func (m *IDMethod) InsertDocument(doc DocID, tokens []string, score float64) error {
+	defer m.publish()
 	if err := m.score.Set(doc, score); err != nil {
 		return err
 	}
@@ -140,6 +163,7 @@ func (m *IDMethod) InsertDocument(doc DocID, tokens []string, score float64) err
 
 // DeleteDocument implements Method.
 func (m *IDMethod) DeleteDocument(doc DocID) error {
+	defer m.publish()
 	if err := m.score.MarkDeleted(doc); err != nil {
 		return err
 	}
@@ -155,6 +179,7 @@ func (m *IDMethod) DeleteDocument(doc DocID) error {
 
 // UpdateContent implements Method.
 func (m *IDMethod) UpdateContent(doc DocID, oldTokens, newTokens []string) error {
+	defer m.publish()
 	added, removed := diffTerms(oldTokens, newTokens)
 	newWeights := text.TermFrequencies(newTokens)
 	for _, term := range added {
@@ -187,6 +212,28 @@ func (m *IDMethod) docTermsForMaintenance(doc DocID) []string {
 	return m.knownTokens[doc]
 }
 
+// makeResolve builds the candidate resolver: the current-score lookup, plus
+// the per-term TFIDF contributions when the query asks for combined ranking.
+func (m *IDMethod) makeResolve(s *snap, q Query, idfs []float64) func(g postings.Group) (float64, bool, error) {
+	resolve := s.currentScoreResolver()
+	if !q.WithTermScores {
+		return resolve
+	}
+	return func(g postings.Group) (float64, bool, error) {
+		svr, include, err := resolve(g)
+		if err != nil || !include {
+			return 0, false, err
+		}
+		combined := svr
+		for i, present := range g.Present {
+			if present {
+				combined += text.TFIDF(g.Entries[i].TermScore, idfs[i])
+			}
+		}
+		return combined, true, nil
+	}
+}
+
 // TopK implements Method.
 func (m *IDMethod) TopK(q Query) (*QueryResult, error) {
 	if err := q.Validate(); err != nil {
@@ -196,39 +243,39 @@ func (m *IDMethod) TopK(q Query) (*QueryResult, error) {
 		return nil, ErrTermScoresUnsupported
 	}
 
-	ctx := newQueryCtx()
-	defer ctx.release()
-	stats := text.CollectionStats{NumDocs: m.numDocs.Load()}
-	for _, term := range q.Terms {
-		long, err := m.longIterator(term)
+	s, guard, err := m.acquire()
+	if err != nil {
+		return nil, err
+	}
+	defer guard.Leave()
+
+	// Multi-term conjunctive queries with no auxiliary postings intersect
+	// via leapfrog seeks instead of scanning every list end to end.
+	if !q.Disjunctive && len(q.Terms) > 1 && s.lists.Len() == 0 {
+		res, done, err := m.leapfrogTopK(s, q)
 		if err != nil {
 			return nil, err
 		}
-		short, err := m.aux.Iterator(term)
+		if done {
+			return res, nil
+		}
+		// A list without skip headers (legacy encoding): fall through to
+		// the scan-everything merger below.
+	}
+
+	ctx := newQueryCtx()
+	defer ctx.release()
+	for _, term := range q.Terms {
+		long, err := m.longIterator(s, term)
+		if err != nil {
+			return nil, err
+		}
+		short, err := s.lists.Iterator(term)
 		if err != nil {
 			return nil, err
 		}
 		ctx.streams = append(ctx.streams, combinedStream(short, long))
-		ctx.idfs = append(ctx.idfs, text.IDF(stats, m.dict.DocFreq(term)))
-	}
-	idfs := ctx.idfs
-
-	resolve := m.currentScoreResolver()
-	if q.WithTermScores {
-		base := resolve
-		resolve = func(g postings.Group) (float64, bool, error) {
-			svr, include, err := base(g)
-			if err != nil || !include {
-				return 0, false, err
-			}
-			combined := svr
-			for i, present := range g.Present {
-				if present {
-					combined += text.TFIDF(g.Entries[i].TermScore, idfs[i])
-				}
-			}
-			return combined, true, nil
-		}
+		ctx.idfs = append(ctx.idfs, s.idf(term))
 	}
 
 	return m.runRanked(rankedQuery{
@@ -236,12 +283,165 @@ func (m *IDMethod) TopK(q Query) (*QueryResult, error) {
 		k:           q.K,
 		conjunctive: !q.Disjunctive,
 		maxPossible: neverStop,
-		resolve:     resolve,
+		resolve:     m.makeResolve(s, q, ctx.idfs),
 	})
 }
 
-func (m *IDMethod) longIterator(term string) (postings.BatchIterator, error) {
-	ref, ok := m.longRefs[term]
+// docSeeker is a posting stream that can reposition forward to the first
+// entry at or past a document ID without decoding the skipped range.
+type docSeeker interface {
+	postings.BatchIterator
+	SeekDoc(doc DocID) (bool, error)
+}
+
+// leapfrogTopK intersects the query terms' long lists with the classic
+// leapfrog join: every stream repeatedly seeks to the maximum head document,
+// and only documents all streams agree on are resolved.  SeekDoc proves
+// via skip headers that a super-block holds no document >= the target, so
+// sparse intersections skip most of every list's pages.  done=false means a
+// list does not support seeking (legacy uncompressed blob) and the caller
+// must fall back to the merger path; nothing has been counted yet in that
+// case.
+func (m *IDMethod) leapfrogTopK(s *snap, q Query) (*QueryResult, bool, error) {
+	seekers := make([]docSeeker, 0, len(q.Terms))
+	idfs := make([]float64, 0, len(q.Terms))
+	for _, term := range q.Terms {
+		ref, ok := s.longRefs[term]
+		if !ok {
+			// A term with no long list (and the short lists are empty, or we
+			// would not be here) makes the conjunction empty.
+			m.counters.queries.Add(1)
+			return &QueryResult{Stopped: true}, true, nil
+		}
+		r := m.store.NewReader(ref)
+		var ds docSeeker
+		if m.withTermScores {
+			st, err := postings.NewStreamIDTermList(r)
+			if err != nil {
+				return nil, false, err
+			}
+			ds = st
+		} else {
+			st, err := postings.NewStreamIDList(r)
+			if err != nil {
+				return nil, false, err
+			}
+			ds = st
+		}
+		seekers = append(seekers, ds)
+		idfs = append(idfs, s.idf(term))
+	}
+
+	heads := make([]postings.Entry, len(seekers))
+	var one [1]postings.Entry
+	scanned := 0
+	// advance repositions stream i at the first entry >= target and pulls it
+	// into heads[i]; alive=false means the list is exhausted (intersection
+	// complete).  seekable=false is only possible on the very first call per
+	// stream (availability is a property of the blob's encoding).
+	advance := func(i int, target DocID) (alive, seekable bool, err error) {
+		ok, err := seekers[i].SeekDoc(target)
+		if err != nil {
+			return false, false, err
+		}
+		if !ok {
+			return false, false, nil
+		}
+		n, err := seekers[i].NextBatch(one[:])
+		if err != nil {
+			return false, true, err
+		}
+		if n == 0 {
+			return false, true, nil
+		}
+		heads[i] = one[0]
+		scanned++
+		return true, true, nil
+	}
+
+	// Position every stream on its first posting; detect legacy blobs here,
+	// before any result state exists, so the fallback restarts cleanly.
+	for i := range seekers {
+		alive, seekable, err := advance(i, 0)
+		if err != nil {
+			return nil, false, err
+		}
+		if !seekable {
+			return nil, false, nil
+		}
+		if !alive {
+			m.counters.queries.Add(1)
+			return &QueryResult{Stopped: true}, true, nil
+		}
+	}
+
+	m.counters.queries.Add(1)
+	heap := topk.New(q.K)
+	res := &QueryResult{}
+	resolve := m.makeResolve(s, q, idfs)
+	group := postings.Group{
+		Entries: make([]postings.Entry, len(seekers)),
+		Present: make([]bool, len(seekers)),
+		Count:   len(seekers),
+	}
+	for i := range group.Present {
+		group.Present[i] = true
+	}
+
+loop:
+	for {
+		target := heads[0].Doc
+		for i := 1; i < len(heads); i++ {
+			if heads[i].Doc > target {
+				target = heads[i].Doc
+			}
+		}
+		aligned := true
+		for i := range heads {
+			if heads[i].Doc < target {
+				alive, _, err := advance(i, target)
+				if err != nil {
+					return nil, false, err
+				}
+				if !alive {
+					break loop
+				}
+				if heads[i].Doc != target {
+					aligned = false
+				}
+			}
+		}
+		if !aligned {
+			continue
+		}
+		group.Doc = target
+		copy(group.Entries, heads)
+		score, include, err := resolve(group)
+		if err != nil {
+			return nil, false, err
+		}
+		if include {
+			heap.Add(int64(target), score)
+		}
+		for i := range heads {
+			alive, _, err := advance(i, target+1)
+			if err != nil {
+				return nil, false, err
+			}
+			if !alive {
+				break loop
+			}
+		}
+	}
+
+	res.Results = heap.Results()
+	res.PostingsScanned = scanned
+	m.counters.postingsScanned.Add(uint64(scanned))
+	return res, true, nil
+}
+
+func (m *IDMethod) longIterator(s *snap, term string) (postings.BatchIterator, error) {
+	ref, ok := s.longRefs[term]
 	if !ok {
 		return postings.NewSliceIterator(nil), nil
 	}
@@ -254,16 +454,22 @@ func (m *IDMethod) longIterator(term string) (postings.BatchIterator, error) {
 
 // Stats implements Method.
 func (m *IDMethod) Stats() Stats {
-	s := Stats{
-		Method:           m.Name(),
-		LongListBytes:    m.longBytes,
-		LongListRawBytes: m.longRawBytes,
-		ShortListEntries: m.aux.Len(),
-		TablePatches:     m.score.Patches() + m.aux.Patches(),
+	s, guard, err := m.acquire()
+	if err != nil {
+		return Stats{Method: m.Name()}
 	}
-	m.counters.fill(&s)
-	m.fillPoolStats(&s)
-	return s
+	defer guard.Leave()
+	st := Stats{
+		Method:           m.Name(),
+		LongListBytes:    s.longBytes,
+		LongListRawBytes: s.longRawBytes,
+		ShortListEntries: s.lists.Len(),
+		TablePatches:     s.score.Patches() + s.lists.Patches(),
+	}
+	m.counters.fill(&st)
+	m.fillPoolStats(&st)
+	m.fillEpochStats(&st)
+	return st
 }
 
 // diffTerms computes the added and removed distinct terms between two token

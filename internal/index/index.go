@@ -8,6 +8,7 @@ import (
 	"svrdb/internal/postings"
 	"svrdb/internal/storage/blob"
 	"svrdb/internal/storage/buffer"
+	"svrdb/internal/storage/epoch"
 	"svrdb/internal/text"
 	"svrdb/internal/topk"
 )
@@ -79,6 +80,9 @@ var ErrTermScoresUnsupported = errors.New("index: method does not store term sco
 // ErrUnknownDocument is returned when an update refers to a document the
 // index has never seen.
 var ErrUnknownDocument = errors.New("index: unknown document")
+
+// ErrClosed is returned by queries issued after the method was drained.
+var ErrClosed = errors.New("index: method is closed")
 
 // UpdateKind discriminates the operations an Update batch can carry.
 type UpdateKind uint8
@@ -165,6 +169,10 @@ type Method interface {
 	// SetSource rewires the document source after a Restore (Build sets it
 	// itself).
 	SetSource(src DocSource)
+	// Drain fences out new readers, waits for in-flight queries to leave
+	// their epochs and recycles every retired page.  The method must not be
+	// used after Drain returns; queries racing it get ErrClosed.
+	Drain() error
 }
 
 // Stats describes an index's size and the work it has performed.
@@ -205,6 +213,13 @@ type Stats struct {
 	// rewrite.  On a pure score-update workload it should track ScoreUpdates
 	// closely; a collapse to zero means the fast path regressed.
 	TablePatches uint64
+	// Epoch is the current snapshot epoch (advanced on every publication).
+	Epoch uint64
+	// ActiveReaders is the number of queries currently pinned to an epoch.
+	ActiveReaders int
+	// RetainedPages is the number of superseded pages kept alive for
+	// snapshot readers, awaiting epoch drain.
+	RetainedPages int
 }
 
 // Config carries the tunable parameters shared by the methods.
@@ -294,6 +309,9 @@ type base struct {
 	score *scoreTable
 	src   DocSource
 
+	// longRefs maps terms to their long-list blobs.  Snapshots share this
+	// map by pointer, so writers never mutate it in place: build and merge
+	// paths accumulate refs in a local map and swap it in wholesale.
 	longRefs  map[string]blob.Ref
 	longBytes uint64
 	// longRawBytes accumulates the fixed-width footprint of every posting
@@ -304,6 +322,24 @@ type base struct {
 	// (for IDF) while a serialized writer inserts or deletes documents.
 	numDocs  atomic.Int64
 	counters counters
+
+	// epochs tracks reader epochs and recycles retired pages; published is
+	// the snapshot queries evaluate against.
+	epochs    *epoch.Manager
+	published atomic.Pointer[snap]
+	// suppress disables per-update publication inside ApplyUpdates, which
+	// publishes once per batch instead.  Only the serialized writer touches
+	// it.
+	suppress bool
+	// fillExtra is the method-specific half of publication, set once at
+	// construction (captures the method's own lists and metadata).
+	fillExtra func(*snap)
+
+	// pubDict/pubGen/pubDF cache the last published document-frequency
+	// vector so score-only publications skip the O(vocabulary) copy.
+	pubDict *text.Dictionary
+	pubGen  uint64
+	pubDF   []int64
 }
 
 func newBase(cfg Config) (*base, error) {
@@ -315,13 +351,16 @@ func newBase(cfg Config) (*base, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &base{
+	b := &base{
 		cfg:      cfg,
 		store:    blob.NewStore(cfg.Pool),
 		dict:     text.NewDictionary(),
 		score:    st,
 		longRefs: map[string]blob.Ref{},
-	}, nil
+	}
+	b.epochs = epoch.New(cfg.Pool.FreePage)
+	st.enableCOW(b.retirePage)
+	return b, nil
 }
 
 // docTermStats tokenizes a document into distinct terms with normalized term

@@ -7,6 +7,7 @@ import (
 	"svrdb/internal/postings"
 	"svrdb/internal/storage/btree"
 	"svrdb/internal/storage/buffer"
+	"svrdb/internal/storage/pagefile"
 )
 
 // keyedList is a B+-tree-backed posting list keyed by
@@ -30,6 +31,9 @@ import (
 type keyedList struct {
 	tree    *btree.Tree
 	entries int
+	// retire receives superseded pages once copy-on-write snapshots are
+	// enabled (see enableCOW); nil means the list recycles pages eagerly.
+	retire func(pagefile.PageID)
 
 	staged bool
 	ops    []keyedOp
@@ -52,6 +56,27 @@ func newKeyedList(pool *buffer.Pool) (*keyedList, error) {
 		return nil, err
 	}
 	return &keyedList{tree: tree}, nil
+}
+
+// enableCOW switches the list's tree to copy-on-write publication: sealed
+// pages superseded by later writes flow to retire instead of the free list,
+// so published snapshots stay readable until their epoch drains.
+func (l *keyedList) enableCOW(retire func(pagefile.PageID)) {
+	l.retire = retire
+	l.tree.EnableCOW(retire)
+}
+
+// snapshotView seals the tree and captures a frozen keyedView of its
+// current contents for publication.
+func (l *keyedList) snapshotView() keyedView {
+	l.tree.Seal()
+	return keyedView{view: l.tree.View(), entries: l.entries, patches: l.tree.Patches()}
+}
+
+// liveView captures an unsealed view of the current tree; valid only while
+// no writer runs (single-threaded callers such as tests and build paths).
+func (l *keyedList) liveView() keyedView {
+	return keyedView{view: l.tree.View(), entries: l.entries, patches: l.tree.Patches()}
 }
 
 // Len reports the number of postings in the list.
@@ -261,25 +286,49 @@ func (l *keyedList) bulkLoad(pool *buffer.Pool, items []btree.Item) error {
 	if err != nil {
 		return err
 	}
+	old := l.tree
 	l.tree = tree
 	l.entries = tree.Len()
+	if l.retire != nil {
+		// Bulk loading produced a plain tree; re-enable COW on it and retire
+		// the replaced tree's pages (they may still be pinned by published
+		// snapshots).
+		tree.EnableCOW(l.retire)
+		return old.RetireAll()
+	}
 	return nil
 }
+
+// keyedView is a frozen, read-only image of a keyedList: the tree view
+// captured at publication plus the counters queries report.  All query-path
+// reads (Collect, Iterator, Cursor, SizeBytes) run against a view so that
+// they see exactly one publication regardless of concurrent writers.
+type keyedView struct {
+	view    btree.View
+	entries int
+	patches uint64
+}
+
+// Len reports the number of postings captured in the view.
+func (v keyedView) Len() int { return v.entries }
+
+// Patches reports the in-place patch count at capture time.
+func (v keyedView) Patches() uint64 { return v.patches }
 
 // Collect materializes the postings of one term in (sortKey desc, doc asc)
 // order.  Short lists are small by design (that is the point of the
 // threshold), so materializing them per query is cheap; the Score method
 // overrides this with a streaming cursor (see treeCursor).
-func (l *keyedList) Collect(term string) ([]postings.Entry, error) {
+func (v keyedView) Collect(term string) ([]postings.Entry, error) {
 	var out []postings.Entry
 	var innerErr error
-	err := l.tree.AscendPrefix(keyedListPrefix(term), func(k, v []byte) bool {
+	err := v.view.AscendPrefix(keyedListPrefix(term), func(k, val []byte) bool {
 		_, sortKey, doc, err := decodeKeyedListKey(k)
 		if err != nil {
 			innerErr = err
 			return false
 		}
-		op, ts, err := decodeKeyedListValue(v)
+		op, ts, err := decodeKeyedListValue(val)
 		if err != nil {
 			innerErr = err
 			return false
@@ -305,12 +354,23 @@ func (l *keyedList) Collect(term string) ([]postings.Entry, error) {
 
 // Iterator returns a pull iterator over one term's postings, materialized up
 // front.  It satisfies both postings.Iterator and postings.BatchIterator.
-func (l *keyedList) Iterator(term string) (*postings.SliceIterator, error) {
-	entries, err := l.Collect(term)
+func (v keyedView) Iterator(term string) (*postings.SliceIterator, error) {
+	entries, err := v.Collect(term)
 	if err != nil {
 		return nil, err
 	}
 	return postings.NewSliceIterator(entries), nil
+}
+
+// Collect materializes one term's postings from the live tree; single-
+// threaded callers only.
+func (l *keyedList) Collect(term string) ([]postings.Entry, error) {
+	return l.liveView().Collect(term)
+}
+
+// Iterator mirrors keyedView.Iterator over the live tree.
+func (l *keyedList) Iterator(term string) (*postings.SliceIterator, error) {
+	return l.liveView().Iterator(term)
 }
 
 // treeCursor is a streaming pull iterator over a keyedList term, used for
@@ -319,7 +379,7 @@ func (l *keyedList) Iterator(term string) (*postings.SliceIterator, error) {
 // range scans so that an early-terminating query touches only a prefix of
 // the B+-tree leaves.
 type treeCursor struct {
-	list      *keyedList
+	view      btree.View
 	term      string
 	fromShort bool
 
@@ -333,8 +393,14 @@ type treeCursor struct {
 // leaf page worth and one downstream batch.
 const cursorBatchSize = postings.BatchSize
 
+func (v keyedView) Cursor(term string, fromShort bool) *treeCursor {
+	return &treeCursor{view: v.view, term: term, fromShort: fromShort, nextKey: keyedListPrefix(term)}
+}
+
+// Cursor streams one term's postings from the live tree; single-threaded
+// callers only.
 func (l *keyedList) Cursor(term string, fromShort bool) *treeCursor {
-	return &treeCursor{list: l, term: term, fromShort: fromShort, nextKey: keyedListPrefix(term)}
+	return l.liveView().Cursor(term, fromShort)
 }
 
 func (c *treeCursor) refill() error {
@@ -349,7 +415,7 @@ func (c *treeCursor) refill() error {
 	var lastKey []byte
 	count := 0
 	stopped := false
-	err := c.list.tree.AscendRange(c.nextKey, end, func(k, v []byte) bool {
+	err := c.view.AscendRange(c.nextKey, end, func(k, v []byte) bool {
 		if count >= cursorBatchSize {
 			// Remember where to resume: the current key (it has not been
 			// consumed into the batch).
@@ -454,13 +520,18 @@ func prefixEnd(prefix []byte) []byte {
 
 // SizeBytes estimates the serialized size of the list: key plus value bytes
 // for every posting.  It is used for the Score method's Table 1 entry.
-func (l *keyedList) SizeBytes() (uint64, error) {
+func (v keyedView) SizeBytes() (uint64, error) {
 	var total uint64
-	err := l.tree.Ascend(func(k, v []byte) bool {
-		total += uint64(len(k) + len(v))
+	err := v.view.Ascend(func(k, val []byte) bool {
+		total += uint64(len(k) + len(val))
 		return true
 	})
 	return total, err
+}
+
+// SizeBytes mirrors keyedView.SizeBytes over the live tree.
+func (l *keyedList) SizeBytes() (uint64, error) {
+	return l.liveView().SizeBytes()
 }
 
 func (l *keyedList) String() string {

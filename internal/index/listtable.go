@@ -4,6 +4,7 @@ import (
 	"svrdb/internal/codec"
 	"svrdb/internal/storage/btree"
 	"svrdb/internal/storage/buffer"
+	"svrdb/internal/storage/pagefile"
 )
 
 // listTable implements both the ListScore table of the Score-Threshold
@@ -20,6 +21,8 @@ import (
 // document's recorded list position — hits the tree's in-place patch path.
 type listTable struct {
 	tree *btree.Tree
+	// retire receives superseded pages once COW snapshots are enabled.
+	retire func(pagefile.PageID)
 
 	staged bool
 	// pending maps a document to its staged entry; a nil value is a staged
@@ -44,6 +47,48 @@ func newListTable(pool *buffer.Pool) (*listTable, error) {
 	}
 	return &listTable{tree: tree}, nil
 }
+
+// enableCOW switches the table's tree to copy-on-write publication.
+func (t *listTable) enableCOW(retire func(pagefile.PageID)) {
+	t.retire = retire
+	t.tree.EnableCOW(retire)
+}
+
+// snapshotView seals the tree and captures a frozen listView for
+// publication.
+func (t *listTable) snapshotView() listView {
+	t.tree.Seal()
+	return listView{view: t.tree.View(), patches: t.tree.Patches(), len: t.tree.Len()}
+}
+
+// listView is a frozen, read-only image of a listTable.
+type listView struct {
+	view    btree.View
+	patches uint64
+	len     int
+}
+
+// Get returns the entry for doc in the view, if any.
+func (v listView) Get(doc DocID) (listEntry, bool, error) {
+	data, ok, err := v.view.Get(listTableKey(doc))
+	if err != nil || !ok {
+		return listEntry{}, false, err
+	}
+	e, err := decodeListEntry(data)
+	if err != nil {
+		return listEntry{}, false, err
+	}
+	return e, true, nil
+}
+
+// newProbe returns a per-query locality-aware reader pinned to the view.
+func (v listView) newProbe() *listProbe { return &listProbe{p: v.view.NewProbe()} }
+
+// Len reports the entry count at capture time.
+func (v listView) Len() int { return v.len }
+
+// Patches reports the in-place patch count at capture time.
+func (v listView) Patches() uint64 { return v.patches }
 
 func listTableKey(doc DocID) []byte {
 	return codec.PutOrderedUint64(nil, uint64(doc))

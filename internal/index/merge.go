@@ -16,10 +16,12 @@ import (
 // MergeShortLists rebuilds the long inverted lists from the current state of
 // the collection — the latest scores in the Score table and the latest
 // document contents — and empties the short lists and the ListScore/ListChunk
-// table, returning the index to its freshly-bulk-loaded shape.  Space held by
-// the previous long-list blobs is not reclaimed (a production system would
-// compact the page file during the same maintenance window); the new lists
-// are written after the old ones.
+// table, returning the index to its freshly-bulk-loaded shape.  The merge
+// runs under the serialized writer with publication suppressed, so readers
+// stay on the pre-merge snapshot throughout and flip to the merged index
+// atomically at the end; the superseded generation — the old list trees and
+// the old long-list blobs — is retired to the epoch manager and its pages are
+// recycled once the last pre-merge reader leaves.
 
 // snapshotSource materializes the live collection for a rebuild: every
 // non-deleted document in the Score table, with its current tokens and
@@ -99,20 +101,31 @@ func (m *IDMethod) MergeShortLists() error {
 	if err != nil {
 		return err
 	}
-	origSrc := m.src
-	m.longRefs = map[string]blob.Ref{}
-	m.longBytes = 0
-	m.longRawBytes = 0
-	m.dict = text.NewDictionary()
 	aux, err := newKeyedList(m.cfg.Pool)
 	if err != nil {
 		return err
 	}
+	aux.enableCOW(m.retirePage)
+	origSrc := m.src
+	oldAux, oldRefs := m.aux, m.longRefs
+	m.suppress = true
+	defer func() {
+		m.src = origSrc
+		m.suppress = false
+		m.publish()
+	}()
+	m.longRefs = map[string]blob.Ref{}
+	m.longBytes = 0
+	m.longRawBytes = 0
+	m.dict = text.NewDictionary()
 	m.aux = aux
 	if err := m.Build(snap, snap.scoreFunc()); err != nil {
 		return err
 	}
-	m.src = origSrc
+	if err := oldAux.tree.RetireAll(); err != nil {
+		return err
+	}
+	m.retireBlobRefs(oldRefs)
 	return nil
 }
 
@@ -127,11 +140,6 @@ func (m *ScoreThresholdMethod) MergeShortLists() error {
 	if err != nil {
 		return err
 	}
-	origSrc := m.src
-	m.longRefs = map[string]blob.Ref{}
-	m.longBytes = 0
-	m.longRawBytes = 0
-	m.dict = text.NewDictionary()
 	short, err := newKeyedList(m.cfg.Pool)
 	if err != nil {
 		return err
@@ -140,12 +148,32 @@ func (m *ScoreThresholdMethod) MergeShortLists() error {
 	if err != nil {
 		return err
 	}
+	short.enableCOW(m.retirePage)
+	ls.enableCOW(m.retirePage)
+	origSrc := m.src
+	oldShort, oldListScore, oldRefs := m.short, m.listScore, m.longRefs
+	m.suppress = true
+	defer func() {
+		m.src = origSrc
+		m.suppress = false
+		m.publish()
+	}()
+	m.longRefs = map[string]blob.Ref{}
+	m.longBytes = 0
+	m.longRawBytes = 0
+	m.dict = text.NewDictionary()
 	m.short = short
 	m.listScore = ls
 	if err := m.Build(snap, snap.scoreFunc()); err != nil {
 		return err
 	}
-	m.src = origSrc
+	if err := oldShort.tree.RetireAll(); err != nil {
+		return err
+	}
+	if err := oldListScore.tree.RetireAll(); err != nil {
+		return err
+	}
+	m.retireBlobRefs(oldRefs)
 	return nil
 }
 
@@ -158,25 +186,55 @@ func (m *ChunkMethod) MergeShortLists() error {
 		return err
 	}
 	origSrc := m.src
-	m.resetChunkState()
+	m.suppress = true
+	defer func() {
+		m.src = origSrc
+		m.suppress = false
+		m.publish()
+	}()
+	oldShort, oldListChunk, oldRefs, err := m.resetChunkState()
+	if err != nil {
+		return err
+	}
 	if err := m.Build(snap, snap.scoreFunc()); err != nil {
 		return err
 	}
-	m.src = origSrc
-	return nil
+	return m.retireChunkState(oldShort, oldListChunk, oldRefs)
 }
 
-func (m *ChunkMethod) resetChunkState() {
+// resetChunkState swaps in fresh, COW-enabled short-list and ListChunk
+// structures and an empty long-list generation, returning the superseded ones
+// for retirement after the merged snapshot is published.
+func (m *ChunkMethod) resetChunkState() (oldShort *keyedList, oldListChunk *listTable, oldRefs map[string]blob.Ref, err error) {
+	short, err := newKeyedList(m.cfg.Pool)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	lc, err := newListTable(m.cfg.Pool)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	short.enableCOW(m.retirePage)
+	lc.enableCOW(m.retirePage)
+	oldShort, oldListChunk, oldRefs = m.short, m.listChunk, m.longRefs
 	m.longRefs = map[string]blob.Ref{}
 	m.longBytes = 0
 	m.longRawBytes = 0
 	m.dict = text.NewDictionary()
-	if short, err := newKeyedList(m.cfg.Pool); err == nil {
-		m.short = short
+	m.short = short
+	m.listChunk = lc
+	return oldShort, oldListChunk, oldRefs, nil
+}
+
+func (m *ChunkMethod) retireChunkState(oldShort *keyedList, oldListChunk *listTable, oldRefs map[string]blob.Ref) error {
+	if err := oldShort.tree.RetireAll(); err != nil {
+		return err
 	}
-	if lc, err := newListTable(m.cfg.Pool); err == nil {
-		m.listChunk = lc
+	if err := oldListChunk.tree.RetireAll(); err != nil {
+		return err
 	}
+	m.retireBlobRefs(oldRefs)
+	return nil
 }
 
 // MergeShortLists rebuilds the Chunk-TermScore long lists and fancy lists and
@@ -187,13 +245,24 @@ func (m *ChunkTermScoreMethod) MergeShortLists() error {
 		return err
 	}
 	origSrc := m.src
-	m.resetChunkState()
-	m.fancyRefs = map[string]blob.Ref{}
-	m.fancyMinW = map[string]float32{}
+	m.suppress = true
+	defer func() {
+		m.src = origSrc
+		m.suppress = false
+		m.publish()
+	}()
+	oldShort, oldListChunk, oldRefs, err := m.resetChunkState()
+	if err != nil {
+		return err
+	}
+	oldFancyRefs := m.fancyRefs
 	m.fancyBytes = 0
 	if err := m.Build(snap, snap.scoreFunc()); err != nil {
 		return err
 	}
-	m.src = origSrc
+	if err := m.retireChunkState(oldShort, oldListChunk, oldRefs); err != nil {
+		return err
+	}
+	m.retireBlobRefs(oldFancyRefs)
 	return nil
 }

@@ -135,23 +135,3 @@ func combinedStream(short *postings.SliceIterator, long postings.BatchIterator) 
 	}
 	return postings.NewCollapseOps(postings.NewUnion(short, long))
 }
-
-// currentScoreResolver returns a resolve function that looks up the current
-// score in the Score table and skips deleted or unknown documents — the
-// behaviour shared by the ID family (which always probes) and by candidates
-// that come from short lists.  Candidates arrive in ascending document
-// order, so the lookups run through a per-query probe that reuses the leaf
-// of the previous lookup.
-func (b *base) currentScoreResolver() func(g postings.Group) (float64, bool, error) {
-	probe := b.score.newProbe()
-	return func(g postings.Group) (float64, bool, error) {
-		score, deleted, ok, err := probe.Get(g.Doc)
-		if err != nil {
-			return 0, false, err
-		}
-		if !ok || deleted {
-			return 0, false, nil
-		}
-		return score, true, nil
-	}
-}

@@ -32,7 +32,17 @@ func NewScore(cfg Config) (*ScoreMethod, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &ScoreMethod{base: b, lists: lists}, nil
+	m := &ScoreMethod{base: b, lists: lists}
+	m.initSnapshots()
+	return m, nil
+}
+
+// initSnapshots wires the clustered lists into the epoch machinery and
+// publishes the initial snapshot; also used after Restore.
+func (m *ScoreMethod) initSnapshots() {
+	m.lists.enableCOW(m.retirePage)
+	m.fillExtra = func(s *snap) { s.lists = m.lists.snapshotView() }
+	m.publish()
 }
 
 // Name implements Method.
@@ -43,6 +53,7 @@ func (m *ScoreMethod) Name() string { return "Score" }
 // key order, so the per-term score-sorted runs concatenate into one sorted
 // run and no per-posting descent is paid.
 func (m *ScoreMethod) Build(src DocSource, scores ScoreFunc) error {
+	defer m.publish()
 	m.src = src
 	bc, err := accumulate(src, scores, m.dict)
 	if err != nil {
@@ -87,6 +98,7 @@ func (m *ScoreMethod) ApplyUpdates(batch []Update) error {
 // document must be deleted at the old score position and reinserted at the
 // new one, which is exactly the cost the paper's Figure 7 measures.
 func (m *ScoreMethod) UpdateScore(doc DocID, newScore float64) error {
+	defer m.publish()
 	m.counters.scoreUpdates.Add(1)
 	oldScore, deleted, ok, err := m.score.Get(doc)
 	if err != nil {
@@ -119,6 +131,7 @@ func (m *ScoreMethod) UpdateScore(doc DocID, newScore float64) error {
 
 // InsertDocument implements Method.
 func (m *ScoreMethod) InsertDocument(doc DocID, tokens []string, score float64) error {
+	defer m.publish()
 	if err := m.score.Set(doc, score); err != nil {
 		return err
 	}
@@ -138,6 +151,7 @@ func (m *ScoreMethod) InsertDocument(doc DocID, tokens []string, score float64) 
 
 // DeleteDocument implements Method.
 func (m *ScoreMethod) DeleteDocument(doc DocID) error {
+	defer m.publish()
 	score, _, ok, err := m.score.Get(doc)
 	if err != nil {
 		return err
@@ -164,6 +178,7 @@ func (m *ScoreMethod) DeleteDocument(doc DocID) error {
 
 // UpdateContent implements Method.
 func (m *ScoreMethod) UpdateContent(doc DocID, oldTokens, newTokens []string) error {
+	defer m.publish()
 	score, _, ok, err := m.score.Get(doc)
 	if err != nil {
 		return err
@@ -201,10 +216,15 @@ func (m *ScoreMethod) TopK(q Query) (*QueryResult, error) {
 	if q.WithTermScores {
 		return nil, ErrTermScoresUnsupported
 	}
+	s, guard, err := m.acquire()
+	if err != nil {
+		return nil, err
+	}
+	defer guard.Leave()
 	ctx := newQueryCtx()
 	defer ctx.release()
 	for _, term := range q.Terms {
-		ctx.streams = append(ctx.streams, m.lists.Cursor(term, false))
+		ctx.streams = append(ctx.streams, s.lists.Cursor(term, false))
 	}
 	return m.runRanked(rankedQuery{
 		streams:     ctx.streams,
@@ -222,7 +242,12 @@ func (m *ScoreMethod) TopK(q Query) (*QueryResult, error) {
 // Table 1 (the Score method pays B+-tree overhead because its lists must be
 // updatable in place).
 func (m *ScoreMethod) Stats() Stats {
-	size, err := m.lists.SizeBytes()
+	sn, guard, err := m.acquire()
+	if err != nil {
+		return Stats{Method: m.Name()}
+	}
+	defer guard.Leave()
+	size, err := sn.lists.SizeBytes()
 	if err != nil {
 		size = 0
 	}
@@ -231,9 +256,10 @@ func (m *ScoreMethod) Stats() Stats {
 		LongListBytes: size,
 		// LongListRawBytes stays zero: the Score method keeps its postings in
 		// B+-tree leaves, not compressed long-list blobs.
-		TablePatches: m.score.Patches() + m.lists.Patches(),
+		TablePatches: sn.score.Patches() + sn.lists.Patches(),
 	}
 	m.counters.fill(&s)
 	m.fillPoolStats(&s)
+	m.fillEpochStats(&s)
 	return s
 }

@@ -7,6 +7,7 @@ import (
 	"svrdb/internal/codec"
 	"svrdb/internal/storage/btree"
 	"svrdb/internal/storage/buffer"
+	"svrdb/internal/storage/pagefile"
 )
 
 // scoreTable is the paper's Score table: the single, collection-wide table
@@ -27,8 +28,10 @@ import (
 type scoreTable struct {
 	tree *btree.Tree
 	// lookups is atomic: concurrent queries (plain Gets and per-query
-	// probes) all count through it while holding only the index read lock.
+	// probes) all count through it without any lock.
 	lookups atomic.Uint64
+	// retire receives superseded pages once COW snapshots are enabled.
+	retire func(pagefile.PageID)
 
 	staged  bool
 	pending map[DocID]scoreVal
@@ -47,6 +50,54 @@ func newScoreTable(pool *buffer.Pool) (*scoreTable, error) {
 	}
 	return &scoreTable{tree: tree}, nil
 }
+
+// enableCOW switches the table's tree to copy-on-write publication.
+func (s *scoreTable) enableCOW(retire func(pagefile.PageID)) {
+	s.retire = retire
+	s.tree.EnableCOW(retire)
+}
+
+// snapshotView seals the tree and captures a frozen scoreView for
+// publication.
+func (s *scoreTable) snapshotView() scoreView {
+	s.tree.Seal()
+	return scoreView{s: s, view: s.tree.View(), patches: s.tree.Patches(), len: s.tree.Len()}
+}
+
+// scoreView is a frozen, read-only image of the Score table.  It keeps the
+// owning table only for the shared lookup counter; all data reads go
+// through the captured tree view.
+type scoreView struct {
+	s       *scoreTable
+	view    btree.View
+	patches uint64
+	len     int
+}
+
+// Get resolves a document's score in the view.
+func (v scoreView) Get(doc DocID) (score float64, deleted bool, ok bool, err error) {
+	v.s.lookups.Add(1)
+	data, found, err := v.view.Get(scoreTableKey(doc))
+	if err != nil || !found {
+		return 0, false, false, err
+	}
+	score, deleted, err = decodeScoreEntry(data)
+	if err != nil {
+		return 0, false, false, err
+	}
+	return score, deleted, true, nil
+}
+
+// newProbe returns a per-query locality-aware reader pinned to the view.
+func (v scoreView) newProbe() *scoreProbe {
+	return &scoreProbe{s: v.s, p: v.view.NewProbe()}
+}
+
+// Len reports the entry count at capture time.
+func (v scoreView) Len() int { return v.len }
+
+// Patches reports the in-place patch count at capture time.
+func (v scoreView) Patches() uint64 { return v.patches }
 
 func scoreTableKey(doc DocID) []byte {
 	return codec.PutOrderedUint64(nil, uint64(doc))
@@ -185,7 +236,12 @@ func (s *scoreTable) bulkLoad(pool *buffer.Pool, items []btree.Item) error {
 	if err != nil {
 		return err
 	}
+	old := s.tree
 	s.tree = tree
+	if s.retire != nil {
+		tree.EnableCOW(s.retire)
+		return old.RetireAll()
+	}
 	return nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"svrdb/internal/postings"
+	"svrdb/internal/storage/blob"
 	"svrdb/internal/text"
 )
 
@@ -47,7 +48,23 @@ func NewScoreThreshold(cfg Config) (*ScoreThresholdMethod, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &ScoreThresholdMethod{base: b, short: short, listScore: ls, knownTokens: map[DocID][]string{}}, nil
+	m := &ScoreThresholdMethod{base: b, short: short, listScore: ls, knownTokens: map[DocID][]string{}}
+	m.initSnapshots()
+	return m, nil
+}
+
+// initSnapshots wires the short lists and the ListScore table into the
+// epoch machinery and publishes the initial snapshot; also used after
+// Restore and after a merge replaces the structures.
+func (m *ScoreThresholdMethod) initSnapshots() {
+	m.short.enableCOW(m.retirePage)
+	m.listScore.enableCOW(m.retirePage)
+	m.fillExtra = func(s *snap) {
+		s.lists = m.short.snapshotView()
+		s.table = m.listScore.snapshotView()
+		s.scoreDir = m.scoreDir
+	}
+	m.publish()
 }
 
 // Name implements Method.
@@ -65,6 +82,7 @@ func (m *ScoreThresholdMethod) thresholdValueOf(score float64) float64 {
 
 // Build implements Method.
 func (m *ScoreThresholdMethod) Build(src DocSource, scores ScoreFunc) error {
+	defer m.publish()
 	m.src = src
 	bc, err := accumulate(src, scores, m.dict)
 	if err != nil {
@@ -76,6 +94,9 @@ func (m *ScoreThresholdMethod) Build(src DocSource, scores ScoreFunc) error {
 	if !m.cfg.Uncompressed {
 		m.scoreDir = postings.BuildScoreDir(bc.allScores())
 	}
+	// Published snapshots share the ref map by pointer, so accumulate into a
+	// fresh map and swap it in wholesale.
+	refs := make(map[string]blob.Ref, len(bc.termDocs))
 	for _, term := range bc.terms() {
 		builder := postings.NewScoreEncoder(!m.cfg.Uncompressed, m.scoreDir)
 		for _, dw := range bc.sortedByScoreDesc(term) {
@@ -88,10 +109,11 @@ func (m *ScoreThresholdMethod) Build(src DocSource, scores ScoreFunc) error {
 		if err != nil {
 			return err
 		}
-		m.longRefs[term] = ref
+		refs[term] = ref
 		m.longBytes += uint64(len(data))
 		m.longRawBytes += uint64(builder.Len()) * rawBytesScorePosting
 	}
+	m.longRefs = refs
 	return nil
 }
 
@@ -104,6 +126,7 @@ func (m *ScoreThresholdMethod) ApplyUpdates(batch []Update) error {
 
 // UpdateScore implements Method (Algorithm 1).
 func (m *ScoreThresholdMethod) UpdateScore(doc DocID, newScore float64) error {
+	defer m.publish()
 	m.counters.scoreUpdates.Add(1)
 	oldScore, deleted, ok, err := m.score.Get(doc)
 	if err != nil {
@@ -155,6 +178,7 @@ func (m *ScoreThresholdMethod) UpdateScore(doc DocID, newScore float64) error {
 // InsertDocument implements Method (Appendix A.2): the new document's
 // postings go straight to the short lists.
 func (m *ScoreThresholdMethod) InsertDocument(doc DocID, tokens []string, score float64) error {
+	defer m.publish()
 	if err := m.score.Set(doc, score); err != nil {
 		return err
 	}
@@ -175,6 +199,7 @@ func (m *ScoreThresholdMethod) InsertDocument(doc DocID, tokens []string, score 
 
 // DeleteDocument implements Method (Appendix A.2).
 func (m *ScoreThresholdMethod) DeleteDocument(doc DocID) error {
+	defer m.publish()
 	score, _, ok, err := m.score.Get(doc)
 	if err != nil {
 		return err
@@ -214,6 +239,7 @@ func (m *ScoreThresholdMethod) DeleteDocument(doc DocID) error {
 // document's current list position so that they align with its other
 // postings during the merge.
 func (m *ScoreThresholdMethod) UpdateContent(doc DocID, oldTokens, newTokens []string) error {
+	defer m.publish()
 	listKey, err := m.listPosition(doc)
 	if err != nil {
 		return err
@@ -289,14 +315,19 @@ func (m *ScoreThresholdMethod) TopK(q Query) (*QueryResult, error) {
 	if q.WithTermScores {
 		return nil, ErrTermScoresUnsupported
 	}
+	s, guard, err := m.acquire()
+	if err != nil {
+		return nil, err
+	}
+	defer guard.Leave()
 	ctx := newQueryCtx()
 	defer ctx.release()
 	for _, term := range q.Terms {
-		long, err := m.longIterator(term)
+		long, err := m.longIterator(s, term)
 		if err != nil {
 			return nil, err
 		}
-		short, err := m.short.Iterator(term)
+		short, err := s.lists.Iterator(term)
 		if err != nil {
 			return nil, err
 		}
@@ -307,63 +338,62 @@ func (m *ScoreThresholdMethod) TopK(q Query) (*QueryResult, error) {
 		k:           q.K,
 		conjunctive: !q.Disjunctive,
 		maxPossible: m.thresholdValueOf,
-		resolve:     m.resolveCandidate,
+		resolve:     m.resolveCandidate(s),
 	})
 }
 
-// resolveCandidate implements lines 12-21 of Algorithm 2: decide which copy
-// of the document is authoritative and fetch its latest score.
-func (m *ScoreThresholdMethod) resolveCandidate(g postings.Group) (float64, bool, error) {
-	entry, exists, err := m.listScore.Get(g.Doc)
-	if err != nil {
-		return 0, false, err
-	}
-	if exists && entry.InShortList {
-		// The short-list copy (at sort key entry.Key) is authoritative; any
-		// other appearance is the stale long-list copy and is skipped.
-		if g.SortKey != entry.Key {
-			return 0, false, nil
+// resolveCandidate implements lines 12-21 of Algorithm 2 against one
+// snapshot: decide which copy of the document is authoritative and fetch
+// its latest score.  Candidates arrive in list order, not document order,
+// so plain snapshot lookups (full descents) beat leaf-caching probes here.
+func (m *ScoreThresholdMethod) resolveCandidate(s *snap) func(g postings.Group) (float64, bool, error) {
+	return func(g postings.Group) (float64, bool, error) {
+		entry, exists, err := s.table.Get(g.Doc)
+		if err != nil {
+			return 0, false, err
 		}
-		return m.currentScore(g.Doc)
+		if exists && entry.InShortList {
+			// The short-list copy (at sort key entry.Key) is authoritative; any
+			// other appearance is the stale long-list copy and is skipped.
+			if g.SortKey != entry.Key {
+				return 0, false, nil
+			}
+			return s.currentScore(g.Doc)
+		}
+		if !exists {
+			// Never updated: the long-list score is the latest score.
+			return g.SortKey, true, nil
+		}
+		// Updated but within the threshold: the long-list copy is authoritative
+		// but its stored score is stale, so probe the Score table.
+		return s.currentScore(g.Doc)
 	}
-	if !exists {
-		// Never updated: the long-list score is the latest score.
-		return g.SortKey, true, nil
-	}
-	// Updated but within the threshold: the long-list copy is authoritative
-	// but its stored score is stale, so probe the Score table.
-	return m.currentScore(g.Doc)
 }
 
-func (m *ScoreThresholdMethod) currentScore(doc DocID) (float64, bool, error) {
-	score, deleted, ok, err := m.score.Get(doc)
-	if err != nil {
-		return 0, false, err
-	}
-	if !ok || deleted {
-		return 0, false, nil
-	}
-	return score, true, nil
-}
-
-func (m *ScoreThresholdMethod) longIterator(term string) (postings.BatchIterator, error) {
-	ref, ok := m.longRefs[term]
+func (m *ScoreThresholdMethod) longIterator(s *snap, term string) (postings.BatchIterator, error) {
+	ref, ok := s.longRefs[term]
 	if !ok {
 		return postings.NewSliceIterator(nil), nil
 	}
-	return postings.NewStreamScoreListDir(m.store.NewReader(ref), m.scoreDir)
+	return postings.NewStreamScoreListDir(m.store.NewReader(ref), s.scoreDir)
 }
 
 // Stats implements Method.
 func (m *ScoreThresholdMethod) Stats() Stats {
+	sn, guard, err := m.acquire()
+	if err != nil {
+		return Stats{Method: m.Name()}
+	}
+	defer guard.Leave()
 	s := Stats{
 		Method:           m.Name(),
-		LongListBytes:    m.longBytes,
-		LongListRawBytes: m.longRawBytes,
-		ShortListEntries: m.short.Len(),
-		TablePatches:     m.score.Patches() + m.listScore.Patches() + m.short.Patches(),
+		LongListBytes:    sn.longBytes,
+		LongListRawBytes: sn.longRawBytes,
+		ShortListEntries: sn.lists.Len(),
+		TablePatches:     sn.score.Patches() + sn.table.Patches() + sn.lists.Patches(),
 	}
 	m.counters.fill(&s)
 	m.fillPoolStats(&s)
+	m.fillEpochStats(&s)
 	return s
 }

@@ -6,6 +6,7 @@ import (
 	"svrdb/internal/storage/blob"
 	"svrdb/internal/storage/btree"
 	"svrdb/internal/storage/buffer"
+	"svrdb/internal/storage/epoch"
 	"svrdb/internal/storage/pagefile"
 	"svrdb/internal/text"
 )
@@ -133,6 +134,8 @@ func openBase(cfg Config, st *MethodState) (*base, error) {
 		longRawBytes: st.LongRawBytes,
 	}
 	b.numDocs.Store(st.NumDocs)
+	b.epochs = epoch.New(cfg.Pool.FreePage)
+	b.score.enableCOW(b.retirePage)
 	return b, nil
 }
 
@@ -206,27 +209,36 @@ func Restore(cfg Config, st MethodState) (Method, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Each constructor below reattaches its trees and then runs the method's
+	// initSnapshots, which COW-enables the restored trees and publishes the
+	// first post-restore snapshot.
 	switch st.Kind {
 	case "ID", "ID-TermScore":
-		return &IDMethod{
+		m := &IDMethod{
 			base:           b,
 			withTermScores: st.Kind == "ID-TermScore",
 			aux:            openKeyedList(b.cfg.Pool, st.Lists),
 			knownTokens:    copyTokenCache(st.KnownTokens),
-		}, nil
+		}
+		m.initSnapshots()
+		return m, nil
 	case "Score":
-		return &ScoreMethod{
+		m := &ScoreMethod{
 			base:  b,
 			lists: openKeyedList(b.cfg.Pool, st.Lists),
-		}, nil
+		}
+		m.initSnapshots()
+		return m, nil
 	case "Score-Threshold":
-		return &ScoreThresholdMethod{
+		m := &ScoreThresholdMethod{
 			base:        b,
 			short:       openKeyedList(b.cfg.Pool, st.Lists),
 			listScore:   openListTable(b.cfg.Pool, st.ListTable),
 			knownTokens: copyTokenCache(st.KnownTokens),
 			scoreDir:    append([]float64(nil), st.ScoreDir...),
-		}, nil
+		}
+		m.initSnapshots()
+		return m, nil
 	case "Chunk", "Chunk-TermScore":
 		cm := &ChunkMethod{
 			base:        b,
@@ -238,6 +250,7 @@ func Restore(cfg Config, st MethodState) (Method, error) {
 			cm.chunks = &chunker{lower: append([]float64(nil), st.ChunkLower...)}
 		}
 		if st.Kind == "Chunk" {
+			cm.initSnapshots()
 			return cm, nil
 		}
 		cts := &ChunkTermScoreMethod{
@@ -249,6 +262,7 @@ func Restore(cfg Config, st MethodState) (Method, error) {
 		for t, w := range st.FancyMinW {
 			cts.fancyMinW[t] = w
 		}
+		cts.initSnapshots()
 		return cts, nil
 	default:
 		return nil, fmt.Errorf("index: cannot restore unknown method kind %q", st.Kind)

@@ -28,8 +28,12 @@ type LoadResult struct {
 	Elapsed time.Duration
 	// QPS is Queries / Elapsed.
 	QPS float64
-	// Avg, P50 and P99 summarize per-request latency as a client saw it.
-	Avg, P50, P99 time.Duration
+	// Avg, P50, P99 and P999 summarize per-request latency as a client saw
+	// it; P999 is the deep-tail number the tail-latency experiment watches.
+	Avg, P50, P99, P999 time.Duration
+	// Max is the single slowest request — the hard ceiling a concurrent
+	// maintenance stall would show up in.
+	Max time.Duration
 }
 
 // NewLoadClient returns an http.Client tuned for loopback load generation:
@@ -133,6 +137,8 @@ func Summarize(lats []time.Duration, elapsed time.Duration, workers int) LoadRes
 	res.Avg = sum / time.Duration(len(sorted))
 	res.P50 = sorted[nearestRank(len(sorted), 0.50)]
 	res.P99 = sorted[nearestRank(len(sorted), 0.99)]
+	res.P999 = sorted[nearestRank(len(sorted), 0.999)]
+	res.Max = sorted[len(sorted)-1]
 	return res
 }
 

@@ -113,6 +113,7 @@ type EndpointSnapshot struct {
 	AvgMS   float64          `json:"avg_ms"`
 	P50MS   float64          `json:"p50_ms"`
 	P99MS   float64          `json:"p99_ms"`
+	P999MS  float64          `json:"p999_ms"`
 	Buckets []BucketSnapshot `json:"latency_histogram,omitempty"`
 }
 
@@ -157,6 +158,7 @@ func (r *Registry) Snapshot() []EndpointSnapshot {
 		}
 		s.P50MS = percentileMS(counts[:], total, 0.50)
 		s.P99MS = percentileMS(counts[:], total, 0.99)
+		s.P999MS = percentileMS(counts[:], total, 0.999)
 		for i, c := range counts {
 			if c > 0 {
 				s.Buckets = append(s.Buckets, BucketSnapshot{UpToUS: bucketUpperUS(i), Count: c})

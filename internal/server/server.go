@@ -363,6 +363,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"queries":                     st.Queries,
 			"postings_scanned":            st.PostingsScanned,
 			"table_patches":               st.TablePatches,
+			"epoch":                       st.Epoch,
+			"active_readers":              st.ActiveReaders,
+			"retained_pages":              st.RetainedPages,
 		}
 	}
 	pool := s.engine.Pool()

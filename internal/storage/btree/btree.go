@@ -39,6 +39,166 @@ type Tree struct {
 	// disablePatch forces every write through the parse→reserialize path;
 	// equivalence tests use it to pit the two paths against each other.
 	disablePatch bool
+
+	// cow switches the tree to copy-on-write mutation: pages written since
+	// the last Seal (tracked in fresh) may still be mutated in place, but a
+	// page that a published snapshot can reach is never overwritten —
+	// mutating it allocates a new page, rewires the ancestor path and hands
+	// the old page to retire.  Concurrent readers walk a View captured at
+	// publication time and never observe a half-built state.
+	cow    bool
+	retire func(pagefile.PageID)
+	fresh  map[pagefile.PageID]struct{}
+}
+
+// EnableCOW switches the tree to copy-on-write mutation.  retire receives
+// every page a mutation supersedes (typically epoch.Manager.Retire, which
+// recycles it once concurrent readers drain).  Pages the tree allocates
+// after this call are private until Seal marks them published.
+func (t *Tree) EnableCOW(retire func(pagefile.PageID)) {
+	t.cow = true
+	t.retire = retire
+	t.fresh = map[pagefile.PageID]struct{}{}
+}
+
+// Seal marks every page of the tree as published: the writer has made the
+// current root reachable by readers (via View), so from now on mutations
+// copy pages instead of overwriting them.  Called once per publication.
+func (t *Tree) Seal() {
+	if t.cow {
+		clear(t.fresh)
+	}
+}
+
+// mutableInPlace reports whether the page may be overwritten where it is:
+// always outside COW mode, and only for unpublished (fresh) pages in it.
+func (t *Tree) mutableInPlace(id pagefile.PageID) bool {
+	if !t.cow {
+		return true
+	}
+	_, ok := t.fresh[id]
+	return ok
+}
+
+// writeNodeOut flushes n to a page it is allowed to occupy: its own page
+// when that is mutable in place, otherwise a newly allocated page (the old
+// one is retired and n.id is updated).  It returns the page the node now
+// lives at; the caller is responsible for rewiring the parent pointer when
+// the id changed.
+func (t *Tree) writeNodeOut(n *node) (pagefile.PageID, error) {
+	if t.mutableInPlace(n.id) {
+		return n.id, t.flushNode(n)
+	}
+	old := n.id
+	fr, err := t.pool.NewPage()
+	if err != nil {
+		return pagefile.InvalidPageID, err
+	}
+	n.id = fr.ID()
+	err = writeNode(fr, n, t.pool.PageSize())
+	fr.Release()
+	if err != nil {
+		return pagefile.InvalidPageID, err
+	}
+	t.fresh[n.id] = struct{}{}
+	if err := t.freePage(old); err != nil {
+		return pagefile.InvalidPageID, err
+	}
+	return n.id, nil
+}
+
+// clonePage copies the pinned page into a fresh page and returns the new
+// frame pinned (the caller releases it).  Used by the COW patch path, which
+// edits the raw page image without parsing it.
+func (t *Tree) clonePage(fr *buffer.Frame) (*buffer.Frame, error) {
+	nfr, err := t.pool.NewPage()
+	if err != nil {
+		return nil, err
+	}
+	copy(nfr.Data(), fr.Data())
+	nfr.MarkDirty()
+	t.fresh[nfr.ID()] = struct{}{}
+	return nfr, nil
+}
+
+// replaceChildPointer rewires the child pointer old → new along the
+// root-to-parent path (deepest ancestor last), copying published ancestors
+// on the way and updating the root when the relocation bubbles to it.
+// Child pointers are fixed-width 8-byte fields, so a mutable ancestor is
+// patched in its pinned page without a parse.
+func (t *Tree) replaceChildPointer(path []pagefile.PageID, old, new pagefile.PageID) error {
+	for i := len(path) - 1; i >= 0; i-- {
+		pid := path[i]
+		fr, err := t.pool.Get(pid)
+		if err != nil {
+			return err
+		}
+		off, err := pageFindChildOffset(pid, fr.Data(), old)
+		if err != nil {
+			fr.Release()
+			return err
+		}
+		var enc [8]byte
+		codec.PutUint64(enc[:0], uint64(new))
+		if t.mutableInPlace(pid) {
+			fr.Patch(off, enc[:])
+			fr.Release()
+			return nil
+		}
+		nfr, err := t.clonePage(fr)
+		fr.Release()
+		if err != nil {
+			return err
+		}
+		nfr.Patch(off, enc[:])
+		nid := nfr.ID()
+		nfr.Release()
+		if err := t.freePage(pid); err != nil {
+			return err
+		}
+		old, new = pid, nid
+	}
+	// The relocation reached the top of the path: the root itself moved.
+	t.setRoot(new)
+	return nil
+}
+
+// pageFindChildOffset scans a serialized internal node for the 8-byte child
+// pointer equal to child and returns its byte offset within the page.
+func pageFindChildOffset(id pagefile.PageID, data []byte, child pagefile.PageID) (int, error) {
+	if len(data) == 0 || data[0] != nodeInternal {
+		return 0, fmt.Errorf("btree: page %d is not an internal node", id)
+	}
+	off := 1
+	nKeys64, sz, err := codec.Uvarint(data[off:])
+	if err != nil {
+		return 0, fmt.Errorf("btree: page %d: %w", id, err)
+	}
+	off += sz
+	c0, _, err := codec.Uint64(data[off:])
+	if err != nil {
+		return 0, err
+	}
+	if pagefile.PageID(c0) == child {
+		return off, nil
+	}
+	off += 8
+	for i := 0; i < int(nKeys64); i++ {
+		_, sz, err := codec.LenBytes(data[off:])
+		if err != nil {
+			return 0, err
+		}
+		off += sz
+		c, _, err := codec.Uint64(data[off:])
+		if err != nil {
+			return 0, err
+		}
+		if pagefile.PageID(c) == child {
+			return off, nil
+		}
+		off += 8
+	}
+	return 0, fmt.Errorf("btree: page %d has no child pointer to %d", id, child)
 }
 
 // rootID returns the current root page.
@@ -262,6 +422,9 @@ func (t *Tree) newNode(leaf bool) (*node, error) {
 		return nil, err
 	}
 	fr.Release()
+	if t.cow {
+		t.fresh[fr.ID()] = struct{}{}
+	}
 	return &node{id: fr.ID(), leaf: leaf, next: pagefile.InvalidPageID, prev: pagefile.InvalidPageID}, nil
 }
 
@@ -426,7 +589,18 @@ func (t *Tree) findLeafFrame(key []byte) (*buffer.Frame, error) {
 // bound of the leaf's key range in upper (left untouched — nil for a fresh
 // slice — when the leaf is rightmost).
 func (t *Tree) descendToLeaf(key []byte, path *[]pagefile.PageID, upper *[]byte) (*buffer.Frame, error) {
-	id := t.rootID()
+	return t.descendFrom(t.rootID(), key, path, upper)
+}
+
+// descendFrom is descendToLeaf starting from an explicit root, which lets
+// snapshot readers (View) descend a frozen tree while the live root moves.
+// A nil key descends to the leftmost leaf (every separator compares above
+// nil), with upper still tracking the leaf's exclusive bound — the primitive
+// behind chain-free range scans, which re-descend at the previous leaf's
+// upper bound instead of following sibling pointers that copy-on-write
+// mutation leaves stale.
+func (t *Tree) descendFrom(root pagefile.PageID, key []byte, path *[]pagefile.PageID, upper *[]byte) (*buffer.Frame, error) {
+	id := root
 	for {
 		fr, err := t.pool.Get(id)
 		if err != nil {
@@ -521,17 +695,62 @@ func (t *Tree) Put(key, value []byte) error {
 // structural change — which is why it is the fast path for every fixed-width
 // table write.  (false, nil) means the key is absent or the lengths differ;
 // the caller falls back to Upsert.
+//
+// In COW mode a published leaf is not written where it is: the page is
+// cloned, the clone patched, and the one ancestor pointer rewired — still
+// no node parse, so the fixed-width fast path survives snapshot isolation.
 func (t *Tree) Patch(key, value []byte) (bool, error) {
 	if len(key) == 0 {
 		return false, errors.New("btree: empty key")
 	}
-	fr, err := t.findLeafFrame(key)
+	return t.tryPatch(key, value)
+}
+
+// tryPatch is the shared patch probe of Patch and Upsert.
+func (t *Tree) tryPatch(key, value []byte) (bool, error) {
+	if !t.cow {
+		fr, err := t.findLeafFrame(key)
+		if err != nil {
+			return false, err
+		}
+		ok, err := t.patchInFrame(fr, key, value)
+		fr.Release()
+		return ok, err
+	}
+	var path []pagefile.PageID
+	fr, err := t.descendToLeaf(key, &path, nil)
 	if err != nil {
 		return false, err
 	}
-	ok, err := t.patchInFrame(fr, key, value)
+	if t.mutableInPlace(fr.ID()) {
+		ok, err := t.patchInFrame(fr, key, value)
+		fr.Release()
+		return ok, err
+	}
+	// Published leaf: check patchability first so a miss costs nothing, then
+	// clone, patch the clone and rewire the parent pointer.
+	valOff, valLen, found, err := pageLeafFindValue(fr.ID(), fr.Data(), key)
+	if err != nil || !found || valLen != len(value) {
+		fr.Release()
+		return false, err
+	}
+	old := fr.ID()
+	nfr, err := t.clonePage(fr)
 	fr.Release()
-	return ok, err
+	if err != nil {
+		return false, err
+	}
+	nfr.Patch(valOff, value)
+	nid := nfr.ID()
+	nfr.Release()
+	if err := t.freePage(old); err != nil {
+		return false, err
+	}
+	if err := t.replaceChildPointer(path, old, nid); err != nil {
+		return false, err
+	}
+	t.patches.Add(1)
+	return true, nil
 }
 
 // patchInFrame applies the in-place patch against an already-pinned leaf
@@ -620,12 +839,7 @@ func (t *Tree) Upsert(key, value []byte) (bool, error) {
 		return false, fmt.Errorf("%w: key %d + value %d bytes (max %d)", ErrEntryTooLarge, len(key), len(value), t.maxEntrySize())
 	}
 	if !t.disablePatch {
-		fr, err := t.findLeafFrame(key)
-		if err != nil {
-			return false, err
-		}
-		ok, err := t.patchInFrame(fr, key, value)
-		fr.Release()
+		ok, err := t.tryPatch(key, value)
 		if err != nil {
 			return false, err
 		}
@@ -633,7 +847,7 @@ func (t *Tree) Upsert(key, value []byte) (bool, error) {
 			return false, nil
 		}
 	}
-	promoted, newChild, inserted, err := t.insertInto(t.rootID(), key, value)
+	self, promoted, newChild, inserted, err := t.insertInto(t.rootID(), key, value)
 	if err != nil {
 		return false, err
 	}
@@ -641,6 +855,9 @@ func (t *Tree) Upsert(key, value []byte) (bool, error) {
 		t.size.Add(1)
 	}
 	if newChild == pagefile.InvalidPageID {
+		if self != t.rootID() {
+			t.setRoot(self)
+		}
 		return inserted, nil
 	}
 	// Root split: create a new internal root.
@@ -649,7 +866,7 @@ func (t *Tree) Upsert(key, value []byte) (bool, error) {
 		return false, err
 	}
 	newRoot.keys = [][]byte{promoted}
-	newRoot.children = []pagefile.PageID{t.rootID(), newChild}
+	newRoot.children = []pagefile.PageID{self, newChild}
 	if err := t.flushNode(newRoot); err != nil {
 		return false, err
 	}
@@ -657,13 +874,14 @@ func (t *Tree) Upsert(key, value []byte) (bool, error) {
 	return inserted, nil
 }
 
-// insertInto inserts into the subtree rooted at id.  It returns the promoted
+// insertInto inserts into the subtree rooted at id.  It returns the page the
+// subtree's root now lives at (COW mutation may relocate it), the promoted
 // separator key and new sibling page when the node split, and whether a new
 // key (as opposed to a replacement) was inserted.
-func (t *Tree) insertInto(id pagefile.PageID, key, value []byte) ([]byte, pagefile.PageID, bool, error) {
+func (t *Tree) insertInto(id pagefile.PageID, key, value []byte) (pagefile.PageID, []byte, pagefile.PageID, bool, error) {
 	n, err := t.readNode(id)
 	if err != nil {
-		return nil, pagefile.InvalidPageID, false, err
+		return id, nil, pagefile.InvalidPageID, false, err
 	}
 	if n.leaf {
 		i := searchKeys(n.keys, key)
@@ -680,19 +898,26 @@ func (t *Tree) insertInto(id pagefile.PageID, key, value []byte) ([]byte, pagefi
 			n.vals[i] = append([]byte(nil), value...)
 		}
 		if t.nodeSize(n) <= t.pool.PageSize() {
-			return nil, pagefile.InvalidPageID, inserted, t.flushNode(n)
+			self, err := t.writeNodeOut(n)
+			return self, nil, pagefile.InvalidPageID, inserted, err
 		}
-		promoted, sib, err := t.splitLeaf(n)
-		return promoted, sib, inserted, err
+		self, promoted, sib, err := t.splitLeaf(n)
+		return self, promoted, sib, inserted, err
 	}
 
 	ci := childIndex(n, key)
-	promoted, newChild, inserted, err := t.insertInto(n.children[ci], key, value)
+	oldChild := n.children[ci]
+	childSelf, promoted, newChild, inserted, err := t.insertInto(oldChild, key, value)
 	if err != nil {
-		return nil, pagefile.InvalidPageID, false, err
+		return id, nil, pagefile.InvalidPageID, false, err
 	}
+	if childSelf == oldChild && newChild == pagefile.InvalidPageID {
+		return id, nil, pagefile.InvalidPageID, inserted, nil
+	}
+	n.children[ci] = childSelf
 	if newChild == pagefile.InvalidPageID {
-		return nil, pagefile.InvalidPageID, inserted, nil
+		self, err := t.writeNodeOut(n)
+		return self, nil, pagefile.InvalidPageID, inserted, err
 	}
 	// Insert the promoted separator into this internal node.
 	i := searchKeys(n.keys, promoted)
@@ -703,37 +928,41 @@ func (t *Tree) insertInto(id pagefile.PageID, key, value []byte) ([]byte, pagefi
 	copy(n.children[i+2:], n.children[i+1:])
 	n.children[i+1] = newChild
 	if t.nodeSize(n) <= t.pool.PageSize() {
-		return nil, pagefile.InvalidPageID, inserted, t.flushNode(n)
+		self, err := t.writeNodeOut(n)
+		return self, nil, pagefile.InvalidPageID, inserted, err
 	}
-	up, sib, err := t.splitInternal(n)
-	return up, sib, inserted, err
+	self, up, sib, err := t.splitInternal(n)
+	return self, up, sib, inserted, err
 }
 
-// splitLeaf splits an over-full leaf into two, returning the separator key
-// (first key of the new right sibling) and the sibling's page ID.
-func (t *Tree) splitLeaf(n *node) ([]byte, pagefile.PageID, error) {
+// splitLeaf splits an over-full leaf into two, returning the page the left
+// half now lives at, the separator key (first key of the new right sibling)
+// and the sibling's page ID.
+func (t *Tree) splitLeaf(n *node) (pagefile.PageID, []byte, pagefile.PageID, error) {
 	mid := len(n.keys) / 2
 	if mid == 0 {
 		mid = 1
 	}
 	right, err := t.newNode(true)
 	if err != nil {
-		return nil, pagefile.InvalidPageID, err
+		return n.id, nil, pagefile.InvalidPageID, err
 	}
 	right.keys = append(right.keys, n.keys[mid:]...)
 	right.vals = append(right.vals, n.vals[mid:]...)
 	right.next = n.next
-	right.prev = n.id
 
-	// Fix the old next leaf's prev pointer.
-	if n.next != pagefile.InvalidPageID {
+	// Fix the old next leaf's prev pointer.  COW trees do not maintain the
+	// sibling chain — copy-on-write relocation would leave neighbours'
+	// pointers stale anyway — and every COW read path re-descends instead of
+	// chain-walking, so the stale pointers are never followed.
+	if !t.cow && n.next != pagefile.InvalidPageID {
 		oldNext, err := t.readNode(n.next)
 		if err != nil {
-			return nil, pagefile.InvalidPageID, err
+			return n.id, nil, pagefile.InvalidPageID, err
 		}
 		oldNext.prev = right.id
 		if err := t.flushNode(oldNext); err != nil {
-			return nil, pagefile.InvalidPageID, err
+			return n.id, nil, pagefile.InvalidPageID, err
 		}
 	}
 
@@ -741,27 +970,31 @@ func (t *Tree) splitLeaf(n *node) ([]byte, pagefile.PageID, error) {
 	n.vals = n.vals[:mid]
 	n.next = right.id
 
-	if err := t.flushNode(right); err != nil {
-		return nil, pagefile.InvalidPageID, err
+	self, err := t.writeNodeOut(n)
+	if err != nil {
+		return n.id, nil, pagefile.InvalidPageID, err
 	}
-	if err := t.flushNode(n); err != nil {
-		return nil, pagefile.InvalidPageID, err
+	right.prev = self
+	if err := t.flushNode(right); err != nil {
+		return self, nil, pagefile.InvalidPageID, err
 	}
 	sep := append([]byte(nil), right.keys[0]...)
-	return sep, right.id, nil
+	return self, sep, right.id, nil
 }
 
 // splitInternal splits an over-full internal node, promoting the middle key.
-func (t *Tree) splitInternal(n *node) ([]byte, pagefile.PageID, error) {
+// It returns the page the left half now lives at, the promoted key and the
+// new right sibling.
+func (t *Tree) splitInternal(n *node) (pagefile.PageID, []byte, pagefile.PageID, error) {
 	mid := len(n.keys) / 2
 	if mid == 0 {
 		mid = 1
 	}
-	promoted := n.keys[mid]
+	promoted := append([]byte(nil), n.keys[mid]...)
 
 	right, err := t.newNode(false)
 	if err != nil {
-		return nil, pagefile.InvalidPageID, err
+		return n.id, nil, pagefile.InvalidPageID, err
 	}
 	right.keys = append(right.keys, n.keys[mid+1:]...)
 	right.children = append(right.children, n.children[mid+1:]...)
@@ -770,12 +1003,13 @@ func (t *Tree) splitInternal(n *node) ([]byte, pagefile.PageID, error) {
 	n.children = n.children[:mid+1]
 
 	if err := t.flushNode(right); err != nil {
-		return nil, pagefile.InvalidPageID, err
+		return n.id, nil, pagefile.InvalidPageID, err
 	}
-	if err := t.flushNode(n); err != nil {
-		return nil, pagefile.InvalidPageID, err
+	self, err := t.writeNodeOut(n)
+	if err != nil {
+		return n.id, nil, pagefile.InvalidPageID, err
 	}
-	return append([]byte(nil), promoted...), right.id, nil
+	return self, promoted, right.id, nil
 }
 
 // --- deletion ----------------------------------------------------------------
@@ -785,7 +1019,13 @@ func (t *Tree) splitInternal(n *node) ([]byte, pagefile.PageID, error) {
 // sibling chain, removed from its ancestors and its page recycled (see the
 // package comment).
 func (t *Tree) Delete(key []byte) (bool, error) {
-	leaf, err := t.findLeaf(key)
+	var path []pagefile.PageID
+	fr, err := t.descendToLeaf(key, &path, nil)
+	if err != nil {
+		return false, err
+	}
+	leaf, err := parseNode(fr.ID(), fr.Data())
+	fr.Release()
 	if err != nil {
 		return false, err
 	}
@@ -799,63 +1039,90 @@ func (t *Tree) Delete(key []byte) (bool, error) {
 	if len(leaf.keys) == 0 && leaf.id != t.rootID() {
 		// The page is about to be recycled; writing the dead image first
 		// would be wasted I/O.
-		return true, t.pruneEmptiedLeaf(leaf, key)
+		return true, t.pruneEmptiedLeafAlongPath(leaf, path)
 	}
-	return true, t.flushNode(leaf)
+	old := leaf.id
+	self, err := t.writeNodeOut(leaf)
+	if err != nil {
+		return true, err
+	}
+	if self != old {
+		return true, t.replaceChildPointer(path, old, self)
+	}
+	return true, nil
 }
 
-// freePage recycles a dead node's page: the resident frame (if any) is
-// dropped without writeback and the page goes to the pagefile free list.
+// freePage disposes of a page the tree no longer references.  A page no
+// published snapshot could reach (non-COW trees, and fresh pages in COW
+// mode) is recycled immediately: the resident frame (if any) is dropped
+// without writeback and the page goes to the pagefile free list.  A
+// published page is retired instead and recycled once its epoch drains.
 func (t *Tree) freePage(id pagefile.PageID) error {
+	if t.cow {
+		if _, ok := t.fresh[id]; ok {
+			delete(t.fresh, id)
+			return t.pool.FreePage(id)
+		}
+		t.retire(id)
+		return nil
+	}
 	return t.pool.FreePage(id)
 }
 
-// internalPathTo returns the page IDs of the internal nodes on the
-// root-to-leaf descent for key (empty when the root is a leaf), scanning
-// serialized pages without parsing them.
-func (t *Tree) internalPathTo(key []byte) ([]pagefile.PageID, error) {
-	var path []pagefile.PageID
-	fr, err := t.descendToLeaf(key, &path, nil)
-	if err != nil {
-		return nil, err
-	}
-	fr.Release()
-	return path, nil
+// RetireAll disposes of every page of the tree — retired when published,
+// recycled immediately when fresh or non-COW — for a tree being replaced
+// wholesale (bulk-load swap, offline merge).  The tree must not be used
+// afterwards.
+func (t *Tree) RetireAll() error {
+	return t.retireSubtree(t.rootID())
 }
 
-// pruneEmptiedLeaf dismantles a leaf a delete just emptied: it is unlinked
-// from the sibling chain, removed from the ancestor chain and its page
-// recycled, without ever writing the dead page image.  An internal node that
-// loses its only child is pruned the same way, a root that empties entirely
-// is rewritten as an empty leaf, and a root left with a single child
-// collapses onto it — so the tree sheds every page the deletes emptied.
-// leaf is the already-parsed (and already-emptied, unflushed) leaf; key is
-// any key that routes to it.
-func (t *Tree) pruneEmptiedLeaf(leaf *node, key []byte) error {
-	path, err := t.internalPathTo(key)
+func (t *Tree) retireSubtree(id pagefile.PageID) error {
+	n, err := t.readNode(id)
 	if err != nil {
 		return err
 	}
-
-	// Unlink from the doubly linked sibling chain.
-	if leaf.prev != pagefile.InvalidPageID {
-		prev, err := t.readNode(leaf.prev)
-		if err != nil {
-			return err
-		}
-		prev.next = leaf.next
-		if err := t.flushNode(prev); err != nil {
-			return err
+	if !n.leaf {
+		for _, c := range n.children {
+			if err := t.retireSubtree(c); err != nil {
+				return err
+			}
 		}
 	}
-	if leaf.next != pagefile.InvalidPageID {
-		next, err := t.readNode(leaf.next)
-		if err != nil {
-			return err
+	return t.freePage(id)
+}
+
+// pruneEmptiedLeafAlongPath dismantles a leaf a delete just emptied, given
+// the already-parsed (and already-emptied, unflushed) leaf and the
+// root-to-leaf descent path: the leaf is unlinked from the sibling chain
+// (non-COW trees only — COW read paths never follow the chain), removed from
+// the ancestor chain and its page recycled, without ever writing the dead
+// page image.  An internal node that loses its only child is pruned the same way,
+// a root that empties entirely is rewritten as an empty leaf, and a root
+// left with a single child collapses onto it — so the tree sheds every page
+// the deletes emptied.
+func (t *Tree) pruneEmptiedLeafAlongPath(leaf *node, path []pagefile.PageID) error {
+	// Unlink from the doubly linked sibling chain.
+	if !t.cow {
+		if leaf.prev != pagefile.InvalidPageID {
+			prev, err := t.readNode(leaf.prev)
+			if err != nil {
+				return err
+			}
+			prev.next = leaf.next
+			if err := t.flushNode(prev); err != nil {
+				return err
+			}
 		}
-		next.prev = leaf.prev
-		if err := t.flushNode(next); err != nil {
-			return err
+		if leaf.next != pagefile.InvalidPageID {
+			next, err := t.readNode(leaf.next)
+			if err != nil {
+				return err
+			}
+			next.prev = leaf.prev
+			if err := t.flushNode(next); err != nil {
+				return err
+			}
 		}
 	}
 	if err := t.freePage(leaf.id); err != nil {
@@ -895,10 +1162,16 @@ func (t *Tree) pruneEmptiedLeaf(leaf *node, key []byte) error {
 		if len(parent.children) == 0 {
 			// The parent lost its only child.  A non-root parent is pruned in
 			// turn; an empty root means the whole tree emptied, so the root
-			// page is rewritten as an empty leaf (New's initial state).
+			// is rewritten as an empty leaf (New's initial state) — under COW
+			// at a fresh page, leaving the published root untouched.
 			if parent.id == t.rootID() {
 				root := &node{id: t.rootID(), leaf: true, next: pagefile.InvalidPageID, prev: pagefile.InvalidPageID}
-				return t.flushNode(root)
+				self, err := t.writeNodeOut(root)
+				if err != nil {
+					return err
+				}
+				t.setRoot(self)
+				return nil
 			}
 			if err := t.freePage(parent.id); err != nil {
 				return err
@@ -906,8 +1179,15 @@ func (t *Tree) pruneEmptiedLeaf(leaf *node, key []byte) error {
 			child = parent.id
 			continue
 		}
-		if err := t.flushNode(parent); err != nil {
+		oldParent := parent.id
+		self, err := t.writeNodeOut(parent)
+		if err != nil {
 			return err
+		}
+		if self != oldParent {
+			if err := t.replaceChildPointer(path[:pi], oldParent, self); err != nil {
+				return err
+			}
 		}
 		break
 	}
@@ -941,41 +1221,17 @@ func (t *Tree) collapseRoot() error {
 type Visitor func(key, value []byte) bool
 
 // AscendRange visits keys in [start, end) in ascending order.  A nil start
-// begins at the smallest key; a nil end scans to the largest.
+// begins at the smallest key; a nil end scans to the largest.  The scan is
+// chain-free — it re-descends at each leaf's upper bound instead of
+// following sibling pointers — so it is valid on COW trees, whose sibling
+// chain goes stale as pages relocate.
 func (t *Tree) AscendRange(start, end []byte, visit Visitor) error {
-	var leaf *node
-	var err error
-	if start == nil {
-		leaf, err = t.leftmostLeaf()
-	} else {
-		leaf, err = t.findLeaf(start)
-	}
-	if err != nil {
-		return err
-	}
-	i := 0
-	if start != nil {
-		i = searchKeys(leaf.keys, start)
-	}
-	for {
-		for ; i < len(leaf.keys); i++ {
-			if end != nil && bytes.Compare(leaf.keys[i], end) >= 0 {
-				return nil
-			}
-			if !visit(leaf.keys[i], leaf.vals[i]) {
-				return nil
-			}
-		}
-		if leaf.next == pagefile.InvalidPageID {
-			return nil
-		}
-		leaf, err = t.readNode(leaf.next)
-		if err != nil {
-			return err
-		}
-		i = 0
-	}
+	return t.View().AscendRange(start, end, visit)
 }
+
+// errDescendOnCOW rejects descending scans on COW trees: they walk the leaf
+// sibling chain, which COW mutation does not maintain.
+var errDescendOnCOW = errors.New("btree: descending scans are not supported on COW trees")
 
 // Ascend visits every key in ascending order.
 func (t *Tree) Ascend(visit Visitor) error { return t.AscendRange(nil, nil, visit) }
@@ -988,7 +1244,11 @@ func (t *Tree) AscendPrefix(prefix []byte, visit Visitor) error {
 // DescendRange visits keys in (startExclusiveHigh..end] descending.  A nil
 // high starts from the largest key; a nil low scans to the smallest.  The
 // high bound is exclusive, the low bound inclusive, mirroring AscendRange.
+// Only available on non-COW trees (see errDescendOnCOW).
 func (t *Tree) DescendRange(high, low []byte, visit Visitor) error {
+	if t.cow {
+		return errDescendOnCOW
+	}
 	var leaf *node
 	var err error
 	var i int
@@ -1100,6 +1360,11 @@ func (t *Tree) CheckInvariants() error {
 	_, _, err := t.checkSubtree(t.rootID(), nil, nil)
 	if err != nil {
 		return err
+	}
+	if t.cow {
+		// COW mutation abandons the sibling chain (reads never follow it), so
+		// only the structural invariants apply.
+		return nil
 	}
 	return t.checkLeafChain()
 }

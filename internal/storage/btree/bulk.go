@@ -278,9 +278,32 @@ func (t *Tree) UpsertBatch(items []Item) (int, error) {
 	pageSize := t.pool.PageSize()
 	i := 0
 	for i < len(items) {
-		fr, upper, err := t.findLeafFrameWithUpper(items[i].Key)
+		var path []pagefile.PageID
+		var upper []byte
+		fr, err := t.descendToLeaf(items[i].Key, &path, &upper)
 		if err != nil {
 			return inserted, err
+		}
+		// Under COW a published leaf is promoted to a private clone before
+		// the batch touches it (upsert semantics guarantee at least one write
+		// to this leaf, so the copy is never wasted); the patch and rewrite
+		// phases below then mutate the clone in place.
+		if t.cow && !t.mutableInPlace(fr.ID()) {
+			old := fr.ID()
+			nfr, cerr := t.clonePage(fr)
+			fr.Release()
+			if cerr != nil {
+				return inserted, cerr
+			}
+			if err := t.freePage(old); err != nil {
+				nfr.Release()
+				return inserted, err
+			}
+			if err := t.replaceChildPointer(path, old, nfr.ID()); err != nil {
+				nfr.Release()
+				return inserted, err
+			}
+			fr = nfr
 		}
 		// Patch phase: a run of same-length replacements is applied directly
 		// to the pinned page in one forward scan over the serialized leaf
@@ -367,8 +390,14 @@ func (t *Tree) DeleteBatch(keys [][]byte) (int, error) {
 	removed := 0
 	i := 0
 	for i < len(keys) {
-		runKey := keys[i]
-		leaf, upper, err := t.findLeafWithUpper(runKey)
+		var path []pagefile.PageID
+		var upper []byte
+		fr, err := t.descendToLeaf(keys[i], &path, &upper)
+		if err != nil {
+			return removed, err
+		}
+		leaf, err := parseNode(fr.ID(), fr.Data())
+		fr.Release()
 		if err != nil {
 			return removed, err
 		}
@@ -388,41 +417,24 @@ func (t *Tree) DeleteBatch(keys [][]byte) (int, error) {
 			if len(leaf.keys) == 0 && leaf.id != t.rootID() {
 				// The run emptied the leaf: skip the dead-image flush and
 				// dismantle it instead.
-				if err := t.pruneEmptiedLeaf(leaf, runKey); err != nil {
+				if err := t.pruneEmptiedLeafAlongPath(leaf, path); err != nil {
 					return removed, err
 				}
-			} else if err := t.flushNode(leaf); err != nil {
-				return removed, err
+			} else {
+				old := leaf.id
+				self, err := t.writeNodeOut(leaf)
+				if err != nil {
+					return removed, err
+				}
+				if self != old {
+					if err := t.replaceChildPointer(path, old, self); err != nil {
+						return removed, err
+					}
+				}
 			}
 		}
 	}
 	return removed, nil
-}
-
-// findLeafWithUpper is findLeafFrameWithUpper materialized: it returns the
-// parsed leaf instead of the pinned frame.
-func (t *Tree) findLeafWithUpper(key []byte) (*node, []byte, error) {
-	fr, upper, err := t.findLeafFrameWithUpper(key)
-	if err != nil {
-		return nil, nil, err
-	}
-	n, err := parseNode(fr.ID(), fr.Data())
-	fr.Release()
-	return n, upper, err
-}
-
-// findLeafFrameWithUpper descends to the leaf that would hold key and
-// returns the leaf's frame still pinned (the caller releases it) plus the
-// exclusive upper bound of the leaf's key range (nil when the leaf is
-// rightmost), so batched writers know which sorted keys belong to the same
-// leaf without peeking at the next leaf's page.
-func (t *Tree) findLeafFrameWithUpper(key []byte) (*buffer.Frame, []byte, error) {
-	var upper []byte
-	fr, err := t.descendToLeaf(key, nil, &upper)
-	if err != nil {
-		return nil, nil, err
-	}
-	return fr, upper, nil
 }
 
 // LeafStats walks the leaf chain and reports the number of leaves and their

@@ -1,0 +1,308 @@
+package btree
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"svrdb/internal/storage/pagefile"
+)
+
+// cowKey/cowVal build fixed-width test entries so patches stay same-length.
+func cowKey(i int) []byte { return []byte(fmt.Sprintf("key:%06d", i)) }
+func cowVal(i, gen int) []byte {
+	return []byte(fmt.Sprintf("val:%06d:%04d", i, gen))
+}
+
+// collectView materializes every key/value pair a view can see.
+func collectView(t *testing.T, v View) map[string]string {
+	t.Helper()
+	out := map[string]string{}
+	if err := v.Ascend(func(k, val []byte) bool {
+		out[string(k)] = string(val)
+		return true
+	}); err != nil {
+		t.Fatalf("Ascend: %v", err)
+	}
+	return out
+}
+
+// TestCOWSealedViewSurvivesMutation is the core snapshot property: a view
+// captured at Seal time keeps returning exactly the sealed contents while
+// the writer patches, inserts, deletes and splits underneath it.
+func TestCOWSealedViewSurvivesMutation(t *testing.T) {
+	tree, _ := newTestTree(t, 512, 256)
+	var retired []pagefile.PageID
+	tree.EnableCOW(func(id pagefile.PageID) { retired = append(retired, id) })
+
+	const n = 400
+	for i := 0; i < n; i++ {
+		if err := tree.Put(cowKey(i), cowVal(i, 0)); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	tree.Seal()
+	v1 := tree.View()
+	want1 := collectView(t, v1)
+	if len(want1) != n {
+		t.Fatalf("sealed view has %d keys, want %d", len(want1), n)
+	}
+
+	// Mutate everything: same-length patches on evens, deletes of every
+	// fourth key, fresh inserts beyond the sealed range.
+	for i := 0; i < n; i += 2 {
+		if err := tree.Put(cowKey(i), cowVal(i, 1)); err != nil {
+			t.Fatalf("patch Put: %v", err)
+		}
+	}
+	for i := 1; i < n; i += 4 {
+		if ok, err := tree.Delete(cowKey(i)); err != nil || !ok {
+			t.Fatalf("Delete(%d) = %v, %v", i, ok, err)
+		}
+	}
+	for i := n; i < n+200; i++ {
+		if err := tree.Put(cowKey(i), cowVal(i, 1)); err != nil {
+			t.Fatalf("insert Put: %v", err)
+		}
+	}
+	if err := tree.CheckInvariants(); err != nil {
+		t.Fatalf("CheckInvariants after mutation: %v", err)
+	}
+	if len(retired) == 0 {
+		t.Fatal("no pages were retired by COW mutation of a sealed tree")
+	}
+
+	// The sealed view is bit-for-bit unchanged, scans and point reads alike.
+	got1 := collectView(t, v1)
+	if len(got1) != len(want1) {
+		t.Fatalf("sealed view now has %d keys, want %d", len(got1), len(want1))
+	}
+	for k, val := range want1 {
+		if got1[k] != val {
+			t.Fatalf("sealed view key %q = %q, want %q", k, got1[k], val)
+		}
+	}
+	for i := 0; i < n; i += 37 {
+		val, ok, err := v1.Get(cowKey(i))
+		if err != nil || !ok {
+			t.Fatalf("view Get(%d) = %v, %v", i, ok, err)
+		}
+		if !bytes.Equal(val, cowVal(i, 0)) {
+			t.Fatalf("view Get(%d) = %q, want generation 0", i, val)
+		}
+	}
+	if _, ok, _ := v1.Get(cowKey(n + 10)); ok {
+		t.Fatal("sealed view sees a key inserted after Seal")
+	}
+
+	// The live tree sees the new state.
+	for i := 0; i < n; i += 2 {
+		val, ok, err := tree.Get(cowKey(i))
+		if err != nil || !ok {
+			t.Fatalf("live Get(%d) = %v, %v", i, ok, err)
+		}
+		if !bytes.Equal(val, cowVal(i, 1)) {
+			t.Fatalf("live Get(%d) = %q, want generation 1", i, val)
+		}
+	}
+	for i := 1; i < n; i += 4 {
+		if _, ok, _ := tree.Get(cowKey(i)); ok {
+			t.Fatalf("live tree still has deleted key %d", i)
+		}
+	}
+}
+
+// TestCOWFreshPagesRecycledNotRetired asserts that before the first Seal —
+// while no snapshot can reach any page allocated since EnableCOW — mutation
+// never feeds the retire hook: superseded fresh pages go straight back to
+// the free list.  (The one page predating EnableCOW, the initial empty
+// root, is conservatively treated as published and may be retired once.)
+func TestCOWFreshPagesRecycledNotRetired(t *testing.T) {
+	tree, _ := newTestTree(t, 512, 256)
+	var retired []pagefile.PageID
+	tree.EnableCOW(func(id pagefile.PageID) { retired = append(retired, id) })
+	if err := tree.Put(cowKey(0), cowVal(0, 0)); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	retired = nil // drop the pre-COW initial root
+	for i := 1; i < 300; i++ {
+		if err := tree.Put(cowKey(i), cowVal(i, 0)); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	for i := 0; i < 300; i += 3 {
+		if _, err := tree.Delete(cowKey(i)); err != nil {
+			t.Fatalf("Delete: %v", err)
+		}
+	}
+	if len(retired) != 0 {
+		t.Fatalf("retired %d pages before any Seal: %v", len(retired), retired)
+	}
+}
+
+// TestCOWBatchOpsPreserveSealedView drives the batched write paths
+// (UpsertBatch, DeleteBatch) against a sealed tree and checks the snapshot
+// plus the live contents against a shadow map.
+func TestCOWBatchOpsPreserveSealedView(t *testing.T) {
+	tree, _ := newTestTree(t, 512, 256)
+	tree.EnableCOW(func(pagefile.PageID) {})
+
+	shadow := map[string]string{}
+	const n = 300
+	var items []Item
+	for i := 0; i < n; i++ {
+		items = append(items, Item{Key: cowKey(i), Value: cowVal(i, 0)})
+		shadow[string(cowKey(i))] = string(cowVal(i, 0))
+	}
+	if _, err := tree.UpsertBatch(items); err != nil {
+		t.Fatalf("UpsertBatch: %v", err)
+	}
+	tree.Seal()
+	v1 := tree.View()
+	want1 := collectView(t, v1)
+
+	// Batch 1: same-length patch of every key (pure patchRun on promoted
+	// clones) plus new inserts.
+	var batch []Item
+	for i := 0; i < n; i++ {
+		batch = append(batch, Item{Key: cowKey(i), Value: cowVal(i, 1)})
+		shadow[string(cowKey(i))] = string(cowVal(i, 1))
+	}
+	for i := n; i < n+100; i++ {
+		batch = append(batch, Item{Key: cowKey(i), Value: cowVal(i, 1)})
+		shadow[string(cowKey(i))] = string(cowVal(i, 1))
+	}
+	if _, err := tree.UpsertBatch(batch); err != nil {
+		t.Fatalf("UpsertBatch 2: %v", err)
+	}
+
+	// Batch 2: delete a swath, including runs that empty whole leaves.
+	var dels [][]byte
+	for i := 50; i < 250; i++ {
+		dels = append(dels, cowKey(i))
+		delete(shadow, string(cowKey(i)))
+	}
+	removed, err := tree.DeleteBatch(dels)
+	if err != nil {
+		t.Fatalf("DeleteBatch: %v", err)
+	}
+	if removed != 200 {
+		t.Fatalf("DeleteBatch removed %d, want 200", removed)
+	}
+	if err := tree.CheckInvariants(); err != nil {
+		t.Fatalf("CheckInvariants: %v", err)
+	}
+
+	got1 := collectView(t, v1)
+	if len(got1) != len(want1) {
+		t.Fatalf("sealed view drifted: %d keys, want %d", len(got1), len(want1))
+	}
+	for k, val := range want1 {
+		if got1[k] != val {
+			t.Fatalf("sealed view key %q = %q, want %q", k, got1[k], val)
+		}
+	}
+	live := collectView(t, tree.View())
+	if len(live) != len(shadow) {
+		t.Fatalf("live tree has %d keys, want %d", len(live), len(shadow))
+	}
+	for k, val := range shadow {
+		if live[k] != val {
+			t.Fatalf("live key %q = %q, want %q", k, live[k], val)
+		}
+	}
+	if tree.Len() != len(shadow) {
+		t.Fatalf("Len = %d, want %d", tree.Len(), len(shadow))
+	}
+}
+
+// TestCOWViewProbeConsistency checks the snapshot-pinned probe: ascending
+// point lookups against a sealed view resolve the sealed values while the
+// writer churns.
+func TestCOWViewProbeConsistency(t *testing.T) {
+	tree, _ := newTestTree(t, 512, 256)
+	tree.EnableCOW(func(pagefile.PageID) {})
+	const n = 350
+	for i := 0; i < n; i++ {
+		if err := tree.Put(cowKey(i), cowVal(i, 0)); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	tree.Seal()
+	v1 := tree.View()
+	probe := v1.NewProbe()
+
+	rng := rand.New(rand.NewSource(7))
+	for gen := 1; gen <= 3; gen++ {
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				if err := tree.Put(cowKey(i), cowVal(i, gen)); err != nil {
+					t.Fatalf("Put: %v", err)
+				}
+			}
+		}
+		// Ascending probes, the query engine's access pattern.
+		for i := 0; i < n; i++ {
+			val, ok, err := probe.Get(cowKey(i))
+			if err != nil || !ok {
+				t.Fatalf("probe Get(%d) = %v, %v", i, ok, err)
+			}
+			if !bytes.Equal(val, cowVal(i, 0)) {
+				t.Fatalf("gen %d: probe Get(%d) = %q, want sealed value", gen, i, val)
+			}
+		}
+		// A few random jumps to exercise the re-descend path.
+		for j := 0; j < 50; j++ {
+			i := rng.Intn(n)
+			val, ok, err := probe.Get(cowKey(i))
+			if err != nil || !ok || !bytes.Equal(val, cowVal(i, 0)) {
+				t.Fatalf("random probe Get(%d) = %q, %v, %v", i, val, ok, err)
+			}
+		}
+	}
+}
+
+// TestCOWRetireAllCoversEveryPage replaces a sealed tree wholesale and
+// checks that RetireAll hands back exactly the sealed tree's page count.
+func TestCOWRetireAllCoversEveryPage(t *testing.T) {
+	tree, _ := newTestTree(t, 512, 256)
+	var retired []pagefile.PageID
+	tree.EnableCOW(func(id pagefile.PageID) { retired = append(retired, id) })
+	const n = 300
+	for i := 0; i < n; i++ {
+		if err := tree.Put(cowKey(i), cowVal(i, 0)); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	tree.Seal()
+
+	// Count reachable pages via a fresh descent of every leaf + internals.
+	var pages int
+	var count func(id pagefile.PageID) error
+	count = func(id pagefile.PageID) error {
+		pages++
+		n, err := tree.readNode(id)
+		if err != nil {
+			return err
+		}
+		if !n.leaf {
+			for _, c := range n.children {
+				if err := count(c); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	if err := count(tree.rootID()); err != nil {
+		t.Fatalf("walk: %v", err)
+	}
+	retired = nil // only count RetireAll's own contribution
+	if err := tree.RetireAll(); err != nil {
+		t.Fatalf("RetireAll: %v", err)
+	}
+	if len(retired) != pages {
+		t.Fatalf("RetireAll retired %d pages, tree had %d", len(retired), pages)
+	}
+}

@@ -1,18 +1,22 @@
 package btree
 
 // Probe is a point-lookup cursor that exploits key locality: it remembers
-// the leaf of the previous lookup and answers keys that land on the same or
-// the adjacent leaf with a binary search over the parsed node, falling back
-// to a root descent only when the key jumps elsewhere.
+// the leaf of the previous lookup (and that leaf's exclusive upper bound,
+// captured during the descent) and answers keys that land on the same leaf
+// with a binary search over the parsed node, re-descending only when the key
+// jumps outside the cached range.
 //
 // The query algorithms resolve candidate scores in ascending document order
 // (the merge order of ID- and chunk-ordered lists), so consecutive
-// Score-table probes walk the leaf chain left to right; with a Probe each
+// Score-table probes walk the key space left to right; with a Probe each
 // leaf is parsed once per query instead of linearly re-scanned in its
-// serialized form once per candidate.
+// serialized form once per candidate.  The cursor never follows leaf sibling
+// pointers — COW mutation leaves them stale — so a leaf-boundary crossing
+// costs one root descent over cached internal pages.
 //
-// A Probe must not be used across tree mutations: create one per query (or
-// per read batch) and discard it.
+// A probe from Tree.NewProbe reads the live root each descent and must not
+// be used across tree mutations; one from View.NewProbe descends the frozen
+// root and stays consistent for the view's lifetime.
 import (
 	"bytes"
 
@@ -21,70 +25,74 @@ import (
 
 // Probe caches the most recently visited leaf.
 type Probe struct {
-	t    *Tree
+	t *Tree
+	// root pins the descent root; InvalidPageID means live (re-read the
+	// tree's current root on every descent).
+	root pagefile.PageID
 	leaf *node
+	// upper is the exclusive upper bound of the cached leaf's key range; nil
+	// when the leaf is the tree's rightmost.
+	upper []byte
+	// rootLeaf records that the cached leaf is the root itself, which covers
+	// every key (e.g. a table no update has split yet).
+	rootLeaf bool
 }
 
-// NewProbe returns a probe over the tree's current state.
-func (t *Tree) NewProbe() *Probe { return &Probe{t: t} }
+// NewProbe returns a probe over the tree's live state.
+func (t *Tree) NewProbe() *Probe { return &Probe{t: t, root: pagefile.InvalidPageID} }
+
+// NewProbe returns a probe over the frozen view.
+func (v View) NewProbe() *Probe { return &Probe{t: v.t, root: v.root} }
 
 // Get returns the value stored under key, or (nil, false) when absent.  The
 // returned slice is owned by the probe's cached node; callers must not
 // retain it across further probe calls or tree mutations.
 func (p *Probe) Get(key []byte) ([]byte, bool, error) {
-	// Fast path: the key lands on the cached leaf.  A cached root leaf
-	// covers every key (the whole tree is one leaf — e.g. a table no update
-	// has touched yet), so even misses resolve without a descent.
-	if p.leaf != nil && (p.leaf.id == p.t.rootID() ||
-		(len(p.leaf.keys) > 0 && bytes.Compare(key, p.leaf.keys[0]) >= 0)) {
-		if v, ok, decided := p.lookupInLeaf(key); decided {
+	// Fast path: the key provably lands on the cached leaf — at or above its
+	// first key and below its upper bound (a root leaf covers everything, so
+	// even misses resolve without a descent).
+	if p.leaf != nil {
+		covered := p.rootLeaf
+		if !covered && len(p.leaf.keys) > 0 && bytes.Compare(key, p.leaf.keys[0]) >= 0 &&
+			(p.upper == nil || bytes.Compare(key, p.upper) < 0) {
+			covered = true
+		}
+		if covered {
+			v, ok := p.lookupInLeaf(key)
 			return v, ok, nil
 		}
-		// Beyond the cached leaf's last key: try the adjacent leaf once
-		// (the common case for ascending probes crossing a leaf boundary).
-		if p.leaf.next != pagefile.InvalidPageID {
-			nxt, err := p.t.readNode(p.leaf.next)
-			if err != nil {
-				return nil, false, err
-			}
-			if len(nxt.keys) > 0 && bytes.Compare(key, nxt.keys[0]) >= 0 {
-				p.leaf = nxt
-				if v, ok, decided := p.lookupInLeaf(key); decided {
-					return v, ok, nil
-				}
-			} else if len(nxt.keys) > 0 {
-				// The key falls in the gap between the two leaves: absent.
-				return nil, false, nil
-			}
-		} else {
-			// No leaf to the right: absent.
-			return nil, false, nil
-		}
 	}
-	// Restart: descend from the root and cache the leaf.
-	leaf, err := p.t.findLeaf(key)
+	// Restart: descend and cache the leaf with its bound.
+	root := p.root
+	if root == pagefile.InvalidPageID {
+		root = p.t.rootID()
+	}
+	ub := make([]byte, 0, 64)
+	fr, err := p.t.descendFrom(root, key, nil, &ub)
+	if err != nil {
+		return nil, false, err
+	}
+	leaf, err := parseNode(fr.ID(), fr.Data())
+	fr.Release()
 	if err != nil {
 		return nil, false, err
 	}
 	p.leaf = leaf
-	i := searchKeys(leaf.keys, key)
-	if i < len(leaf.keys) && bytes.Equal(leaf.keys[i], key) {
-		return leaf.vals[i], true, nil
+	p.rootLeaf = leaf.id == root
+	if len(ub) > 0 {
+		p.upper = ub
+	} else {
+		p.upper = nil
 	}
-	return nil, false, nil
+	v, ok := p.lookupInLeaf(key)
+	return v, ok, nil
 }
 
-// lookupInLeaf resolves key against the cached leaf.  decided is false when
-// the key lies beyond the leaf's last key, in which case a later leaf may
-// hold it.
-func (p *Probe) lookupInLeaf(key []byte) (val []byte, ok, decided bool) {
+// lookupInLeaf resolves key against the cached leaf.
+func (p *Probe) lookupInLeaf(key []byte) (val []byte, ok bool) {
 	i := searchKeys(p.leaf.keys, key)
-	if i >= len(p.leaf.keys) {
-		return nil, false, false
+	if i < len(p.leaf.keys) && bytes.Equal(p.leaf.keys[i], key) {
+		return p.leaf.vals[i], true
 	}
-	if bytes.Equal(p.leaf.keys[i], key) {
-		return p.leaf.vals[i], true, true
-	}
-	// key < keys[i] and key >= keys[0]: it could only live on this leaf.
-	return nil, false, true
+	return nil, false
 }

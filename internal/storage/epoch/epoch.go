@@ -1,0 +1,236 @@
+// Package epoch implements epoch-based reclamation for copy-on-write
+// structures: readers enter the current epoch before walking a published
+// snapshot, writers retire superseded pages into the current epoch and
+// advance it when they publish a new snapshot, and a retired page is
+// recycled only once every reader that could still reach it has left.
+//
+// The manager keeps a FIFO of epoch nodes.  Each node records the readers
+// that entered during its epoch and the pages retired during it.  Because
+// readers only ever observe the snapshot current at Enter time, a page
+// retired in epoch E is unreachable to any reader that enters at E+1 or
+// later; the node for E can therefore be freed as soon as it reaches the
+// front of the FIFO with no remaining readers and the epoch has moved on.
+// Reclamation stops at the first node that still has readers, which is
+// conservative (a later node's pages may wait on an earlier node's
+// stragglers) but keeps the invariant trivially monotone.
+//
+// Reclamation work is split so that readers stay O(1): Leave only detaches
+// reclaimable nodes onto a pending list, and the actual page frees run on
+// the writer's next Advance (or on Drain), outside the manager mutex.  A
+// search thread that happens to drop the last guard on a drained epoch must
+// not spend milliseconds returning hundreds of pages to the buffer pool —
+// that cost belongs to the maintenance path whose copy-on-write churn
+// created the garbage, and holding the mutex while freeing would stall
+// every concurrent Enter behind it.
+package epoch
+
+import (
+	"errors"
+	"sync"
+
+	"svrdb/internal/storage/pagefile"
+)
+
+// Manager coordinates one structure's epochs.  All methods are safe for
+// concurrent use.
+type Manager struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	free    func(pagefile.PageID) error
+	current uint64
+	head    *node
+	tail    *node
+
+	guards   int               // readers currently inside any epoch
+	retained int               // retired pages not yet freed
+	pending  []pagefile.PageID // detached from drained epochs, awaiting a writer free
+	closed   bool
+	errs     []error
+}
+
+// node is one epoch of the FIFO.
+type node struct {
+	epoch uint64
+	refs  int
+	pages []pagefile.PageID
+	next  *node
+}
+
+// New creates a manager that recycles retired pages through free (typically
+// the buffer pool's FreePage, which drops any resident frame and returns
+// the page to the pagefile free list).
+func New(free func(pagefile.PageID) error) *Manager {
+	m := &Manager{free: free}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+// Guard is one reader's presence in an epoch.  The zero Guard is dead
+// (Ok reports false) and Leave on it is a no-op.
+type Guard struct {
+	m *Manager
+	n *node
+}
+
+// Ok reports whether the guard actually pins an epoch; it is false when the
+// manager was already closed at Enter time.
+func (g Guard) Ok() bool { return g.n != nil }
+
+// Enter pins the current epoch.  The caller must Leave exactly once when it
+// no longer holds references into the snapshot it loaded after entering.
+// After Close/Drain, Enter returns a dead guard.
+func (m *Manager) Enter() Guard {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return Guard{}
+	}
+	n := m.currentNodeLocked()
+	n.refs++
+	m.guards++
+	return Guard{m: m, n: n}
+}
+
+// Leave releases the guard.  It must be called at most once.  Leave is
+// cheap by design — it detaches any epochs this departure drains but defers
+// the page frees to the next writer Advance (or Drain), so a search thread
+// never pays for maintenance garbage.
+func (g Guard) Leave() {
+	if g.n == nil {
+		return
+	}
+	m := g.m
+	m.mu.Lock()
+	g.n.refs--
+	m.guards--
+	m.reclaimLocked()
+	m.mu.Unlock()
+}
+
+// Retire hands superseded pages to the current epoch.  They are freed once
+// every reader that entered at or before this epoch has left and the epoch
+// has been advanced past.
+func (m *Manager) Retire(pages ...pagefile.PageID) {
+	if len(pages) == 0 {
+		return
+	}
+	m.mu.Lock()
+	n := m.currentNodeLocked()
+	n.pages = append(n.pages, pages...)
+	m.retained += len(pages)
+	m.mu.Unlock()
+}
+
+// Advance moves to the next epoch.  Writers call it immediately after
+// publishing a new snapshot, so that pages retired while building it become
+// reclaimable as soon as the old snapshot's readers drain.  Advance also
+// frees every page whose epoch has already drained — outside the manager
+// mutex, so concurrent Enter/Leave calls are never stalled behind the frees.
+func (m *Manager) Advance() {
+	m.mu.Lock()
+	m.current++
+	m.reclaimLocked()
+	pending := m.pending
+	m.pending = nil
+	m.mu.Unlock()
+	m.freeBatch(pending)
+}
+
+// currentNodeLocked returns the FIFO node of the current epoch, creating it
+// on first use.
+func (m *Manager) currentNodeLocked() *node {
+	if m.tail != nil && m.tail.epoch == m.current {
+		return m.tail
+	}
+	n := &node{epoch: m.current}
+	if m.tail == nil {
+		m.head, m.tail = n, n
+	} else {
+		m.tail.next = n
+		m.tail = n
+	}
+	return n
+}
+
+// reclaimLocked detaches the longest reclaimable prefix of the FIFO — nodes
+// whose epoch has been advanced past and whose readers have all left — onto
+// the pending list.  The pages stay counted as retained until freeBatch
+// actually returns them.
+func (m *Manager) reclaimLocked() {
+	for m.head != nil && m.head.refs == 0 && m.head.epoch < m.current {
+		n := m.head
+		m.head = n.next
+		if m.head == nil {
+			m.tail = nil
+		}
+		m.pending = append(m.pending, n.pages...)
+		m.cond.Broadcast()
+	}
+}
+
+// freeBatch returns a batch of detached pages to the pool.  It runs without
+// the manager mutex; the pages are unreachable from any present or future
+// reader, so only the retained counter and error accumulation need the lock.
+func (m *Manager) freeBatch(pages []pagefile.PageID) {
+	if len(pages) == 0 {
+		return
+	}
+	var errs []error
+	for _, p := range pages {
+		if err := m.free(p); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	m.mu.Lock()
+	m.retained -= len(pages)
+	m.errs = append(m.errs, errs...)
+	m.cond.Broadcast()
+	m.mu.Unlock()
+}
+
+// Drain closes the manager — subsequent Enter calls return dead guards —
+// advances past the final epoch and blocks until every active reader has
+// left and every retired page has been freed.  It returns the accumulated
+// free errors (also from earlier background reclamation).
+func (m *Manager) Drain() error {
+	m.mu.Lock()
+	m.closed = true
+	m.current++
+	m.reclaimLocked()
+	for m.head != nil {
+		m.cond.Wait()
+		m.reclaimLocked()
+	}
+	pending := m.pending
+	m.pending = nil
+	m.mu.Unlock()
+	m.freeBatch(pending)
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	// A concurrent Advance may still be freeing its own detached batch;
+	// retained reaches zero only once every free has landed.
+	for m.retained > 0 {
+		m.cond.Wait()
+	}
+	err := errors.Join(m.errs...)
+	m.errs = nil
+	return err
+}
+
+// Stats is a point-in-time observation of the manager.
+type Stats struct {
+	// Current is the current epoch number (the number of Advances so far).
+	Current uint64
+	// ActiveGuards is the number of readers currently inside an epoch.
+	ActiveGuards int
+	// RetainedPages is the number of retired pages awaiting reclamation.
+	RetainedPages int
+}
+
+// Stats reports the manager's current state.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return Stats{Current: m.current, ActiveGuards: m.guards, RetainedPages: m.retained}
+}

@@ -1,0 +1,172 @@
+package epoch
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"svrdb/internal/storage/pagefile"
+)
+
+// collectFree records freed pages in order.
+type collectFree struct {
+	mu    sync.Mutex
+	pages []pagefile.PageID
+	fail  map[pagefile.PageID]error
+}
+
+func (c *collectFree) free(p pagefile.PageID) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err, ok := c.fail[p]; ok {
+		return err
+	}
+	c.pages = append(c.pages, p)
+	return nil
+}
+
+func (c *collectFree) freed() []pagefile.PageID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]pagefile.PageID(nil), c.pages...)
+}
+
+func TestRetireWithoutReadersFreesOnAdvance(t *testing.T) {
+	var c collectFree
+	m := New(c.free)
+	m.Retire(1, 2, 3)
+	if got := c.freed(); len(got) != 0 {
+		t.Fatalf("pages freed before advance: %v", got)
+	}
+	if st := m.Stats(); st.RetainedPages != 3 {
+		t.Fatalf("RetainedPages = %d, want 3", st.RetainedPages)
+	}
+	m.Advance()
+	if got := c.freed(); len(got) != 3 {
+		t.Fatalf("freed %v, want 3 pages", got)
+	}
+	if st := m.Stats(); st.RetainedPages != 0 || st.Current != 1 {
+		t.Fatalf("stats after advance: %+v", st)
+	}
+}
+
+func TestReaderPinsItsEpoch(t *testing.T) {
+	var c collectFree
+	m := New(c.free)
+	g := m.Enter()
+	if !g.Ok() {
+		t.Fatal("guard not ok on open manager")
+	}
+	m.Retire(7)
+	m.Advance()
+	if got := c.freed(); len(got) != 0 {
+		t.Fatalf("pages freed under an active reader: %v", got)
+	}
+	g.Leave()
+	// Leave detaches the drained epoch but defers the free to the writer:
+	// the page is still retained until the next Advance.
+	if got := c.freed(); len(got) != 0 {
+		t.Fatalf("reader's Leave freed %v itself, want deferral to the writer", got)
+	}
+	if st := m.Stats(); st.RetainedPages != 1 {
+		t.Fatalf("RetainedPages = %d after Leave, want 1", st.RetainedPages)
+	}
+	m.Advance()
+	if got := c.freed(); len(got) != 1 || got[0] != 7 {
+		t.Fatalf("freed %v, want [7]", got)
+	}
+}
+
+// A reader in a later epoch must not block reclamation of an earlier epoch,
+// and a reader in an earlier epoch must block everything behind it (FIFO).
+func TestFIFOOrdering(t *testing.T) {
+	var c collectFree
+	m := New(c.free)
+	early := m.Enter()
+	m.Retire(1)
+	m.Advance() // epoch 0 -> 1; node 0 pinned by early
+	late := m.Enter()
+	m.Retire(2)
+	m.Advance() // epoch 1 -> 2; node 1 pinned by late
+	if got := c.freed(); len(got) != 0 {
+		t.Fatalf("freed %v, want none", got)
+	}
+	late.Leave()
+	// Node 0 still pinned; conservative FIFO keeps node 1's page too.
+	if got := c.freed(); len(got) != 0 {
+		t.Fatalf("freed %v while the earlier epoch is pinned", got)
+	}
+	early.Leave()
+	m.Advance() // the writer's next advance runs the deferred frees
+	if got := c.freed(); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("freed %v, want [1 2]", got)
+	}
+}
+
+func TestDrainWaitsForReaders(t *testing.T) {
+	var c collectFree
+	m := New(c.free)
+	g := m.Enter()
+	m.Retire(5)
+	done := make(chan error, 1)
+	go func() { done <- m.Drain() }()
+	// Drain must not complete while the guard is held; give the goroutine a
+	// chance to block, then release.
+	select {
+	case <-done:
+		t.Fatal("Drain returned with an active guard")
+	default:
+	}
+	g.Leave()
+	if err := <-done; err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if got := c.freed(); len(got) != 1 || got[0] != 5 {
+		t.Fatalf("freed %v, want [5]", got)
+	}
+	if g2 := m.Enter(); g2.Ok() {
+		t.Fatal("Enter succeeded after Drain")
+	}
+}
+
+func TestDrainReportsFreeErrors(t *testing.T) {
+	boom := errors.New("boom")
+	c := collectFree{fail: map[pagefile.PageID]error{9: boom}}
+	m := New(c.free)
+	m.Retire(8, 9)
+	if err := m.Drain(); !errors.Is(err, boom) {
+		t.Fatalf("Drain error = %v, want %v", err, boom)
+	}
+}
+
+func TestConcurrentGuards(t *testing.T) {
+	var c collectFree
+	m := New(c.free)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				g := m.Enter()
+				if g.Ok() {
+					g.Leave()
+				}
+			}
+		}()
+	}
+	for i := 0; i < 100; i++ {
+		m.Retire(pagefile.PageID(i))
+		m.Advance()
+	}
+	wg.Wait()
+	if err := m.Drain(); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if st := m.Stats(); st.RetainedPages != 0 || st.ActiveGuards != 0 {
+		t.Fatalf("stats after drain: %+v", st)
+	}
+	if got := c.freed(); len(got) != 100 {
+		t.Fatalf("freed %d pages, want 100", len(got))
+	}
+}

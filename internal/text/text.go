@@ -100,6 +100,10 @@ type Dictionary struct {
 	ids     map[string]TermID
 	terms   []string
 	docFreq []int64
+	// gen counts document-frequency mutations, letting snapshot publishers
+	// skip the O(vocabulary) frequency copy when nothing changed (e.g. a
+	// score-only batch).
+	gen uint64
 }
 
 // NewDictionary returns an empty dictionary.
@@ -152,6 +156,7 @@ func (d *Dictionary) AddDocumentTerms(distinct []string) {
 		id := d.Intern(t)
 		d.mu.Lock()
 		d.docFreq[id]++
+		d.gen++
 		d.mu.Unlock()
 	}
 }
@@ -164,8 +169,25 @@ func (d *Dictionary) RemoveDocumentTerms(distinct []string) {
 	for _, t := range distinct {
 		if id, ok := d.ids[t]; ok && d.docFreq[id] > 0 {
 			d.docFreq[id]--
+			d.gen++
 		}
 	}
+}
+
+// Gen returns the document-frequency mutation counter; equal values mean the
+// frequency vector has not changed between observations.
+func (d *Dictionary) Gen() uint64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.gen
+}
+
+// DocFreqSnapshot returns an independent copy of the per-term document
+// frequencies, indexed by TermID, for a frozen IDF view.
+func (d *Dictionary) DocFreqSnapshot() []int64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return append([]int64(nil), d.docFreq...)
 }
 
 // DocFreq reports how many documents contain the term.
