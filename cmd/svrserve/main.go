@@ -15,6 +15,22 @@
 //	curl -d '{"ops":[{"op":"update","table":"Statistics","pk":7,"set":{"nVisit":9000}}]}' \
 //	     localhost:8080/v1/batch
 //	curl localhost:8080/v1/stats
+//
+// Sharded serving.  The same binary runs three more shapes:
+//
+//	svrserve -addr :8080 -router -shards 4        # router over 4 in-process shards
+//
+//	svrserve -addr :8081 -shard-index 0 -shard-count 2   # shard server 0
+//	svrserve -addr :8082 -shard-index 1 -shard-count 2   # shard server 1
+//	svrserve -addr :8080 -router \
+//	    -backends http://127.0.0.1:8081,http://127.0.0.1:8082 -hedge 50ms
+//
+// A shard server builds only its partition of the dataset (the generator's
+// random stream is shared, so the shards exactly partition the single-node
+// dataset); the router scatter-gathers searches across shards — with
+// cluster-global IDF, so ranking is identical to a single node — and routes
+// writes to the owning shard.  A dead shard degrades searches to partial
+// results instead of failing them.
 package main
 
 import (
@@ -23,6 +39,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -43,35 +60,102 @@ func main() {
 		poolPages = flag.Int("pool", 16384, "buffer pool capacity in pages")
 		seed      = flag.Int64("seed", 11, "random seed for the example dataset")
 		drainWait = flag.Duration("drain", 30*time.Second, "how long shutdown waits for in-flight requests")
-		dataPath  = flag.String("data", "", "durable data file; empty serves from memory.  A fresh file is built once, an existing file is recovered and served without rebuilding")
+		dataPath  = flag.String("data", "", "durable data file; empty serves from memory.  A fresh file is built once, an existing file is recovered and served without rebuilding.  In -router mode with in-process shards, each shard appends .shard-N")
+
+		router      = flag.Bool("router", false, "serve as a shard router instead of a single engine")
+		shards      = flag.Int("shards", 2, "with -router and no -backends: number of in-process shards")
+		backendsCSV = flag.String("backends", "", "with -router: comma-separated shard server URLs (e.g. http://127.0.0.1:8081,http://127.0.0.1:8082); empty runs in-process shards")
+		hedge       = flag.Duration("hedge", 0, "with -router over HTTP backends: issue a hedge search request after this latency (0 disables)")
+		partitioner = flag.String("partitioner", "", "partitioner routing rows to shards (default hash); must match across router and shard servers")
+
+		shardIndex = flag.Int("shard-index", -1, "serve as shard N of -shard-count: build and serve only this shard's slice of the dataset")
+		shardCount = flag.Int("shard-count", 0, "total shard count that -shard-index is part of")
 	)
 	flag.Parse()
 
-	if err := run(*addr, *movies, *method, *poolPages, *seed, *drainWait, *dataPath); err != nil {
+	cfg := config{
+		addr:        *addr,
+		movies:      *movies,
+		method:      *method,
+		poolPages:   *poolPages,
+		seed:        *seed,
+		drainWait:   *drainWait,
+		dataPath:    *dataPath,
+		router:      *router,
+		shards:      *shards,
+		backends:    *backendsCSV,
+		hedge:       *hedge,
+		partitioner: *partitioner,
+		shardIndex:  *shardIndex,
+		shardCount:  *shardCount,
+	}
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "svrserve:", err)
 		os.Exit(1)
 	}
 }
 
-// newEngine builds or reopens the engine.  With a data path the engine is
-// durable: the first run ingests the example dataset and every later run
-// recovers the committed state (replaying the WAL if the last run was killed)
-// and serves it without rebuilding.
-func newEngine(movies int, method string, poolPages int, seed int64, dataPath string) (*core.Engine, error) {
+type config struct {
+	addr      string
+	movies    int
+	method    string
+	poolPages int
+	seed      int64
+	drainWait time.Duration
+	dataPath  string
+
+	router      bool
+	shards      int
+	backends    string
+	hedge       time.Duration
+	partitioner string
+
+	shardIndex int
+	shardCount int
+}
+
+// archiveRoutingColumns is the placement rule for the example database:
+// Movies route by primary key, Reviews colocate with their movie (the SVR
+// spec averages a movie's local reviews), and Statistics' primary key sID
+// equals mID so default pk routing already colocates it.
+func archiveRoutingColumns() map[string]string {
+	return map[string]string{"Reviews": "mID"}
+}
+
+// shardKeep returns the predicate selecting shard idx's movies under the
+// named partitioner, or nil for an unsharded build.
+func shardKeep(partitioner string, idx, count int) (func(int64) bool, error) {
+	if count <= 1 {
+		return nil, nil
+	}
+	part, err := core.PartitionerByName(partitioner)
+	if err != nil {
+		return nil, err
+	}
+	return func(mID int64) bool { return part.Shard(mID, count) == idx }, nil
+}
+
+// newEngine builds or reopens an engine holding the (possibly filtered)
+// example dataset.  With a data path the engine is durable: the first run
+// ingests the dataset and every later run recovers the committed state
+// (replaying the WAL if the last run was killed) and serves it without
+// rebuilding.
+func newEngine(cfg config, dataPath string, keep func(int64) bool) (*core.Engine, error) {
 	params := workload.DefaultArchiveParams()
-	params.NumMovies = movies
-	params.Seed = seed
+	params.NumMovies = cfg.movies
+	params.Seed = cfg.seed
 
 	if dataPath == "" {
-		pool := buffer.MustNew(pagefile.MustNewMem(pagefile.DefaultPageSize), poolPages)
+		pool := buffer.MustNew(pagefile.MustNewMem(pagefile.DefaultPageSize), cfg.poolPages)
 		db := relation.NewDB(pool)
-		fmt.Printf("building archive database with %d movies...\n", movies)
-		if _, err := workload.BuildArchiveDB(db, params); err != nil {
+		n, err := workload.BuildArchiveDBFiltered(db, params, keep)
+		if err != nil {
 			return nil, err
 		}
+		fmt.Printf("built archive database slice: %d of %d movies\n", n, cfg.movies)
 		engine := core.NewEngine(db, core.Options{})
 		if _, err := engine.CreateTextIndex("movies_desc", "Movies", "desc", core.IndexOptions{
-			Method: core.MethodKind(method),
+			Method: core.MethodKind(cfg.method),
 			Spec:   workload.ArchiveSpec(),
 		}); err != nil {
 			return nil, err
@@ -82,7 +166,7 @@ func newEngine(movies int, method string, poolPages int, seed int64, dataPath st
 	open := time.Now()
 	engine, err := core.Open(dataPath, core.OpenOptions{
 		Specs:     map[string]view.Spec{"archive": workload.ArchiveSpec()},
-		PoolPages: poolPages,
+		PoolPages: cfg.poolPages,
 	})
 	if err != nil {
 		return nil, err
@@ -93,13 +177,14 @@ func newEngine(movies int, method string, poolPages int, seed int64, dataPath st
 			dataPath, time.Since(open).Round(time.Millisecond), fs.Recoveries, fs.TornPages)
 		return engine, nil
 	}
-	fmt.Printf("building archive database with %d movies into %s...\n", movies, dataPath)
-	if _, err := workload.BuildArchiveDB(engine.DB(), params); err != nil {
+	n, err := workload.BuildArchiveDBFiltered(engine.DB(), params, keep)
+	if err != nil {
 		engine.Close()
 		return nil, err
 	}
+	fmt.Printf("built archive database slice into %s: %d of %d movies\n", dataPath, n, cfg.movies)
 	if _, err := engine.CreateTextIndex("movies_desc", "Movies", "desc", core.IndexOptions{
-		Method:   core.MethodKind(method),
+		Method:   core.MethodKind(cfg.method),
 		Spec:     workload.ArchiveSpec(),
 		SpecName: "archive",
 	}); err != nil {
@@ -109,20 +194,104 @@ func newEngine(movies int, method string, poolPages int, seed int64, dataPath st
 	return engine, nil
 }
 
-func run(addr string, movies int, method string, poolPages int, seed int64, drainWait time.Duration, dataPath string) error {
-	engine, err := newEngine(movies, method, poolPages, seed, dataPath)
+// daemon is what the serve loop needs from either frontend; *server.Server
+// and *server.Router both satisfy it.
+type daemon interface {
+	Start(addr string) (string, error)
+	Done() <-chan struct{}
+	ServeErr() error
+	Shutdown(ctx context.Context) error
+}
+
+// newSingleServer builds the classic single-engine server, optionally
+// restricted to one shard's slice (-shard-index/-shard-count).
+func newSingleServer(cfg config) (daemon, error) {
+	var keep func(int64) bool
+	if cfg.shardIndex >= 0 {
+		if cfg.shardCount < 1 || cfg.shardIndex >= cfg.shardCount {
+			return nil, fmt.Errorf("-shard-index %d requires -shard-count > %d", cfg.shardIndex, cfg.shardIndex)
+		}
+		var err error
+		keep, err = shardKeep(cfg.partitioner, cfg.shardIndex, cfg.shardCount)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Printf("serving shard %d of %d\n", cfg.shardIndex, cfg.shardCount)
+	}
+	engine, err := newEngine(cfg, cfg.dataPath, keep)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	ti, err := engine.TextIndex("movies_desc")
 	if err != nil {
-		return err
+		return nil, err
 	}
 	fmt.Printf("index ready (method=%s, long lists %.2f MB)\n",
 		ti.Stats().Method, float64(ti.Stats().LongListBytes)/(1024*1024))
+	return server.New(engine, server.Options{ReadTimeout: 30 * time.Second}), nil
+}
 
-	srv := server.New(engine, server.Options{ReadTimeout: 30 * time.Second})
-	bound, err := srv.Start(addr)
+// newRouterServer builds the router frontend: over remote shard servers when
+// -backends is given, over in-process shard engines otherwise.
+func newRouterServer(cfg config) (daemon, error) {
+	var backends []server.Backend
+	if cfg.backends != "" {
+		for _, u := range strings.Split(cfg.backends, ",") {
+			u = strings.TrimSpace(u)
+			if u == "" {
+				continue
+			}
+			backends = append(backends, server.NewHTTPBackend(u, cfg.hedge))
+		}
+		if len(backends) == 0 {
+			return nil, fmt.Errorf("-backends parsed to zero URLs")
+		}
+		fmt.Printf("routing across %d shard servers (hedge %s)\n", len(backends), cfg.hedge)
+	} else {
+		if cfg.shards < 1 {
+			return nil, fmt.Errorf("-shards must be at least 1")
+		}
+		for i := 0; i < cfg.shards; i++ {
+			keep, err := shardKeep(cfg.partitioner, i, cfg.shards)
+			if err != nil {
+				return nil, err
+			}
+			dataPath := cfg.dataPath
+			if dataPath != "" {
+				dataPath = fmt.Sprintf("%s.shard-%d", dataPath, i)
+			}
+			engine, err := newEngine(cfg, dataPath, keep)
+			if err != nil {
+				for _, b := range backends {
+					b.Close()
+				}
+				return nil, err
+			}
+			backends = append(backends, server.NewEngineBackend(fmt.Sprintf("shard-%d", i), engine, true))
+		}
+		fmt.Printf("routing across %d in-process shards\n", len(backends))
+	}
+	return server.NewRouter(backends, server.RouterOptions{
+		ReadTimeout:    30 * time.Second,
+		Partitioner:    cfg.partitioner,
+		RoutingColumns: archiveRoutingColumns(),
+	})
+}
+
+func run(cfg config) error {
+	var (
+		d   daemon
+		err error
+	)
+	if cfg.router {
+		d, err = newRouterServer(cfg)
+	} else {
+		d, err = newSingleServer(cfg)
+	}
+	if err != nil {
+		return err
+	}
+	bound, err := d.Start(cfg.addr)
 	if err != nil {
 		return err
 	}
@@ -133,13 +302,13 @@ func run(addr string, movies int, method string, poolPages int, seed int64, drai
 	select {
 	case <-stop:
 		fmt.Println("draining...")
-	case <-srv.Done():
+	case <-d.Done():
 		// The accept loop died on its own (e.g. fd exhaustion): surface it
 		// now instead of serving nothing until an operator notices.
-		err := srv.ServeErr()
-		ctx, cancel := context.WithTimeout(context.Background(), drainWait)
+		err := d.ServeErr()
+		ctx, cancel := context.WithTimeout(context.Background(), cfg.drainWait)
 		defer cancel()
-		if shutdownErr := srv.Shutdown(ctx); shutdownErr != nil {
+		if shutdownErr := d.Shutdown(ctx); shutdownErr != nil {
 			return shutdownErr
 		}
 		if err == nil {
@@ -148,9 +317,9 @@ func run(addr string, movies int, method string, poolPages int, seed int64, drai
 		return err
 	}
 
-	ctx, cancel := context.WithTimeout(context.Background(), drainWait)
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.drainWait)
 	defer cancel()
-	if err := srv.Shutdown(ctx); err != nil {
+	if err := d.Shutdown(ctx); err != nil {
 		return err
 	}
 	fmt.Println("shutdown complete (in-flight requests drained, pin audit clean)")

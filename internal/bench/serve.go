@@ -35,6 +35,13 @@ type serveEngine struct {
 // score is the score column itself, so the workload generator's update
 // trace maps 1:1 onto structured updates.
 func buildServeEngine(corpus *workload.Corpus, opts Options, kind core.MethodKind) (*serveEngine, error) {
+	return buildServeEngineFiltered(corpus, opts, kind, nil)
+}
+
+// buildServeEngineFiltered is buildServeEngine restricted to the documents
+// keep selects (nil keeps everything); the shard experiment uses it to give
+// each shard engine its partition of the corpus.
+func buildServeEngineFiltered(corpus *workload.Corpus, opts Options, kind core.MethodKind, keep func(int64) bool) (*serveEngine, error) {
 	pool := buffer.MustNew(pagefile.MustNewMem(pagefile.DefaultPageSize), opts.PoolPages*4)
 	registerPool(pool)
 	db := relation.NewDB(pool)
@@ -50,6 +57,9 @@ func buildServeEngine(corpus *workload.Corpus, opts Options, kind core.MethodKin
 		return nil, err
 	}
 	err = corpus.ForEach(func(doc workload.DocID, tokens []string) error {
+		if keep != nil && !keep(int64(doc)) {
+			return nil
+		}
 		return tbl.Insert(relation.Row{
 			relation.Int(int64(doc)),
 			relation.Str(strings.Join(tokens, " ")),

@@ -1,0 +1,626 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"svrdb/internal/index"
+	"svrdb/internal/relation"
+	"svrdb/internal/storage/buffer"
+	"svrdb/internal/storage/pagefile"
+	"svrdb/internal/text"
+	"svrdb/internal/topk"
+	"svrdb/internal/view"
+)
+
+// This file implements the sharded engine: a Cluster owns N Engines,
+// routes writes to exactly one shard by the registered Partitioner over
+// each row's routing key, and fans searches out over every shard, merging
+// the per-shard top-k through the same topk.Heap the methods use so the
+// merged ranking (ids, scores, order) is byte-identical to a single engine
+// holding the whole corpus.
+//
+// The identity argument: every document lives on exactly one shard, so a
+// document in the global top-k is necessarily in its own shard's local
+// top-k (its score does not depend on which shard computes it once the
+// collection statistics are pinned — see GlobalStats), and the k best of
+// the union of local top-k lists is exactly the global top-k.  Plain SVR
+// ranking uses no collection statistics at all; WithTermScores ranking
+// does (IDF), so the scatter path first sums per-shard TermStats into one
+// GlobalStats and pins it into every shard's query, making each shard's
+// TFIDF arithmetic bit-identical to the single-engine computation.
+// topk.Heap's deterministic tie-break (score desc, doc asc) does the rest.
+
+// ShardSearcher is the read-side transport of one shard as the
+// scatter-gather path consumes it.  *Engine implements it for in-process
+// shards; the serving layer implements it over HTTP for remote ones.
+type ShardSearcher interface {
+	// SearchIndex runs a query against the shard's named text index.
+	SearchIndex(index string, req SearchRequest) (*SearchResult, error)
+	// TermStats reports the shard's document count and the per-term
+	// document frequencies for the query's analyzed terms, in the same
+	// deterministic term order every shard derives from the query text.
+	TermStats(index, query string) (numDocs int64, df []int64, err error)
+}
+
+// ScatterSearch fans one query out over shards and merges the per-shard
+// top-k into the global top-k.  Failed shards degrade the result instead
+// of failing it: their contribution is missing and Partial is set.  Only
+// when every shard fails does ScatterSearch return an error (the first
+// one, so an invalid request reports as such rather than as "all down").
+func ScatterSearch(shards []ShardSearcher, name string, req SearchRequest) (*SearchResult, error) {
+	n := len(shards)
+	if n == 0 {
+		return nil, errors.New("core: scatter search over zero shards")
+	}
+	alive := make([]bool, n)
+	for i := range alive {
+		alive[i] = true
+	}
+	shardErrs := make([]error, n)
+
+	// Phase 1 (WithTermScores only): pin global collection statistics so
+	// every shard ranks with the single-engine idf.  A shard that cannot
+	// report stats is excluded from the search phase — using its postings
+	// without its df contribution would perturb every shard's idf.
+	if req.WithTermScores && req.Global == nil {
+		numDocs := make([]int64, n)
+		dfs := make([][]int64, n)
+		var wg sync.WaitGroup
+		for i := range shards {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				numDocs[i], dfs[i], shardErrs[i] = shards[i].TermStats(name, req.Query)
+			}(i)
+		}
+		wg.Wait()
+		global := &index.GlobalStats{}
+		for i := range shards {
+			if shardErrs[i] != nil {
+				alive[i] = false
+				continue
+			}
+			if global.DF == nil {
+				global.DF = make([]int64, len(dfs[i]))
+			} else if len(dfs[i]) != len(global.DF) {
+				alive[i] = false
+				shardErrs[i] = fmt.Errorf("core: shard %d reports %d terms, others %d", i, len(dfs[i]), len(global.DF))
+				continue
+			}
+			global.NumDocs += numDocs[i]
+			for t, d := range dfs[i] {
+				global.DF[t] += d
+			}
+		}
+		req.Global = global
+	}
+
+	results := make([]*SearchResult, n)
+	var wg sync.WaitGroup
+	for i := range shards {
+		if !alive[i] {
+			continue
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], shardErrs[i] = shards[i].SearchIndex(name, req)
+		}(i)
+	}
+	wg.Wait()
+
+	merged := &SearchResult{}
+	heap := topk.New(req.K)
+	byDoc := make(map[int64]SearchHit)
+	ok := 0
+	for _, res := range results {
+		if res == nil {
+			continue
+		}
+		ok++
+		merged.PostingsScanned += res.PostingsScanned
+		merged.Stopped = merged.Stopped || res.Stopped
+		merged.Partial = merged.Partial || res.Partial
+		for _, hit := range res.Hits {
+			if heap.Add(hit.PK, hit.Score) {
+				byDoc[hit.PK] = hit
+			}
+		}
+	}
+	if ok == 0 {
+		for _, err := range shardErrs {
+			if err != nil {
+				return nil, err
+			}
+		}
+		return nil, errors.New("core: scatter search produced no shard results")
+	}
+	if ok < n {
+		merged.Partial = true
+	}
+	ranked := heap.Results()
+	merged.Hits = make([]SearchHit, len(ranked))
+	for i, r := range ranked {
+		hit := byDoc[r.Doc]
+		// Doc and Score come from the heap (the canonical merge), the Row
+		// join from whichever shard owned the document.
+		merged.Hits[i] = SearchHit{PK: r.Doc, Score: r.Score, Row: hit.Row}
+	}
+	return merged, nil
+}
+
+// --- cluster --------------------------------------------------------------------
+
+// ClusterOptions configures NewCluster / OpenCluster.
+type ClusterOptions struct {
+	// Shards is the number of engine shards.  Required for NewCluster and
+	// for the first OpenCluster of a directory; a reopen takes the count
+	// from the manifest and rejects a conflicting non-zero value here.
+	Shards int
+	// Partitioner names the registered write partitioner (default "hash").
+	// Persisted in the cluster manifest; a reopen rejects a conflicting
+	// name, because repartitioning existing data requires a reshard, not a
+	// flag change.
+	Partitioner string
+	// RoutingColumns overrides the routing key column per table; the
+	// default routing key is the primary key (column 0).  A table whose
+	// rows must co-locate with a parent table's rows routes on the foreign
+	// key instead — e.g. reviews route on their movie id so the per-movie
+	// score join stays shard-local.  Persisted in the manifest.
+	RoutingColumns map[string]string
+	// Analyzer, Specs, PoolPages, PageSize mirror OpenOptions and apply to
+	// every shard.  PoolPages is per shard (default 4096).
+	Analyzer  *text.Analyzer
+	Specs     map[string]view.Spec
+	PoolPages int
+	PageSize  int
+}
+
+// Cluster owns N engine shards plus the routing state that places every
+// row on exactly one of them.  Reads (Search, TermStats, stats scrapes)
+// fan out and merge; writes route.  All methods are safe for concurrent
+// use, with the same per-shard guarantees the Engine documents.
+type Cluster struct {
+	shards  []*Engine
+	part    Partitioner
+	routing map[string]string
+	dir     string // non-empty for durable clusters
+}
+
+// clusterManifest is the durable cluster-level catalog: the shard count and
+// partitioning contract that must survive reopen for routing to keep
+// finding every row.  Per-shard state lives in each shard's own catalog.
+type clusterManifest struct {
+	Version        int               `json:"version"`
+	Shards         int               `json:"shards"`
+	Partitioner    string            `json:"partitioner"`
+	RoutingColumns map[string]string `json:"routing_columns,omitempty"`
+}
+
+const clusterManifestVersion = 1
+
+// manifestName is the cluster manifest's filename inside the cluster dir.
+const manifestName = "cluster.json"
+
+// shardFileName returns the page-file name of shard i.
+func shardFileName(i int) string { return fmt.Sprintf("shard-%04d.svrdb", i) }
+
+// NewCluster creates an in-memory cluster of opts.Shards fresh engines,
+// each over its own buffer pool and memory-backed page file.
+func NewCluster(opts ClusterOptions) (*Cluster, error) {
+	if opts.Shards < 1 {
+		return nil, fmt.Errorf("core: cluster needs at least 1 shard, got %d", opts.Shards)
+	}
+	part, err := PartitionerByName(opts.Partitioner)
+	if err != nil {
+		return nil, err
+	}
+	poolPages := opts.PoolPages
+	if poolPages <= 0 {
+		poolPages = 4096
+	}
+	pageSize := opts.PageSize
+	if pageSize <= 0 {
+		pageSize = pagefile.DefaultPageSize
+	}
+	c := &Cluster{part: part, routing: cloneRouting(opts.RoutingColumns)}
+	for i := 0; i < opts.Shards; i++ {
+		pool := buffer.MustNew(pagefile.MustNewMem(pageSize), poolPages)
+		c.shards = append(c.shards, NewEngine(relation.NewDB(pool), Options{Analyzer: opts.Analyzer}))
+	}
+	return c, nil
+}
+
+// OpenCluster creates or reopens a durable cluster rooted at dir: one page
+// file per shard plus a cluster.json manifest recording the shard count
+// and partitioner.  Reopening validates the options against the manifest —
+// the persisted partitioning wins, so a reopened cluster keeps routing
+// rows exactly where the original run placed them.
+func OpenCluster(dir string, opts ClusterOptions) (*Cluster, error) {
+	manifestPath := filepath.Join(dir, manifestName)
+	data, err := os.ReadFile(manifestPath)
+	switch {
+	case err == nil:
+		var m clusterManifest
+		if err := json.Unmarshal(data, &m); err != nil {
+			return nil, fmt.Errorf("core: parse %s: %w", manifestPath, err)
+		}
+		if m.Version != clusterManifestVersion {
+			return nil, fmt.Errorf("core: cluster manifest version %d not supported (want %d)", m.Version, clusterManifestVersion)
+		}
+		if opts.Shards != 0 && opts.Shards != m.Shards {
+			return nil, fmt.Errorf("core: cluster at %s has %d shards, options ask for %d (resharding is not a reopen)", dir, m.Shards, opts.Shards)
+		}
+		if opts.Partitioner != "" && opts.Partitioner != m.Partitioner {
+			return nil, fmt.Errorf("core: cluster at %s is partitioned by %q, options ask for %q", dir, m.Partitioner, opts.Partitioner)
+		}
+		opts.Shards = m.Shards
+		opts.Partitioner = m.Partitioner
+		opts.RoutingColumns = m.RoutingColumns
+	case os.IsNotExist(err):
+		if opts.Shards < 1 {
+			return nil, fmt.Errorf("core: cluster needs at least 1 shard, got %d", opts.Shards)
+		}
+		if opts.Partitioner == "" {
+			opts.Partitioner = DefaultPartitioner
+		}
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, err
+		}
+		m := clusterManifest{
+			Version:        clusterManifestVersion,
+			Shards:         opts.Shards,
+			Partitioner:    opts.Partitioner,
+			RoutingColumns: opts.RoutingColumns,
+		}
+		data, err := json.MarshalIndent(m, "", "  ")
+		if err != nil {
+			return nil, err
+		}
+		// Write-then-rename so a crash mid-write cannot leave a torn
+		// manifest masquerading as the cluster's routing contract.
+		tmp := manifestPath + ".tmp"
+		if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+			return nil, err
+		}
+		if err := os.Rename(tmp, manifestPath); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, err
+	}
+
+	part, err := PartitionerByName(opts.Partitioner)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cluster{part: part, routing: cloneRouting(opts.RoutingColumns), dir: dir}
+	for i := 0; i < opts.Shards; i++ {
+		e, err := Open(filepath.Join(dir, shardFileName(i)), OpenOptions{
+			Analyzer:  opts.Analyzer,
+			Specs:     opts.Specs,
+			PoolPages: opts.PoolPages,
+			PageSize:  opts.PageSize,
+		})
+		if err != nil {
+			for _, open := range c.shards {
+				open.Close()
+			}
+			return nil, fmt.Errorf("core: open shard %d: %w", i, err)
+		}
+		c.shards = append(c.shards, e)
+	}
+	return c, nil
+}
+
+func cloneRouting(m map[string]string) map[string]string {
+	out := make(map[string]string, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// NumShards returns the shard count.
+func (c *Cluster) NumShards() int { return len(c.shards) }
+
+// Shard returns shard i's engine (for per-shard stats, tests, backends).
+func (c *Cluster) Shard(i int) *Engine { return c.shards[i] }
+
+// Engines returns all shard engines in shard order.
+func (c *Cluster) Engines() []*Engine { return append([]*Engine(nil), c.shards...) }
+
+// PartitionerName returns the name of the partitioner routing writes.
+func (c *Cluster) PartitionerName() string { return c.part.Name() }
+
+// ShardFor returns the shard owning the given routing key.
+func (c *Cluster) ShardFor(key int64) int { return c.part.Shard(key, len(c.shards)) }
+
+// Close closes every shard and joins their errors.
+func (c *Cluster) Close() error {
+	var errs []error
+	for i, e := range c.shards {
+		if err := e.Close(); err != nil {
+			errs = append(errs, fmt.Errorf("core: close shard %d: %w", i, err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// CreateTable creates the table on every shard (schemas are cluster-wide;
+// rows are not).
+func (c *Cluster) CreateTable(schema relation.Schema) error {
+	for i, e := range c.shards {
+		if _, err := e.DB().CreateTable(schema); err != nil {
+			return fmt.Errorf("core: shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// EnsureIndex creates a secondary index on every shard's copy of the table.
+func (c *Cluster) EnsureIndex(table, column string) error {
+	for i, e := range c.shards {
+		tbl, err := e.DB().Table(table)
+		if err != nil {
+			return fmt.Errorf("core: shard %d: %w", i, err)
+		}
+		if err := tbl.EnsureIndex(column); err != nil {
+			return fmt.Errorf("core: shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// CreateTextIndex creates the text index on every shard.  Each shard
+// builds over its own rows; the scatter-gather Search merges them.
+func (c *Cluster) CreateTextIndex(name, table, column string, opts IndexOptions) error {
+	for i, e := range c.shards {
+		if _, err := e.CreateTextIndex(name, table, column, opts); err != nil {
+			return fmt.Errorf("core: shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// routingIndex resolves the routing column's position in the table's
+// schema: the configured RoutingColumns entry, defaulting to the primary
+// key (column 0).  The column must be an int64 column.
+func (c *Cluster) routingIndex(table string) (int, error) {
+	tbl, err := c.shards[0].DB().Table(table)
+	if err != nil {
+		return 0, err
+	}
+	col, ok := c.routing[table]
+	if !ok {
+		return 0, nil
+	}
+	schema := tbl.Schema()
+	idx, err := schema.ColumnIndex(col)
+	if err != nil {
+		return 0, err
+	}
+	if schema.Columns[idx].Kind != relation.KindInt64 {
+		return 0, fmt.Errorf("core: routing column %q of table %q is not an int64 column", col, table)
+	}
+	return idx, nil
+}
+
+// OpKind discriminates cluster write operations.
+type OpKind uint8
+
+const (
+	// OpInsert inserts Row into Table.
+	OpInsert OpKind = iota
+	// OpUpdate applies Set to the row with primary key PK.
+	OpUpdate
+	// OpDelete deletes the row with primary key PK.
+	OpDelete
+)
+
+// ClusterOp is one write in a routed batch.
+type ClusterOp struct {
+	Kind  OpKind
+	Table string
+	// Row is the inserted row (OpInsert).
+	Row relation.Row
+	// PK addresses the row for OpUpdate / OpDelete.
+	PK int64
+	// Set carries the updated columns (OpUpdate).
+	Set map[string]relation.Value
+
+	// broadcastFound counts owning shards for a broadcast update/delete;
+	// ApplyOps sets it on the per-shard copies so not-found on non-owners
+	// is tolerated while "no shard owned it" still surfaces.
+	broadcastFound *atomic.Int64
+}
+
+// Insert routes one row to its owning shard and applies it as a
+// single-op batch.
+func (c *Cluster) Insert(table string, row relation.Row) error {
+	return c.ApplyOps([]ClusterOp{{Kind: OpInsert, Table: table, Row: row}})
+}
+
+// ApplyOps routes a batch of writes to their owning shards and applies
+// each shard's slice through Engine.ApplyBatch concurrently — the N-shard
+// write fan-in the engine's group commit exists for.  Inserts route by the
+// routing column's value.  Updates and deletes route by primary key when
+// the table routes on its primary key; on tables routed by another column
+// (the primary key says nothing about placement) they are broadcast to
+// every shard and tolerated as not-found on the shards that do not own the
+// row — an op that no shard owned reports ErrNotFound.
+//
+// Atomicity is per shard, not cluster-wide: each shard applies (and, when
+// durable, commits) its slice as one batch, so a mid-batch crash can leave
+// some shards' slices applied and others' not.  Ops within one shard's
+// slice preserve batch order.
+func (c *Cluster) ApplyOps(ops []ClusterOp) error {
+	n := len(c.shards)
+	perShard := make([][]ClusterOp, n)
+	// found counts, per broadcast op, how many shards owned the row.
+	type broadcastOp struct {
+		op    ClusterOp
+		found *atomic.Int64
+	}
+	var broadcasts []broadcastOp
+	routingIdx := map[string]int{}
+	for _, op := range ops {
+		idx, ok := routingIdx[op.Table]
+		if !ok {
+			var err error
+			idx, err = c.routingIndex(op.Table)
+			if err != nil {
+				return err
+			}
+			routingIdx[op.Table] = idx
+		}
+		switch op.Kind {
+		case OpInsert:
+			if len(op.Row) <= idx {
+				return fmt.Errorf("core: insert into %q: row has %d columns, routing column is #%d", op.Table, len(op.Row), idx)
+			}
+			shard := c.part.Shard(op.Row[idx].I, n)
+			perShard[shard] = append(perShard[shard], op)
+		case OpUpdate, OpDelete:
+			if idx == 0 {
+				shard := c.part.Shard(op.PK, n)
+				perShard[shard] = append(perShard[shard], op)
+				continue
+			}
+			b := broadcastOp{op: op, found: &atomic.Int64{}}
+			broadcasts = append(broadcasts, b)
+			for shard := 0; shard < n; shard++ {
+				bop := op
+				bop.broadcastFound = b.found
+				perShard[shard] = append(perShard[shard], bop)
+			}
+		default:
+			return fmt.Errorf("core: unknown cluster op kind %d", op.Kind)
+		}
+	}
+
+	shardErrs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		if len(perShard[i]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			shardErrs[i] = c.shards[i].ApplyBatch(func() error {
+				return applyShardOps(c.shards[i], perShard[i])
+			})
+		}(i)
+	}
+	wg.Wait()
+
+	var errs []error
+	for i, err := range shardErrs {
+		if err != nil {
+			errs = append(errs, fmt.Errorf("core: shard %d: %w", i, err))
+		}
+	}
+	for _, b := range broadcasts {
+		if b.found.Load() == 0 {
+			errs = append(errs, fmt.Errorf("core: %w: pk %d in table %q on any shard", relation.ErrNotFound, b.op.PK, b.op.Table))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// applyShardOps applies one shard's slice of a routed batch in order.
+func applyShardOps(e *Engine, ops []ClusterOp) error {
+	for _, op := range ops {
+		tbl, err := e.DB().Table(op.Table)
+		if err != nil {
+			return err
+		}
+		switch op.Kind {
+		case OpInsert:
+			if err := tbl.Insert(op.Row); err != nil {
+				return err
+			}
+		case OpUpdate:
+			err := tbl.Update(op.PK, op.Set)
+			if op.broadcastFound != nil && errors.Is(err, relation.ErrNotFound) {
+				continue // another shard owns (or nobody owns) this row
+			}
+			if err != nil {
+				return err
+			}
+			if op.broadcastFound != nil {
+				op.broadcastFound.Add(1)
+			}
+		case OpDelete:
+			err := tbl.Delete(op.PK)
+			if op.broadcastFound != nil && errors.Is(err, relation.ErrNotFound) {
+				continue
+			}
+			if err != nil {
+				return err
+			}
+			if op.broadcastFound != nil {
+				op.broadcastFound.Add(1)
+			}
+		}
+	}
+	return nil
+}
+
+// Search fans the query out over every shard and merges the per-shard
+// top-k into the global ranking (see ScatterSearch).  With every shard
+// healthy — always, for in-process shards — results are byte-identical to
+// the same corpus in one engine.
+func (c *Cluster) Search(name string, req SearchRequest) (*SearchResult, error) {
+	return ScatterSearch(c.searchers(), name, req)
+}
+
+// TermStats sums the per-shard collection statistics for the query's terms
+// — the GlobalStats inputs.
+func (c *Cluster) TermStats(name, query string) (int64, []int64, error) {
+	var numDocs int64
+	var df []int64
+	for i, e := range c.shards {
+		nd, d, err := e.TermStats(name, query)
+		if err != nil {
+			return 0, nil, fmt.Errorf("core: shard %d: %w", i, err)
+		}
+		if df == nil {
+			df = make([]int64, len(d))
+		}
+		numDocs += nd
+		for t, v := range d {
+			df[t] += v
+		}
+	}
+	return numDocs, df, nil
+}
+
+// IndexStats returns each shard's stats for the named index, in shard
+// order (the serving layer's per-shard stats sections read from here).
+func (c *Cluster) IndexStats(name string) ([]index.Stats, error) {
+	out := make([]index.Stats, len(c.shards))
+	for i, e := range c.shards {
+		ti, err := e.TextIndex(name)
+		if err != nil {
+			return nil, fmt.Errorf("core: shard %d: %w", i, err)
+		}
+		out[i] = ti.Stats()
+	}
+	return out, nil
+}
+
+func (c *Cluster) searchers() []ShardSearcher {
+	out := make([]ShardSearcher, len(c.shards))
+	for i, e := range c.shards {
+		out[i] = e
+	}
+	return out
+}

@@ -1,0 +1,542 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+
+	"svrdb/internal/relation"
+	"svrdb/internal/storage/buffer"
+	"svrdb/internal/storage/pagefile"
+	"svrdb/internal/view"
+	"svrdb/internal/workload"
+)
+
+// clusterTestParams is a corpus small enough to build 6 methods × 11
+// engines in test time but rich enough that queries rank real top-k sets.
+func clusterTestParams() workload.Params {
+	return workload.Params{
+		NumDocs:     300,
+		TermsPerDoc: 40,
+		VocabSize:   500,
+		TermZipf:    1.0,
+		ScoreMax:    100000,
+		ScoreZipf:   0.75,
+		Seed:        7,
+	}
+}
+
+var docsSchema = relation.Schema{
+	Name: "Docs",
+	Columns: []relation.Column{
+		{Name: "id", Kind: relation.KindInt64},
+		{Name: "body", Kind: relation.KindString},
+		{Name: "score", Kind: relation.KindFloat64},
+	},
+}
+
+func docsSpec() view.Spec {
+	return view.Spec{Components: []view.Component{view.OwnColumn("Docs", "score")}}
+}
+
+func docRow(doc workload.DocID, tokens []string, score float64) relation.Row {
+	return relation.Row{
+		relation.Int(int64(doc)),
+		relation.Str(strings.Join(tokens, " ")),
+		relation.Float(score),
+	}
+}
+
+// buildSingle loads the corpus into one engine and indexes it.
+func buildSingle(t *testing.T, corpus *workload.Corpus, kind MethodKind) *Engine {
+	t.Helper()
+	pool := buffer.MustNew(pagefile.MustNewMem(pagefile.DefaultPageSize), 4096)
+	db := relation.NewDB(pool)
+	tbl, err := db.CreateTable(docsSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = corpus.ForEach(func(doc workload.DocID, tokens []string) error {
+		return tbl.Insert(docRow(doc, tokens, corpus.Score(doc)))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(db, Options{})
+	if _, err := e.CreateTextIndex("docs", "Docs", "body", IndexOptions{
+		Method: kind, Spec: docsSpec(), MinChunkSize: 8,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// buildCluster loads the same corpus into an n-shard cluster, routing every
+// document through the partitioner, and indexes each shard.
+func buildCluster(t *testing.T, corpus *workload.Corpus, kind MethodKind, shards int) *Cluster {
+	t.Helper()
+	c, err := NewCluster(ClusterOptions{Shards: shards, PoolPages: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateTable(docsSchema); err != nil {
+		t.Fatal(err)
+	}
+	var ops []ClusterOp
+	err = corpus.ForEach(func(doc workload.DocID, tokens []string) error {
+		ops = append(ops, ClusterOp{Kind: OpInsert, Table: "Docs", Row: docRow(doc, tokens, corpus.Score(doc))})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ApplyOps(ops); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateTextIndex("docs", "Docs", "body", IndexOptions{
+		Method: kind, Spec: docsSpec(), MinChunkSize: 8,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func applySingleUpdates(t *testing.T, e *Engine, updates []workload.ScoreUpdate) {
+	t.Helper()
+	err := e.ApplyBatch(func() error {
+		tbl, err := e.DB().Table("Docs")
+		if err != nil {
+			return err
+		}
+		for _, u := range updates {
+			if err := tbl.Update(int64(u.Doc), map[string]relation.Value{"score": relation.Float(u.NewScore)}); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func applyClusterUpdates(t *testing.T, c *Cluster, updates []workload.ScoreUpdate) {
+	t.Helper()
+	ops := make([]ClusterOp, len(updates))
+	for i, u := range updates {
+		ops[i] = ClusterOp{Kind: OpUpdate, Table: "Docs", PK: int64(u.Doc),
+			Set: map[string]relation.Value{"score": relation.Float(u.NewScore)}}
+	}
+	if err := c.ApplyOps(ops); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// assertSameHits requires byte-identical rankings: same length, same ids in
+// the same order, bitwise-equal scores.
+func assertSameHits(t *testing.T, label string, want, got *SearchResult) {
+	t.Helper()
+	if len(want.Hits) != len(got.Hits) {
+		t.Fatalf("%s: single engine returned %d hits, cluster %d", label, len(want.Hits), len(got.Hits))
+	}
+	for i := range want.Hits {
+		w, g := want.Hits[i], got.Hits[i]
+		if w.PK != g.PK {
+			t.Fatalf("%s: hit %d: single pk %d, cluster pk %d", label, i, w.PK, g.PK)
+		}
+		if math.Float64bits(w.Score) != math.Float64bits(g.Score) {
+			t.Fatalf("%s: hit %d (doc %d): single score %v (%x), cluster %v (%x)",
+				label, i, w.PK, w.Score, math.Float64bits(w.Score), g.Score, math.Float64bits(g.Score))
+		}
+	}
+	if got.Partial {
+		t.Fatalf("%s: cluster of healthy in-process shards reported a partial result", label)
+	}
+}
+
+// TestShardedEquivalence is the sharding correctness property: for every
+// method, any partitioning of the corpus across 1–4 shards returns
+// byte-identical top-k (ids, scores, order) to the single-engine result,
+// conjunctive and disjunctive, before and after an update trace, and — for
+// the TermScore methods — under combined SVR+TFIDF ranking, where the
+// cluster pins global collection statistics.
+func TestShardedEquivalence(t *testing.T) {
+	corpus := workload.Generate(clusterTestParams())
+	qp := workload.DefaultQueryParams()
+	qp.NumQueries = 12
+	qp.Seed = 11
+	queries := workload.GenerateQueries(corpus, qp)
+
+	up := workload.DefaultUpdateParams()
+	up.NumUpdates = 400
+	up.Seed = 13
+	updates := workload.GenerateUpdates(corpus, up)
+
+	for _, kind := range AllMethods() {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			single := buildSingle(t, corpus, kind)
+			defer single.Close()
+			si, err := single.TextIndex("docs")
+			if err != nil {
+				t.Fatal(err)
+			}
+			withTS := kind == MethodIDTermScore || kind == MethodChunkTermScore
+
+			shardCounts := []int{1, 2, 3, 4}
+			clusters := make([]*Cluster, len(shardCounts))
+			for i, shards := range shardCounts {
+				clusters[i] = buildCluster(t, corpus, kind, shards)
+				defer clusters[i].Close()
+			}
+
+			check := func(phase string) {
+				for qi, terms := range queries {
+					query := strings.Join(terms, " ")
+					for _, k := range []int{1, 10} {
+						for _, disj := range []bool{false, true} {
+							req := SearchRequest{Query: query, K: k, Disjunctive: disj}
+							want, err := si.Search(req)
+							if err != nil {
+								t.Fatal(err)
+							}
+							for i, cluster := range clusters {
+								got, err := cluster.Search("docs", req)
+								if err != nil {
+									t.Fatal(err)
+								}
+								label := fmt.Sprintf("%s shards=%d q%d k=%d disj=%v", phase, shardCounts[i], qi, k, disj)
+								assertSameHits(t, label, want, got)
+							}
+						}
+						if withTS {
+							req := SearchRequest{Query: query, K: k, WithTermScores: true}
+							want, err := si.Search(req)
+							if err != nil {
+								t.Fatal(err)
+							}
+							for i, cluster := range clusters {
+								got, err := cluster.Search("docs", req)
+								if err != nil {
+									t.Fatal(err)
+								}
+								label := fmt.Sprintf("%s shards=%d q%d k=%d termscores", phase, shardCounts[i], qi, k)
+								assertSameHits(t, label, want, got)
+							}
+						}
+					}
+				}
+			}
+
+			check("built")
+			applySingleUpdates(t, single, updates)
+			for _, cluster := range clusters {
+				applyClusterUpdates(t, cluster, updates)
+			}
+			check("updated")
+		})
+	}
+}
+
+// TestClusterGlobalStats checks the GlobalStats plumbing directly: the
+// cluster-summed term statistics equal the single engine's, and a shard
+// queried with the global override ranks with cluster-wide idf.
+func TestClusterGlobalStats(t *testing.T) {
+	corpus := workload.Generate(clusterTestParams())
+	single := buildSingle(t, corpus, MethodIDTermScore)
+	defer single.Close()
+	cluster := buildCluster(t, corpus, MethodIDTermScore, 3)
+	defer cluster.Close()
+
+	qp := workload.DefaultQueryParams()
+	qp.NumQueries = 4
+	qp.Seed = 3
+	for _, terms := range workload.GenerateQueries(corpus, qp) {
+		query := strings.Join(terms, " ")
+		wantN, wantDF, err := single.TermStats("docs", query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotN, gotDF, err := cluster.TermStats("docs", query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wantN != gotN {
+			t.Fatalf("query %q: single numDocs %d, cluster sum %d", query, wantN, gotN)
+		}
+		if len(wantDF) != len(gotDF) {
+			t.Fatalf("query %q: df length %d vs %d", query, len(wantDF), len(gotDF))
+		}
+		for i := range wantDF {
+			if wantDF[i] != gotDF[i] {
+				t.Fatalf("query %q term %d: single df %d, cluster sum %d", query, i, wantDF[i], gotDF[i])
+			}
+		}
+	}
+}
+
+// TestClusterRoutingColumns checks that a table routed by a non-pk column
+// places rows by that column and that broadcast updates by primary key
+// reach the owning shard (and only report not-found when no shard owns the
+// row).
+func TestClusterRoutingColumns(t *testing.T) {
+	c, err := NewCluster(ClusterOptions{
+		Shards:         3,
+		Partitioner:    "mod",
+		RoutingColumns: map[string]string{"Reviews": "mID"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	schema := relation.Schema{
+		Name: "Reviews",
+		Columns: []relation.Column{
+			{Name: "rID", Kind: relation.KindInt64},
+			{Name: "mID", Kind: relation.KindInt64},
+			{Name: "rating", Kind: relation.KindFloat64},
+		},
+	}
+	if err := c.CreateTable(schema); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.EnsureIndex("Reviews", "mID"); err != nil {
+		t.Fatal(err)
+	}
+	// 30 reviews over 10 movies: review rID r belongs to movie r%10.
+	var ops []ClusterOp
+	for r := int64(0); r < 30; r++ {
+		ops = append(ops, ClusterOp{Kind: OpInsert, Table: "Reviews",
+			Row: relation.Row{relation.Int(r), relation.Int(r % 10), relation.Float(3)}})
+	}
+	if err := c.ApplyOps(ops); err != nil {
+		t.Fatal(err)
+	}
+	// Placement: every review of movie m lives on shard m mod 3, nowhere else.
+	for m := int64(0); m < 10; m++ {
+		owner := c.ShardFor(m)
+		for i := 0; i < c.NumShards(); i++ {
+			tbl, err := c.Shard(i).DB().Table("Reviews")
+			if err != nil {
+				t.Fatal(err)
+			}
+			n := 0
+			if err := tbl.LookupByColumn("mID", relation.Int(m), func(relation.Row) bool { n++; return true }); err != nil {
+				if !errors.Is(err, relation.ErrNotFound) {
+					t.Fatal(err)
+				}
+			}
+			if i == owner && n != 3 {
+				t.Fatalf("movie %d: owner shard %d holds %d reviews, want 3", m, owner, n)
+			}
+			if i != owner && n != 0 {
+				t.Fatalf("movie %d: shard %d holds %d reviews, want 0", m, i, n)
+			}
+		}
+	}
+	// Broadcast update by pk: rID 17 exists on exactly one shard.
+	err = c.ApplyOps([]ClusterOp{{Kind: OpUpdate, Table: "Reviews", PK: 17,
+		Set: map[string]relation.Value{"rating": relation.Float(5)}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner := c.ShardFor(17 % 10)
+	tbl, err := c.Shard(owner).DB().Table("Reviews")
+	if err != nil {
+		t.Fatal(err)
+	}
+	row, err := tbl.Get(17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row[2].F != 5 {
+		t.Fatalf("broadcast update did not land: rating = %v", row[2].F)
+	}
+	// A pk no shard owns surfaces not-found.
+	err = c.ApplyOps([]ClusterOp{{Kind: OpDelete, Table: "Reviews", PK: 999}})
+	if !errors.Is(err, relation.ErrNotFound) {
+		t.Fatalf("broadcast delete of missing pk: err = %v, want ErrNotFound", err)
+	}
+}
+
+// TestClusterReopenKeepsPartitioning checks the durable manifest: a reopen
+// without options inherits shard count and partitioner, data routed before
+// the reopen is found after it, and conflicting options are rejected.
+func TestClusterReopenKeepsPartitioning(t *testing.T) {
+	dir := t.TempDir()
+	specs := map[string]view.Spec{"docs": docsSpec()}
+	c, err := OpenCluster(dir, ClusterOptions{Shards: 2, Partitioner: "mod", Specs: specs, PoolPages: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateTable(docsSchema); err != nil {
+		t.Fatal(err)
+	}
+	var ops []ClusterOp
+	for d := int64(0); d < 20; d++ {
+		ops = append(ops, ClusterOp{Kind: OpInsert, Table: "Docs",
+			Row: relation.Row{relation.Int(d), relation.Str(fmt.Sprintf("common term%d", d)), relation.Float(float64(d))}})
+	}
+	if err := c.ApplyOps(ops); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateTextIndex("docs", "Docs", "body", IndexOptions{
+		Method: MethodChunk, Spec: docsSpec(), SpecName: "docs", MinChunkSize: 4,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want, err := c.Search("docs", SearchRequest{Query: "common", K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen with zero options: manifest supplies shards + partitioner.
+	re, err := OpenCluster(dir, ClusterOptions{Specs: specs, PoolPages: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.NumShards() != 2 {
+		t.Fatalf("reopened cluster has %d shards, want 2", re.NumShards())
+	}
+	if re.PartitionerName() != "mod" {
+		t.Fatalf("reopened cluster partitioner = %q, want mod", re.PartitionerName())
+	}
+	got, err := re.Search("docs", SearchRequest{Query: "common", K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameHits(t, "reopen", want, got)
+	// Writes keep routing to the same shards: doc 21 is odd → shard 1 under mod.
+	if err := re.Insert("Docs", relation.Row{relation.Int(21), relation.Str("common termX"), relation.Float(1)}); err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := re.Shard(1).DB().Table("Docs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tbl.Get(21); err != nil {
+		t.Fatalf("doc 21 not on shard 1 after reopen: %v", err)
+	}
+
+	// Conflicting options are rejected, not silently repartitioned.
+	if _, err := OpenCluster(dir, ClusterOptions{Shards: 4, Specs: specs}); err == nil {
+		t.Fatal("reopen with conflicting shard count succeeded")
+	}
+	if _, err := OpenCluster(dir, ClusterOptions{Partitioner: "hash", Specs: specs}); err == nil {
+		t.Fatal("reopen with conflicting partitioner succeeded")
+	}
+}
+
+// TestGroupCommitCoalesces checks the ApplyBatch group commit: concurrent
+// batches produce strictly fewer pagefile commits than batches, and every
+// batch's writes are durable (visible after reopen) once ApplyBatch
+// returns.
+func TestGroupCommitCoalesces(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/group.svrdb"
+	e, err := Open(path, OpenOptions{PoolPages: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.DB().CreateTable(relation.Schema{
+		Name: "KV",
+		Columns: []relation.Column{
+			{Name: "k", Kind: relation.KindInt64},
+			{Name: "v", Kind: relation.KindInt64},
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// One committed batch so the table exists on disk before the storm.
+	if err := e.ApplyBatch(func() error {
+		tbl, err := e.DB().Table("KV")
+		if err != nil {
+			return err
+		}
+		return tbl.Insert(relation.Row{relation.Int(-1), relation.Int(0)})
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Deterministic fan-in: a blocker batch holds the batch lock while
+	// `writers` further ApplyBatch callers queue up behind it (visible via
+	// the commit-waiter counter), then the blocker is released.  The
+	// blocker and every writer except the last defer their commit to the
+	// next caller, so the whole group must land in exactly one pagefile
+	// commit.
+	const writers = 8
+	before := e.Pool().File().Stats().Commits
+	blockerIn := make(chan struct{})
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	errs := make([]error, writers+1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		errs[writers] = e.ApplyBatch(func() error {
+			close(blockerIn)
+			<-release
+			tbl, err := e.DB().Table("KV")
+			if err != nil {
+				return err
+			}
+			return tbl.Insert(relation.Row{relation.Int(1000), relation.Int(0)})
+		})
+	}()
+	<-blockerIn
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			err := e.ApplyBatch(func() error {
+				tbl, err := e.DB().Table("KV")
+				if err != nil {
+					return err
+				}
+				return tbl.Insert(relation.Row{relation.Int(int64(w)), relation.Int(int64(w))})
+			})
+			errs[w] = err
+		}(w)
+	}
+	// Wait until every writer is queued on the batch lock, so the blocker
+	// observes them and defers its commit.
+	for e.commitWaiters.Load() < writers {
+		runtime.Gosched()
+	}
+	close(release)
+	wg.Wait()
+	for w, err := range errs {
+		if err != nil {
+			t.Fatalf("writer %d: %v", w, err)
+		}
+	}
+	commits := e.Pool().File().Stats().Commits - before
+	if commits != 1 {
+		t.Fatalf("group commit: %d commits for %d concurrent batches, want 1", commits, writers+1)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Every batch that returned is durable.
+	re, err := Open(path, OpenOptions{PoolPages: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	tbl, err := re.DB().Table("KV")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tbl.Len(); got != writers+2 {
+		t.Fatalf("reopened table holds %d rows, want %d", got, writers+2)
+	}
+}

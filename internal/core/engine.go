@@ -6,6 +6,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"svrdb/internal/index"
 	"svrdb/internal/postings"
@@ -79,10 +80,27 @@ type Engine struct {
 	// engaged for the duration of one batch, so overlapping batches would
 	// flush each other's half-accumulated events.
 	batchMu sync.Mutex
+	// Group-commit state.  Concurrent ApplyBatch callers coalesce into one
+	// pagefile Commit: a batch that sees other callers queued on batchMu
+	// (commitWaiters > 0) skips its own commit and waits for a successor's,
+	// which — because pagefile.Commit covers every staged page, not just the
+	// committing batch's — makes the earlier batch durable too.  batchSeq
+	// numbers batches (guarded by batchMu); commitSeq/commitErr record the
+	// newest batch covered by a finished commit (guarded by commitMu,
+	// signalled through commitCond).
+	commitWaiters atomic.Int64
+	batchSeq      uint64
+	commitMu      sync.Mutex
+	commitCond    *sync.Cond
+	commitSeq     uint64
+	commitErr     error
 	// closed (guarded by batchMu) is set by Close; an ApplyBatch that
 	// acquires batchMu afterwards must fail fast rather than run fn's
 	// base-table mutations against flushed, audited, closed storage.
 	closed bool
+	// closedFlag mirrors closed for lock-free observers (Closed): a shard
+	// health probe must not block behind batchMu while a long batch holds it.
+	closedFlag atomic.Bool
 
 	// durable marks engines opened from a page file on disk (core.Open):
 	// every ApplyBatch return and Close writes an atomic checkpoint
@@ -106,7 +124,9 @@ func NewEngine(db *relation.DB, opts Options) *Engine {
 	if a == nil {
 		a = text.NewAnalyzer()
 	}
-	return &Engine{db: db, analyzer: a, indexes: map[string]*TextIndex{}}
+	e := &Engine{db: db, analyzer: a, indexes: map[string]*TextIndex{}}
+	e.commitCond = sync.NewCond(&e.commitMu)
+	return e
 }
 
 // Close shuts the engine down: in-flight maintenance writes and searches
@@ -137,6 +157,7 @@ func (e *Engine) Close() error {
 		return nil
 	}
 	e.closed = true
+	e.closedFlag.Store(true)
 	e.mu.RLock()
 	indexes := make([]*TextIndex, 0, len(e.indexes))
 	for _, ti := range e.indexes {
@@ -169,7 +190,10 @@ func (e *Engine) Close() error {
 	// flush.  The checkpoint runs after the drain above, so every index is
 	// quiesced and its tree roots are final.
 	if e.durable {
-		if err := e.commitDurable(); err != nil {
+		// commitUpTo (not bare commitDurable) so any ApplyBatch that
+		// deferred its commit and is still waiting gets released by this
+		// final covering checkpoint.
+		if err := e.commitUpTo(e.batchSeq); err != nil {
 			errs = append(errs, err)
 		}
 	} else if err := pool.FlushOrdered(); err != nil {
@@ -183,6 +207,10 @@ func (e *Engine) Close() error {
 	}
 	return errors.Join(errs...)
 }
+
+// Closed reports whether Close has run.  It never blocks — shard health
+// probes call it while writers may be holding the batch lock.
+func (e *Engine) Closed() bool { return e.closedFlag.Load() }
 
 // DB returns the engine's relational database.
 func (e *Engine) DB() *relation.DB { return e.db }
@@ -354,8 +382,10 @@ func (e *Engine) CreateTextIndex(name, table, column string, opts IndexOptions) 
 	// A durable engine checkpoints the freshly built index immediately: the
 	// build is the most expensive thing the engine ever does, and an
 	// un-checkpointed build would be lost to a crash before the first batch.
+	// commitUpTo also covers (and wakes) any group-commit waiters queued
+	// behind the build.
 	e.batchMu.Lock()
-	err = e.commitDurable()
+	err = e.commitUpTo(e.batchSeq)
 	e.batchMu.Unlock()
 	if err != nil {
 		return nil, err
@@ -574,8 +604,31 @@ func (ti *TextIndex) ApplyUpdates(batch []index.Update) error {
 // ApplyBatch calls serialize against each other (batches from concurrent
 // goroutines apply one after another, each atomically); fn must not call
 // ApplyBatch recursively.
+//
+// On a durable engine, concurrent callers group-commit: a batch that sees
+// further batches queued behind it defers its pagefile Commit to one of
+// them and waits for that covering commit instead of issuing its own, so N
+// concurrent ApplyBatch calls — the write fan-in of an N-shard cluster in
+// particular — cost far fewer than N fsync pairs.  Durability is unchanged:
+// ApplyBatch still only returns once a commit covering its writes is on
+// disk (pagefile.Commit persists every staged page, so a successor's commit
+// carries its predecessors' pages).  The group size is bounded so a steady
+// stream of writers cannot defer commits indefinitely.
 func (e *Engine) ApplyBatch(fn func() error) (err error) {
+	e.commitWaiters.Add(1)
 	e.batchMu.Lock()
+	e.commitWaiters.Add(-1)
+	// waitSeq != 0 means this batch deferred its commit; after batchMu is
+	// released the final deferred func below blocks until a successor's
+	// commit covers it.
+	var waitSeq uint64
+	defer func() {
+		if waitSeq != 0 {
+			if cerr := e.waitForCommit(waitSeq); cerr != nil {
+				err = errors.Join(err, cerr)
+			}
+		}
+	}()
 	defer e.batchMu.Unlock()
 	if e.closed {
 		// The engine-level fence: without it, a batch that lost the race
@@ -601,11 +654,61 @@ func (e *Engine) ApplyBatch(fn func() error) (err error) {
 		// Durable engines commit the whole batch — base-table pages, index
 		// pages and the refreshed catalog — as one atomic WAL transaction;
 		// when ApplyBatch returns, the batch either survives any crash or
-		// (on commit error) is reported failed.
-		errs = append(errs, e.commitDurable())
+		// (on commit error) is reported failed.  With other callers queued,
+		// the commit is left to one of them (group commit) and waited for
+		// outside the batch lock.
+		if e.durable {
+			e.batchSeq++
+			if e.commitWaiters.Load() > 0 && e.batchSeq-e.committedSeq() < maxCommitGroup {
+				waitSeq = e.batchSeq
+			} else {
+				errs = append(errs, e.commitUpTo(e.batchSeq))
+			}
+		}
 		err = errors.Join(errs...)
 	}()
 	return fn()
+}
+
+// maxCommitGroup bounds how many batches one pagefile Commit may cover.
+// Without the bound, a steady stream of arriving writers would let every
+// batch defer to its successor and no commit would ever run.
+const maxCommitGroup = 32
+
+// commitUpTo runs commitDurable and records that every batch up to seq is
+// covered, waking deferred ApplyBatch callers.  Caller must hold batchMu.
+func (e *Engine) commitUpTo(seq uint64) error {
+	err := e.commitDurable()
+	e.commitMu.Lock()
+	if seq > e.commitSeq {
+		e.commitSeq = seq
+		e.commitErr = err
+	}
+	e.commitMu.Unlock()
+	e.commitCond.Broadcast()
+	return err
+}
+
+// committedSeq reports the newest batch sequence covered by a finished
+// commit.
+func (e *Engine) committedSeq() uint64 {
+	e.commitMu.Lock()
+	defer e.commitMu.Unlock()
+	return e.commitSeq
+}
+
+// waitForCommit blocks until a commit covering batch seq has finished and
+// returns that commit's error.  (If several commits land before the waiter
+// wakes, the error reported is the newest one's — a failure there is
+// over-reported to older batches, never under-reported, since a failed
+// covering commit always records its error before waking anyone.)
+func (e *Engine) waitForCommit(seq uint64) error {
+	e.commitMu.Lock()
+	defer e.commitMu.Unlock()
+	for e.commitSeq < seq {
+		e.commitCond.Wait()
+	}
+	return e.commitErr
 }
 
 // onBaseRowChange reacts to text-column edits on the indexed relation.
@@ -667,6 +770,13 @@ type SearchRequest struct {
 	WithTermScores bool
 	// LoadRows also fetches the full base-table rows of the results.
 	LoadRows bool
+	// Global, when set, overrides the collection statistics behind IDF with
+	// cluster-wide values (total documents, per-term df summed over every
+	// shard).  A Cluster fills it so each shard ranks with the same idf a
+	// single engine over the whole corpus would use; DF must align with the
+	// distinct analyzed terms of Query, which TermStats produces for the
+	// same query text.
+	Global *index.GlobalStats
 }
 
 // SearchHit is one ranked document.
@@ -685,6 +795,10 @@ type SearchResult struct {
 	Hits            []SearchHit
 	PostingsScanned int
 	Stopped         bool
+	// Partial marks a scatter-gather result that is missing one or more
+	// shards' contributions (the shards were down or timed out).  A
+	// single-engine Search never sets it.
+	Partial bool
 }
 
 // Search runs a keyword query and returns the top-k rows ranked by the
@@ -716,6 +830,7 @@ func (ti *TextIndex) Search(req SearchRequest) (*SearchResult, error) {
 		K:              req.K,
 		Disjunctive:    req.Disjunctive,
 		WithTermScores: req.WithTermScores,
+		Global:         req.Global,
 	})
 	if err != nil {
 		return nil, err
@@ -751,6 +866,48 @@ func (ti *TextIndex) Search(req SearchRequest) (*SearchResult, error) {
 		}
 	}
 	return res, nil
+}
+
+// TermStats analyzes query exactly like Search and reports the index's
+// collection statistics for the resulting terms: the snapshot document
+// count and each term's document frequency.  A cluster sums these across
+// shards into the index.GlobalStats it passes back via SearchRequest.Global
+// — tokenization is deterministic, so every shard (and the eventual Search
+// calls) derives the same term list from the same query text and the df
+// vector stays aligned.
+func (ti *TextIndex) TermStats(query string) (numDocs int64, df []int64, err error) {
+	terms := ti.engine.analyzer.Tokenize(query)
+	if len(terms) == 0 {
+		return 0, nil, fmt.Errorf("core: %w: query contains no indexable terms", ErrInvalidRequest)
+	}
+	terms = text.DistinctTerms(terms)
+	ti.rw.RLock()
+	defer ti.rw.RUnlock()
+	if ti.closed {
+		return 0, nil, fmt.Errorf("core: text index %q: %w", ti.name, ErrClosed)
+	}
+	return ti.method.TermStats(terms)
+}
+
+// SearchIndex looks up the named text index and runs the query on it; it is
+// the Engine-level entry point the shard scatter-gather path (and any other
+// caller holding only an engine) uses.
+func (e *Engine) SearchIndex(name string, req SearchRequest) (*SearchResult, error) {
+	ti, err := e.TextIndex(name)
+	if err != nil {
+		return nil, err
+	}
+	return ti.Search(req)
+}
+
+// TermStats looks up the named text index and reports its collection
+// statistics for the query's analyzed terms (see TextIndex.TermStats).
+func (e *Engine) TermStats(name, query string) (int64, []int64, error) {
+	ti, err := e.TextIndex(name)
+	if err != nil {
+		return 0, nil, err
+	}
+	return ti.TermStats(query)
 }
 
 // Name returns the index name.

@@ -147,10 +147,12 @@ func (m *ChunkTermScoreMethod) TopK(q Query) (*QueryResult, error) {
 
 	ctx := newQueryCtx()
 	defer ctx.release()
-	for _, term := range q.Terms {
-		idf := s.idf(term)
+	for i, term := range q.Terms {
+		idf := s.queryIDF(&q, i)
 		ctx.idfs = append(ctx.idfs, idf)
-		// ε_i · idf_i, the per-term cap for unseen docs.
+		// ε_i · idf_i, the per-term cap for unseen docs.  Under a global idf
+		// override the cap stays sound: fancyMinW still bounds this shard's
+		// unseen term weights, and idf is the same factor applied everywhere.
 		ctx.epsilons = append(ctx.epsilons, text.TFIDF(s.fancyMinW[term], idf))
 	}
 	idfs, epsilons := ctx.idfs, ctx.epsilons

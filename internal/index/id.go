@@ -265,7 +265,7 @@ func (m *IDMethod) TopK(q Query) (*QueryResult, error) {
 
 	ctx := newQueryCtx()
 	defer ctx.release()
-	for _, term := range q.Terms {
+	for i, term := range q.Terms {
 		long, err := m.longIterator(s, term)
 		if err != nil {
 			return nil, err
@@ -275,7 +275,7 @@ func (m *IDMethod) TopK(q Query) (*QueryResult, error) {
 			return nil, err
 		}
 		ctx.streams = append(ctx.streams, combinedStream(short, long))
-		ctx.idfs = append(ctx.idfs, s.idf(term))
+		ctx.idfs = append(ctx.idfs, s.queryIDF(&q, i))
 	}
 
 	return m.runRanked(rankedQuery{
@@ -305,7 +305,7 @@ type docSeeker interface {
 func (m *IDMethod) leapfrogTopK(s *snap, q Query) (*QueryResult, bool, error) {
 	seekers := make([]docSeeker, 0, len(q.Terms))
 	idfs := make([]float64, 0, len(q.Terms))
-	for _, term := range q.Terms {
+	for i, term := range q.Terms {
 		ref, ok := s.longRefs[term]
 		if !ok {
 			// A term with no long list (and the short lists are empty, or we
@@ -329,7 +329,7 @@ func (m *IDMethod) leapfrogTopK(s *snap, q Query) (*QueryResult, bool, error) {
 			ds = st
 		}
 		seekers = append(seekers, ds)
-		idfs = append(idfs, s.idf(term))
+		idfs = append(idfs, s.queryIDF(&q, i))
 	}
 
 	heads := make([]postings.Entry, len(seekers))

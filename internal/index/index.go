@@ -44,6 +44,22 @@ type Query struct {
 	// §4.3.3.  Only the TermScore methods support it; the others return
 	// ErrTermScoresUnsupported.
 	WithTermScores bool
+	// Global, when set, overrides the collection statistics used for IDF
+	// with cluster-wide values so a shard ranks with the same idf as a
+	// single engine holding the whole corpus.  DF is aligned with Terms.
+	Global *GlobalStats
+}
+
+// GlobalStats carries cluster-wide collection statistics for sharded
+// ranking: the total document count and the per-query-term document
+// frequencies summed over every shard.  With these overriding a shard's
+// local statistics, per-shard TFIDF contributions are bit-identical to the
+// single-engine computation, which makes the scatter-gather top-k merge
+// byte-identical as well.
+type GlobalStats struct {
+	NumDocs int64
+	// DF[i] is the global document frequency of Query.Terms[i].
+	DF []int64
 }
 
 // Validate checks the query shape.
@@ -53,6 +69,9 @@ func (q *Query) Validate() error {
 	}
 	if q.K < 1 {
 		return fmt.Errorf("index: query k = %d must be positive", q.K)
+	}
+	if q.Global != nil && len(q.Global.DF) != len(q.Terms) {
+		return fmt.Errorf("index: global stats carry %d df entries for %d terms", len(q.Global.DF), len(q.Terms))
 	}
 	return nil
 }
@@ -161,6 +180,11 @@ type Method interface {
 	MergeShortLists() error
 	// TopK evaluates a keyword query against the latest scores.
 	TopK(q Query) (*QueryResult, error)
+	// TermStats reports the collection statistics TFIDF depends on — the
+	// document count and the document frequency of each given term — from
+	// the latest published snapshot.  A cluster sums these across shards
+	// into the GlobalStats it passes back through Query.Global.
+	TermStats(terms []string) (numDocs int64, df []int64, err error)
 	// Stats returns cumulative counters and structure sizes.
 	Stats() Stats
 	// State snapshots the method's navigational state for a checkpoint; the

@@ -153,6 +153,33 @@ func (s *snap) idf(term string) float64 {
 	return text.IDF(text.CollectionStats{NumDocs: s.numDocs}, s.docFreq(term))
 }
 
+// queryIDF returns the idf of q.Terms[i]: the snapshot's own statistics by
+// default, or the cluster-wide override when the query carries GlobalStats.
+// i indexes the query's term list, which Validate guarantees is aligned
+// with Global.DF.
+func (s *snap) queryIDF(q *Query, i int) float64 {
+	if q.Global != nil {
+		return text.IDF(text.CollectionStats{NumDocs: q.Global.NumDocs}, q.Global.DF[i])
+	}
+	return s.idf(q.Terms[i])
+}
+
+// TermStats implements Method for every method via the embedded base: it
+// reports the published snapshot's document count and per-term document
+// frequencies, the inputs a cluster sums into GlobalStats.
+func (b *base) TermStats(terms []string) (int64, []int64, error) {
+	s, g, err := b.acquire()
+	if err != nil {
+		return 0, nil, err
+	}
+	defer g.Leave()
+	df := make([]int64, len(terms))
+	for i, term := range terms {
+		df[i] = s.docFreq(term)
+	}
+	return s.numDocs, df, nil
+}
+
 // currentScore resolves a document's latest score in the snapshot,
 // reporting include=false for deleted or unknown documents.
 func (s *snap) currentScore(doc DocID) (float64, bool, error) {

@@ -1,0 +1,340 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/url"
+	"sync/atomic"
+	"time"
+
+	"svrdb/internal/core"
+)
+
+// Backend is one shard as the Router sees it: the subset of the single-node
+// API the scatter-gather layer needs, expressed over the same JSON DTOs the
+// wire uses.  Two implementations exist — EngineBackend calls an in-process
+// core.Engine directly, HTTPBackend speaks to a remote svrserve — and the
+// Router cannot tell them apart, so a deployment can start with in-process
+// shards and split them across machines without touching routing logic.
+type Backend interface {
+	// Label identifies the shard in health and stats output.
+	Label() string
+	Search(ctx context.Context, index string, req SearchRequest) (*SearchResponse, error)
+	TermStats(ctx context.Context, index, query string) (*TermStatsResponse, error)
+	InsertRows(ctx context.Context, table string, rows []map[string]json.RawMessage) error
+	Batch(ctx context.Context, ops []BatchOp) (*BatchResponse, error)
+	Schema(ctx context.Context, table string) (*SchemaResponse, error)
+	Stats(ctx context.Context) (map[string]any, error)
+	// Health returns nil when the shard can serve.
+	Health(ctx context.Context) error
+	Close() error
+}
+
+// backendError carries the HTTP status a backend's failure maps to — for
+// HTTPBackend, the status the remote shard already chose; for in-process
+// validation failures, the status the single-node handler would have sent.
+type backendError struct {
+	status int
+	msg    string
+}
+
+func (e *backendError) Error() string { return e.msg }
+
+// httpStatusOf maps a backend failure to a response status: a backendError
+// keeps its embedded status, anything else goes through the engine-error
+// mapping.
+func httpStatusOf(err error) int {
+	var be *backendError
+	if errors.As(err, &be) {
+		return be.status
+	}
+	return statusForEngineErr(err)
+}
+
+// --- in-process backend ----------------------------------------------------------
+
+// EngineBackend serves a shard from an engine in the router's own process.
+// It reuses the exact request bodies the single-node handlers run
+// (insertJSONRows, applyJSONBatch, coreSearchRequest), so routed and direct
+// writes take the same code path.
+type EngineBackend struct {
+	label  string
+	engine *core.Engine
+	// ownsEngine: Close closes the engine only if this backend opened it
+	// conceptually (the router built it), not when the caller shares the
+	// engine with other frontends.
+	ownsEngine bool
+}
+
+// NewEngineBackend wraps an engine as a shard backend.  When ownsEngine is
+// true, closing the backend closes the engine.
+func NewEngineBackend(label string, engine *core.Engine, ownsEngine bool) *EngineBackend {
+	return &EngineBackend{label: label, engine: engine, ownsEngine: ownsEngine}
+}
+
+// Engine returns the wrapped engine (tests and the bench harness use it to
+// load shard data directly).
+func (b *EngineBackend) Engine() *core.Engine { return b.engine }
+
+func (b *EngineBackend) Label() string { return b.label }
+
+func (b *EngineBackend) Search(ctx context.Context, index string, req SearchRequest) (*SearchResponse, error) {
+	query, err := normalizeQuery(req.Query, req.Terms)
+	if err != nil {
+		return nil, &backendError{status: http.StatusBadRequest, msg: err.Error()}
+	}
+	k, err := boundSearchK(req.K)
+	if err != nil {
+		return nil, &backendError{status: http.StatusBadRequest, msg: err.Error()}
+	}
+	ti, err := b.engine.TextIndex(index)
+	if err != nil {
+		return nil, &backendError{status: http.StatusNotFound, msg: err.Error()}
+	}
+	res, err := ti.Search(coreSearchRequest(query, k, req))
+	if err != nil {
+		return nil, err
+	}
+	resp := searchResponseFromResult(b.engine, ti.Table(), res, req.LoadRows)
+	return &resp, nil
+}
+
+func (b *EngineBackend) TermStats(ctx context.Context, index, query string) (*TermStatsResponse, error) {
+	ti, err := b.engine.TextIndex(index)
+	if err != nil {
+		return nil, &backendError{status: http.StatusNotFound, msg: err.Error()}
+	}
+	numDocs, df, err := ti.TermStats(query)
+	if err != nil {
+		return nil, err
+	}
+	return &TermStatsResponse{NumDocs: numDocs, DF: df}, nil
+}
+
+func (b *EngineBackend) InsertRows(ctx context.Context, table string, rows []map[string]json.RawMessage) error {
+	return insertJSONRows(b.engine, table, rows)
+}
+
+func (b *EngineBackend) Batch(ctx context.Context, ops []BatchOp) (*BatchResponse, error) {
+	matched, err := applyJSONBatch(b.engine, ops)
+	if err != nil {
+		return nil, err
+	}
+	return &BatchResponse{Applied: len(ops), Matched: matched}, nil
+}
+
+func (b *EngineBackend) Schema(ctx context.Context, table string) (*SchemaResponse, error) {
+	tbl, err := b.engine.DB().Table(table)
+	if err != nil {
+		return nil, &backendError{status: http.StatusNotFound, msg: err.Error()}
+	}
+	resp := schemaResponse(table, tbl.Schema())
+	return &resp, nil
+}
+
+func (b *EngineBackend) Stats(ctx context.Context) (map[string]any, error) {
+	return engineStatsPayload(b.engine), nil
+}
+
+// Health reports the engine's close state; an in-process shard is down only
+// once its engine is closed.
+func (b *EngineBackend) Health(ctx context.Context) error {
+	if b.engine.Closed() {
+		return fmt.Errorf("engine closed: %w", core.ErrClosed)
+	}
+	return nil
+}
+
+func (b *EngineBackend) Close() error {
+	if !b.ownsEngine {
+		return nil
+	}
+	return b.engine.Close()
+}
+
+// --- HTTP backend ----------------------------------------------------------------
+
+// HTTPBackend serves a shard over the single-node HTTP API.  Searches are
+// hedged: when a response has not arrived within the hedge threshold a
+// second identical request is issued and the first answer wins, trading a
+// bounded amount of duplicate read work for immunity to one slow replica
+// hiccup (searches are idempotent; writes are never hedged).
+type HTTPBackend struct {
+	label   string
+	baseURL string
+	client  *http.Client
+	hedge   time.Duration
+
+	hedged   atomic.Uint64
+	failures atomic.Uint64
+}
+
+// NewHTTPBackend builds a backend for a remote shard at baseURL (e.g.
+// "http://127.0.0.1:8081").  hedge <= 0 disables hedged searches.
+func NewHTTPBackend(baseURL string, hedge time.Duration) *HTTPBackend {
+	return &HTTPBackend{
+		label:   baseURL,
+		baseURL: trimTrailingSlash(baseURL),
+		client:  &http.Client{},
+		hedge:   hedge,
+	}
+}
+
+func trimTrailingSlash(s string) string {
+	for len(s) > 0 && s[len(s)-1] == '/' {
+		s = s[:len(s)-1]
+	}
+	return s
+}
+
+func (b *HTTPBackend) Label() string { return b.label }
+
+// HedgedSearches reports how many hedge requests this backend has issued.
+func (b *HTTPBackend) HedgedSearches() uint64 { return b.hedged.Load() }
+
+// do runs one request and decodes the response; non-2xx bodies become
+// backendErrors carrying the remote status.
+func (b *HTTPBackend) do(ctx context.Context, method, path string, in, out any) error {
+	var body *bytes.Reader
+	if in != nil {
+		buf, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(buf)
+	} else {
+		body = bytes.NewReader(nil)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, b.baseURL+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := b.client.Do(req)
+	if err != nil {
+		b.failures.Add(1)
+		return fmt.Errorf("shard %s: %w", b.label, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var er ErrorResponse
+		msg := resp.Status
+		if json.NewDecoder(resp.Body).Decode(&er) == nil && er.Error != "" {
+			msg = er.Error
+		}
+		if resp.StatusCode >= 500 {
+			b.failures.Add(1)
+		}
+		return &backendError{status: resp.StatusCode, msg: fmt.Sprintf("shard %s: %s", b.label, msg)}
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("shard %s: decoding response: %w", b.label, err)
+	}
+	return nil
+}
+
+func (b *HTTPBackend) Search(ctx context.Context, index string, req SearchRequest) (*SearchResponse, error) {
+	path := "/v1/indexes/" + url.PathEscape(index) + "/search"
+	attempt := func() (*SearchResponse, error) {
+		var out SearchResponse
+		if err := b.do(ctx, http.MethodPost, path, req, &out); err != nil {
+			return nil, err
+		}
+		return &out, nil
+	}
+	if b.hedge <= 0 {
+		return attempt()
+	}
+	type result struct {
+		out *SearchResponse
+		err error
+	}
+	// Buffered so the loser's send never blocks a goroutine after return.
+	ch := make(chan result, 2)
+	launch := func() {
+		out, err := attempt()
+		ch <- result{out, err}
+	}
+	go launch()
+	timer := time.NewTimer(b.hedge)
+	defer timer.Stop()
+	launched, received := 1, 0
+	var firstErr error
+	for received < launched {
+		select {
+		case res := <-ch:
+			received++
+			if res.err == nil {
+				return res.out, nil
+			}
+			if firstErr == nil {
+				firstErr = res.err
+			}
+		case <-timer.C:
+			if launched == 1 {
+				launched++
+				b.hedged.Add(1)
+				go launch()
+			}
+		}
+	}
+	return nil, firstErr
+}
+
+func (b *HTTPBackend) TermStats(ctx context.Context, index, query string) (*TermStatsResponse, error) {
+	var out TermStatsResponse
+	path := "/v1/indexes/" + url.PathEscape(index) + "/termstats"
+	if err := b.do(ctx, http.MethodPost, path, TermStatsRequest{Query: query}, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+func (b *HTTPBackend) InsertRows(ctx context.Context, table string, rows []map[string]json.RawMessage) error {
+	path := "/v1/tables/" + url.PathEscape(table) + "/rows"
+	return b.do(ctx, http.MethodPost, path, InsertRowsRequest{Rows: rows}, nil)
+}
+
+func (b *HTTPBackend) Batch(ctx context.Context, ops []BatchOp) (*BatchResponse, error) {
+	var out BatchResponse
+	if err := b.do(ctx, http.MethodPost, "/v1/batch", BatchRequest{Ops: ops}, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+func (b *HTTPBackend) Schema(ctx context.Context, table string) (*SchemaResponse, error) {
+	var out SchemaResponse
+	path := "/v1/tables/" + url.PathEscape(table) + "/schema"
+	if err := b.do(ctx, http.MethodGet, path, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+func (b *HTTPBackend) Stats(ctx context.Context) (map[string]any, error) {
+	var out map[string]any
+	if err := b.do(ctx, http.MethodGet, "/v1/stats", nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (b *HTTPBackend) Health(ctx context.Context) error {
+	return b.do(ctx, http.MethodGet, "/healthz", nil, nil)
+}
+
+// Close releases idle connections; the remote shard's lifecycle is its own.
+func (b *HTTPBackend) Close() error {
+	b.client.CloseIdleConnections()
+	return nil
+}

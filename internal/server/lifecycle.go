@@ -1,0 +1,167 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// lifecycle is the HTTP serving skeleton shared by the single-engine Server
+// and the shard Router: listener ownership, the draining fence, in-flight
+// request accounting and the ordered graceful shutdown.  Both frontends
+// differ only in what they put behind the fence (an engine's routes vs the
+// scatter-gather routes) and what they close after the drain (the engine vs
+// the shard backends), so the machinery lives here exactly once.
+type lifecycle struct {
+	readTimeout  time.Duration
+	writeTimeout time.Duration
+
+	// draining turns new requests away with 503 while shutdown waits for
+	// in-flight ones; it is the HTTP analogue of the engine's close fence.
+	draining atomic.Bool
+	// inflightN counts requests inside the fence, so shutdown can drain
+	// them even when the server does not own the listener (a caller
+	// embedding the handler in its own http.Server) — http.Server.Shutdown
+	// only covers the owned-listener path.  A mutex-guarded counter with an
+	// idle signal, not a sync.WaitGroup: requests keep arriving (to be
+	// 503'd) while the drain waits, and Add racing Wait from zero is
+	// documented WaitGroup misuse that can panic.
+	inflightMu sync.Mutex
+	inflightN  int
+	// inflightIdle, when non-nil, is closed by the request that drops the
+	// counter to zero; shutdown installs it to wait for the drain.
+	inflightIdle chan struct{}
+
+	httpSrv  *http.Server
+	listener net.Listener
+	// serveDone closes when the accept loop exits; serveErr (valid after
+	// the close) is nil on a clean ErrServerClosed exit.  Exposed through
+	// done/serveError so a daemon can notice its accept loop dying instead
+	// of serving nothing until an operator intervenes.
+	serveDone chan struct{}
+	serveErr  error
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+func newLifecycle(readTimeout, writeTimeout time.Duration) *lifecycle {
+	return &lifecycle{
+		readTimeout:  readTimeout,
+		writeTimeout: writeTimeout,
+		serveDone:    make(chan struct{}),
+	}
+}
+
+// fence wraps root with the in-flight counter and the draining 503 fence.
+func (l *lifecycle) fence(root http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Count before the fence check: a request that passes the check is
+		// always visible to shutdown's drain wait.
+		l.inflightMu.Lock()
+		l.inflightN++
+		l.inflightMu.Unlock()
+		defer func() {
+			l.inflightMu.Lock()
+			l.inflightN--
+			if l.inflightN == 0 && l.inflightIdle != nil {
+				close(l.inflightIdle)
+				l.inflightIdle = nil
+			}
+			l.inflightMu.Unlock()
+		}()
+		if l.draining.Load() {
+			writeError(w, http.StatusServiceUnavailable, errors.New("server is draining"))
+			return
+		}
+		root.ServeHTTP(w, r)
+	})
+}
+
+// start listens on addr and serves handler in a background goroutine,
+// returning the bound address.
+func (l *lifecycle) start(addr string, handler http.Handler) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	l.listener = ln
+	l.httpSrv = &http.Server{
+		Handler:      handler,
+		ReadTimeout:  l.readTimeout,
+		WriteTimeout: l.writeTimeout,
+	}
+	go func() {
+		err := l.httpSrv.Serve(ln)
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			l.serveErr = err
+		}
+		close(l.serveDone)
+	}()
+	return ln.Addr().String(), nil
+}
+
+// done closes when the accept loop has exited — after shutdown, or early if
+// Serve failed.
+func (l *lifecycle) done() <-chan struct{} { return l.serveDone }
+
+// serveError reports why the accept loop exited; it is meaningful once
+// done is closed and nil for a clean shutdown.
+func (l *lifecycle) serveError() error { return l.serveErr }
+
+// shutdown drains and closes, in the order that keeps every response whole:
+//
+//  1. the draining fence flips — requests arriving from here on get a
+//     clean 503 without touching the backend;
+//  2. http.Server.Shutdown stops the listener and waits (up to ctx) for
+//     in-flight handlers to finish writing their responses;
+//  3. closer runs — Engine.Close for the single-engine server, the health
+//     checker stop plus backend closes for the router.
+//
+// shutdown is idempotent; concurrent and repeated calls return the first
+// call's result.
+func (l *lifecycle) shutdown(ctx context.Context, closer func() error) error {
+	l.closeOnce.Do(func() {
+		l.draining.Store(true)
+		var errs []error
+		if l.listener != nil {
+			if err := l.httpSrv.Shutdown(ctx); err != nil {
+				errs = append(errs, fmt.Errorf("server: http shutdown: %w", err))
+			}
+			<-l.serveDone
+			if l.serveErr != nil {
+				errs = append(errs, fmt.Errorf("server: serve: %w", l.serveErr))
+			}
+		}
+		// Drain the handlers themselves (covers the embedded-handler case,
+		// where no owned http.Server waits for them).  Requests arriving
+		// during the wait only run the 503 fence path, so the one
+		// zero-crossing signal suffices.  If ctx expires first, closer
+		// proceeds anyway: stragglers then hit the backend's close fence
+		// and return a clean 503, never a torn response.
+		l.inflightMu.Lock()
+		var drained chan struct{}
+		if l.inflightN > 0 {
+			drained = make(chan struct{})
+			l.inflightIdle = drained
+		}
+		l.inflightMu.Unlock()
+		if drained != nil {
+			select {
+			case <-drained:
+			case <-ctx.Done():
+				errs = append(errs, fmt.Errorf("server: handler drain: %w", ctx.Err()))
+			}
+		}
+		if err := closer(); err != nil {
+			errs = append(errs, err)
+		}
+		l.closeErr = errors.Join(errs...)
+	})
+	return l.closeErr
+}

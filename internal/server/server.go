@@ -6,14 +6,12 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"net"
 	"net/http"
 	"strings"
-	"sync"
-	"sync/atomic"
 	"time"
 
 	"svrdb/internal/core"
+	"svrdb/internal/index"
 	"svrdb/internal/relation"
 )
 
@@ -30,38 +28,15 @@ import (
 // buffer-pool pin audit.  Within the shutdown context's deadline a request
 // never observes a closed engine; a straggler past the deadline hits the
 // engine's close fence and gets a clean 503 — never a torn response.
+//
+// The listener/drain machinery itself lives in lifecycle (shared with the
+// shard Router); Server contributes the engine-backed routes and passes
+// Engine.Close as the post-drain closer.
 type Server struct {
 	engine  *core.Engine
 	metrics *Registry
 	mux     *http.ServeMux
-
-	// draining turns new requests away with 503 while Shutdown waits for
-	// in-flight ones; it is the HTTP analogue of the engine's close fence.
-	draining atomic.Bool
-	// inflightN counts requests inside Handler, so Shutdown can drain them
-	// even when the server does not own the listener (a caller embedding
-	// Handler() in its own http.Server) — http.Server.Shutdown only covers
-	// the owned-listener path.  A mutex-guarded counter with an idle
-	// signal, not a sync.WaitGroup: requests keep arriving (to be 503'd)
-	// while the drain waits, and Add racing Wait from zero is documented
-	// WaitGroup misuse that can panic.
-	inflightMu sync.Mutex
-	inflightN  int
-	// inflightIdle, when non-nil, is closed by the request that drops the
-	// counter to zero; Shutdown installs it to wait for the drain.
-	inflightIdle chan struct{}
-
-	httpSrv  *http.Server
-	listener net.Listener
-	// serveDone closes when the accept loop exits; serveErr (valid after
-	// the close) is nil on a clean ErrServerClosed exit.  Exposed through
-	// Done/ServeErr so a daemon can notice its accept loop dying instead
-	// of serving nothing until an operator intervenes.
-	serveDone chan struct{}
-	serveErr  error
-
-	closeOnce sync.Once
-	closeErr  error
+	life    *lifecycle
 }
 
 // Options configures a Server.
@@ -76,15 +51,10 @@ type Options struct {
 // New builds a Server over an engine.
 func New(engine *core.Engine, opts Options) *Server {
 	s := &Server{
-		engine:    engine,
-		metrics:   NewRegistry(),
-		mux:       http.NewServeMux(),
-		serveDone: make(chan struct{}),
-	}
-	s.httpSrv = &http.Server{
-		Handler:      s.Handler(),
-		ReadTimeout:  opts.ReadTimeout,
-		WriteTimeout: opts.WriteTimeout,
+		engine:  engine,
+		metrics: NewRegistry(),
+		mux:     http.NewServeMux(),
+		life:    newLifecycle(opts.ReadTimeout, opts.WriteTimeout),
 	}
 	s.routes()
 	return s
@@ -94,25 +64,7 @@ func New(engine *core.Engine, opts Options) *Server {
 // draining fence.  Exposed so tests and embedding callers can serve it from
 // their own listener.
 func (s *Server) Handler() http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		// Count before the fence check: a request that passes the check is
-		// always visible to Shutdown's drain wait.
-		s.inflightMu.Lock()
-		s.inflightN++
-		s.inflightMu.Unlock()
-		defer func() {
-			s.inflightMu.Lock()
-			s.inflightN--
-			if s.inflightN == 0 && s.inflightIdle != nil {
-				close(s.inflightIdle)
-				s.inflightIdle = nil
-			}
-			s.inflightMu.Unlock()
-		}()
-		if s.draining.Load() {
-			writeError(w, http.StatusServiceUnavailable, errors.New("server is draining"))
-			return
-		}
+	return s.life.fence(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		// The mux's built-in 404/405 responses are plain text; the API
 		// contract says every non-2xx body is {"error":...} JSON, so those
 		// defaults are rewritten on the way out and recorded under a
@@ -123,7 +75,7 @@ func (s *Server) Handler() http.Handler {
 		if jw.rewrote {
 			s.metrics.Observe("(unmatched)", jw.status, time.Since(start))
 		}
-	})
+	}))
 }
 
 // jsonErrorWriter rewrites net/http's plain-text 404 ("404 page not found")
@@ -165,79 +117,29 @@ func (s *Server) Engine() *core.Engine { return s.engine }
 // Start listens on addr (e.g. ":8080", or "127.0.0.1:0" for an ephemeral
 // port) and serves in a background goroutine.  It returns the bound address.
 func (s *Server) Start(addr string) (string, error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return "", err
-	}
-	s.listener = ln
-	go func() {
-		err := s.httpSrv.Serve(ln)
-		if err != nil && !errors.Is(err, http.ErrServerClosed) {
-			s.serveErr = err
-		}
-		close(s.serveDone)
-	}()
-	return ln.Addr().String(), nil
+	return s.life.start(addr, s.Handler())
 }
 
 // Done closes when the accept loop has exited — after Shutdown, or early if
 // Serve failed.  A daemon selects on it alongside its signal channel.
-func (s *Server) Done() <-chan struct{} { return s.serveDone }
+func (s *Server) Done() <-chan struct{} { return s.life.done() }
 
 // ServeErr reports why the accept loop exited; it is meaningful once Done
 // is closed and nil for a clean shutdown.
-func (s *Server) ServeErr() error { return s.serveErr }
+func (s *Server) ServeErr() error { return s.life.serveError() }
 
-// Shutdown drains and closes, in the order that keeps every response whole:
-//
-//  1. the draining fence flips — requests arriving from here on get a
-//     clean 503 without touching the engine;
-//  2. http.Server.Shutdown stops the listener and waits (up to ctx) for
-//     in-flight handlers to finish writing their responses;
-//  3. Engine.Close drains the index locks, surfaces maintenance errors,
-//     flushes dirty pages and audits buffer-pool pin accounting.
-//
-// Shutdown is idempotent; concurrent and repeated calls return the first
+// Shutdown drains and closes: the draining fence flips, in-flight handlers
+// finish (up to ctx), then Engine.Close drains the index locks, surfaces
+// maintenance errors, flushes dirty pages and audits buffer-pool pin
+// accounting.  Idempotent; concurrent and repeated calls return the first
 // call's result.
 func (s *Server) Shutdown(ctx context.Context) error {
-	s.closeOnce.Do(func() {
-		s.draining.Store(true)
-		var errs []error
-		if s.listener != nil {
-			if err := s.httpSrv.Shutdown(ctx); err != nil {
-				errs = append(errs, fmt.Errorf("server: http shutdown: %w", err))
-			}
-			<-s.serveDone
-			if s.serveErr != nil {
-				errs = append(errs, fmt.Errorf("server: serve: %w", s.serveErr))
-			}
-		}
-		// Drain the handlers themselves (covers the embedded-Handler case,
-		// where no owned http.Server waits for them).  Requests arriving
-		// during the wait only run the 503 fence path, so the one
-		// zero-crossing signal suffices.  If ctx expires first,
-		// Engine.Close proceeds anyway: stragglers then hit the engine's
-		// close fence and return a clean 503, never a torn response.
-		s.inflightMu.Lock()
-		var drained chan struct{}
-		if s.inflightN > 0 {
-			drained = make(chan struct{})
-			s.inflightIdle = drained
-		}
-		s.inflightMu.Unlock()
-		if drained != nil {
-			select {
-			case <-drained:
-			case <-ctx.Done():
-				errs = append(errs, fmt.Errorf("server: handler drain: %w", ctx.Err()))
-			}
-		}
+	return s.life.shutdown(ctx, func() error {
 		if err := s.engine.Close(); err != nil {
-			errs = append(errs, fmt.Errorf("server: engine close: %w", err))
+			return fmt.Errorf("server: engine close: %w", err)
 		}
-		s.closeErr = errors.Join(errs...)
+		return nil
 	})
-	return s.closeErr
 }
 
 // routes installs every endpoint, instrumented with the metrics registry.
@@ -247,12 +149,24 @@ func (s *Server) routes() {
 	}
 	register("GET /healthz", s.handleHealthz)
 	register("GET /v1/stats", s.handleStats)
+	register("GET /v1/tables/{name}/schema", s.handleSchema)
 	register("POST /v1/indexes/{name}/search", s.handleSearch)
+	register("POST /v1/indexes/{name}/termstats", s.handleTermStats)
 	register("POST /v1/tables/{name}/rows", s.handleInsertRows)
 	register("POST /v1/batch", s.handleBatch)
 }
 
 // --- request/response types ------------------------------------------------------
+
+// GlobalStats carries collection-wide term statistics with a search request,
+// so TF-IDF ranking on one shard uses the cluster's document frequencies
+// instead of its local slice.  The router gathers these from every shard's
+// termstats endpoint and forwards the sum; a sharded search without them
+// would rank by per-shard IDF and diverge from a single-engine run.
+type GlobalStats struct {
+	NumDocs int64   `json:"num_docs"`
+	DF      []int64 `json:"df"`
+}
 
 // SearchRequest is the body of POST /v1/indexes/{name}/search.
 type SearchRequest struct {
@@ -271,6 +185,9 @@ type SearchRequest struct {
 	WithTermScores bool `json:"with_term_scores,omitempty"`
 	// LoadRows also returns each hit's base-table row.
 	LoadRows bool `json:"load_rows,omitempty"`
+	// Global pins collection statistics for TF-IDF; shard routers set it,
+	// direct clients leave it unset.
+	Global *GlobalStats `json:"global,omitempty"`
 }
 
 // SearchHit is one ranked result.
@@ -285,6 +202,35 @@ type SearchResponse struct {
 	Hits            []SearchHit `json:"hits"`
 	PostingsScanned int         `json:"postings_scanned"`
 	Stopped         bool        `json:"stopped"`
+	// Partial reports that some shards could not be consulted and the hits
+	// cover only the reachable ones.  Single-engine responses never set it.
+	Partial bool `json:"partial,omitempty"`
+}
+
+// TermStatsRequest is the body of POST /v1/indexes/{name}/termstats.
+type TermStatsRequest struct {
+	Query string   `json:"query,omitempty"`
+	Terms []string `json:"terms,omitempty"`
+}
+
+// TermStatsResponse reports document frequencies for a query's distinct
+// terms, in the same term order the search endpoint would use for the same
+// query text.
+type TermStatsResponse struct {
+	NumDocs int64   `json:"num_docs"`
+	DF      []int64 `json:"df"`
+}
+
+// SchemaColumn is one column of a table schema response.
+type SchemaColumn struct {
+	Name string `json:"name"`
+	Kind string `json:"kind"`
+}
+
+// SchemaResponse is the body of GET /v1/tables/{name}/schema.
+type SchemaResponse struct {
+	Table   string         `json:"table"`
+	Columns []SchemaColumn `json:"columns"`
 }
 
 // InsertRowsRequest is the body of POST /v1/tables/{name}/rows.
@@ -311,6 +257,11 @@ type BatchOp struct {
 	PK *int64 `json:"pk,omitempty"`
 	// Set carries the changed columns for update.
 	Set map[string]json.RawMessage `json:"set,omitempty"`
+	// IgnoreMissing makes an update or delete of an absent row a no-op
+	// instead of an error.  The shard router sets it when broadcasting an
+	// op to every shard (only the owner has the row; the rest must not
+	// fail the batch).
+	IgnoreMissing bool `json:"ignore_missing,omitempty"`
 }
 
 // BatchRequest is the body of POST /v1/batch.
@@ -318,9 +269,13 @@ type BatchRequest struct {
 	Ops []BatchOp `json:"ops"`
 }
 
-// BatchResponse reports how many operations were applied.
+// BatchResponse reports how many operations were applied.  Matched counts
+// the ops whose target row existed here — with ignore_missing it can be
+// lower than Applied, which the router uses to tell "the owning shard took
+// it" from "no shard had that row".
 type BatchResponse struct {
 	Applied int `json:"applied"`
+	Matched int `json:"matched"`
 }
 
 // ErrorResponse is the body of every non-2xx response.
@@ -339,9 +294,20 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	body := engineStatsPayload(s.engine)
+	body["uptime_seconds"] = s.metrics.Uptime().Seconds()
+	body["endpoints"] = s.metrics.Snapshot()
+	writeJSON(w, http.StatusOK, body)
+}
+
+// engineStatsPayload builds the engine half of the stats body: index,
+// buffer-pool, pagefile and durability counters.  The single-engine handler
+// adds uptime and endpoint metrics; the router serves it per shard under a
+// "shards" section and aggregates the totals.
+func engineStatsPayload(e *core.Engine) map[string]any {
 	indexes := map[string]any{}
-	for _, name := range s.engine.TextIndexNames() {
-		ti, err := s.engine.TextIndex(name)
+	for _, name := range e.TextIndexNames() {
+		ti, err := e.TextIndex(name)
 		if err != nil {
 			continue
 		}
@@ -368,12 +334,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"retained_pages":              st.RetainedPages,
 		}
 	}
-	pool := s.engine.Pool()
+	pool := e.Pool()
 	ps := pool.Stats()
 	fs := pool.File().Stats()
-	writeJSON(w, http.StatusOK, map[string]any{
-		"uptime_seconds": s.metrics.Uptime().Seconds(),
-		"indexes":        indexes,
+	return map[string]any{
+		"indexes": indexes,
 		"pool": map[string]any{
 			"hits":          ps.Hits,
 			"misses":        ps.Misses,
@@ -397,8 +362,75 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"recoveries": fs.Recoveries,
 			"torn_pages": fs.TornPages,
 		},
-		"endpoints": s.metrics.Snapshot(),
-	})
+	}
+}
+
+// normalizeQuery folds the query/terms alternative into one query string and
+// bounds k, sharing the validation between the search and termstats
+// endpoints and the router.
+func normalizeQuery(query string, terms []string) (string, error) {
+	if query == "" {
+		if len(terms) == 0 {
+			return "", errors.New("one of \"query\" or \"terms\" is required")
+		}
+		return strings.Join(terms, " "), nil
+	}
+	if len(terms) > 0 {
+		return "", errors.New("\"query\" and \"terms\" are mutually exclusive")
+	}
+	return query, nil
+}
+
+func boundSearchK(k int) (int, error) {
+	if k == 0 {
+		k = 10
+	}
+	if k < 1 || k > maxSearchK {
+		// Bounding k here protects the daemon: the top-k heap preallocates
+		// proportionally to k, so an unchecked client value could exhaust
+		// memory with one request.
+		return 0, fmt.Errorf("k must be between 1 and %d", maxSearchK)
+	}
+	return k, nil
+}
+
+// coreSearchRequest translates the JSON DTO into the engine's request type.
+func coreSearchRequest(query string, k int, req SearchRequest) core.SearchRequest {
+	creq := core.SearchRequest{
+		Query:          query,
+		K:              k,
+		Disjunctive:    req.Disjunctive,
+		WithTermScores: req.WithTermScores,
+		LoadRows:       req.LoadRows,
+	}
+	if req.Global != nil {
+		creq.Global = &index.GlobalStats{NumDocs: req.Global.NumDocs, DF: req.Global.DF}
+	}
+	return creq
+}
+
+// searchResponseFromResult renders an engine result as the wire response,
+// resolving rows through the index's base table schema when requested.
+func searchResponseFromResult(e *core.Engine, table string, res *core.SearchResult, loadRows bool) SearchResponse {
+	resp := SearchResponse{
+		Hits:            make([]SearchHit, len(res.Hits)),
+		PostingsScanned: res.PostingsScanned,
+		Stopped:         res.Stopped,
+		Partial:         res.Partial,
+	}
+	var schema relation.Schema
+	if loadRows {
+		if tbl, err := e.DB().Table(table); err == nil {
+			schema = tbl.Schema()
+		}
+	}
+	for i, h := range res.Hits {
+		resp.Hits[i] = SearchHit{PK: h.PK, Score: h.Score}
+		if h.Row != nil && len(schema.Columns) > 0 {
+			resp.Hits[i].Row = rowToJSON(schema, h.Row)
+		}
+	}
+	return resp
 }
 
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
@@ -412,80 +444,85 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	query := req.Query
-	if query == "" {
-		if len(req.Terms) == 0 {
-			writeError(w, http.StatusBadRequest, errors.New("one of \"query\" or \"terms\" is required"))
-			return
-		}
-		query = strings.Join(req.Terms, " ")
-	} else if len(req.Terms) > 0 {
-		writeError(w, http.StatusBadRequest, errors.New("\"query\" and \"terms\" are mutually exclusive"))
+	query, err := normalizeQuery(req.Query, req.Terms)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	k := req.K
-	if k == 0 {
-		k = 10
-	}
-	if k < 1 || k > maxSearchK {
-		// Bounding k here protects the daemon: the top-k heap preallocates
-		// proportionally to k, so an unchecked client value could exhaust
-		// memory with one request.
-		writeError(w, http.StatusBadRequest, fmt.Errorf("k must be between 1 and %d", maxSearchK))
+	k, err := boundSearchK(req.K)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	res, err := ti.Search(core.SearchRequest{
-		Query:          query,
-		K:              k,
-		Disjunctive:    req.Disjunctive,
-		WithTermScores: req.WithTermScores,
-		LoadRows:       req.LoadRows,
-	})
+	res, err := ti.Search(coreSearchRequest(query, k, req))
 	if err != nil {
 		writeError(w, statusForEngineErr(err), err)
 		return
 	}
-	resp := SearchResponse{
-		Hits:            make([]SearchHit, len(res.Hits)),
-		PostingsScanned: res.PostingsScanned,
-		Stopped:         res.Stopped,
-	}
-	var schema relation.Schema
-	if req.LoadRows {
-		if tbl, err := s.engine.DB().Table(ti.Table()); err == nil {
-			schema = tbl.Schema()
-		}
-	}
-	for i, h := range res.Hits {
-		resp.Hits[i] = SearchHit{PK: h.PK, Score: h.Score}
-		if h.Row != nil && len(schema.Columns) > 0 {
-			resp.Hits[i].Row = rowToJSON(schema, h.Row)
-		}
-	}
-	writeJSON(w, http.StatusOK, resp)
+	writeJSON(w, http.StatusOK, searchResponseFromResult(s.engine, ti.Table(), res, req.LoadRows))
 }
 
-func (s *Server) handleInsertRows(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleTermStats(w http.ResponseWriter, r *http.Request) {
+	ti, err := s.engine.TextIndex(r.PathValue("name"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	var req TermStatsRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	query, err := normalizeQuery(req.Query, req.Terms)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	numDocs, df, err := ti.TermStats(query)
+	if err != nil {
+		writeError(w, statusForEngineErr(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, TermStatsResponse{NumDocs: numDocs, DF: df})
+}
+
+func (s *Server) handleSchema(w http.ResponseWriter, r *http.Request) {
 	tbl, err := s.engine.DB().Table(r.PathValue("name"))
 	if err != nil {
 		writeError(w, http.StatusNotFound, err)
 		return
 	}
-	var req InsertRowsRequest
-	if err := decodeJSON(r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
+	writeJSON(w, http.StatusOK, schemaResponse(r.PathValue("name"), tbl.Schema()))
+}
+
+func schemaResponse(table string, schema relation.Schema) SchemaResponse {
+	resp := SchemaResponse{Table: table, Columns: make([]SchemaColumn, len(schema.Columns))}
+	for i, col := range schema.Columns {
+		kind := "string"
+		switch col.Kind {
+		case relation.KindInt64:
+			kind = "int64"
+		case relation.KindFloat64:
+			kind = "float64"
+		}
+		resp.Columns[i] = SchemaColumn{Name: col.Name, Kind: kind}
 	}
-	if len(req.Rows) == 0 {
-		writeError(w, http.StatusBadRequest, errors.New("\"rows\" must be a non-empty array"))
-		return
+	return resp
+}
+
+// insertJSONRows decodes and inserts rows through one ApplyBatch; it is the
+// shared body of the rows endpoint and the router's engine backend.  Decode
+// errors surface as ErrInvalidRequest so both callers map them to 400.
+func insertJSONRows(e *core.Engine, table string, jsonRows []map[string]json.RawMessage) error {
+	tbl, err := e.DB().Table(table)
+	if err != nil {
+		return err
 	}
-	rows := make([]relation.Row, len(req.Rows))
-	for i, obj := range req.Rows {
+	rows := make([]relation.Row, len(jsonRows))
+	for i, obj := range jsonRows {
 		row, err := rowFromJSON(tbl.Schema(), obj)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("row %d: %w", i, err))
-			return
+			return fmt.Errorf("%w: row %d: %s", core.ErrInvalidRequest, i, err)
 		}
 		rows[i] = row
 	}
@@ -495,7 +532,7 @@ func (s *Server) handleInsertRows(w http.ResponseWriter, r *http.Request) {
 	// (e.g. a duplicate primary key) has no rollback — rows before the
 	// failing one stay inserted, and the error names where the batch
 	// stopped.
-	err = s.engine.ApplyBatch(func() error {
+	return e.ApplyBatch(func() error {
 		for i, row := range rows {
 			if err := tbl.Insert(row); err != nil {
 				return fmt.Errorf("row %d: %w", i, err)
@@ -503,11 +540,61 @@ func (s *Server) handleInsertRows(w http.ResponseWriter, r *http.Request) {
 		}
 		return nil
 	})
-	if err != nil {
+}
+
+func (s *Server) handleInsertRows(w http.ResponseWriter, r *http.Request) {
+	var req InsertRowsRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Rows) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("\"rows\" must be a non-empty array"))
+		return
+	}
+	if err := insertJSONRows(s.engine, r.PathValue("name"), req.Rows); err != nil {
 		writeError(w, statusForEngineErr(err), err)
 		return
 	}
-	writeJSON(w, http.StatusOK, InsertRowsResponse{Inserted: len(rows)})
+	writeJSON(w, http.StatusOK, InsertRowsResponse{Inserted: len(req.Rows)})
+}
+
+// applyJSONBatch binds and applies a batch of ops; it is the shared body of
+// the batch endpoint and the router's engine backend.  It returns how many
+// ops matched a row (inserts always match; ignore_missing updates and
+// deletes of absent rows do not).
+func applyJSONBatch(e *core.Engine, ops []BatchOp) (int, error) {
+	// Schema-validate and bind every op before mutating anything, so a
+	// malformed op (unknown table/column, wrong type, unknown op kind)
+	// rejects the batch before any write.  Runtime failures inside the
+	// batch (duplicate primary key, update/delete of a missing row) are a
+	// different matter: the engine has no rollback, so ops before the
+	// failing one stay applied and the error names the op that stopped the
+	// batch — clients must treat a non-2xx as "applied up to the named op".
+	matched := 0
+	apply := make([]func() error, len(ops))
+	for i, op := range ops {
+		fn, err := bindOp(e, op, &matched)
+		if err != nil {
+			if !errors.Is(err, relation.ErrNotFound) {
+				err = fmt.Errorf("%w: %s", core.ErrInvalidRequest, err)
+			}
+			return 0, fmt.Errorf("op %d: %w", i, err)
+		}
+		apply[i] = fn
+	}
+	err := e.ApplyBatch(func() error {
+		for i, fn := range apply {
+			if err := fn(); err != nil {
+				return fmt.Errorf("op %d: %w", i, err)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	return matched, nil
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
@@ -520,47 +607,19 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, errors.New("\"ops\" must be a non-empty array"))
 		return
 	}
-	// Schema-validate and bind every op before mutating anything, so a
-	// malformed op (unknown table/column, wrong type, unknown op kind)
-	// rejects the batch with 400 before any write.  Runtime failures inside
-	// the batch (duplicate primary key, update/delete of a missing row) are
-	// a different matter: the engine has no rollback, so ops before the
-	// failing one stay applied and the error names the op that stopped the
-	// batch — clients must treat a non-2xx as "applied up to the named op".
-	apply := make([]func() error, len(req.Ops))
-	for i, op := range req.Ops {
-		fn, err := s.bindOp(op)
-		if err != nil {
-			// An unknown table is the same 404 the rows endpoint returns;
-			// everything else bindOp rejects is a malformed request.
-			status := http.StatusBadRequest
-			if errors.Is(err, relation.ErrNotFound) {
-				status = http.StatusNotFound
-			}
-			writeError(w, status, fmt.Errorf("op %d: %w", i, err))
-			return
-		}
-		apply[i] = fn
-	}
-	err := s.engine.ApplyBatch(func() error {
-		for i, fn := range apply {
-			if err := fn(); err != nil {
-				return fmt.Errorf("op %d: %w", i, err)
-			}
-		}
-		return nil
-	})
+	matched, err := applyJSONBatch(s.engine, req.Ops)
 	if err != nil {
 		writeError(w, statusForEngineErr(err), err)
 		return
 	}
-	writeJSON(w, http.StatusOK, BatchResponse{Applied: len(apply)})
+	writeJSON(w, http.StatusOK, BatchResponse{Applied: len(req.Ops), Matched: matched})
 }
 
 // bindOp resolves one batch op against the schema and returns the closure
-// that applies it.
-func (s *Server) bindOp(op BatchOp) (func() error, error) {
-	tbl, err := s.engine.DB().Table(op.Table)
+// that applies it.  matched is incremented by the closure when the op finds
+// its target row.
+func bindOp(e *core.Engine, op BatchOp, matched *int) (func() error, error) {
+	tbl, err := e.DB().Table(op.Table)
 	if err != nil {
 		return nil, err
 	}
@@ -573,7 +632,13 @@ func (s *Server) bindOp(op BatchOp) (func() error, error) {
 		if err != nil {
 			return nil, err
 		}
-		return func() error { return tbl.Insert(row) }, nil
+		return func() error {
+			if err := tbl.Insert(row); err != nil {
+				return err
+			}
+			*matched++
+			return nil
+		}, nil
 	case "update":
 		if op.PK == nil {
 			return nil, errors.New("update requires \"pk\"")
@@ -585,14 +650,34 @@ func (s *Server) bindOp(op BatchOp) (func() error, error) {
 		if err != nil {
 			return nil, err
 		}
-		pk := *op.PK
-		return func() error { return tbl.Update(pk, set) }, nil
+		pk, ignore := *op.PK, op.IgnoreMissing
+		return func() error {
+			err := tbl.Update(pk, set)
+			if err == nil {
+				*matched++
+				return nil
+			}
+			if ignore && errors.Is(err, relation.ErrNotFound) {
+				return nil
+			}
+			return err
+		}, nil
 	case "delete":
 		if op.PK == nil {
 			return nil, errors.New("delete requires \"pk\"")
 		}
-		pk := *op.PK
-		return func() error { return tbl.Delete(pk) }, nil
+		pk, ignore := *op.PK, op.IgnoreMissing
+		return func() error {
+			err := tbl.Delete(pk)
+			if err == nil {
+				*matched++
+				return nil
+			}
+			if ignore && errors.Is(err, relation.ErrNotFound) {
+				return nil
+			}
+			return err
+		}, nil
 	default:
 		return nil, fmt.Errorf("unknown op %q (want insert, update or delete)", op.Op)
 	}

@@ -95,6 +95,17 @@ func ArchiveSchemas() []relation.Schema {
 // BuildArchiveDB creates and populates the Movies/Reviews/Statistics tables
 // in db.  It returns the number of movies inserted.
 func BuildArchiveDB(db *relation.DB, p ArchiveParams) (int, error) {
+	return BuildArchiveDBFiltered(db, p, nil)
+}
+
+// BuildArchiveDBFiltered builds the archive database keeping only the
+// movies for which keep returns true, along with their reviews and
+// statistics rows (nil keeps everything).  The generator consumes its
+// random stream and assigns primary keys identically whatever keep does, so
+// N builds with complementary predicates partition the exact dataset one
+// full build creates — this is how svrserve's shard mode materializes each
+// shard's slice without a central loader.
+func BuildArchiveDBFiltered(db *relation.DB, p ArchiveParams, keep func(mID int64) bool) (int, error) {
 	rng := rand.New(rand.NewSource(p.Seed))
 	for _, schema := range ArchiveSchemas() {
 		if _, err := db.CreateTable(schema); err != nil {
@@ -120,8 +131,14 @@ func BuildArchiveDB(db *relation.DB, p ArchiveParams) (int, error) {
 		return 0, err
 	}
 
+	inserted := 0
 	reviewID := int64(1)
 	for m := 1; m <= p.NumMovies; m++ {
+		// Draw every random value before consulting keep: a filtered build
+		// must walk the same stream as a full one or the surviving movies
+		// would differ between shard and single-node builds.
+		mID := int64(m)
+		kept := keep == nil || keep(mID)
 		name := fmt.Sprintf("%s %s %d",
 			movieTitleWords[rng.Intn(len(movieTitleWords))],
 			movieTitleWords[rng.Intn(len(movieTitleWords))],
@@ -131,10 +148,13 @@ func BuildArchiveDB(db *relation.DB, p ArchiveParams) (int, error) {
 			words[i] = archiveVocabulary[rng.Intn(len(archiveVocabulary))]
 		}
 		desc := strings.Join(words, " ")
-		if err := movies.Insert(relation.Row{
-			relation.Int(int64(m)), relation.Str(name), relation.Str(desc),
-		}); err != nil {
-			return 0, err
+		if kept {
+			if err := movies.Insert(relation.Row{
+				relation.Int(mID), relation.Str(name), relation.Str(desc),
+			}); err != nil {
+				return 0, err
+			}
+			inserted++
 		}
 
 		// Popularity: movies are ranked by a random permutation; the rank-r
@@ -142,25 +162,29 @@ func BuildArchiveDB(db *relation.DB, p ArchiveParams) (int, error) {
 		popularity := 1.0 / math.Pow(float64(rng.Intn(p.NumMovies)+1), p.PopularityZipf)
 		visits := int64(popularity * float64(p.MaxVisitsPerItem))
 		downloads := visits / int64(rng.Intn(9)+2)
-		if err := stats.Insert(relation.Row{
-			relation.Int(int64(m)), relation.Int(int64(m)),
-			relation.Int(visits), relation.Int(downloads),
-		}); err != nil {
-			return 0, err
+		if kept {
+			if err := stats.Insert(relation.Row{
+				relation.Int(mID), relation.Int(mID),
+				relation.Int(visits), relation.Int(downloads),
+			}); err != nil {
+				return 0, err
+			}
 		}
 
 		nReviews := rng.Intn(p.ReviewsPerMovie*2 + 1)
 		for r := 0; r < nReviews; r++ {
 			rating := float64(rng.Intn(5) + 1)
-			if err := reviews.Insert(relation.Row{
-				relation.Int(reviewID), relation.Int(int64(m)), relation.Float(rating),
-			}); err != nil {
-				return 0, err
+			if kept {
+				if err := reviews.Insert(relation.Row{
+					relation.Int(reviewID), relation.Int(mID), relation.Float(rating),
+				}); err != nil {
+					return 0, err
+				}
 			}
 			reviewID++
 		}
 	}
-	return p.NumMovies, nil
+	return inserted, nil
 }
 
 // ArchiveSpec returns the paper's example score specification (§3.1):

@@ -2,7 +2,10 @@
 # Server smoke test: build svrserve, start it on the movies example dataset,
 # run a scripted query + batch update + stats scrape over real HTTP, then
 # SIGTERM it and assert a clean graceful shutdown (drain + engine close with
-# its pin audit).  CI runs this on every push; it also works locally.
+# its pin audit).  A durability leg SIGKILLs a -data daemon and asserts WAL
+# recovery; a router leg fronts two shard servers with -router, SIGKILLs one
+# shard and asserts degraded-but-serving, then restarts it and asserts full
+# recovery.  CI runs this on every push; it also works locally.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -119,4 +122,110 @@ wait "$PID"
 grep -q "shutdown complete" "$LOG2"
 
 trap - EXIT
-echo "serve smoke OK (including SIGKILL restart leg)"
+
+# --- router leg: 2 shard servers + router, degraded reads, recovery ----------
+# Start two shard servers (each builds its hash slice of the same dataset),
+# front them with a router, query through it, SIGKILL one shard and assert
+# the router keeps serving partial results with a degraded /healthz, then
+# restart the shard and assert the router recovers to full results.
+SLOG0=$(mktemp)
+SLOG1=$(mktemp)
+RLOG=$(mktemp)
+SPID0="" SPID1="" RPID=""
+
+cleanup3() {
+  for p in "$SPID0" "$SPID1" "$RPID"; do
+    [ -n "$p" ] && kill -9 "$p" 2>/dev/null || true
+  done
+  echo "--- shard 0 log"; cat "$SLOG0"
+  echo "--- shard 1 log"; cat "$SLOG1"
+  echo "--- router log"; cat "$RLOG"
+}
+trap cleanup3 EXIT
+
+# wait_addr LOG: poll LOG for the bound address and echo it once /healthz
+# answers (any status code — a degraded router still counts as listening).
+wait_addr() {
+  local a=""
+  for _ in $(seq 1 150); do
+    a=$(sed -n 's|^serving on http://\([^ ]*\).*|\1|p' "$1")
+    if [ -n "$a" ] && curl -sS -o /dev/null "http://$a/healthz" 2>/dev/null; then
+      echo "$a"
+      return 0
+    fi
+    sleep 0.2
+  done
+  return 1
+}
+
+echo "--- start 2 shard servers + router"
+"$BIN" -addr 127.0.0.1:0 -movies 500 -shard-index 0 -shard-count 2 >"$SLOG0" 2>&1 &
+SPID0=$!
+"$BIN" -addr 127.0.0.1:0 -movies 500 -shard-index 1 -shard-count 2 >"$SLOG1" 2>&1 &
+SPID1=$!
+SADDR0=$(wait_addr "$SLOG0") || { echo "shard 0 never started" >&2; exit 1; }
+SADDR1=$(wait_addr "$SLOG1") || { echo "shard 1 never started" >&2; exit 1; }
+"$BIN" -addr 127.0.0.1:0 -router -backends "http://$SADDR0,http://$SADDR1" -hedge 250ms >"$RLOG" 2>&1 &
+RPID=$!
+RADDR=$(wait_addr "$RLOG") || { echo "router never started" >&2; exit 1; }
+
+echo "--- scatter-gather search through the router (all shards healthy)"
+FULL=$(curl -fsS -d '{"query":"golden gate","k":5}' "http://$RADDR/v1/indexes/movies_desc/search")
+echo "$FULL" | grep -q '"hits"'
+echo "$FULL" | grep -q '"partial"' && { echo "healthy cluster returned partial results" >&2; exit 1; }
+curl -fsS "http://$RADDR/healthz" | grep -q '"healthy_shards":2'
+
+echo "--- aggregated stats name both shards"
+curl -fsS "http://$RADDR/v1/stats" | grep -q '"healthy_shards":2'
+
+echo "--- SIGKILL shard 1, assert degraded-but-serving"
+kill -9 "$SPID1"
+wait "$SPID1" 2>/dev/null || true
+SPID1=""
+DEGRADED=""
+for _ in $(seq 1 50); do
+  R=$(curl -sS -d '{"query":"golden gate","k":5}' "http://$RADDR/v1/indexes/movies_desc/search") || R=""
+  if echo "$R" | grep -q '"partial":true'; then DEGRADED="$R"; break; fi
+  sleep 0.2
+done
+[ -n "$DEGRADED" ] || { echo "router never served partial results after shard kill" >&2; exit 1; }
+echo "$DEGRADED" | grep -q '"hits"'
+curl -fsS "http://$RADDR/healthz" | grep -q '"status":"degraded"'
+
+echo "--- restart shard 1 on its old port, assert the router recovers"
+SPORT1=${SADDR1##*:}
+: >"$SLOG1"
+"$BIN" -addr "127.0.0.1:$SPORT1" -movies 500 -shard-index 1 -shard-count 2 >"$SLOG1" 2>&1 &
+SPID1=$!
+wait_addr "$SLOG1" >/dev/null || { echo "shard 1 never restarted" >&2; exit 1; }
+RECOVERED=""
+for _ in $(seq 1 50); do
+  if curl -fsS "http://$RADDR/healthz" 2>/dev/null | grep -q '"status":"ok"'; then RECOVERED=1; break; fi
+  sleep 0.2
+done
+[ -n "$RECOVERED" ] || { echo "router never recovered after shard restart" >&2; exit 1; }
+POST_RECOVERY=$(curl -fsS -d '{"query":"golden gate","k":5}' "http://$RADDR/v1/indexes/movies_desc/search")
+echo "$POST_RECOVERY" | grep -q '"partial"' && { echo "recovered cluster still partial" >&2; exit 1; }
+[ "$POST_RECOVERY" = "$FULL" ] || {
+  echo "post-recovery results diverge from the healthy-cluster results" >&2
+  echo "pre:  $FULL" >&2
+  echo "post: $POST_RECOVERY" >&2
+  exit 1
+}
+
+echo "--- routed write reaches the owning shard through the router"
+curl -fsS -d '{"ops":[{"op":"update","table":"Statistics","pk":7,"set":{"nVisit":9000}}]}' \
+  "http://$RADDR/v1/batch" | grep -q '"applied":1'
+
+echo "--- graceful shutdown of router and shards"
+kill -TERM "$RPID"
+wait "$RPID"
+RPID=""
+grep -q "shutdown complete" "$RLOG"
+kill -TERM "$SPID0" "$SPID1"
+wait "$SPID0"
+wait "$SPID1"
+SPID0="" SPID1=""
+
+trap - EXIT
+echo "serve smoke OK (including SIGKILL restart and router degradation legs)"
