@@ -154,9 +154,12 @@ func newEngine(cfg config, dataPath string, keep func(int64) bool) (*core.Engine
 		}
 		fmt.Printf("built archive database slice: %d of %d movies\n", n, cfg.movies)
 		engine := core.NewEngine(db, core.Options{})
+		// Registered (not just passed inline) so POST /v1/indexes can
+		// resolve "archive" for online index creation.
+		engine.RegisterSpec("archive", workload.ArchiveSpec())
 		if _, err := engine.CreateTextIndex("movies_desc", "Movies", "desc", core.IndexOptions{
-			Method: core.MethodKind(cfg.method),
-			Spec:   workload.ArchiveSpec(),
+			Method:   core.MethodKind(cfg.method),
+			SpecName: "archive",
 		}); err != nil {
 			return nil, err
 		}

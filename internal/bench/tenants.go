@@ -1,0 +1,341 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"svrdb/internal/core"
+	"svrdb/internal/relation"
+	"svrdb/internal/server"
+	"svrdb/internal/storage/buffer"
+	"svrdb/internal/storage/pagefile"
+	"svrdb/internal/view"
+	"svrdb/internal/workload"
+)
+
+// This file implements the multi-tenant isolation experiment: several small
+// tenants serve searches from their own namespaced indexes while one hot
+// tenant pushes a continuous update storm through its slice of the same
+// engine.  It is the benchmark behind the tenancy layer's isolation claim —
+// a tenant's maintenance traffic must cost its neighbours cache and CPU
+// contention at worst, never lock waits, because searches read pinned epoch
+// snapshots and the storm's batches only lock the writer path.
+
+// tenantIsolationFactor is the multiple of a small tenant's idle p99 its
+// storm p99 must stay within for the experiment to pass.
+const tenantIsolationFactor = 2
+
+// tenantP99Grace is absolute slack on the gate: on loaded hosts the tail
+// picks up scheduler slices that are not lock waits, and at bench scale the
+// idle p99 is small enough that a fixed-cost wobble would dominate a pure
+// ratio.
+const tenantP99Grace = 50 * time.Millisecond
+
+// tenantStormBatch is the hot tenant's updates per ApplyBatch round.
+const tenantStormBatch = 128
+
+// numSmallTenants is how many small serving tenants share the engine with
+// the hot one.
+const numSmallTenants = 4
+
+// hotTenantSlots is the hot tenant's share of the document assignment: with
+// 4 small tenants and 4 hot slots the hot tenant owns half the corpus and
+// each small tenant an eighth, so the storm has real index mass to churn.
+const hotTenantSlots = 4
+
+// tenantEngine is the multi-tenant rig: one engine, one index per tenant
+// over that tenant's namespaced table.
+type tenantEngine struct {
+	engine  *core.Engine
+	small   []*core.TextIndex
+	hotDocs []workload.DocID
+}
+
+// tenantName returns the i-th small tenant's name.
+func tenantName(i int) string { return fmt.Sprintf("t%d", i) }
+
+// buildTenantEngine partitions the corpus across the tenants' namespaced
+// tables and builds one chunk index per tenant, registering each tenant
+// with a quota comfortably above its usage (the experiment measures
+// isolation, not rejection — the quota suite covers that).
+func buildTenantEngine(corpus *workload.Corpus, opts Options) (*tenantEngine, error) {
+	pool := buffer.MustNew(pagefile.MustNewMem(pagefile.DefaultPageSize), opts.PoolPages*4)
+	registerPool(pool)
+	db := relation.NewDB(pool)
+	engine := core.NewEngine(db, core.Options{})
+
+	names := make([]string, 0, numSmallTenants+1)
+	for i := 0; i < numSmallTenants; i++ {
+		names = append(names, tenantName(i))
+	}
+	names = append(names, "hot")
+	tables := make(map[string]*relation.Table, len(names))
+	for _, name := range names {
+		if err := engine.CreateTenant(name, core.TenantQuota{MaxRows: int64(corpus.NumDocs()) + 1}); err != nil {
+			return nil, err
+		}
+		tbl, err := db.CreateTable(relation.Schema{
+			Name: name + "/Docs",
+			Columns: []relation.Column{
+				{Name: "id", Kind: relation.KindInt64},
+				{Name: "body", Kind: relation.KindString},
+				{Name: "score", Kind: relation.KindFloat64},
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		tables[name] = tbl
+	}
+
+	te := &tenantEngine{engine: engine}
+	slots := numSmallTenants + hotTenantSlots
+	err := corpus.ForEach(func(doc workload.DocID, tokens []string) error {
+		name := "hot"
+		if slot := int(doc) % slots; slot < numSmallTenants {
+			name = tenantName(slot)
+		} else {
+			te.hotDocs = append(te.hotDocs, doc)
+		}
+		return tables[name].Insert(relation.Row{
+			relation.Int(int64(doc)),
+			relation.Str(strings.Join(tokens, " ")),
+			relation.Float(corpus.Score(doc)),
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	for _, name := range names {
+		ti, err := engine.CreateTextIndex(name+"/docs", name+"/Docs", "body", core.IndexOptions{
+			Method:       core.MethodChunk,
+			Spec:         view.Spec{Components: []view.Component{view.OwnColumn(name+"/Docs", "score")}},
+			MinChunkSize: minChunkSize(opts),
+		})
+		if err != nil {
+			return nil, err
+		}
+		if name != "hot" {
+			te.small = append(te.small, ti)
+		}
+	}
+	return te, nil
+}
+
+// runHotStorm pushes back-to-back update batches through the hot tenant's
+// table until stop closes, cycling through the update trace.  It returns
+// the applied batch count via the counter.
+func (te *tenantEngine) runHotStorm(updates []workload.ScoreUpdate, stop <-chan struct{}, applied *atomic.Int64) error {
+	i := 0
+	for {
+		select {
+		case <-stop:
+			return nil
+		default:
+		}
+		end := i + tenantStormBatch
+		if end > len(updates) {
+			end = len(updates)
+		}
+		chunk := updates[i:end]
+		err := te.engine.ApplyBatch(func() error {
+			tbl, err := te.engine.DB().Table("hot/Docs")
+			if err != nil {
+				return err
+			}
+			for _, u := range chunk {
+				if err := tbl.Update(int64(u.Doc), map[string]relation.Value{"score": relation.Float(u.NewScore)}); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		applied.Add(1)
+		i = end
+		if i >= len(updates) {
+			i = 0
+		}
+	}
+}
+
+// runTenantSearchLoad replays total queries across workers goroutines,
+// round-robining requests over the small tenants' indexes via an atomic
+// cursor, and returns one latency summary per tenant plus the aggregate.
+func runTenantSearchLoad(indexes []*core.TextIndex, queries [][]string, k, workers, total int) ([]server.LoadResult, server.LoadResult, error) {
+	reqs := make([]string, len(queries))
+	for i, terms := range queries {
+		reqs[i] = strings.Join(terms, " ")
+	}
+	var cursor atomic.Int64
+	var (
+		errMu    sync.Mutex
+		firstErr error
+	)
+	// perWorker[w][tenant] collects latencies without cross-worker sharing.
+	perWorker := make([][][]time.Duration, workers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lats := make([][]time.Duration, len(indexes))
+			for {
+				i := cursor.Add(1) - 1
+				if i >= int64(total) {
+					break
+				}
+				tn := int(i) % len(indexes)
+				qStart := time.Now()
+				if _, err := indexes[tn].Search(core.SearchRequest{Query: reqs[i%int64(len(reqs))], K: k}); err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+					break
+				}
+				lats[tn] = append(lats[tn], time.Since(qStart))
+			}
+			perWorker[w] = lats
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if firstErr != nil {
+		return nil, server.LoadResult{}, firstErr
+	}
+	perTenant := make([]server.LoadResult, len(indexes))
+	var all []time.Duration
+	for tn := range indexes {
+		var lats []time.Duration
+		for w := 0; w < workers; w++ {
+			lats = append(lats, perWorker[w][tn]...)
+		}
+		perTenant[tn] = server.Summarize(lats, elapsed, workers)
+		all = append(all, lats...)
+	}
+	return perTenant, server.Summarize(all, elapsed, workers), nil
+}
+
+// RunTenants measures small-tenant search latency with and without the hot
+// tenant's update storm running on the same engine.
+func RunTenants(opts Options) (*Table, error) {
+	opts = opts.normalized()
+	corpus := corpusFor(opts)
+	queries := workload.GenerateQueries(corpus, queryParams(opts))
+
+	up := workload.DefaultUpdateParams()
+	up.NumUpdates = opts.NumUpdates
+	up.MeanStep = opts.MeanStep
+	up.Seed = opts.Seed + 71
+	var hotUpdates []workload.ScoreUpdate
+
+	te, err := buildTenantEngine(corpus, opts)
+	if err != nil {
+		return nil, fmt.Errorf("bench: tenants: %w", err)
+	}
+	hotSet := make(map[workload.DocID]bool, len(te.hotDocs))
+	for _, d := range te.hotDocs {
+		hotSet[d] = true
+	}
+	for _, u := range workload.GenerateUpdates(corpus, up) {
+		if hotSet[u.Doc] {
+			hotUpdates = append(hotUpdates, u)
+		}
+	}
+	if len(hotUpdates) == 0 {
+		return nil, fmt.Errorf("bench: tenants: update trace has no hot-tenant documents")
+	}
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > 4 {
+		workers = 4
+	}
+	// Enough samples that every tenant's p99 rests on a real tail (total is
+	// split numSmallTenants ways).
+	total := opts.NumQueries * 50
+	if total < 1000*numSmallTenants {
+		total = 1000 * numSmallTenants
+	}
+
+	// Warm every small index once so the idle phase measures a warm cache.
+	if _, _, err := runTenantSearchLoad(te.small, queries, opts.K, 1, len(queries)*numSmallTenants); err != nil {
+		return nil, fmt.Errorf("bench: tenants: warmup: %w", err)
+	}
+
+	idle, idleAll, err := runTenantSearchLoad(te.small, queries, opts.K, workers, total)
+	if err != nil {
+		return nil, fmt.Errorf("bench: tenants: idle phase: %w", err)
+	}
+
+	stop := make(chan struct{})
+	stormErr := make(chan error, 1)
+	var applied atomic.Int64
+	go func() { stormErr <- te.runHotStorm(hotUpdates, stop, &applied) }()
+	storm, stormAll, err := runTenantSearchLoad(te.small, queries, opts.K, workers, total)
+	close(stop)
+	if serr := <-stormErr; err == nil && serr != nil {
+		err = serr
+	}
+	if err != nil {
+		return nil, fmt.Errorf("bench: tenants: storm phase: %w", err)
+	}
+
+	multiCore := runtime.GOMAXPROCS(0) > 1
+	gated := multiCore && opts.Scale >= tailGateScale
+	if gated {
+		for tn := range te.small {
+			if storm[tn].P99 > tenantIsolationFactor*idle[tn].P99+tenantP99Grace {
+				return nil, fmt.Errorf("bench: tenants: %s storm p99 %s exceeds %dx idle p99 %s (+%s) — the hot tenant's maintenance is stalling a neighbour's searches",
+					tenantName(tn), storm[tn].P99, tenantIsolationFactor, idle[tn].P99, tenantP99Grace)
+			}
+		}
+	}
+
+	hotUsage := te.engine.TenantUsageOf("hot")
+	t := &Table{
+		Name: "Multi-tenant isolation — small-tenant search latency vs a hot tenant's update storm",
+		Caption: fmt.Sprintf("one engine, %d small tenants + 1 hot tenant (hot owns %d/%d of the corpus); %d query workers x %d queries round-robined over the small tenants; storm = back-to-back ApplyBatch rounds of %d score updates on the hot tenant's table",
+			numSmallTenants, hotTenantSlots, numSmallTenants+hotTenantSlots, workers, total, tenantStormBatch),
+		Header: []string{"Tenant", "Phase", "QPS", "p50 (ms)", "p99 (ms)", "max (ms)", "p99 vs idle"},
+		Notes: []string{
+			fmt.Sprintf("gate (multi-core hosts, scale >= %.2g): each small tenant's storm p99 must stay within %dx of its idle p99 (+%s) — searches pin epoch snapshots and never queue behind the hot tenant's writer", tailGateScale, tenantIsolationFactor, tenantP99Grace),
+			fmt.Sprintf("hot tenant applied %d storm batches (%d updates) concurrently; hot usage %d rows / %d bytes", applied.Load(), applied.Load()*tenantStormBatch, hotUsage.Rows, hotUsage.Bytes),
+		},
+	}
+	if !multiCore {
+		t.Notes = append(t.Notes,
+			"single-CPU host: the storm time-shares the core with the search workers, so the isolation gate is informational only here")
+	}
+	for tn := range te.small {
+		addTenantRow(t, tenantName(tn), "idle", idle[tn], idle[tn])
+		addTenantRow(t, tenantName(tn), "storm", storm[tn], idle[tn])
+	}
+	addTenantRow(t, "all-small", "idle", idleAll, idleAll)
+	addTenantRow(t, "all-small", "storm", stormAll, idleAll)
+
+	if err := te.engine.Close(); err != nil {
+		return nil, fmt.Errorf("bench: tenants: close: %w", err)
+	}
+	return t, nil
+}
+
+func addTenantRow(t *Table, tenant, phase string, r, idle server.LoadResult) {
+	ratio := "1.00x"
+	if phase != "idle" && idle.P99 > 0 {
+		ratio = fmt.Sprintf("%.2fx", float64(r.P99)/float64(idle.P99))
+	}
+	t.Rows = append(t.Rows, []string{
+		tenant, phase, fmt.Sprintf("%.0f", r.QPS),
+		fmtDur(r.P50), fmtDur(r.P99), fmtDur(r.Max), ratio,
+	})
+}

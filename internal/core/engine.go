@@ -29,6 +29,16 @@ var ErrClosed = errors.New("engine is closed")
 // fault.
 var ErrInvalidRequest = errors.New("invalid search request")
 
+// ErrQuotaExceeded is wrapped into the rejection a tenant's batch gets when
+// applying it would push the tenant past its row or byte quota.  The batch
+// is rejected before any of it applies — quota checks run under the batch
+// lock ahead of the batch body, so rejection is atomic.
+var ErrQuotaExceeded = errors.New("tenant quota exceeded")
+
+// ErrExists is wrapped into errors for creating something that already
+// exists (an index name in use); HTTP maps it to 409 Conflict.
+var ErrExists = errors.New("already exists")
+
 // MethodKind selects which inverted-list structure a text index uses.
 type MethodKind string
 
@@ -75,6 +85,19 @@ type Engine struct {
 
 	mu      sync.RWMutex
 	indexes map[string]*TextIndex
+
+	// specs is the score-spec registry: online index creation (the HTTP
+	// POST /v1/indexes path in particular) references specs by name because
+	// a spec holds Go functions that cannot travel in a request body or the
+	// durable catalog.  Guarded by specMu.
+	specMu sync.RWMutex
+	specs  map[string]view.Spec
+
+	// tenants maps tenant names to their quotas.  A tenant's namespace is
+	// the set of tables and indexes named "<tenant>/<rest>"; quotas meter
+	// that namespace's row and byte footprint.  Guarded by tenantMu.
+	tenantMu sync.RWMutex
+	tenants  map[string]TenantQuota
 
 	// batchMu serializes ApplyBatch calls: the per-index batching flag is
 	// engaged for the duration of one batch, so overlapping batches would
@@ -124,9 +147,44 @@ func NewEngine(db *relation.DB, opts Options) *Engine {
 	if a == nil {
 		a = text.NewAnalyzer()
 	}
-	e := &Engine{db: db, analyzer: a, indexes: map[string]*TextIndex{}}
+	e := &Engine{
+		db:       db,
+		analyzer: a,
+		indexes:  map[string]*TextIndex{},
+		specs:    map[string]view.Spec{},
+		tenants:  map[string]TenantQuota{},
+	}
 	e.commitCond = sync.NewCond(&e.commitMu)
 	return e
+}
+
+// RegisterSpec registers a score specification under a name so online index
+// creation (and durable reopen) can resolve it.  Re-registering a name
+// replaces the spec.
+func (e *Engine) RegisterSpec(name string, spec view.Spec) {
+	e.specMu.Lock()
+	defer e.specMu.Unlock()
+	e.specs[name] = spec
+}
+
+// Spec resolves a registered score specification by name.
+func (e *Engine) Spec(name string) (view.Spec, bool) {
+	e.specMu.RLock()
+	defer e.specMu.RUnlock()
+	s, ok := e.specs[name]
+	return s, ok
+}
+
+// SpecNames lists the registered score-spec names in sorted order.
+func (e *Engine) SpecNames() []string {
+	e.specMu.RLock()
+	defer e.specMu.RUnlock()
+	names := make([]string, 0, len(e.specs))
+	for n := range e.specs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // Close shuts the engine down: in-flight maintenance writes and searches
@@ -265,6 +323,9 @@ type TextIndex struct {
 	engine *Engine
 	view   *view.ScoreView
 	method index.Method
+	// baseHook is the change-listener handle registered on the indexed
+	// table, kept so DropTextIndex can detach it.
+	baseHook relation.ListenerHandle
 
 	// writerMu serializes the maintenance paths against each other.  Readers
 	// never take it: queries run against published snapshots.
@@ -279,6 +340,10 @@ type TextIndex struct {
 	// or maintenance write that starts afterwards fails fast instead of
 	// touching a closed page file while the close-time pin audit runs.
 	closed bool
+	// dropped distinguishes an index fenced by DropTextIndex from one fenced
+	// by engine shutdown: a search racing a drop reports not-found (the
+	// index is gone) rather than engine-closed.
+	dropped bool
 
 	mu              sync.Mutex
 	maintenanceErrs []error
@@ -298,14 +363,39 @@ type TextIndex struct {
 // further errors only bump the dropped-error counter.
 const maxMaintenanceErrs = 16
 
-// CreateTextIndex creates and bulk-builds a text index.
+// CreateTextIndex creates and bulk-builds a text index.  It is safe on a
+// live engine: the whole backfill runs under the batch lock, so ApplyBatch
+// writers queue behind it exactly as behind a long batch, while searches —
+// which never touch the batch lock — keep serving throughout.  Searches
+// against the new name cleanly miss until the index is registered, after
+// which they observe the fully backfilled index; there is no in-between
+// state.  Writers that bypass ApplyBatch and mutate tables directly during
+// the backfill are not fenced and may be missed — the engine's write paths
+// (HTTP serving included) all go through ApplyBatch.
+//
+// When opts.Spec is empty and opts.SpecName is set, the spec is resolved
+// from the engine's registry (RegisterSpec / OpenOptions.Specs), which is
+// how creation requests arriving over HTTP name their scoring.
 func (e *Engine) CreateTextIndex(name, table, column string, opts IndexOptions) (*TextIndex, error) {
-	e.mu.Lock()
-	if _, exists := e.indexes[name]; exists {
-		e.mu.Unlock()
-		return nil, fmt.Errorf("core: text index %q already exists", name)
+	e.batchMu.Lock()
+	defer e.batchMu.Unlock()
+	if e.closed {
+		return nil, fmt.Errorf("core: %w", ErrClosed)
 	}
-	e.mu.Unlock()
+	e.mu.RLock()
+	_, exists := e.indexes[name]
+	e.mu.RUnlock()
+	if exists {
+		return nil, fmt.Errorf("core: text index %q: %w", name, ErrExists)
+	}
+
+	if len(opts.Spec.Components) == 0 && opts.SpecName != "" {
+		spec, ok := e.Spec(opts.SpecName)
+		if !ok {
+			return nil, fmt.Errorf("core: %w: no score spec registered under %q", ErrInvalidRequest, opts.SpecName)
+		}
+		opts.Spec = spec
+	}
 
 	tbl, err := e.db.Table(table)
 	if err != nil {
@@ -336,7 +426,7 @@ func (e *Engine) CreateTextIndex(name, table, column string, opts IndexOptions) 
 	}
 	method, err := newMethod(opts.Method, cfg)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %s", ErrInvalidRequest, err)
 	}
 
 	ti := &TextIndex{
@@ -373,7 +463,7 @@ func (e *Engine) CreateTextIndex(name, table, column string, opts IndexOptions) 
 	if err := sv.Attach(); err != nil {
 		return nil, err
 	}
-	tbl.OnChange(ti.onBaseRowChange)
+	ti.baseHook = tbl.OnChange(ti.onBaseRowChange)
 
 	e.mu.Lock()
 	e.indexes[name] = ti
@@ -381,16 +471,81 @@ func (e *Engine) CreateTextIndex(name, table, column string, opts IndexOptions) 
 
 	// A durable engine checkpoints the freshly built index immediately: the
 	// build is the most expensive thing the engine ever does, and an
-	// un-checkpointed build would be lost to a crash before the first batch.
-	// commitUpTo also covers (and wakes) any group-commit waiters queued
-	// behind the build.
-	e.batchMu.Lock()
-	err = e.commitUpTo(e.batchSeq)
-	e.batchMu.Unlock()
-	if err != nil {
+	// un-checkpointed build would be lost to a crash before the first batch
+	// (the crash lands on the previous catalog, so the index is fully absent
+	// rather than half-built).  commitUpTo also covers (and wakes) any
+	// group-commit waiters queued behind the build.
+	if err := e.commitUpTo(e.batchSeq); err != nil {
 		return nil, err
 	}
 	return ti, nil
+}
+
+// DropTextIndex removes a text index from a live engine: the index is
+// deregistered, its maintenance listeners detached, in-flight searches
+// drained (a search that raced the drop either completes against the last
+// published snapshot or reports not-found — never a half-removed index),
+// and every page its structures occupied — method trees, long-list and
+// fancy-list blobs, and the score view's tree — returns to the pagefile
+// free list.  On a durable engine the drop commits atomically: a crash
+// anywhere inside it recovers to the index fully present or fully absent.
+func (e *Engine) DropTextIndex(name string) error {
+	e.batchMu.Lock()
+	defer e.batchMu.Unlock()
+	if e.closed {
+		return fmt.Errorf("core: %w", ErrClosed)
+	}
+	e.mu.Lock()
+	ti, ok := e.indexes[name]
+	if !ok {
+		e.mu.Unlock()
+		return fmt.Errorf("core: no text index named %q: %w", name, relation.ErrNotFound)
+	}
+	delete(e.indexes, name)
+	e.mu.Unlock()
+
+	// Detach maintenance: the view stops listening to its dependency tables
+	// and the base table stops feeding content updates.  A mutation already
+	// mid-notification may deliver one final event; the fence below waits
+	// out any write it triggers before the pages are released.
+	ti.view.Detach()
+	if tbl, err := e.db.Table(ti.table); err == nil {
+		tbl.RemoveListener(ti.baseHook)
+	}
+
+	// Fence: wait out in-flight maintenance writes (writerMu) and searches
+	// (rw), then mark the index dropped so stragglers fail fast with a
+	// not-found error instead of touching released pages.
+	ti.writerMu.Lock()
+	ti.rw.Lock()
+	ti.closed = true
+	ti.dropped = true
+	ti.rw.Unlock()
+	ti.writerMu.Unlock()
+
+	// Release the storage: retire every page of the method's structures and
+	// the view tree, then drain the epochs — any reader still pinned to the
+	// last snapshot leaves first, after which all retired pages recycle onto
+	// the free list.
+	var errs []error
+	if err := ti.method.ReleasePages(); err != nil {
+		errs = append(errs, fmt.Errorf("core: drop %q: release index pages: %w", name, err))
+	}
+	if err := ti.view.ReleaseTree(); err != nil {
+		errs = append(errs, fmt.Errorf("core: drop %q: release view tree: %w", name, err))
+	}
+	if err := ti.method.Drain(); err != nil {
+		errs = append(errs, fmt.Errorf("core: drop %q: drain: %w", name, err))
+	}
+	if err := ti.MaintenanceErr(); err != nil {
+		errs = append(errs, fmt.Errorf("core: drop %q: %w", name, err))
+	}
+	// Durable engines persist the drop (and the freed pages) atomically;
+	// commitUpTo also wakes any group-commit waiters queued behind the drop.
+	if err := e.commitUpTo(e.batchSeq); err != nil {
+		errs = append(errs, err)
+	}
+	return errors.Join(errs...)
 }
 
 // TextIndex returns a previously created index by name.
@@ -399,7 +554,7 @@ func (e *Engine) TextIndex(name string) (*TextIndex, error) {
 	defer e.mu.RUnlock()
 	ti, ok := e.indexes[name]
 	if !ok {
-		return nil, fmt.Errorf("core: no text index named %q", name)
+		return nil, fmt.Errorf("core: no text index named %q: %w", name, relation.ErrNotFound)
 	}
 	return ti, nil
 }
@@ -615,6 +770,18 @@ func (ti *TextIndex) ApplyUpdates(batch []index.Update) error {
 // carries its predecessors' pages).  The group size is bounded so a steady
 // stream of writers cannot defer commits indefinitely.
 func (e *Engine) ApplyBatch(fn func() error) (err error) {
+	return e.ApplyBatchChecked(nil, fn)
+}
+
+// ApplyBatchChecked is ApplyBatch with an admission check: pre (if non-nil)
+// runs under the batch lock after the closed check but before any mutation
+// or index batching begins.  If pre fails, the batch is rejected atomically
+// — fn never runs, no table row moves, no index event queues, and nothing
+// commits.  The tenant quota path uses this: pre inspects current usage
+// (stable under the batch lock, since every mutation path holds it) against
+// the batch's projected footprint, so an over-quota batch from one tenant
+// bounces without disturbing batches from any other tenant queued behind it.
+func (e *Engine) ApplyBatchChecked(pre func() error, fn func() error) (err error) {
 	e.commitWaiters.Add(1)
 	e.batchMu.Lock()
 	e.commitWaiters.Add(-1)
@@ -636,6 +803,11 @@ func (e *Engine) ApplyBatch(fn func() error) (err error) {
 		// storage (past the flush and pin audit) and only the index flush
 		// afterwards would report the closed error.
 		return fmt.Errorf("core: %w", ErrClosed)
+	}
+	if pre != nil {
+		if err := pre(); err != nil {
+			return err
+		}
 	}
 	e.mu.RLock()
 	indexes := make([]*TextIndex, 0, len(e.indexes))
@@ -823,6 +995,12 @@ func (ti *TextIndex) Search(req SearchRequest) (*SearchResult, error) {
 	ti.rw.RLock()
 	defer ti.rw.RUnlock()
 	if ti.closed {
+		if ti.dropped {
+			// The index was dropped while this search raced it: report
+			// not-found (the caller's 404), not a shutdown error — the
+			// engine is alive, the index just no longer exists.
+			return nil, fmt.Errorf("core: no text index named %q: %w", ti.name, relation.ErrNotFound)
+		}
 		return nil, fmt.Errorf("core: text index %q: %w", ti.name, ErrClosed)
 	}
 	qr, err := ti.method.TopK(index.Query{
@@ -884,6 +1062,9 @@ func (ti *TextIndex) TermStats(query string) (numDocs int64, df []int64, err err
 	ti.rw.RLock()
 	defer ti.rw.RUnlock()
 	if ti.closed {
+		if ti.dropped {
+			return 0, nil, fmt.Errorf("core: no text index named %q: %w", ti.name, relation.ErrNotFound)
+		}
 		return 0, nil, fmt.Errorf("core: text index %q: %w", ti.name, ErrClosed)
 	}
 	return ti.method.TermStats(terms)

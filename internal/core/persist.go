@@ -47,6 +47,10 @@ type catalog struct {
 	Version int
 	Tables  []relation.TableState
 	Indexes []catalogIndexEntry
+	// Tenants records registered tenant quotas.  Added after version 1
+	// shipped; gob tolerates the extra field, so files written without it
+	// decode with a nil map and the version stays 1.
+	Tenants map[string]TenantQuota
 }
 
 // --- catalog page chain -------------------------------------------------------
@@ -160,7 +164,7 @@ func readCatalogChain(file pagefile.File, head pagefile.PageID, length int) ([]b
 // excluded — they read the published snapshot and never move navigational
 // state.
 func (e *Engine) buildCatalog() *catalog {
-	cat := &catalog{Version: catalogVersion}
+	cat := &catalog{Version: catalogVersion, Tenants: e.tenantQuotas()}
 	for _, name := range e.db.TableNames() {
 		tbl, err := e.db.Table(name)
 		if err != nil {
@@ -296,6 +300,12 @@ func openFromFile(file pagefile.File, opts OpenOptions) (*Engine, error) {
 	db := relation.NewDB(pool)
 	e := NewEngine(db, Options{Analyzer: opts.Analyzer})
 	e.durable = true
+	// Seed the engine's spec registry from the open options so indexes
+	// created online after this open (POST /v1/indexes) resolve the same
+	// spec names the restored catalog uses.
+	for name, spec := range opts.Specs {
+		e.RegisterSpec(name, spec)
+	}
 
 	head, length, err := parseMeta(file.Meta())
 	if err != nil {
@@ -318,6 +328,7 @@ func openFromFile(file pagefile.File, opts OpenOptions) (*Engine, error) {
 		return nil, fmt.Errorf("core: catalog version %d not supported (want %d)", cat.Version, catalogVersion)
 	}
 	e.catalogPages = pages
+	e.restoreTenants(cat.Tenants)
 
 	for _, ts := range cat.Tables {
 		if _, err := db.RestoreTable(ts); err != nil {
@@ -381,7 +392,7 @@ func (e *Engine) restoreTextIndex(ent catalogIndexEntry, specs map[string]view.S
 	if err := sv.Attach(); err != nil {
 		return err
 	}
-	tbl.OnChange(ti.onBaseRowChange)
+	ti.baseHook = tbl.OnChange(ti.onBaseRowChange)
 
 	e.mu.Lock()
 	e.indexes[ent.Name] = ti

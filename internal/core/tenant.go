@@ -1,0 +1,153 @@
+package core
+
+// Multi-tenant namespaces.  A tenant is a named slice of the engine: every
+// table and index whose name starts with "<tenant>/" belongs to it, so
+// tenancy needs no separate schema machinery — the existing catalog, batch
+// path and search path all work on qualified names.  What the engine adds
+// on top is metering: each tenant carries a row/byte quota, and the batch
+// admission check (ApplyBatchChecked) rejects a batch that would push the
+// tenant's footprint past it — atomically, before any mutation runs, and
+// without disturbing batches from other tenants queued behind it.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"svrdb/internal/relation"
+)
+
+// TenantQuota bounds one tenant's namespace footprint.  A zero field means
+// unlimited on that axis; the zero value is a fully unlimited tenant.
+type TenantQuota struct {
+	// MaxRows caps the total row count across the tenant's tables.
+	MaxRows int64
+	// MaxBytes caps the total encoded row bytes across the tenant's tables.
+	MaxBytes int64
+}
+
+// TenantUsage reports a tenant's current namespace footprint.
+type TenantUsage struct {
+	Rows  int64
+	Bytes int64
+}
+
+// TenantOf extracts the tenant from a qualified name ("tenant/Table" →
+// "tenant").  Unqualified names belong to no tenant and return "".
+func TenantOf(name string) string {
+	if i := strings.IndexByte(name, '/'); i >= 0 {
+		return name[:i]
+	}
+	return ""
+}
+
+// CreateTenant registers a tenant with a quota.  Re-registering an existing
+// tenant replaces its quota (tables already over a tightened quota stay;
+// the next batch that grows them rejects).  The name must be non-empty and
+// must not itself contain the namespace separator.
+func (e *Engine) CreateTenant(name string, quota TenantQuota) error {
+	if name == "" || strings.ContainsRune(name, '/') {
+		return fmt.Errorf("core: %w: invalid tenant name %q", ErrInvalidRequest, name)
+	}
+	if quota.MaxRows < 0 || quota.MaxBytes < 0 {
+		return fmt.Errorf("core: %w: negative quota for tenant %q", ErrInvalidRequest, name)
+	}
+	e.tenantMu.Lock()
+	e.tenants[name] = quota
+	e.tenantMu.Unlock()
+	return nil
+}
+
+// TenantNames lists registered tenants in sorted order.
+func (e *Engine) TenantNames() []string {
+	e.tenantMu.RLock()
+	defer e.tenantMu.RUnlock()
+	names := make([]string, 0, len(e.tenants))
+	for n := range e.tenants {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// TenantQuotaOf reports a tenant's registered quota.
+func (e *Engine) TenantQuotaOf(name string) (TenantQuota, bool) {
+	e.tenantMu.RLock()
+	defer e.tenantMu.RUnlock()
+	q, ok := e.tenants[name]
+	return q, ok
+}
+
+// tenantQuotas snapshots the tenant registry (for the catalog builder).
+func (e *Engine) tenantQuotas() map[string]TenantQuota {
+	e.tenantMu.RLock()
+	defer e.tenantMu.RUnlock()
+	out := make(map[string]TenantQuota, len(e.tenants))
+	for n, q := range e.tenants {
+		out[n] = q
+	}
+	return out
+}
+
+// restoreTenants installs quotas decoded from a durable catalog.
+func (e *Engine) restoreTenants(quotas map[string]TenantQuota) {
+	e.tenantMu.Lock()
+	defer e.tenantMu.Unlock()
+	for n, q := range quotas {
+		e.tenants[n] = q
+	}
+}
+
+// TenantUsageOf sums the tenant's current footprint across every table in
+// its namespace.  The sums read each table's own counters, so the result is
+// exact under the batch lock (every mutation path holds it) and a live
+// approximation otherwise.
+func (e *Engine) TenantUsageOf(name string) TenantUsage {
+	var u TenantUsage
+	prefix := name + "/"
+	for _, tn := range e.db.TableNames() {
+		if !strings.HasPrefix(tn, prefix) {
+			continue
+		}
+		tbl, err := e.db.Table(tn)
+		if err != nil {
+			continue
+		}
+		u.Rows += int64(tbl.Len())
+		u.Bytes += tbl.Bytes()
+	}
+	return u
+}
+
+// CheckTenantQuota reports whether the tenant can grow by addRows rows and
+// addBytes encoded bytes without exceeding its quota.  Unregistered tenants
+// are unlimited; shrinking batches (negative deltas) always pass.  Intended
+// as (part of) an ApplyBatchChecked pre-check: under the batch lock the
+// usage it reads cannot move, so a pass guarantees the batch fits.
+func (e *Engine) CheckTenantQuota(tenant string, addRows, addBytes int64) error {
+	if tenant == "" {
+		return nil
+	}
+	q, ok := e.TenantQuotaOf(tenant)
+	if !ok || (q.MaxRows == 0 && q.MaxBytes == 0) {
+		return nil
+	}
+	u := e.TenantUsageOf(tenant)
+	if q.MaxRows > 0 && u.Rows+addRows > q.MaxRows {
+		return fmt.Errorf("core: tenant %q: %w: rows %d+%d > max %d",
+			tenant, ErrQuotaExceeded, u.Rows, addRows, q.MaxRows)
+	}
+	if q.MaxBytes > 0 && u.Bytes+addBytes > q.MaxBytes {
+		return fmt.Errorf("core: tenant %q: %w: bytes %d+%d > max %d",
+			tenant, ErrQuotaExceeded, u.Bytes, addBytes, q.MaxBytes)
+	}
+	return nil
+}
+
+// EncodedRowSize reports the byte footprint a row contributes to its
+// tenant's quota: the size of the row's storage encoding.  The server's
+// quota pre-check uses it to project a batch's byte delta before any
+// mutation runs.
+func EncodedRowSize(row relation.Row) int {
+	return relation.EncodedRowSize(row)
+}

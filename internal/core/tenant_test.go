@@ -1,0 +1,390 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"svrdb/internal/relation"
+	"svrdb/internal/storage/buffer"
+	"svrdb/internal/storage/pagefile"
+	"svrdb/internal/view"
+)
+
+func tenantDataSchema(name string) relation.Schema {
+	return relation.Schema{
+		Name: name,
+		Columns: []relation.Column{
+			{Name: "id", Kind: relation.KindInt64},
+			{Name: "body", Kind: relation.KindString},
+			{Name: "val", Kind: relation.KindFloat64},
+		},
+	}
+}
+
+func tenantRow(id int64) relation.Row {
+	return relation.Row{relation.Int(id), relation.Str("alpha beta common"), relation.Float(float64(id % 97))}
+}
+
+func TestTenantAPIValidation(t *testing.T) {
+	db := relation.NewDB(buffer.MustNew(pagefile.MustNewMem(pagefile.DefaultPageSize), 1024))
+	e := NewEngine(db, Options{})
+	defer e.Close()
+
+	for _, bad := range []string{"", "a/b"} {
+		if err := e.CreateTenant(bad, TenantQuota{}); !errors.Is(err, ErrInvalidRequest) {
+			t.Errorf("CreateTenant(%q) = %v, want ErrInvalidRequest", bad, err)
+		}
+	}
+	if err := e.CreateTenant("neg", TenantQuota{MaxRows: -1}); !errors.Is(err, ErrInvalidRequest) {
+		t.Errorf("negative quota accepted: %v", err)
+	}
+	if err := e.CreateTenant("acme", TenantQuota{MaxRows: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if q, ok := e.TenantQuotaOf("acme"); !ok || q.MaxRows != 5 {
+		t.Errorf("TenantQuotaOf(acme) = %+v/%v, want MaxRows 5", q, ok)
+	}
+	// Re-registering replaces the quota.
+	if err := e.CreateTenant("acme", TenantQuota{MaxRows: 9}); err != nil {
+		t.Fatal(err)
+	}
+	if q, _ := e.TenantQuotaOf("acme"); q.MaxRows != 9 {
+		t.Errorf("re-registered quota = %+v, want MaxRows 9", q)
+	}
+	if names := e.TenantNames(); len(names) != 1 || names[0] != "acme" {
+		t.Errorf("TenantNames = %v", names)
+	}
+
+	for name, want := range map[string]string{
+		"acme/Docs": "acme", "Docs": "", "a/b/c": "a", "/x": "",
+	} {
+		if got := TenantOf(name); got != want {
+			t.Errorf("TenantOf(%q) = %q, want %q", name, got, want)
+		}
+	}
+}
+
+// TestTenantQuotaAtomicRejection is the single-threaded half of the quota
+// property: a batch that would push a tenant past its quota is rejected as
+// a unit — no op in it applies, usage stays exactly where it was, and
+// another tenant's identical batch still lands.
+func TestTenantQuotaAtomicRejection(t *testing.T) {
+	db := relation.NewDB(buffer.MustNew(pagefile.MustNewMem(pagefile.DefaultPageSize), 4096))
+	e := NewEngine(db, Options{})
+	defer e.Close()
+
+	if err := e.CreateTenant("small", TenantQuota{MaxRows: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.CreateTenant("big", TenantQuota{}); err != nil {
+		t.Fatal(err)
+	}
+	smallTbl, err := db.CreateTable(tenantDataSchema("small/Data"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bigTbl, err := db.CreateTable(tenantDataSchema("big/Data"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	insertN := func(tbl *relation.Table, tenant string, from, n int) error {
+		rows := int64(n)
+		var bytes int64
+		for i := 0; i < n; i++ {
+			bytes += int64(EncodedRowSize(tenantRow(int64(from + i))))
+		}
+		return e.ApplyBatchChecked(
+			func() error { return e.CheckTenantQuota(tenant, rows, bytes) },
+			func() error {
+				for i := 0; i < n; i++ {
+					if err := tbl.Insert(tenantRow(int64(from + i))); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+	}
+
+	if err := insertN(smallTbl, "small", 1, 3); err != nil {
+		t.Fatalf("within-quota batch rejected: %v", err)
+	}
+	// 3 rows in, quota 4: a 2-row batch must reject atomically even though
+	// its first row alone would fit.
+	err = insertN(smallTbl, "small", 10, 2)
+	if !errors.Is(err, ErrQuotaExceeded) {
+		t.Fatalf("over-quota batch error = %v, want ErrQuotaExceeded", err)
+	}
+	if got := smallTbl.Len(); got != 3 {
+		t.Fatalf("rejected batch partially applied: %d rows, want 3", got)
+	}
+	if u := e.TenantUsageOf("small"); u.Rows != 3 {
+		t.Fatalf("usage after rejection = %+v, want 3 rows", u)
+	}
+	// The unlimited tenant is undisturbed by its neighbour's rejection.
+	if err := insertN(bigTbl, "big", 1, 50); err != nil {
+		t.Fatalf("unlimited tenant batch rejected: %v", err)
+	}
+	// The last row of the quota is still reachable.
+	if err := insertN(smallTbl, "small", 20, 1); err != nil {
+		t.Fatalf("filling the final quota slot failed: %v", err)
+	}
+	if err := insertN(smallTbl, "small", 30, 1); !errors.Is(err, ErrQuotaExceeded) {
+		t.Fatalf("insert past a full quota = %v, want ErrQuotaExceeded", err)
+	}
+
+	// Byte quotas bind too: a tenant with ample rows but tight bytes rejects
+	// on the byte axis.
+	if err := e.CreateTenant("bytes", TenantQuota{MaxBytes: int64(3 * EncodedRowSize(tenantRow(1)))}); err != nil {
+		t.Fatal(err)
+	}
+	bytesTbl, err := db.CreateTable(tenantDataSchema("bytes/Data"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := insertN(bytesTbl, "bytes", 1, 3); err != nil {
+		t.Fatalf("within-byte-quota batch rejected: %v", err)
+	}
+	if err := insertN(bytesTbl, "bytes", 10, 1); !errors.Is(err, ErrQuotaExceeded) {
+		t.Fatalf("over-byte-quota batch = %v, want ErrQuotaExceeded", err)
+	}
+}
+
+// TestTenantQuotaPropertyInterleaved is the concurrent half: N tenants with
+// tight quotas push interleaved random-size batches from separate
+// goroutines.  The invariant is bookkeeping exactness under contention —
+// every accepted batch is fully present, every rejected batch contributed
+// nothing, no tenant ends over quota, and one tenant exhausting its quota
+// never blocks or corrupts another's admissions.
+func TestTenantQuotaPropertyInterleaved(t *testing.T) {
+	db := relation.NewDB(buffer.MustNew(pagefile.MustNewMem(pagefile.DefaultPageSize), 8192))
+	e := NewEngine(db, Options{})
+	defer e.Close()
+
+	const nTenants = 4
+	const batchesPer = 40
+	quotas := []TenantQuota{
+		{MaxRows: 25},
+		{MaxRows: 60},
+		{MaxBytes: 2048},
+		{}, // unlimited control tenant
+	}
+	tables := make([]*relation.Table, nTenants)
+	for i := 0; i < nTenants; i++ {
+		name := fmt.Sprintf("t%d", i)
+		if err := e.CreateTenant(name, quotas[i]); err != nil {
+			t.Fatal(err)
+		}
+		tbl, err := db.CreateTable(tenantDataSchema(name + "/Data"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		tables[i] = tbl
+	}
+
+	accepted := make([]int64, nTenants)
+	rejected := make([]int64, nTenants)
+	var wg sync.WaitGroup
+	for ti := 0; ti < nTenants; ti++ {
+		ti := ti
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tenant := fmt.Sprintf("t%d", ti)
+			rng := rand.New(rand.NewSource(int64(1000 + ti)))
+			for b := 0; b < batchesPer; b++ {
+				n := 1 + rng.Intn(5)
+				from := ti*1_000_000 + b*10
+				rows := int64(n)
+				var bytes int64
+				for i := 0; i < n; i++ {
+					bytes += int64(EncodedRowSize(tenantRow(int64(from + i))))
+				}
+				err := e.ApplyBatchChecked(
+					func() error { return e.CheckTenantQuota(tenant, rows, bytes) },
+					func() error {
+						for i := 0; i < n; i++ {
+							if err := tables[ti].Insert(tenantRow(int64(from + i))); err != nil {
+								return err
+							}
+						}
+						return nil
+					})
+				switch {
+				case err == nil:
+					accepted[ti] += int64(n)
+				case errors.Is(err, ErrQuotaExceeded):
+					rejected[ti] += int64(n)
+				default:
+					t.Errorf("tenant %s batch %d: unexpected error %v", tenant, b, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	for ti := 0; ti < nTenants; ti++ {
+		name := fmt.Sprintf("t%d", ti)
+		u := e.TenantUsageOf(name)
+		if u.Rows != accepted[ti] {
+			t.Errorf("tenant %s: usage %d rows != %d accepted (atomicity violated)", name, u.Rows, accepted[ti])
+		}
+		if int64(tables[ti].Len()) != accepted[ti] {
+			t.Errorf("tenant %s: table holds %d rows, accepted %d", name, tables[ti].Len(), accepted[ti])
+		}
+		q := quotas[ti]
+		if q.MaxRows > 0 && u.Rows > q.MaxRows {
+			t.Errorf("tenant %s: %d rows exceeds quota %d", name, u.Rows, q.MaxRows)
+		}
+		if q.MaxBytes > 0 && u.Bytes > q.MaxBytes {
+			t.Errorf("tenant %s: %d bytes exceeds quota %d", name, u.Bytes, q.MaxBytes)
+		}
+	}
+	// The bounded tenants must actually have hit their quotas (otherwise the
+	// test never exercised rejection), and the unlimited tenant must never
+	// have been rejected.
+	for ti := 0; ti < nTenants-1; ti++ {
+		if rejected[ti] == 0 {
+			t.Errorf("tenant t%d: no batch was ever rejected; quota too loose for the property to bite", ti)
+		}
+	}
+	if rejected[nTenants-1] != 0 {
+		t.Errorf("unlimited tenant had %d rows rejected", rejected[nTenants-1])
+	}
+	if accepted[nTenants-1] == 0 {
+		t.Error("unlimited tenant accepted nothing")
+	}
+}
+
+// TestTenantNamespaceSearchIsolation builds an index per tenant namespace
+// over identically-named logical tables and checks searches stay inside the
+// tenant's slice.
+func TestTenantNamespaceSearchIsolation(t *testing.T) {
+	db := relation.NewDB(buffer.MustNew(pagefile.MustNewMem(pagefile.DefaultPageSize), 4096))
+	e := NewEngine(db, Options{})
+	defer e.Close()
+	spec := func(table string) view.Spec {
+		return view.Spec{Components: []view.Component{view.OwnColumn(table, "val")}}
+	}
+	for ti, body := range map[string]string{"a": "alpha shared", "b": "beta shared"} {
+		tbl, err := db.CreateTable(tenantDataSchema(ti + "/Docs"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tbl.Insert(relation.Row{relation.Int(1), relation.Str(body), relation.Float(1)}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.CreateTextIndex(ti+"/docs", ti+"/Docs", "body", IndexOptions{
+			Method: MethodChunk, Spec: spec(ti + "/Docs"),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for ti, ownTerm := range map[string]string{"a": "alpha", "b": "beta"} {
+		idx, err := e.TextIndex(ti + "/docs")
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := idx.Search(SearchRequest{Query: "shared", K: 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Hits) != 1 {
+			t.Errorf("tenant %s: %d hits for the shared term, want only its own document", ti, len(res.Hits))
+		}
+		res, err = idx.Search(SearchRequest{Query: ownTerm, K: 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Hits) != 1 {
+			t.Errorf("tenant %s: own term %q got %d hits, want 1", ti, ownTerm, len(res.Hits))
+		}
+	}
+}
+
+// TestTenantPersistence checks tenant registrations travel through the gob
+// catalog: quotas and tenant-namespaced tables/indexes survive a close and
+// reopen, and enforcement picks up where it left off.
+func TestTenantPersistence(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tenants.svrdb")
+	spec := view.Spec{Components: []view.Component{view.OwnColumn("acme/Docs", "val")}}
+	opts := OpenOptions{Specs: map[string]view.Spec{"acme-val": spec}}
+
+	e, err := Open(path, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.CreateTenant("acme", TenantQuota{MaxRows: 3, MaxBytes: 1 << 20}); err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := e.DB().CreateTable(tenantDataSchema("acme/Docs"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = e.ApplyBatchChecked(
+		func() error { return e.CheckTenantQuota("acme", 2, 256) },
+		func() error {
+			for id := int64(1); id <= 2; id++ {
+				if err := tbl.Insert(tenantRow(id)); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.CreateTextIndex("acme/docs", "acme/Docs", "body", IndexOptions{
+		Method: MethodChunk, SpecName: "acme-val",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(path, opts)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer re.Close()
+	q, ok := re.TenantQuotaOf("acme")
+	if !ok || q.MaxRows != 3 || q.MaxBytes != 1<<20 {
+		t.Fatalf("reopened quota = %+v/%v, want MaxRows 3 MaxBytes 1MiB", q, ok)
+	}
+	if u := re.TenantUsageOf("acme"); u.Rows != 2 || u.Bytes == 0 {
+		t.Fatalf("reopened usage = %+v, want 2 rows with nonzero bytes", u)
+	}
+	idx, err := re.TextIndex("acme/docs")
+	if err != nil {
+		t.Fatalf("tenant index lost on reopen: %v", err)
+	}
+	if res, err := idx.Search(SearchRequest{Query: "alpha", K: 10}); err != nil || len(res.Hits) != 2 {
+		t.Fatalf("reopened tenant index search = %v hits, err %v; want 2 hits", len(res.Hits), err)
+	}
+	// Enforcement resumes against the recovered usage: one slot left.
+	rtbl, err := re.DB().Table("acme/Docs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	insertOne := func(id int64) error {
+		return re.ApplyBatchChecked(
+			func() error { return re.CheckTenantQuota("acme", 1, int64(EncodedRowSize(tenantRow(id)))) },
+			func() error { return rtbl.Insert(tenantRow(id)) })
+	}
+	if err := insertOne(3); err != nil {
+		t.Fatalf("final quota slot rejected after reopen: %v", err)
+	}
+	if err := insertOne(4); !errors.Is(err, ErrQuotaExceeded) {
+		t.Fatalf("insert past quota after reopen = %v, want ErrQuotaExceeded", err)
+	}
+	if !strings.Contains(fmt.Sprint(insertOne(5)), "acme") {
+		t.Error("quota error does not name the tenant")
+	}
+}

@@ -197,6 +197,11 @@ type Method interface {
 	// their epochs and recycles every retired page.  The method must not be
 	// used after Drain returns; queries racing it get ErrClosed.
 	Drain() error
+	// ReleasePages retires every page the method's structures occupy so an
+	// online drop returns them to the pagefile free list.  The caller must
+	// have fenced out writers, and must Drain afterwards to recycle the
+	// retired pages; the method is unusable once released.
+	ReleasePages() error
 }
 
 // Stats describes an index's size and the work it has performed.

@@ -1,0 +1,68 @@
+package index
+
+// This file implements ReleasePages, the storage half of an online index
+// drop: every page the method's structures occupy — the Score table, the
+// mutable keyed list, the ListScore/ListChunk table, the long-list blobs and
+// the fancy lists — is handed back for recycling.  Published pages are
+// retired to the epoch manager (a racing reader pinned to the last snapshot
+// may still traverse them) and fresh pages recycle immediately; the caller
+// then Drains the method, which waits for those readers to leave and moves
+// every retired page onto the pagefile free list.  The method must be fenced
+// from writers before the call and must not be used afterwards.
+
+// releaseBase retires the structures every method shares: the Score table's
+// tree and the long-list blobs.
+func (b *base) releaseBase() error {
+	if err := b.score.tree.RetireAll(); err != nil {
+		return err
+	}
+	b.retireBlobRefs(b.longRefs)
+	return nil
+}
+
+// ReleasePages implements Method.
+func (m *IDMethod) ReleasePages() error {
+	if err := m.releaseBase(); err != nil {
+		return err
+	}
+	return m.aux.tree.RetireAll()
+}
+
+// ReleasePages implements Method.
+func (m *ScoreMethod) ReleasePages() error {
+	if err := m.releaseBase(); err != nil {
+		return err
+	}
+	return m.lists.tree.RetireAll()
+}
+
+// ReleasePages implements Method.
+func (m *ScoreThresholdMethod) ReleasePages() error {
+	if err := m.releaseBase(); err != nil {
+		return err
+	}
+	if err := m.short.tree.RetireAll(); err != nil {
+		return err
+	}
+	return m.listScore.tree.RetireAll()
+}
+
+// ReleasePages implements Method.
+func (m *ChunkMethod) ReleasePages() error {
+	if err := m.releaseBase(); err != nil {
+		return err
+	}
+	if err := m.short.tree.RetireAll(); err != nil {
+		return err
+	}
+	return m.listChunk.tree.RetireAll()
+}
+
+// ReleasePages implements Method.
+func (m *ChunkTermScoreMethod) ReleasePages() error {
+	if err := m.ChunkMethod.ReleasePages(); err != nil {
+		return err
+	}
+	m.retireBlobRefs(m.fancyRefs)
+	return nil
+}

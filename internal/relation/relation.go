@@ -163,6 +163,11 @@ func (v Value) String() string {
 // Row is an ordered tuple matching a schema.
 type Row []Value
 
+// EncodedRowSize reports the storage-encoding size of a row in bytes — the
+// same figure Table.Bytes accumulates per row, exposed so quota admission
+// checks can project a batch's byte delta before mutating anything.
+func EncodedRowSize(r Row) int { return len(encodeRow(r)) }
+
 // encodeRow serializes a row (excluding nothing; the PK is stored redundantly
 // for simplicity).
 func encodeRow(r Row) []byte {
@@ -252,6 +257,10 @@ type Change struct {
 // synchronously after the mutation has been applied.
 type Listener func(Change)
 
+// ListenerHandle identifies a registered listener so it can be removed when
+// its consumer (a dropped index, a disconnected change stream) goes away.
+type ListenerHandle uint64
+
 // Table stores rows of a single schema keyed by their primary key.
 //
 // A Table is safe for concurrent use: readers (Get, GetMany, Scan,
@@ -280,11 +289,20 @@ type Table struct {
 	notifyCond sync.Cond // signals notifyNext advancing; uses notifyMu
 	notifyNext uint64    // ticket currently allowed to deliver; guarded by notifyMu
 
-	mu        sync.RWMutex
-	secondary map[string]*btree.Tree // column name -> (value, pk) index
-	listeners []Listener
-	pool      *buffer.Pool
-	rowCount  int
+	mu         sync.RWMutex
+	secondary  map[string]*btree.Tree // column name -> (value, pk) index
+	listeners  []registeredListener
+	listenerID uint64
+	pool       *buffer.Pool
+	rowCount   int
+	rowBytes   int64
+}
+
+// registeredListener pairs a listener with its removal handle; the slice
+// preserves registration order, which notification delivery relies on.
+type registeredListener struct {
+	id ListenerHandle
+	fn Listener
 }
 
 // NewTable creates an empty table for schema, storing rows in B+-trees over
@@ -320,19 +338,46 @@ func (t *Table) Len() int {
 	return t.rowCount
 }
 
-// OnChange registers a listener for mutations on this table.
-func (t *Table) OnChange(l Listener) {
+// Bytes reports the encoded size of every live row, the figure byte quotas
+// meter.  Tables restored from pre-quota catalogs start at zero and account
+// from their first post-restore mutation.
+func (t *Table) Bytes() int64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.rowBytes
+}
+
+// OnChange registers a listener for mutations on this table and returns a
+// handle that RemoveListener accepts.
+func (t *Table) OnChange(l Listener) ListenerHandle {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	t.listeners = append(t.listeners, l)
+	t.listenerID++
+	h := ListenerHandle(t.listenerID)
+	t.listeners = append(t.listeners, registeredListener{id: h, fn: l})
+	return h
+}
+
+// RemoveListener detaches a listener registered with OnChange.  A mutation
+// already past its registration snapshot may still deliver one final change
+// after RemoveListener returns; removing an unknown handle is a no-op.
+func (t *Table) RemoveListener(h ListenerHandle) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i, rl := range t.listeners {
+		if rl.id == h {
+			t.listeners = append(t.listeners[:i], t.listeners[i+1:]...)
+			return
+		}
+	}
 }
 
 func (t *Table) notify(c Change) {
 	t.mu.RLock()
-	listeners := append([]Listener(nil), t.listeners...)
+	listeners := append([]registeredListener(nil), t.listeners...)
 	t.mu.RUnlock()
 	for _, l := range listeners {
-		l(c)
+		l.fn(c)
 	}
 }
 
@@ -403,11 +448,13 @@ func (t *Table) insertLocked(pk int64, row Row) error {
 	} else if ok {
 		return fmt.Errorf("%w: %d in table %q", ErrDuplicateKey, pk, t.schema.Name)
 	}
-	if err := t.tree.Put(key, encodeRow(row)); err != nil {
+	encoded := encodeRow(row)
+	if err := t.tree.Put(key, encoded); err != nil {
 		return err
 	}
 	t.mu.Lock()
 	t.rowCount++
+	t.rowBytes += int64(len(encoded))
 	t.mu.Unlock()
 	return t.indexRow(row, true)
 }
@@ -497,12 +544,16 @@ func (t *Table) updateLocked(pk int64, updates map[string]Value) (old, updated R
 	if err := t.unindexRow(old); err != nil {
 		return nil, nil, err
 	}
-	if err := t.tree.Put(pkKey(pk), encodeRow(updated)); err != nil {
+	encoded := encodeRow(updated)
+	if err := t.tree.Put(pkKey(pk), encoded); err != nil {
 		return nil, nil, err
 	}
 	if err := t.indexRow(updated, false); err != nil {
 		return nil, nil, err
 	}
+	t.mu.Lock()
+	t.rowBytes += int64(len(encoded)) - int64(len(encodeRow(old)))
+	t.mu.Unlock()
 	return old, updated, nil
 }
 
@@ -532,6 +583,7 @@ func (t *Table) deleteLocked(pk int64) (Row, error) {
 	}
 	t.mu.Lock()
 	t.rowCount--
+	t.rowBytes -= int64(len(encodeRow(old)))
 	t.mu.Unlock()
 	return old, nil
 }
@@ -779,6 +831,10 @@ type TableState struct {
 	Schema    Schema
 	Tree      TreeState
 	Secondary map[string]TreeState // column name -> secondary index tree
+	// Bytes is the encoded-row footprint at checkpoint time, restored so
+	// byte quotas keep metering across restarts.  Catalogs written before
+	// the field existed decode it as zero.
+	Bytes int64
 }
 
 // State snapshots the table for a checkpoint.  The caller must hold the
@@ -789,6 +845,7 @@ func (t *Table) State() TableState {
 	st := TableState{
 		Schema: t.schema,
 		Tree:   TreeState{Root: t.tree.RootPage(), Size: t.tree.Len()},
+		Bytes:  t.rowBytes,
 	}
 	if len(t.secondary) > 0 {
 		st.Secondary = make(map[string]TreeState, len(t.secondary))
@@ -816,6 +873,7 @@ func (db *DB) RestoreTable(st TableState) (*Table, error) {
 		secondary: map[string]*btree.Tree{},
 		pool:      db.pool,
 		rowCount:  st.Tree.Size,
+		rowBytes:  st.Bytes,
 	}
 	for col, ts := range st.Secondary {
 		if _, err := st.Schema.ColumnIndex(col); err != nil {

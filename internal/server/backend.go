@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"svrdb/internal/core"
+	"svrdb/internal/relation"
 )
 
 // Backend is one shard as the Router sees it: the subset of the single-node
@@ -29,6 +30,13 @@ type Backend interface {
 	Batch(ctx context.Context, ops []BatchOp) (*BatchResponse, error)
 	Schema(ctx context.Context, table string) (*SchemaResponse, error)
 	Stats(ctx context.Context) (map[string]any, error)
+	// CreateIndex builds a text index on this shard; the router fans it out
+	// to every shard so searches can scatter uniformly afterwards.
+	CreateIndex(ctx context.Context, req CreateIndexRequest) error
+	// DropIndex removes a text index from this shard.
+	DropIndex(ctx context.Context, name string) error
+	// CreateTenant registers (or re-quotas) a tenant on this shard.
+	CreateTenant(ctx context.Context, req CreateTenantRequest) error
 	// Health returns nil when the shard can serve.
 	Health(ctx context.Context) error
 	Close() error
@@ -37,12 +45,31 @@ type Backend interface {
 // backendError carries the HTTP status a backend's failure maps to — for
 // HTTPBackend, the status the remote shard already chose; for in-process
 // validation failures, the status the single-node handler would have sent.
+// resp, when set, is the structured error body to forward verbatim (a
+// shard's not_found payload keeps its code/resource/name fields through the
+// router).
 type backendError struct {
 	status int
 	msg    string
+	resp   *ErrorResponse
 }
 
 func (e *backendError) Error() string { return e.msg }
+
+// notFoundBackendErr builds the structured 404 the single-node handlers
+// emit, wrapped as a backendError so the router forwards the same shape.
+func notFoundBackendErr(resource, name string, err error) *backendError {
+	return &backendError{
+		status: http.StatusNotFound,
+		msg:    err.Error(),
+		resp: &ErrorResponse{
+			Error:    err.Error(),
+			Code:     "not_found",
+			Resource: resource,
+			Name:     name,
+		},
+	}
+}
 
 // httpStatusOf maps a backend failure to a response status: a backendError
 // keeps its embedded status, anything else goes through the engine-error
@@ -93,7 +120,7 @@ func (b *EngineBackend) Search(ctx context.Context, index string, req SearchRequ
 	}
 	ti, err := b.engine.TextIndex(index)
 	if err != nil {
-		return nil, &backendError{status: http.StatusNotFound, msg: err.Error()}
+		return nil, notFoundBackendErr("index", index, err)
 	}
 	res, err := ti.Search(coreSearchRequest(query, k, req))
 	if err != nil {
@@ -106,7 +133,7 @@ func (b *EngineBackend) Search(ctx context.Context, index string, req SearchRequ
 func (b *EngineBackend) TermStats(ctx context.Context, index, query string) (*TermStatsResponse, error) {
 	ti, err := b.engine.TextIndex(index)
 	if err != nil {
-		return nil, &backendError{status: http.StatusNotFound, msg: err.Error()}
+		return nil, notFoundBackendErr("index", index, err)
 	}
 	numDocs, df, err := ti.TermStats(query)
 	if err != nil {
@@ -130,7 +157,7 @@ func (b *EngineBackend) Batch(ctx context.Context, ops []BatchOp) (*BatchRespons
 func (b *EngineBackend) Schema(ctx context.Context, table string) (*SchemaResponse, error) {
 	tbl, err := b.engine.DB().Table(table)
 	if err != nil {
-		return nil, &backendError{status: http.StatusNotFound, msg: err.Error()}
+		return nil, notFoundBackendErr("table", table, err)
 	}
 	resp := schemaResponse(table, tbl.Schema())
 	return &resp, nil
@@ -138,6 +165,24 @@ func (b *EngineBackend) Schema(ctx context.Context, table string) (*SchemaRespon
 
 func (b *EngineBackend) Stats(ctx context.Context) (map[string]any, error) {
 	return engineStatsPayload(b.engine), nil
+}
+
+func (b *EngineBackend) CreateIndex(ctx context.Context, req CreateIndexRequest) error {
+	return createJSONIndex(b.engine, req)
+}
+
+func (b *EngineBackend) DropIndex(ctx context.Context, name string) error {
+	if err := b.engine.DropTextIndex(name); err != nil {
+		if errors.Is(err, relation.ErrNotFound) {
+			return notFoundBackendErr("index", name, err)
+		}
+		return err
+	}
+	return nil
+}
+
+func (b *EngineBackend) CreateTenant(ctx context.Context, req CreateTenantRequest) error {
+	return createJSONTenant(b.engine, req)
 }
 
 // Health reports the engine's close state; an in-process shard is down only
@@ -225,13 +270,19 @@ func (b *HTTPBackend) do(ctx context.Context, method, path string, in, out any) 
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
 		var er ErrorResponse
 		msg := resp.Status
+		var structured *ErrorResponse
 		if json.NewDecoder(resp.Body).Decode(&er) == nil && er.Error != "" {
 			msg = er.Error
+			if er.Code != "" {
+				// Keep the shard's structured body so the router can forward
+				// the same shape it would have produced itself.
+				structured = &er
+			}
 		}
 		if resp.StatusCode >= 500 {
 			b.failures.Add(1)
 		}
-		return &backendError{status: resp.StatusCode, msg: fmt.Sprintf("shard %s: %s", b.label, msg)}
+		return &backendError{status: resp.StatusCode, msg: fmt.Sprintf("shard %s: %s", b.label, msg), resp: structured}
 	}
 	if out == nil {
 		return nil
@@ -327,6 +378,18 @@ func (b *HTTPBackend) Stats(ctx context.Context) (map[string]any, error) {
 		return nil, err
 	}
 	return out, nil
+}
+
+func (b *HTTPBackend) CreateIndex(ctx context.Context, req CreateIndexRequest) error {
+	return b.do(ctx, http.MethodPost, "/v1/indexes", req, nil)
+}
+
+func (b *HTTPBackend) DropIndex(ctx context.Context, name string) error {
+	return b.do(ctx, http.MethodDelete, "/v1/indexes/"+url.PathEscape(name), nil, nil)
+}
+
+func (b *HTTPBackend) CreateTenant(ctx context.Context, req CreateTenantRequest) error {
+	return b.do(ctx, http.MethodPost, "/v1/tenants", req, nil)
 }
 
 func (b *HTTPBackend) Health(ctx context.Context) error {

@@ -110,6 +110,11 @@ func (l *lifecycle) start(addr string, handler http.Handler) (string, error) {
 // Serve failed.
 func (l *lifecycle) done() <-chan struct{} { return l.serveDone }
 
+// isDraining reports whether shutdown has begun; long-lived streaming
+// handlers poll it so an open stream ends promptly instead of holding the
+// handler drain until its context deadline.
+func (l *lifecycle) isDraining() bool { return l.draining.Load() }
+
 // serveError reports why the accept loop exited; it is meaningful once
 // done is closed and nil for a clean shutdown.
 func (l *lifecycle) serveError() error { return l.serveErr }

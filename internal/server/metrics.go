@@ -213,9 +213,24 @@ func (w *statusRecorder) Write(b []byte) (int, error) {
 	return w.ResponseWriter.Write(b)
 }
 
+// Flush forwards to the underlying writer so streaming handlers (the change
+// subscription) can push partial responses through the instrumented wrapper.
+func (w *statusRecorder) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// tenantRoutePrefix labels the per-tenant latency cells in the registry, so
+// /v1/stats can split them out of the per-endpoint listing.
+const tenantRoutePrefix = "tenant:"
+
 // instrument wraps a handler so every request is timed and recorded against
 // the route label.  The label is fixed at registration, so the metrics cell
 // is resolved once here rather than through the locked map on every request.
+// Requests carrying a tenant header are additionally recorded into that
+// tenant's own histogram, giving /v1/stats a per-tenant latency slice — the
+// number the tenants benchmark reads to check hot-neighbor isolation.
 func (r *Registry) instrument(label string, h http.HandlerFunc) http.HandlerFunc {
 	m := r.route(label)
 	return func(w http.ResponseWriter, req *http.Request) {
@@ -225,6 +240,10 @@ func (r *Registry) instrument(label string, h http.HandlerFunc) http.HandlerFunc
 		if rec.status == 0 {
 			rec.status = http.StatusOK
 		}
-		m.observe(rec.status, time.Since(start))
+		d := time.Since(start)
+		m.observe(rec.status, d)
+		if tenant := req.Header.Get(tenantHeader); tenant != "" {
+			r.Observe(tenantRoutePrefix+tenant, rec.status, d)
+		}
 	}
 }

@@ -214,6 +214,19 @@ func (rt *Router) markDown(i int, err error) {
 	rt.health[i].errMu.Unlock()
 }
 
+// noteShardErr marks a shard down only for failures that say the shard
+// itself is unhealthy: transport errors and 5xx responses.  A 4xx means the
+// shard answered — it just rejected the request (unknown index, bad query) —
+// and marking it down would eject every healthy shard the first time a
+// client typos an index name.
+func (rt *Router) noteShardErr(i int, err error) {
+	var be *backendError
+	if errors.As(err, &be) && be.status < 500 {
+		return
+	}
+	rt.markDown(i, err)
+}
+
 func (rt *Router) markUp(i int) {
 	rt.health[i].up.Store(true)
 	rt.health[i].errMu.Lock()
@@ -241,10 +254,14 @@ func (rt *Router) routes() {
 	register("GET /healthz", rt.handleHealthz)
 	register("GET /v1/stats", rt.handleStats)
 	register("GET /v1/tables/{name}/schema", rt.handleSchema)
+	register("POST /v1/indexes", rt.handleCreateIndex)
+	register("DELETE /v1/indexes/{name}", rt.handleDropIndex)
 	register("POST /v1/indexes/{name}/search", rt.handleSearch)
 	register("POST /v1/indexes/{name}/termstats", rt.handleTermStats)
 	register("POST /v1/tables/{name}/rows", rt.handleInsertRows)
 	register("POST /v1/batch", rt.handleBatch)
+	register("POST /v1/tenants", rt.handleCreateTenant)
+	register("GET /v1/changes", rt.handleChanges)
 }
 
 func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -480,7 +497,7 @@ func (rt *Router) scatterSearch(ctx context.Context, index string, req SearchReq
 			if errs[j] != nil {
 				// A shard that cannot answer the gather cannot score
 				// consistently either; drop it from the scatter too.
-				rt.markDown(i, errs[j])
+				rt.noteShardErr(i, errs[j])
 				partial = true
 				if firstErr == nil {
 					firstErr = errs[j]
@@ -532,7 +549,7 @@ func (rt *Router) scatterSearch(ctx context.Context, index string, req SearchReq
 	var firstErr error
 	for j, i := range idxs {
 		if errs[j] != nil {
-			rt.markDown(i, errs[j])
+			rt.noteShardErr(i, errs[j])
 			partial = true
 			if firstErr == nil {
 				firstErr = errs[j]
@@ -602,7 +619,7 @@ func (rt *Router) handleTermStats(w http.ResponseWriter, r *http.Request) {
 	var firstErr error
 	for j, i := range idxs {
 		if errs[j] != nil {
-			rt.markDown(i, errs[j])
+			rt.noteShardErr(i, errs[j])
 			if firstErr == nil {
 				firstErr = errs[j]
 			}
@@ -868,4 +885,141 @@ func (rt *Router) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, BatchResponse{Applied: len(req.Ops), Matched: int(matched.Load())})
+}
+
+// --- index & tenant lifecycle ------------------------------------------------------
+
+// requireAllShards verifies that every shard is currently healthy; index and
+// tenant lifecycle operations fan out to the whole cluster, and running one
+// with a shard missing would leave that shard permanently inconsistent with
+// the rest (searches scatter to every shard, so a shard without the index
+// would fail every query against it).
+func (rt *Router) requireAllShards() error {
+	for i := range rt.backends {
+		if !rt.health[i].up.Load() {
+			return &backendError{
+				status: http.StatusServiceUnavailable,
+				msg: fmt.Sprintf("router: lifecycle operation needs every shard, shard %d (%s) is down",
+					i, rt.backends[i].Label()),
+			}
+		}
+	}
+	return nil
+}
+
+// fanOutLifecycle runs call on every shard in parallel and joins failures.
+func (rt *Router) fanOutLifecycle(call func(shard int) error) error {
+	var wg sync.WaitGroup
+	errs := make([]error, len(rt.backends))
+	for i := range rt.backends {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := call(i); err != nil {
+				errs[i] = fmt.Errorf("shard %d: %w", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// handleCreateIndex fans an online index build out to every shard.  Each
+// shard backfills from its own slice of the data; searches scattering during
+// the build cleanly miss on shards that have not published yet and observe
+// the fully backfilled index afterwards.  There is no cross-shard
+// transaction: a failed shard leaves the name existing on some shards only,
+// and the error names which — re-issuing the create is safe on shards where
+// it already exists (409) and completes the rest.
+func (rt *Router) handleCreateIndex(w http.ResponseWriter, r *http.Request) {
+	var req CreateIndexRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	req.Name = qualifyName(r, req.Name)
+	req.Table = qualifyName(r, req.Table)
+	if err := rt.requireAllShards(); err != nil {
+		writeError(w, httpStatusOf(err), err)
+		return
+	}
+	// No per-shard timeout here: a backfill over a large shard legitimately
+	// takes longer than a search round-trip, so only the client's own
+	// context bounds it.
+	if err := rt.fanOutLifecycle(func(shard int) error {
+		return rt.backends[shard].CreateIndex(r.Context(), req)
+	}); err != nil {
+		writeError(w, httpStatusOf(err), err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, CreateIndexResponse{
+		Name:   req.Name,
+		Table:  req.Table,
+		Column: req.Column,
+		Method: req.Method,
+	})
+}
+
+// handleDropIndex fans an index drop out to every shard.  A shard that no
+// longer has the index reports not_found, which the drop treats as success
+// on that shard (drops are idempotent); only if every shard misses does the
+// router answer 404.
+func (rt *Router) handleDropIndex(w http.ResponseWriter, r *http.Request) {
+	name := qualifyName(r, r.PathValue("name"))
+	if err := rt.requireAllShards(); err != nil {
+		writeError(w, httpStatusOf(err), err)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), rt.opts.ShardTimeout)
+	defer cancel()
+	missing := atomic.Int64{}
+	err := rt.fanOutLifecycle(func(shard int) error {
+		err := rt.backends[shard].DropIndex(ctx, name)
+		var be *backendError
+		if errors.As(err, &be) && be.status == http.StatusNotFound {
+			missing.Add(1)
+			return nil
+		}
+		return err
+	})
+	if err != nil {
+		writeError(w, httpStatusOf(err), err)
+		return
+	}
+	if int(missing.Load()) == len(rt.backends) {
+		writeNotFound(w, "index", name, fmt.Errorf("router: no shard has an index named %q", name))
+		return
+	}
+	writeJSON(w, http.StatusOK, DropIndexResponse{Dropped: name})
+}
+
+// handleCreateTenant fans a tenant registration out to every shard, so each
+// shard meters its own slice of the tenant's rows against the same quota.
+func (rt *Router) handleCreateTenant(w http.ResponseWriter, r *http.Request) {
+	var req CreateTenantRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := rt.requireAllShards(); err != nil {
+		writeError(w, httpStatusOf(err), err)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), rt.opts.ShardTimeout)
+	defer cancel()
+	if err := rt.fanOutLifecycle(func(shard int) error {
+		return rt.backends[shard].CreateTenant(ctx, req)
+	}); err != nil {
+		writeError(w, httpStatusOf(err), err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]any{"name": req.Name})
+}
+
+// handleChanges: a cross-shard change stream would need commit-ordered
+// merging across engines, which the scatter-gather layer does not provide;
+// subscribers connect to the shard that owns their keys instead.
+func (rt *Router) handleChanges(w http.ResponseWriter, r *http.Request) {
+	writeError(w, http.StatusNotImplemented,
+		errors.New("router: change streaming is per-shard; connect to a shard server directly"))
 }

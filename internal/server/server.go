@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"svrdb/internal/core"
@@ -108,6 +109,14 @@ func (w *jsonErrorWriter) Write(b []byte) (int, error) {
 	return w.ResponseWriter.Write(b)
 }
 
+// Flush forwards to the underlying writer so the change-subscription stream
+// can push lines through the error-rewriting wrapper.
+func (w *jsonErrorWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
 // Metrics returns the server's metrics registry.
 func (s *Server) Metrics() *Registry { return s.metrics }
 
@@ -150,10 +159,29 @@ func (s *Server) routes() {
 	register("GET /healthz", s.handleHealthz)
 	register("GET /v1/stats", s.handleStats)
 	register("GET /v1/tables/{name}/schema", s.handleSchema)
+	register("POST /v1/indexes", s.handleCreateIndex)
+	register("DELETE /v1/indexes/{name}", s.handleDropIndex)
 	register("POST /v1/indexes/{name}/search", s.handleSearch)
 	register("POST /v1/indexes/{name}/termstats", s.handleTermStats)
 	register("POST /v1/tables/{name}/rows", s.handleInsertRows)
 	register("POST /v1/batch", s.handleBatch)
+	register("POST /v1/tenants", s.handleCreateTenant)
+	register("GET /v1/tenants", s.handleListTenants)
+	register("GET /v1/changes", s.handleChanges)
+}
+
+// tenantHeader carries the caller's tenant.  It namespaces unqualified
+// table and index names ("Reviews" becomes "<tenant>/Reviews", names already
+// containing "/" pass through) and keys the per-tenant latency histograms —
+// so multi-tenant clients use the plain API and never repeat the prefix.
+const tenantHeader = "X-SVR-Tenant"
+
+// qualifyName applies the request's tenant namespace to an unqualified name.
+func qualifyName(r *http.Request, name string) string {
+	if t := r.Header.Get(tenantHeader); t != "" && name != "" && !strings.Contains(name, "/") {
+		return t + "/" + name
+	}
+	return name
 }
 
 // --- request/response types ------------------------------------------------------
@@ -278,9 +306,84 @@ type BatchResponse struct {
 	Matched int `json:"matched"`
 }
 
-// ErrorResponse is the body of every non-2xx response.
+// ErrorResponse is the body of every non-2xx response.  Code, Resource and
+// Name are set on structured errors (today: every 404 for a missing index,
+// table or tenant, from both the single-engine server and the router), so
+// clients can distinguish "that index does not exist" from other failures
+// without parsing the human-readable message.
 type ErrorResponse struct {
 	Error string `json:"error"`
+	// Code is a stable machine-readable discriminator; "not_found" today.
+	Code string `json:"code,omitempty"`
+	// Resource names what kind of thing was missing: "index", "table", "tenant".
+	Resource string `json:"resource,omitempty"`
+	// Name is the missing resource's (qualified) name.
+	Name string `json:"name,omitempty"`
+}
+
+// CreateIndexRequest is the body of POST /v1/indexes: build a new text index
+// online.  The build runs under the engine's batch lock — writers queue
+// behind it like behind a long batch, searches keep serving throughout and
+// observe the index only once it is fully backfilled.
+type CreateIndexRequest struct {
+	Name   string `json:"name"`
+	Table  string `json:"table"`
+	Column string `json:"column"`
+	// Method selects the inverted-list structure ("id", "score",
+	// "score-threshold", "chunk", "id-termscore", "chunk-termscore");
+	// empty selects chunk, the paper's recommended method.
+	Method string `json:"method,omitempty"`
+	// Spec names a score specification registered on the engine (specs hold
+	// Go functions and cannot travel in a request body).
+	Spec string `json:"spec"`
+	// Optional method knobs; zero values use the paper's defaults.
+	ThresholdRatio float64 `json:"threshold_ratio,omitempty"`
+	ChunkRatio     float64 `json:"chunk_ratio,omitempty"`
+	MinChunkSize   int     `json:"min_chunk_size,omitempty"`
+	FancyListSize  int     `json:"fancy_list_size,omitempty"`
+}
+
+// CreateIndexResponse is the body of a successful index creation.
+type CreateIndexResponse struct {
+	Name   string `json:"name"`
+	Table  string `json:"table"`
+	Column string `json:"column"`
+	Method string `json:"method"`
+}
+
+// DropIndexResponse is the body of a successful DELETE /v1/indexes/{name}.
+type DropIndexResponse struct {
+	Dropped string `json:"dropped"`
+}
+
+// CreateTenantRequest is the body of POST /v1/tenants.  Zero quota fields
+// mean unlimited on that axis; re-creating a tenant replaces its quota.
+type CreateTenantRequest struct {
+	Name     string `json:"name"`
+	MaxRows  int64  `json:"max_rows,omitempty"`
+	MaxBytes int64  `json:"max_bytes,omitempty"`
+}
+
+// TenantStatus is one tenant's registration and live usage, served by
+// GET /v1/tenants and the stats endpoint's tenants section.
+type TenantStatus struct {
+	Name     string `json:"name"`
+	MaxRows  int64  `json:"max_rows"`
+	MaxBytes int64  `json:"max_bytes"`
+	Rows     int64  `json:"rows"`
+	Bytes    int64  `json:"bytes"`
+}
+
+// ChangeEvent is one line of the GET /v1/changes NDJSON stream.  A line with
+// Lagged set means the subscriber fell behind the table's write rate and an
+// unknown number of events were dropped — change delivery never blocks the
+// engine's commit-ordered notification path on a slow client.
+type ChangeEvent struct {
+	Table  string         `json:"table,omitempty"`
+	Kind   string         `json:"kind,omitempty"`
+	PK     int64          `json:"pk,omitempty"`
+	Row    map[string]any `json:"row,omitempty"`
+	Lagged bool           `json:"lagged,omitempty"`
 }
 
 // --- handlers --------------------------------------------------------------------
@@ -296,7 +399,34 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	body := engineStatsPayload(s.engine)
 	body["uptime_seconds"] = s.metrics.Uptime().Seconds()
-	body["endpoints"] = s.metrics.Snapshot()
+	// Per-tenant latency cells live in the same registry under a label
+	// prefix; split them into the tenants section so the endpoints list
+	// stays per-route.
+	endpoints := make([]EndpointSnapshot, 0)
+	latencies := map[string]EndpointSnapshot{}
+	for _, snap := range s.metrics.Snapshot() {
+		if t, ok := strings.CutPrefix(snap.Route, tenantRoutePrefix); ok {
+			latencies[t] = snap
+			continue
+		}
+		endpoints = append(endpoints, snap)
+	}
+	body["endpoints"] = endpoints
+	tenants := make([]map[string]any, 0)
+	for _, st := range tenantStatuses(s.engine) {
+		entry := map[string]any{
+			"name":      st.Name,
+			"max_rows":  st.MaxRows,
+			"max_bytes": st.MaxBytes,
+			"rows":      st.Rows,
+			"bytes":     st.Bytes,
+		}
+		if lat, ok := latencies[st.Name]; ok {
+			entry["latency"] = lat
+		}
+		tenants = append(tenants, entry)
+	}
+	body["tenants"] = tenants
 	writeJSON(w, http.StatusOK, body)
 }
 
@@ -434,9 +564,10 @@ func searchResponseFromResult(e *core.Engine, table string, res *core.SearchResu
 }
 
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
-	ti, err := s.engine.TextIndex(r.PathValue("name"))
+	name := qualifyName(r, r.PathValue("name"))
+	ti, err := s.engine.TextIndex(name)
 	if err != nil {
-		writeError(w, http.StatusNotFound, err)
+		writeNotFound(w, "index", name, err)
 		return
 	}
 	var req SearchRequest
@@ -463,9 +594,10 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleTermStats(w http.ResponseWriter, r *http.Request) {
-	ti, err := s.engine.TextIndex(r.PathValue("name"))
+	name := qualifyName(r, r.PathValue("name"))
+	ti, err := s.engine.TextIndex(name)
 	if err != nil {
-		writeError(w, http.StatusNotFound, err)
+		writeNotFound(w, "index", name, err)
 		return
 	}
 	var req TermStatsRequest
@@ -487,12 +619,13 @@ func (s *Server) handleTermStats(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSchema(w http.ResponseWriter, r *http.Request) {
-	tbl, err := s.engine.DB().Table(r.PathValue("name"))
+	name := qualifyName(r, r.PathValue("name"))
+	tbl, err := s.engine.DB().Table(name)
 	if err != nil {
-		writeError(w, http.StatusNotFound, err)
+		writeNotFound(w, "table", name, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, schemaResponse(r.PathValue("name"), tbl.Schema()))
+	writeJSON(w, http.StatusOK, schemaResponse(name, tbl.Schema()))
 }
 
 func schemaResponse(table string, schema relation.Schema) SchemaResponse {
@@ -531,8 +664,19 @@ func insertJSONRows(e *core.Engine, table string, jsonRows []map[string]json.Raw
 	// per row.  Rows are schema-validated above, but a runtime failure
 	// (e.g. a duplicate primary key) has no rollback — rows before the
 	// failing one stay inserted, and the error names where the batch
-	// stopped.
-	return e.ApplyBatch(func() error {
+	// stopped.  The quota pre-check runs under the batch lock before any
+	// mutation: an over-quota insert batch rejects atomically.
+	var pre func() error
+	if tenant := core.TenantOf(table); tenant != "" {
+		var addBytes int64
+		for _, row := range rows {
+			addBytes += int64(core.EncodedRowSize(row))
+		}
+		pre = func() error {
+			return e.CheckTenantQuota(tenant, int64(len(rows)), addBytes)
+		}
+	}
+	return e.ApplyBatchChecked(pre, func() error {
 		for i, row := range rows {
 			if err := tbl.Insert(row); err != nil {
 				return fmt.Errorf("row %d: %w", i, err)
@@ -552,7 +696,7 @@ func (s *Server) handleInsertRows(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, errors.New("\"rows\" must be a non-empty array"))
 		return
 	}
-	if err := insertJSONRows(s.engine, r.PathValue("name"), req.Rows); err != nil {
+	if err := insertJSONRows(s.engine, qualifyName(r, r.PathValue("name")), req.Rows); err != nil {
 		writeError(w, statusForEngineErr(err), err)
 		return
 	}
@@ -572,20 +716,53 @@ func applyJSONBatch(e *core.Engine, ops []BatchOp) (int, error) {
 	// failing one stay applied and the error names the op that stopped the
 	// batch — clients must treat a non-2xx as "applied up to the named op".
 	matched := 0
-	apply := make([]func() error, len(ops))
+	bound := make([]boundOp, len(ops))
+	metered := false
 	for i, op := range ops {
-		fn, err := bindOp(e, op, &matched)
+		b, err := bindOp(e, op, &matched)
 		if err != nil {
 			if !errors.Is(err, relation.ErrNotFound) {
 				err = fmt.Errorf("%w: %s", core.ErrInvalidRequest, err)
 			}
 			return 0, fmt.Errorf("op %d: %w", i, err)
 		}
-		apply[i] = fn
+		bound[i] = b
+		metered = metered || b.tenant != ""
 	}
-	err := e.ApplyBatch(func() error {
-		for i, fn := range apply {
-			if err := fn(); err != nil {
+	// Quota admission: under the batch lock (where no other batch can move
+	// usage), sum every metered tenant's projected row/byte delta and check
+	// it against its quota.  A failing check rejects the whole batch before
+	// any op runs, so one tenant's over-quota batch never half-applies and
+	// never disturbs other tenants' batches queued behind it.
+	var pre func() error
+	if metered {
+		pre = func() error {
+			type delta struct{ rows, bytes int64 }
+			perTenant := map[string]*delta{}
+			for _, b := range bound {
+				if b.tenant == "" {
+					continue
+				}
+				rows, bytes := b.delta()
+				d := perTenant[b.tenant]
+				if d == nil {
+					d = &delta{}
+					perTenant[b.tenant] = d
+				}
+				d.rows += rows
+				d.bytes += bytes
+			}
+			for tenant, d := range perTenant {
+				if err := e.CheckTenantQuota(tenant, d.rows, d.bytes); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+	}
+	err := e.ApplyBatchChecked(pre, func() error {
+		for i, b := range bound {
+			if err := b.apply(); err != nil {
 				return fmt.Errorf("op %d: %w", i, err)
 			}
 		}
@@ -607,6 +784,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, errors.New("\"ops\" must be a non-empty array"))
 		return
 	}
+	for i := range req.Ops {
+		req.Ops[i].Table = qualifyName(r, req.Ops[i].Table)
+	}
 	matched, err := applyJSONBatch(s.engine, req.Ops)
 	if err != nil {
 		writeError(w, statusForEngineErr(err), err)
@@ -615,43 +795,256 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, BatchResponse{Applied: len(req.Ops), Matched: matched})
 }
 
+// createJSONIndex validates a creation request and builds the index; shared
+// by the single-engine handler and the router's engine backend.
+func createJSONIndex(e *core.Engine, req CreateIndexRequest) error {
+	if req.Name == "" || req.Table == "" || req.Column == "" {
+		return fmt.Errorf("%w: \"name\", \"table\" and \"column\" are required", core.ErrInvalidRequest)
+	}
+	if req.Spec == "" {
+		return fmt.Errorf("%w: \"spec\" must name a registered score spec (one of %v)",
+			core.ErrInvalidRequest, e.SpecNames())
+	}
+	_, err := e.CreateTextIndex(req.Name, req.Table, req.Column, core.IndexOptions{
+		Method:         core.MethodKind(req.Method),
+		SpecName:       req.Spec,
+		ThresholdRatio: req.ThresholdRatio,
+		ChunkRatio:     req.ChunkRatio,
+		MinChunkSize:   req.MinChunkSize,
+		FancyListSize:  req.FancyListSize,
+	})
+	return err
+}
+
+func (s *Server) handleCreateIndex(w http.ResponseWriter, r *http.Request) {
+	var req CreateIndexRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	req.Name = qualifyName(r, req.Name)
+	req.Table = qualifyName(r, req.Table)
+	if err := createJSONIndex(s.engine, req); err != nil {
+		if errors.Is(err, relation.ErrNotFound) {
+			writeNotFound(w, "table", req.Table, err)
+			return
+		}
+		writeError(w, statusForEngineErr(err), err)
+		return
+	}
+	ti, err := s.engine.TextIndex(req.Name)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, CreateIndexResponse{
+		Name:   req.Name,
+		Table:  req.Table,
+		Column: req.Column,
+		Method: ti.Method().Name(),
+	})
+}
+
+func (s *Server) handleDropIndex(w http.ResponseWriter, r *http.Request) {
+	name := qualifyName(r, r.PathValue("name"))
+	if err := s.engine.DropTextIndex(name); err != nil {
+		if errors.Is(err, relation.ErrNotFound) {
+			writeNotFound(w, "index", name, err)
+			return
+		}
+		writeError(w, statusForEngineErr(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, DropIndexResponse{Dropped: name})
+}
+
+func (s *Server) handleCreateTenant(w http.ResponseWriter, r *http.Request) {
+	var req CreateTenantRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := createJSONTenant(s.engine, req); err != nil {
+		writeError(w, statusForEngineErr(err), err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, tenantStatus(s.engine, req.Name))
+}
+
+// createJSONTenant registers the tenant and, on durable engines, persists
+// the registration immediately through an empty batch (the catalog commit
+// rides the batch path), so a quota survives a crash that follows it.
+func createJSONTenant(e *core.Engine, req CreateTenantRequest) error {
+	quota := core.TenantQuota{MaxRows: req.MaxRows, MaxBytes: req.MaxBytes}
+	if err := e.CreateTenant(req.Name, quota); err != nil {
+		return err
+	}
+	return e.ApplyBatch(func() error { return nil })
+}
+
+func (s *Server) handleListTenants(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"tenants": tenantStatuses(s.engine)})
+}
+
+func tenantStatus(e *core.Engine, name string) TenantStatus {
+	quota, _ := e.TenantQuotaOf(name)
+	usage := e.TenantUsageOf(name)
+	return TenantStatus{
+		Name:     name,
+		MaxRows:  quota.MaxRows,
+		MaxBytes: quota.MaxBytes,
+		Rows:     usage.Rows,
+		Bytes:    usage.Bytes,
+	}
+}
+
+func tenantStatuses(e *core.Engine) []TenantStatus {
+	names := e.TenantNames()
+	out := make([]TenantStatus, len(names))
+	for i, n := range names {
+		out[i] = tenantStatus(e, n)
+	}
+	return out
+}
+
+// changeStreamBuffer bounds each subscriber's queue.  The table's listener
+// enqueues without blocking: a subscriber slower than the write rate loses
+// events and is told so via a lagged marker, rather than ever stalling the
+// engine's commit-ordered notification path.
+const changeStreamBuffer = 256
+
+func (s *Server) handleChanges(w http.ResponseWriter, r *http.Request) {
+	table := qualifyName(r, r.URL.Query().Get("table"))
+	if table == "" {
+		writeError(w, http.StatusBadRequest, errors.New("query parameter \"table\" is required"))
+		return
+	}
+	tbl, err := s.engine.DB().Table(table)
+	if err != nil {
+		writeNotFound(w, "table", table, err)
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, errors.New("response writer does not support streaming"))
+		return
+	}
+	schema := tbl.Schema()
+
+	ch := make(chan relation.Change, changeStreamBuffer)
+	var lagged atomic.Bool
+	handle := tbl.OnChange(func(c relation.Change) {
+		select {
+		case ch <- c:
+		default:
+			lagged.Store(true)
+		}
+	})
+	defer tbl.RemoveListener(handle)
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+	enc := json.NewEncoder(w)
+
+	// Streams end when the client disconnects or the server starts
+	// draining; the periodic tick bounds how long an idle stream can delay
+	// a graceful shutdown.
+	drainTick := time.NewTicker(250 * time.Millisecond)
+	defer drainTick.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-drainTick.C:
+			if s.life.isDraining() || s.engine.Closed() {
+				return
+			}
+		case c := <-ch:
+			if lagged.Swap(false) {
+				if err := enc.Encode(ChangeEvent{Lagged: true}); err != nil {
+					return
+				}
+			}
+			ev := ChangeEvent{Table: c.Table, PK: c.PK}
+			switch c.Kind {
+			case relation.ChangeInsert:
+				ev.Kind = "insert"
+			case relation.ChangeUpdate:
+				ev.Kind = "update"
+			case relation.ChangeDelete:
+				ev.Kind = "delete"
+			}
+			if c.New != nil {
+				ev.Row = rowToJSON(schema, c.New)
+			}
+			if err := enc.Encode(ev); err != nil {
+				return
+			}
+			flusher.Flush()
+		}
+	}
+}
+
+// boundOp is one schema-validated batch op: the closure that applies it,
+// plus — for ops on tenant-namespaced tables — the tenant it is metered
+// against and a delta function projecting its row/byte footprint change.
+// delta is only called under the batch lock, where the rows it reads cannot
+// move before apply runs.
+type boundOp struct {
+	apply  func() error
+	tenant string
+	delta  func() (rows, bytes int64)
+}
+
 // bindOp resolves one batch op against the schema and returns the closure
 // that applies it.  matched is incremented by the closure when the op finds
 // its target row.
-func bindOp(e *core.Engine, op BatchOp, matched *int) (func() error, error) {
+func bindOp(e *core.Engine, op BatchOp, matched *int) (boundOp, error) {
 	tbl, err := e.DB().Table(op.Table)
 	if err != nil {
-		return nil, err
+		return boundOp{}, err
 	}
+	b := boundOp{tenant: core.TenantOf(op.Table)}
 	switch op.Op {
 	case "insert":
 		if op.Row == nil {
-			return nil, errors.New("insert requires \"row\"")
+			return boundOp{}, errors.New("insert requires \"row\"")
 		}
 		row, err := rowFromJSON(tbl.Schema(), op.Row)
 		if err != nil {
-			return nil, err
+			return boundOp{}, err
 		}
-		return func() error {
+		b.delta = func() (int64, int64) { return 1, int64(core.EncodedRowSize(row)) }
+		b.apply = func() error {
 			if err := tbl.Insert(row); err != nil {
 				return err
 			}
 			*matched++
 			return nil
-		}, nil
+		}
+		return b, nil
 	case "update":
 		if op.PK == nil {
-			return nil, errors.New("update requires \"pk\"")
+			return boundOp{}, errors.New("update requires \"pk\"")
 		}
 		if len(op.Set) == 0 {
-			return nil, errors.New("update requires a non-empty \"set\"")
+			return boundOp{}, errors.New("update requires a non-empty \"set\"")
 		}
 		set, err := setFromJSON(tbl.Schema(), op.Set)
 		if err != nil {
-			return nil, err
+			return boundOp{}, err
 		}
 		pk, ignore := *op.PK, op.IgnoreMissing
-		return func() error {
+		b.delta = func() (int64, int64) {
+			old, err := tbl.Get(pk)
+			if err != nil {
+				return 0, 0
+			}
+			updated := applySet(tbl.Schema(), old, set)
+			return 0, int64(core.EncodedRowSize(updated)) - int64(core.EncodedRowSize(old))
+		}
+		b.apply = func() error {
 			err := tbl.Update(pk, set)
 			if err == nil {
 				*matched++
@@ -661,13 +1054,21 @@ func bindOp(e *core.Engine, op BatchOp, matched *int) (func() error, error) {
 				return nil
 			}
 			return err
-		}, nil
+		}
+		return b, nil
 	case "delete":
 		if op.PK == nil {
-			return nil, errors.New("delete requires \"pk\"")
+			return boundOp{}, errors.New("delete requires \"pk\"")
 		}
 		pk, ignore := *op.PK, op.IgnoreMissing
-		return func() error {
+		b.delta = func() (int64, int64) {
+			old, err := tbl.Get(pk)
+			if err != nil {
+				return 0, 0
+			}
+			return -1, -int64(core.EncodedRowSize(old))
+		}
+		b.apply = func() error {
 			err := tbl.Delete(pk)
 			if err == nil {
 				*matched++
@@ -677,10 +1078,24 @@ func bindOp(e *core.Engine, op BatchOp, matched *int) (func() error, error) {
 				return nil
 			}
 			return err
-		}, nil
+		}
+		return b, nil
 	default:
-		return nil, fmt.Errorf("unknown op %q (want insert, update or delete)", op.Op)
+		return boundOp{}, fmt.Errorf("unknown op %q (want insert, update or delete)", op.Op)
 	}
+}
+
+// applySet projects an update onto a copy of a row, for quota byte-delta
+// estimation; unknown columns were already rejected by setFromJSON.
+func applySet(schema relation.Schema, old relation.Row, set map[string]relation.Value) relation.Row {
+	updated := make(relation.Row, len(old))
+	copy(updated, old)
+	for name, v := range set {
+		if idx, err := schema.ColumnIndex(name); err == nil && idx < len(updated) {
+			updated[idx] = v
+		}
+	}
+	return updated
 }
 
 // --- JSON plumbing ---------------------------------------------------------------
@@ -716,22 +1131,47 @@ func writeJSON(w http.ResponseWriter, status int, body any) {
 }
 
 func writeError(w http.ResponseWriter, status int, err error) {
+	// A backend that already produced a structured error body (a shard's
+	// 404, say) has it forwarded verbatim, so router responses carry the
+	// same shape as single-engine ones.
+	var be *backendError
+	if errors.As(err, &be) && be.resp != nil {
+		writeJSON(w, status, *be.resp)
+		return
+	}
 	writeJSON(w, status, ErrorResponse{Error: err.Error()})
+}
+
+// writeNotFound writes the structured 404 body: both the single-engine
+// server and the router emit this exact shape for a missing index, table or
+// tenant, so clients (and the router tests) can rely on it regardless of
+// deployment mode.
+func writeNotFound(w http.ResponseWriter, resource, name string, err error) {
+	writeJSON(w, http.StatusNotFound, ErrorResponse{
+		Error:    err.Error(),
+		Code:     "not_found",
+		Resource: resource,
+		Name:     name,
+	})
 }
 
 // statusForEngineErr maps engine errors onto HTTP statuses: a request the
 // engine rejected as invalid is 400, a missing row or table is 404, a
-// duplicate primary key is 409 (a client mistake, and one a blind retry
-// would only repeat), a closed engine is 503 (the server is going away),
-// anything else is a plain 500.
+// duplicate primary key or existing index name is 409 (a client mistake,
+// and one a blind retry would only repeat), an exceeded tenant quota is 429
+// (retrying helps only after the tenant frees space or buys quota), a
+// closed engine is 503 (the server is going away), anything else is a
+// plain 500.
 func statusForEngineErr(err error) int {
 	switch {
 	case errors.Is(err, core.ErrInvalidRequest):
 		return http.StatusBadRequest
 	case errors.Is(err, relation.ErrNotFound):
 		return http.StatusNotFound
-	case errors.Is(err, relation.ErrDuplicateKey):
+	case errors.Is(err, relation.ErrDuplicateKey), errors.Is(err, core.ErrExists):
 		return http.StatusConflict
+	case errors.Is(err, core.ErrQuotaExceeded):
+		return http.StatusTooManyRequests
 	case errors.Is(err, core.ErrClosed):
 		return http.StatusServiceUnavailable
 	default:

@@ -50,6 +50,8 @@ func newTestServer(t *testing.T) (*Server, string, *core.TextIndex, *relation.Ta
 		}
 	}
 	engine := core.NewEngine(db, core.Options{})
+	// Registered (not just inline) so POST /v1/indexes can resolve it.
+	engine.RegisterSpec("val", view.Spec{Components: []view.Component{view.OwnColumn("Docs", "val")}})
 	ti, err := engine.CreateTextIndex("docs", "Docs", "body", core.IndexOptions{
 		Method: core.MethodChunk,
 		Spec:   view.Spec{Components: []view.Component{view.OwnColumn("Docs", "val")}},

@@ -627,12 +627,47 @@ func (f *diskFile) AllocateN(n int) (PageID, error) {
 		return InvalidPageID, ErrClosed
 	}
 	f.allocs.Add(uint64(n))
+	if first, ok := f.takeFreeRunLocked(n); ok {
+		f.reuses.Add(uint64(n))
+		for i := 0; i < n; i++ {
+			f.stagePageLocked(first + PageID(i))
+		}
+		return first, nil
+	}
 	first := PageID(f.nPages)
 	for i := 0; i < n; i++ {
 		f.stagePageLocked(first + PageID(i))
 	}
 	f.nPages += uint64(n)
 	return first, nil
+}
+
+// takeFreeRunLocked removes an ID-contiguous, slot-adjacent run of n pages
+// from the free stack.  Because the removed slots are adjacent, the on-page
+// chain breaks at exactly one point: the page that sat just above the
+// segment must now link to the page just below it.  Restaging that single
+// link keeps the chain a future loadFreeList walks consistent with the
+// stack, and the restage rides the normal WAL commit, so a crash either
+// keeps the old chain or installs the new one whole.
+func (f *diskFile) takeFreeRunLocked(n int) (PageID, bool) {
+	i, first, ok := findFreeRun(f.free, n)
+	if !ok {
+		return InvalidPageID, false
+	}
+	if above := i + n; above < len(f.free) {
+		below := InvalidPageID
+		if i > 0 {
+			below = f.free[i-1]
+		}
+		page := f.stagePageLocked(f.free[above])
+		binary.LittleEndian.PutUint64(page[0:8], freePageMagic)
+		binary.LittleEndian.PutUint64(page[8:16], uint64(below))
+	}
+	for k := 0; k < n; k++ {
+		delete(f.freeSet, f.free[i+k])
+	}
+	f.free = append(f.free[:i], f.free[i+n:]...)
+	return first, true
 }
 
 func (f *diskFile) Free(id PageID) error {

@@ -74,7 +74,10 @@ type File interface {
 	Allocate() (PageID, error)
 	// AllocateN allocates n consecutive pages and returns the ID of the
 	// first.  It is used by the blob store to reserve space for large
-	// immutable objects (the long inverted lists) in one call.
+	// immutable objects (the long inverted lists) in one call.  Like
+	// Allocate it prefers recycling: a contiguous run of freed pages (the
+	// shape a dropped index's blobs leave behind) is reused before the file
+	// grows.
 	AllocateN(n int) (PageID, error)
 	// Free returns an allocated page to the free list for a later Allocate
 	// to reuse.  The file never shrinks, but a workload that frees as it
@@ -297,11 +300,59 @@ func (f *memFile) AllocateN(n int) (PageID, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.allocs.Add(uint64(n))
+	if i, first, ok := findFreeRun(f.free, n); ok {
+		for k := 0; k < n; k++ {
+			delete(f.freeSet, f.free[i+k])
+		}
+		f.free = append(f.free[:i], f.free[i+n:]...)
+		for k := 0; k < n; k++ {
+			clear(f.mem[first+PageID(k)])
+		}
+		f.reuses.Add(uint64(n))
+		return first, nil
+	}
 	first := PageID(len(f.mem))
 	for i := 0; i < n; i++ {
 		f.mem = append(f.mem, f.carvePageLocked())
 	}
 	return first, nil
+}
+
+// findFreeRun scans a free stack for n pages whose IDs are consecutive and
+// that occupy adjacent stack slots.  Requiring slot adjacency (not just ID
+// adjacency) lets the caller remove the run by splicing the stack — and,
+// for the durable backing, its on-page chain — at a single point.  Pages
+// freed in ID order, the shape a dropped index's release leaves behind,
+// satisfy both conditions.  Returns the segment's lowest stack index and
+// the run's lowest page ID.
+func findFreeRun(free []PageID, n int) (int, PageID, bool) {
+	if n <= 0 || len(free) < n {
+		return 0, InvalidPageID, false
+	}
+	if n == 1 {
+		// Any free page qualifies; take the top of the stack like Allocate.
+		return len(free) - 1, free[len(free)-1], true
+	}
+	ascLen, descLen := 1, 1
+	for i := 1; i < len(free); i++ {
+		if free[i] == free[i-1]+1 {
+			ascLen++
+		} else {
+			ascLen = 1
+		}
+		if free[i]+1 == free[i-1] {
+			descLen++
+		} else {
+			descLen = 1
+		}
+		if ascLen >= n {
+			return i - n + 1, free[i-n+1], true
+		}
+		if descLen >= n {
+			return i - n + 1, free[i], true
+		}
+	}
+	return 0, InvalidPageID, false
 }
 
 func (f *memFile) Read(id PageID, dst []byte) error {

@@ -326,3 +326,125 @@ func TestFreeListDiskBacked(t *testing.T) {
 	}
 	_ = b
 }
+
+// TestAllocateNReusesFreedRuns covers the run recycler on both backings: a
+// contiguous run freed out of the middle of the file (the shape a dropped
+// index's blobs leave behind) must satisfy the next AllocateN of that size
+// without growing the file, zeroed, and — on the durable backing — with a
+// free-list chain that still walks cleanly after a commit and reopen.
+func TestAllocateNReusesFreedRuns(t *testing.T) {
+	t.Run("mem", func(t *testing.T) {
+		f := MustNewMem(256)
+		first, err := f.AllocateN(10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Free pages 3..6 in ascending order (slot-adjacent run), plus two
+		// scattered singles the run scan must skip over.
+		if err := f.Free(first + 8); err != nil {
+			t.Fatal(err)
+		}
+		for i := 3; i <= 6; i++ {
+			if err := f.Free(first + PageID(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := f.Free(first + 0); err != nil {
+			t.Fatal(err)
+		}
+		before := f.NumPages()
+		run, err := f.AllocateN(4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if run != first+3 {
+			t.Errorf("AllocateN(4) = page %d, want recycled run start %d", run, first+3)
+		}
+		if f.NumPages() != before {
+			t.Errorf("NumPages grew from %d to %d despite a matching free run", before, f.NumPages())
+		}
+		if got := f.FreePages(); got != 2 {
+			t.Errorf("FreePages after run reuse = %d, want the 2 scattered singles", got)
+		}
+		dst := make([]byte, 256)
+		for i := 0; i < 4; i++ {
+			if err := f.Read(run+PageID(i), dst); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(dst, make([]byte, 256)) {
+				t.Errorf("recycled run page %d was not zeroed", i)
+			}
+		}
+		// No run of 3 remains: AllocateN must grow the file, not corrupt the
+		// free list trying.
+		if _, err := f.AllocateN(3); err != nil {
+			t.Fatal(err)
+		}
+		if f.NumPages() != before+3 {
+			t.Errorf("NumPages = %d, want %d (no run of 3 was free)", f.NumPages(), before+3)
+		}
+	})
+
+	t.Run("disk", func(t *testing.T) {
+		path := filepath.Join(t.TempDir(), "pages.db")
+		f, err := Open(path, WithPageSize(512))
+		if err != nil {
+			t.Fatal(err)
+		}
+		first, err := f.AllocateN(10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Free singles around a 4-page run so the splice point is mid-chain.
+		for _, off := range []PageID{9, 3, 4, 5, 6, 1} {
+			if err := f.Free(first + off); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := f.Commit(nil); err != nil {
+			t.Fatal(err)
+		}
+		run, err := f.AllocateN(4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if run != first+3 {
+			t.Errorf("disk AllocateN(4) = page %d, want recycled run start %d", run, first+3)
+		}
+		if st := f.Stats(); st.Reuses < 4 {
+			t.Errorf("Stats Reuses = %d, want >= 4 after run reuse", st.Reuses)
+		}
+		if err := f.Commit(nil); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+
+		// The spliced chain must still walk: reopen rebuilds the free list
+		// from the on-page links, and the two surviving singles must both be
+		// reusable.
+		re, err := Open(path)
+		if err != nil {
+			t.Fatalf("reopen after run reuse: %v", err)
+		}
+		defer re.Close()
+		if got := re.FreePages(); got != 2 {
+			t.Fatalf("FreePages after reopen = %d, want 2", got)
+		}
+		got := map[PageID]bool{}
+		for i := 0; i < 2; i++ {
+			id, err := re.Allocate()
+			if err != nil {
+				t.Fatal(err)
+			}
+			got[id] = true
+		}
+		if !got[first+9] || !got[first+1] {
+			t.Errorf("reopened free list handed out %v, want the surviving singles %d and %d", got, first+9, first+1)
+		}
+		if re.NumPages() != f.NumPages() {
+			t.Errorf("NumPages after reopen = %d, want %d", re.NumPages(), f.NumPages())
+		}
+	})
+}

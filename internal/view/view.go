@@ -279,6 +279,16 @@ type ScoreView struct {
 	attached  bool
 	rows      int
 	refreshes uint64
+	// hooks remembers every dependency-table listener Attach registered so
+	// Detach can unhook them when the owning index is dropped.
+	hooks []tableHook
+}
+
+// tableHook pairs a dependency table with the listener handle Attach
+// registered on it.
+type tableHook struct {
+	table  *relation.Table
+	handle relation.ListenerHandle
 }
 
 // NewScoreView creates the view for the given indexed relation and spec.
@@ -580,11 +590,38 @@ func (v *ScoreView) Attach() error {
 		}
 		isBase := h.table == v.baseTable && h.fkColumn == ""
 		fk := fkIdx
-		tbl.OnChange(func(c relation.Change) {
+		handle := tbl.OnChange(func(c relation.Change) {
 			v.handleChange(c, isBase, fk)
 		})
+		v.mu.Lock()
+		v.hooks = append(v.hooks, tableHook{table: tbl, handle: handle})
+		v.mu.Unlock()
 	}
 	return nil
+}
+
+// Detach unhooks every dependency-table listener Attach registered, so base
+// mutations stop refreshing the view.  A mutation already mid-notification
+// may still deliver one final refresh after Detach returns; the caller
+// (index drop) fences the index before releasing the view's pages.
+func (v *ScoreView) Detach() {
+	v.mu.Lock()
+	hooks := v.hooks
+	v.hooks = nil
+	v.attached = false
+	v.mu.Unlock()
+	for _, h := range hooks {
+		h.table.RemoveListener(h.handle)
+	}
+}
+
+// ReleaseTree frees every page of the materialized score tree back to the
+// pool's free list.  Only an index drop calls it, after the view is detached
+// and the owning index fenced; the view is unusable afterwards.
+func (v *ScoreView) ReleaseTree() error {
+	v.treeMu.Lock()
+	defer v.treeMu.Unlock()
+	return v.tree.RetireAll()
 }
 
 // handleChange folds one base-table change into the view.  Errors during

@@ -1,11 +1,14 @@
 #!/usr/bin/env bash
 # Server smoke test: build svrserve, start it on the movies example dataset,
-# run a scripted query + batch update + stats scrape over real HTTP, then
-# SIGTERM it and assert a clean graceful shutdown (drain + engine close with
-# its pin audit).  A durability leg SIGKILLs a -data daemon and asserts WAL
-# recovery; a router leg fronts two shard servers with -router, SIGKILLs one
-# shard and asserts degraded-but-serving, then restarts it and asserts full
-# recovery.  CI runs this on every push; it also works locally.
+# run a scripted query + batch update + tenant registration + change-stream
+# subscription + stats scrape over real HTTP, then SIGTERM it and assert a
+# clean graceful shutdown (drain + engine close with its pin audit).  A
+# durability leg SIGKILLs a -data daemon and asserts WAL recovery; a router
+# leg fronts two shard servers with -router, SIGKILLs one shard and asserts
+# degraded-but-serving, restarts it and asserts full recovery, then runs an
+# online index create/query/drop through the router under a concurrent
+# search storm that must see zero failures.  CI runs this on every push; it
+# also works locally.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -62,6 +65,28 @@ for name, idx in stats["indexes"].items():
     if raw > 0 and idx["compression_ratio"] <= 1.0:
         sys.exit(f"{name}: raw {raw} B stored {stored} B — not compressed")
 '
+
+echo "--- tenant registration shows up in /v1/tenants and /v1/stats"
+curl -fsS -d '{"name":"acme","max_rows":2}' "http://$ADDR/v1/tenants" | grep -q '"name":"acme"'
+curl -fsS "http://$ADDR/v1/tenants" | grep -q '"max_rows":2'
+curl -fsS "http://$ADDR/v1/stats" | grep -q '"tenants"'
+
+echo "--- change stream delivers a committed insert"
+CH=$(mktemp)
+curl -fsS --no-buffer -m 15 "http://$ADDR/v1/changes?table=Reviews" >"$CH" &
+CHPID=$!
+sleep 0.3
+curl -fsS -d '{"rows":[{"rID":900002,"mID":7,"rating":4}]}' \
+  "http://$ADDR/v1/tables/Reviews/rows" | grep -q '"inserted":1'
+SEEN=""
+for _ in $(seq 1 50); do
+  if grep -q '"pk":900002' "$CH" 2>/dev/null; then SEEN=1; break; fi
+  sleep 0.1
+done
+kill "$CHPID" 2>/dev/null || true
+wait "$CHPID" 2>/dev/null || true
+[ -n "$SEEN" ] || { echo "change stream never delivered the insert" >&2; cat "$CH" >&2; exit 1; }
+grep -q '"kind":"insert"' "$CH"
 
 echo "--- malformed request gets a clean 400"
 CODE=$(curl -s -o /dev/null -w '%{http_code}' -d '{"query":' \
@@ -217,6 +242,37 @@ echo "--- routed write reaches the owning shard through the router"
 curl -fsS -d '{"ops":[{"op":"update","table":"Statistics","pk":7,"set":{"nVisit":9000}}]}' \
   "http://$RADDR/v1/batch" | grep -q '"applied":1'
 
+echo "--- online index lifecycle through the router under concurrent searches"
+SEARCH_FAILS=$(mktemp)
+: >"$SEARCH_FAILS"
+(
+  for _ in $(seq 1 100); do
+    curl -fsS -d '{"query":"golden gate","k":5}' \
+      "http://$RADDR/v1/indexes/movies_desc/search" >/dev/null 2>&1 || echo fail >>"$SEARCH_FAILS"
+  done
+) &
+STORM_PID=$!
+curl -fsS -d '{"name":"movies_desc2","table":"Movies","column":"desc","method":"id","spec":"archive"}' \
+  "http://$RADDR/v1/indexes" | grep -q '"name":"movies_desc2"'
+curl -fsS -d '{"query":"golden gate","k":5}' \
+  "http://$RADDR/v1/indexes/movies_desc2/search" | grep -q '"hits"'
+curl -fsS -X DELETE "http://$RADDR/v1/indexes/movies_desc2" | grep -q '"dropped":"movies_desc2"'
+CODE=$(curl -s -o /dev/null -w '%{http_code}' -d '{"query":"golden gate"}' \
+  "http://$RADDR/v1/indexes/movies_desc2/search")
+[ "$CODE" = "404" ]
+curl -s -X DELETE "http://$RADDR/v1/indexes/movies_desc2" | grep -q '"code":"not_found"'
+wait "$STORM_PID"
+[ ! -s "$SEARCH_FAILS" ] || {
+  echo "$(wc -l <"$SEARCH_FAILS") concurrent searches failed during the index lifecycle" >&2
+  exit 1
+}
+
+echo "--- stats reflect the drop and both shards stay healthy"
+STATS=$(curl -fsS "http://$RADDR/v1/stats")
+echo "$STATS" | grep -q '"healthy_shards":2'
+echo "$STATS" | grep -q 'movies_desc'
+echo "$STATS" | grep -q 'movies_desc2' && { echo "dropped index still in stats" >&2; exit 1; }
+
 echo "--- graceful shutdown of router and shards"
 kill -TERM "$RPID"
 wait "$RPID"
@@ -228,4 +284,4 @@ wait "$SPID1"
 SPID0="" SPID1=""
 
 trap - EXIT
-echo "serve smoke OK (including SIGKILL restart and router degradation legs)"
+echo "serve smoke OK (including SIGKILL restart, router degradation and online index lifecycle legs)"
